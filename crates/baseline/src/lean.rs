@@ -1,0 +1,152 @@
+//! Memory-lean baseline: recomputes every pairwise distance on the fly.
+//!
+//! This is what the paper actually measures as "DPC" — `Θ(n²)` time per
+//! query and only `O(n)` working memory, so it runs (slowly) even where the
+//! distance matrix would not fit.
+
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::{
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+};
+
+/// The memory-lean O(n²)-time baseline.
+#[derive(Debug, Clone)]
+pub struct LeanDpc {
+    dataset: Dataset,
+    tie: TieBreak,
+    construction_time: Duration,
+}
+
+impl LeanDpc {
+    /// Builds the baseline (only clones the dataset).
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::build_with_tie_break(dataset, TieBreak::default())
+    }
+
+    /// Builds the baseline with an explicit tie-break rule.
+    pub fn build_with_tie_break(dataset: &Dataset, tie: TieBreak) -> Self {
+        let timer = Timer::start();
+        LeanDpc { dataset: dataset.clone(), tie, construction_time: timer.elapsed() }
+    }
+}
+
+impl DpcIndex for LeanDpc {
+    fn name(&self) -> &'static str {
+        "dpc-lean"
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        let pts = self.dataset.points();
+        let n = pts.len();
+        let dc2 = dc * dc;
+        let mut rho = vec![0 as Rho; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if pts[i].distance_squared(&pts[j]) < dc2 {
+                    rho[i] += 1;
+                    rho[j] += 1;
+                }
+            }
+        }
+        Ok(rho)
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let pts = self.dataset.points();
+        let n = pts.len();
+        let order = DensityOrder::with_tie_break(rho, self.tie);
+        let mut result = DeltaResult::unset(n);
+        for p in 0..n {
+            let mut best_sq = f64::INFINITY;
+            let mut best_q = None;
+            let mut max_sq = 0.0f64;
+            for q in 0..n {
+                if q == p {
+                    continue;
+                }
+                let d2 = pts[p].distance_squared(&pts[q]);
+                max_sq = max_sq.max(d2);
+                if d2 < best_sq && order.is_denser(q, p) {
+                    best_sq = d2;
+                    best_q = Some(q);
+                }
+            }
+            if best_q.is_some() {
+                result.delta[p] = best_sq.sqrt();
+                result.mu[p] = best_q;
+            } else {
+                result.delta[p] = max_sq.sqrt();
+            }
+        }
+        Ok(result)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixDpc;
+    use dpc_core::Point;
+    use dpc_datasets::generators::s1;
+
+    #[test]
+    fn matches_matrix_baseline_on_synthetic_data() {
+        let data = s1(11, 0.04).into_dataset(); // 200 points
+        let lean = LeanDpc::build(&data);
+        let matrix = MatrixDpc::build(&data);
+        for dc in [10_000.0, 50_000.0, 200_000.0] {
+            let (r1, d1) = lean.rho_delta(dc).unwrap();
+            let (r2, d2) = matrix.rho_delta(dc).unwrap();
+            assert_eq!(r1, r2, "dc = {dc}");
+            assert_eq!(d1.mu, d2.mu, "dc = {dc}");
+            for p in 0..data.len() {
+                assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9, "dc = {dc}, p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_linear_not_quadratic() {
+        let data = s1(11, 0.1).into_dataset(); // 500 points
+        let lean = LeanDpc::build(&data);
+        let matrix = MatrixDpc::build(&data);
+        assert!(lean.memory_bytes() < matrix.memory_bytes() / 10);
+    }
+
+    #[test]
+    fn strict_inequality_on_dc_boundary() {
+        let data = Dataset::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
+        let lean = LeanDpc::build(&data);
+        assert_eq!(lean.rho(2.0).unwrap(), vec![0, 0]);
+        assert_eq!(lean.rho(2.0000001).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let data = Dataset::new(vec![Point::origin()]);
+        let lean = LeanDpc::build(&data);
+        assert!(lean.rho(-1.0).is_err());
+        assert!(lean.delta(1.0, &[]).is_err());
+    }
+}

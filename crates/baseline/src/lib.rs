@@ -1,0 +1,28 @@
+//! # dpc-baseline
+//!
+//! The original Density Peak Clustering algorithm of Rodriguez & Laio, used
+//! by the paper as the baseline for every experiment. Three interchangeable
+//! variants are provided, all implementing [`dpc_core::DpcIndex`] so they can
+//! be dropped anywhere an index is expected:
+//!
+//! * [`MatrixDpc`] — precomputes the full pairwise distance matrix
+//!   (`Θ(n²)` memory). This matches the paper's remark that *"the pairwise
+//!   distances can be reused after firstly computed"*: repeated queries for
+//!   different `dc` avoid recomputing distances, at a large memory cost.
+//! * [`LeanDpc`] — recomputes distances on the fly (`O(1)` extra memory per
+//!   query, `Θ(n²)` time per query). This is what the paper actually runs as
+//!   "DPC" for datasets where the matrix does not fit.
+//! * [`ParallelDpc`] — the lean variant with the per-point loops spread over
+//!   a configurable number of threads (crossbeam scoped threads). Not part
+//!   of the paper; provided as a reference point for the benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lean;
+pub mod matrix;
+pub mod parallel;
+
+pub use lean::LeanDpc;
+pub use matrix::{DistanceMatrix, MatrixDpc};
+pub use parallel::ParallelDpc;

@@ -1,0 +1,253 @@
+//! Distance-matrix baseline: pairwise distances are computed once and reused
+//! across queries for different `dc`.
+
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::{
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+};
+
+/// Condensed symmetric pairwise-distance matrix.
+///
+/// Only the strict upper triangle is stored (`n·(n−1)/2` entries, `f64`), so
+/// the memory cost is half of a full matrix but still quadratic — this is the
+/// memory wall that motivates the paper's tree-based indices for large
+/// datasets.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Upper-triangular entries in row-major order: (0,1), (0,2), …, (1,2), …
+    entries: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes the pairwise distance matrix of a dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let n = dataset.len();
+        let mut entries = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+        let pts = dataset.points();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                entries.push(pts[i].distance(&pts[j]));
+            }
+        }
+        DistanceMatrix { n, entries }
+    }
+
+    /// Number of points covered by the matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j` (0 when `i == j`).
+    #[inline]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Index of (a, b) in the condensed upper triangle.
+        let idx = a * self.n - a * (a + 1) / 2 + (b - a - 1);
+        self.entries[idx]
+    }
+
+    /// Heap bytes used by the matrix.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// The matrix-based baseline index.
+#[derive(Debug, Clone)]
+pub struct MatrixDpc {
+    dataset: Dataset,
+    matrix: DistanceMatrix,
+    tie: TieBreak,
+    construction_time: Duration,
+}
+
+impl MatrixDpc {
+    /// Builds the baseline: computes and stores all pairwise distances.
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::build_with_tie_break(dataset, TieBreak::default())
+    }
+
+    /// Builds the baseline with an explicit tie-break rule.
+    pub fn build_with_tie_break(dataset: &Dataset, tie: TieBreak) -> Self {
+        let timer = Timer::start();
+        let matrix = DistanceMatrix::compute(dataset);
+        MatrixDpc {
+            dataset: dataset.clone(),
+            matrix,
+            tie,
+            construction_time: timer.elapsed(),
+        }
+    }
+
+    /// Access to the stored distance matrix.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+}
+
+impl DpcIndex for MatrixDpc {
+    fn name(&self) -> &'static str {
+        "dpc-matrix"
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        let n = self.dataset.len();
+        let mut rho = vec![0 as Rho; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.matrix.distance(i, j) < dc {
+                    rho[i] += 1;
+                    rho[j] += 1;
+                }
+            }
+        }
+        Ok(rho)
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let n = self.dataset.len();
+        let order = DensityOrder::with_tie_break(rho, self.tie);
+        let mut result = DeltaResult::unset(n);
+        for p in 0..n {
+            let mut best = f64::INFINITY;
+            let mut best_q = None;
+            let mut max_dist = 0.0f64;
+            for q in 0..n {
+                if q == p {
+                    continue;
+                }
+                let d = self.matrix.distance(p, q);
+                max_dist = max_dist.max(d);
+                if order.is_denser(q, p) && d < best {
+                    best = d;
+                    best_q = Some(q);
+                }
+            }
+            if best_q.is_some() {
+                result.delta[p] = best;
+                result.mu[p] = best_q;
+            } else {
+                result.delta[p] = max_dist;
+            }
+        }
+        Ok(result)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.matrix.memory_bytes() + self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+            .with_counter("matrix_entries", self.matrix.entries.len() as u64)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::naive_reference::NaiveReferenceIndex;
+    use dpc_core::Point;
+
+    fn dataset() -> Dataset {
+        Dataset::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn condensed_matrix_matches_direct_distances() {
+        let data = dataset();
+        let m = DistanceMatrix::compute(&data);
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                assert!(
+                    (m.distance(i, j) - data.distance(i, j)).abs() < 1e-12,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_diagonal_is_zero_and_symmetric() {
+        let m = DistanceMatrix::compute(&dataset());
+        for i in 0..5 {
+            assert_eq!(m.distance(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(m.distance(i, j), m.distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_memory_is_quadratic() {
+        let small = DistanceMatrix::compute(&Dataset::new(vec![Point::origin(); 10]));
+        let big = DistanceMatrix::compute(&Dataset::new(vec![Point::origin(); 100]));
+        assert!(big.memory_bytes() > 50 * small.memory_bytes());
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let data = dataset();
+        let baseline = MatrixDpc::build(&data);
+        let reference = NaiveReferenceIndex::build(&data);
+        for dc in [0.5, 1.5, 3.0, 10.0] {
+            let (r1, d1) = baseline.rho_delta(dc).unwrap();
+            let (r2, d2) = reference.rho_delta(dc).unwrap();
+            assert_eq!(r1, r2, "dc = {dc}");
+            assert_eq!(d1.mu, d2.mu, "dc = {dc}");
+            for p in 0..data.len() {
+                assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_matrix_entries() {
+        let baseline = MatrixDpc::build(&dataset());
+        assert_eq!(baseline.stats().counter("matrix_entries"), Some(10));
+        assert!(baseline.memory_bytes() >= 10 * 8);
+    }
+
+    #[test]
+    fn rejects_invalid_dc() {
+        let baseline = MatrixDpc::build(&dataset());
+        assert!(baseline.rho(0.0).is_err());
+        assert!(baseline.delta(f64::NAN, &[0; 5]).is_err());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let baseline = MatrixDpc::build(&Dataset::new(vec![]));
+        let (rho, deltas) = baseline.rho_delta(1.0).unwrap();
+        assert!(rho.is_empty());
+        assert!(deltas.is_empty());
+    }
+}

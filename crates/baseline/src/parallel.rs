@@ -1,0 +1,215 @@
+//! Multi-threaded variant of the lean baseline.
+//!
+//! Not part of the paper (all of its measurements are single-threaded), but a
+//! useful reference point: it shows how far brute force can be pushed by
+//! parallelism alone before the index structures still win asymptotically.
+//! Work is partitioned over points with crossbeam scoped threads; each query
+//! remains `Θ(n²)` total work.
+
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::{
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+};
+
+/// The parallel O(n²) baseline.
+#[derive(Debug, Clone)]
+pub struct ParallelDpc {
+    dataset: Dataset,
+    tie: TieBreak,
+    threads: usize,
+    construction_time: Duration,
+}
+
+impl ParallelDpc {
+    /// Builds the baseline using all available CPU parallelism.
+    pub fn build(dataset: &Dataset) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_with_threads(dataset, threads)
+    }
+
+    /// Builds the baseline with an explicit thread count.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn build_with_threads(dataset: &Dataset, threads: usize) -> Self {
+        assert!(threads > 0, "ParallelDpc: need at least one thread");
+        let timer = Timer::start();
+        ParallelDpc {
+            dataset: dataset.clone(),
+            tie: TieBreak::default(),
+            threads,
+            construction_time: timer.elapsed(),
+        }
+    }
+
+    /// Number of worker threads used per query.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn chunk_size(&self, n: usize) -> usize {
+        n.div_ceil(self.threads).max(1)
+    }
+}
+
+impl DpcIndex for ParallelDpc {
+    fn name(&self) -> &'static str {
+        "dpc-parallel"
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        let pts = self.dataset.points();
+        let n = pts.len();
+        if n == 0 {
+            return Ok(vec![]);
+        }
+        let dc2 = dc * dc;
+        let mut rho = vec![0 as Rho; n];
+        let chunk = self.chunk_size(n);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, out) in rho.chunks_mut(chunk).enumerate() {
+                let start = chunk_idx * chunk;
+                scope.spawn(move |_| {
+                    for (offset, slot) in out.iter_mut().enumerate() {
+                        let i = start + offset;
+                        let mut count = 0 as Rho;
+                        for (j, q) in pts.iter().enumerate() {
+                            if j != i && pts[i].distance_squared(q) < dc2 {
+                                count += 1;
+                            }
+                        }
+                        *slot = count;
+                    }
+                });
+            }
+        })
+        .expect("rho worker thread panicked");
+        Ok(rho)
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let pts = self.dataset.points();
+        let n = pts.len();
+        if n == 0 {
+            return Ok(DeltaResult::unset(0));
+        }
+        let order = DensityOrder::with_tie_break(rho, self.tie);
+        let mut delta = vec![f64::INFINITY; n];
+        let mut mu = vec![None; n];
+        let chunk = self.chunk_size(n);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, (delta_out, mu_out)) in delta
+                .chunks_mut(chunk)
+                .zip(mu.chunks_mut(chunk))
+                .enumerate()
+            {
+                let start = chunk_idx * chunk;
+                let order = &order;
+                scope.spawn(move |_| {
+                    for offset in 0..delta_out.len() {
+                        let p = start + offset;
+                        let mut best_sq = f64::INFINITY;
+                        let mut best_q = None;
+                        let mut max_sq = 0.0f64;
+                        for (q, point_q) in pts.iter().enumerate() {
+                            if q == p {
+                                continue;
+                            }
+                            let d2 = pts[p].distance_squared(point_q);
+                            max_sq = max_sq.max(d2);
+                            if d2 < best_sq && order.is_denser(q, p) {
+                                best_sq = d2;
+                                best_q = Some(q);
+                            }
+                        }
+                        if best_q.is_some() {
+                            delta_out[offset] = best_sq.sqrt();
+                            mu_out[offset] = best_q;
+                        } else {
+                            delta_out[offset] = max_sq.sqrt();
+                        }
+                    }
+                });
+            }
+        })
+        .expect("delta worker thread panicked");
+        Ok(DeltaResult::new(delta, mu))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+            .with_counter("threads", self.threads as u64)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lean::LeanDpc;
+    use dpc_datasets::generators::{query, s1};
+
+    #[test]
+    fn matches_lean_baseline() {
+        let data = s1(3, 0.06).into_dataset(); // 300 points
+        let lean = LeanDpc::build(&data);
+        for threads in [1, 2, 4, 7] {
+            let par = ParallelDpc::build_with_threads(&data, threads);
+            for dc in [20_000.0, 100_000.0] {
+                let (r1, d1) = par.rho_delta(dc).unwrap();
+                let (r2, d2) = lean.rho_delta(dc).unwrap();
+                assert_eq!(r1, r2, "threads {threads}, dc {dc}");
+                assert_eq!(d1.mu, d2.mu, "threads {threads}, dc {dc}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_when_threads_exceed_points() {
+        let data = query(5, 0.0005).into_dataset(); // tiny
+        let par = ParallelDpc::build_with_threads(&data, 64);
+        let (rho, deltas) = par.rho_delta(0.05).unwrap();
+        assert_eq!(rho.len(), data.len());
+        assert_eq!(deltas.len(), data.len());
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let par = ParallelDpc::build_with_threads(&Dataset::new(vec![]), 4);
+        let (rho, deltas) = par.rho_delta(1.0).unwrap();
+        assert!(rho.is_empty());
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn reports_thread_count() {
+        let data = s1(3, 0.01).into_dataset();
+        let par = ParallelDpc::build_with_threads(&data, 3);
+        assert_eq!(par.threads(), 3);
+        assert_eq!(par.stats().counter("threads"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ParallelDpc::build_with_threads(&Dataset::new(vec![]), 0);
+    }
+}

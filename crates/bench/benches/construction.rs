@@ -1,0 +1,33 @@
+//! Criterion companion to Table 4: construction time of every index on a
+//! fixed mid-size dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpc_datasets::DatasetKind;
+use dpc_list_index::{ChIndex, ListIndex, NeighborLists};
+use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
+
+fn bench_construction(c: &mut Criterion) {
+    let kind = DatasetKind::Query;
+    let data = kind.generate(42, 0.02).into_dataset(); // 1 000 points
+    let w = kind.default_bin_width();
+
+    let mut group = c.benchmark_group("construction_query1k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("list", |b| b.iter(|| ListIndex::build(&data)));
+    group.bench_function("ch_from_scratch", |b| b.iter(|| ChIndex::build(&data, w)));
+    let lists = NeighborLists::build(&data, None);
+    group.bench_function("ch_histograms_only", |b| {
+        b.iter(|| ChIndex::from_lists(&data, lists.clone(), w))
+    });
+    group.bench_function("quadtree", |b| b.iter(|| Quadtree::build(&data)));
+    group.bench_function("rtree", |b| b.iter(|| RTree::build(&data)));
+    group.bench_function("kdtree", |b| b.iter(|| KdTree::build(&data)));
+    group.bench_function("grid", |b| b.iter(|| GridIndex::build(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion companion to the pruning-ablation experiment: δ-query time of
+//! the tree indices with both, one or neither of the paper's pruning rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dpc_core::DpcIndex;
+use dpc_datasets::DatasetKind;
+use dpc_tree_index::{DeltaQueryConfig, Quadtree, RTree};
+
+fn bench_pruning(c: &mut Criterion) {
+    let kind = DatasetKind::Birch;
+    let data = kind.generate(42, 0.02).into_dataset(); // 2 000 points
+    let dc = kind.default_dc();
+    let quadtree = Quadtree::build(&data);
+    let rtree = RTree::build(&data);
+    let rho_q = quadtree.rho(dc).unwrap();
+    let rho_r = rtree.rho(dc).unwrap();
+
+    let variants = [
+        ("both", DeltaQueryConfig::default()),
+        ("density_only", DeltaQueryConfig { density_pruning: true, distance_pruning: false }),
+        ("distance_only", DeltaQueryConfig { density_pruning: false, distance_pruning: true }),
+        ("none", DeltaQueryConfig::no_pruning()),
+    ];
+
+    let mut group = c.benchmark_group("delta_pruning_birch2k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::new("quadtree", name), &config, |b, cfg| {
+            b.iter(|| quadtree.delta_with_config(dc, &rho_q, cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rtree", name), &config, |b, cfg| {
+            b.iter(|| rtree.delta_with_config(dc, &rho_r, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

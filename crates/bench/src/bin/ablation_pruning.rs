@@ -1,0 +1,6 @@
+//! Harness binary regenerating the `ablation_pruning` experiment.
+//! Run with `cargo run -p dpc-bench --release --bin ablation_pruning -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+
+fn main() {
+    dpc_bench::run_cli("ablation_pruning");
+}

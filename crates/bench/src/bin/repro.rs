@@ -1,0 +1,12 @@
+//! Harness binary that regenerates every table and figure of the paper
+//! (or a selected subset).
+//!
+//! ```text
+//! cargo run -p dpc-bench --release --bin repro -- all --scale 0.05
+//! cargo run -p dpc-bench --release --bin repro -- fig05_running_time table3_memory
+//! cargo run -p dpc-bench --release --bin repro -- --list
+//! ```
+
+fn main() {
+    dpc_bench::run_repro_cli();
+}

@@ -1,0 +1,127 @@
+//! Shared command-line entry point used by every harness binary.
+
+use crate::experiments::{registry, support};
+use crate::ExperimentConfig;
+
+/// Runs a single named experiment with a configuration parsed from
+/// `std::env::args`, printing its tables and persisting CSVs.
+///
+/// Exits the process with a non-zero status on a usage error.
+pub fn run_cli(experiment: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_with_args(experiment, args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: {experiment} [--scale S] [--seed N] [--reps R] [--out DIR | --no-out]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Testable core of [`run_cli`]: runs `experiment` with the given raw
+/// arguments.
+pub fn run_with_args(experiment: &str, args: Vec<String>) -> Result<(), String> {
+    let (config, rest) = ExperimentConfig::from_args(args)?;
+    if !rest.is_empty() {
+        return Err(format!("unrecognised arguments: {rest:?}"));
+    }
+    let reg = registry();
+    let (name, description, run) = reg
+        .iter()
+        .find(|(name, _, _)| *name == experiment)
+        .ok_or_else(|| format!("unknown experiment {experiment:?}"))?;
+    println!("== {description} ==");
+    println!(
+        "(scale = {}, seed = {}, repetitions = {})\n",
+        config.scale, config.seed, config.repetitions
+    );
+    let tables = run(&config);
+    support::emit(&config, name, &tables);
+    Ok(())
+}
+
+/// Entry point of the `repro` binary: runs a list of experiments (or all of
+/// them), sharing one configuration.
+pub fn run_repro_cli() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_repro_with_args(args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: repro [all | <experiment>...] [--list] [--scale S] [--seed N] [--reps R] [--out DIR | --no-out]");
+            eprintln!("experiments:");
+            for (name, description, _) in registry() {
+                eprintln!("  {name:<24} {description}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Testable core of [`run_repro_cli`].
+pub fn run_repro_with_args(args: Vec<String>) -> Result<(), String> {
+    let (config, rest) = ExperimentConfig::from_args(args)?;
+    if rest.iter().any(|a| a == "--list") {
+        for (name, description, _) in registry() {
+            println!("{name:<24} {description}");
+        }
+        return Ok(());
+    }
+    let reg = registry();
+    let selected: Vec<&(&str, &str, crate::experiments::ExperimentFn)> =
+        if rest.is_empty() || rest.iter().any(|a| a == "all") {
+            reg.iter().collect()
+        } else {
+            let mut picked = Vec::new();
+            for want in &rest {
+                let found = reg
+                    .iter()
+                    .find(|(name, _, _)| name == want)
+                    .ok_or_else(|| format!("unknown experiment {want:?}"))?;
+                picked.push(found);
+            }
+            picked
+        };
+    for (name, description, run) in selected {
+        println!("== {description} ==\n");
+        let tables = run(&config);
+        support::emit(&config, name, &tables);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        assert!(run_with_args("does_not_exist", vec!["--no-out".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(run_with_args("fig01_dc_sensitivity", vec!["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn repro_list_mode_succeeds_without_running_experiments() {
+        assert!(run_repro_with_args(vec!["--list".into(), "--no-out".into()]).is_ok());
+    }
+
+    #[test]
+    fn repro_rejects_unknown_experiment_names() {
+        assert!(run_repro_with_args(vec!["nope".into(), "--no-out".into()]).is_err());
+    }
+
+    #[test]
+    fn single_experiment_runs_end_to_end() {
+        // The cheapest experiment at smoke scale, without persistence.
+        assert!(run_with_args(
+            "fig01_dc_sensitivity",
+            vec!["--scale".into(), "0.002".into(), "--reps".into(), "1".into(), "--no-out".into()],
+        )
+        .is_ok());
+    }
+}

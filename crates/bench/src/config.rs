@@ -1,0 +1,141 @@
+//! Experiment configuration and command-line parsing shared by all harness
+//! binaries.
+
+use std::path::PathBuf;
+
+/// Configuration common to every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Dataset size multiplier relative to the paper (1.0 = paper scale).
+    pub scale: f64,
+    /// Seed for every dataset generator.
+    pub seed: u64,
+    /// Repetitions per timing measurement (median is reported).
+    pub repetitions: usize,
+    /// Directory where result CSVs are written (`None` = don't persist).
+    pub output_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 0.02,
+            seed: 42,
+            repetitions: 3,
+            output_dir: Some(PathBuf::from("results")),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A very small configuration for tests and CI smoke runs.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            scale: 0.002,
+            seed: 42,
+            repetitions: 1,
+            output_dir: None,
+        }
+    }
+
+    /// Parses `--scale`, `--seed`, `--reps` and `--out` from an argument
+    /// list (unrecognised arguments are returned for the caller to handle).
+    ///
+    /// Returns the parsed configuration together with the leftover
+    /// arguments.
+    pub fn from_args<I>(args: I) -> Result<(Self, Vec<String>), String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut config = ExperimentConfig::default();
+        let mut rest = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().ok_or("--scale needs a value")?;
+                    config.scale = v.parse().map_err(|_| format!("invalid --scale value {v:?}"))?;
+                    if config.scale <= 0.0 {
+                        return Err("--scale must be positive".to_string());
+                    }
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    config.seed = v.parse().map_err(|_| format!("invalid --seed value {v:?}"))?;
+                }
+                "--reps" => {
+                    let v = iter.next().ok_or("--reps needs a value")?;
+                    config.repetitions =
+                        v.parse().map_err(|_| format!("invalid --reps value {v:?}"))?;
+                    if config.repetitions == 0 {
+                        return Err("--reps must be at least 1".to_string());
+                    }
+                }
+                "--out" => {
+                    let v = iter.next().ok_or("--out needs a value")?;
+                    config.output_dir = Some(PathBuf::from(v));
+                }
+                "--no-out" => config.output_dir = None,
+                other => rest.push(other.to_string()),
+            }
+        }
+        Ok((config, rest))
+    }
+
+    /// Path for one result CSV, or `None` when persistence is disabled.
+    pub fn csv_path(&self, name: &str) -> Option<PathBuf> {
+        self.output_dir.as_ref().map(|d| d.join(format!("{name}.csv")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = ExperimentConfig::default();
+        assert!(c.scale > 0.0 && c.scale < 1.0);
+        assert!(c.repetitions >= 1);
+        assert!(c.output_dir.is_some());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let (c, rest) = ExperimentConfig::from_args(args(&[
+            "--scale", "0.5", "--seed", "7", "--reps", "5", "--out", "/tmp/results", "extra",
+        ]))
+        .unwrap();
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.repetitions, 5);
+        assert_eq!(c.output_dir, Some(PathBuf::from("/tmp/results")));
+        assert_eq!(rest, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn no_out_disables_persistence() {
+        let (c, _) = ExperimentConfig::from_args(args(&["--no-out"])).unwrap();
+        assert_eq!(c.output_dir, None);
+        assert_eq!(c.csv_path("t"), None);
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        assert!(ExperimentConfig::from_args(args(&["--scale", "zero"])).is_err());
+        assert!(ExperimentConfig::from_args(args(&["--scale", "-1"])).is_err());
+        assert!(ExperimentConfig::from_args(args(&["--reps", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(args(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn csv_path_joins_name() {
+        let c = ExperimentConfig::default();
+        let p = c.csv_path("fig05_running_time").unwrap();
+        assert!(p.ends_with("fig05_running_time.csv"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 5: ρ+δ query running time of every index on every dataset.
+//!
+//! The paper compares List, CH, R-tree, Quadtree and the original DPC
+//! algorithm on the six datasets of Table 2 at one representative `dc` per
+//! dataset. The full list-based indices and the naive baseline only run on
+//! the smaller datasets (memory wall); larger datasets show `-` for them,
+//! exactly as the paper's bar chart omits those bars.
+
+use dpc_datasets::{DatasetKind, PAPER_DATASETS};
+use dpc_metrics::ResultTable;
+
+use crate::experiments::support;
+use crate::{ExperimentConfig, IndexKind};
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 5 — query running time in seconds (scale = {}, dc = per-dataset default)",
+            config.scale
+        ),
+        &["dataset", "n", "dc", "List", "CH", "R-tree", "Quadtree", "DPC"],
+    );
+
+    for kind in PAPER_DATASETS {
+        let data = support::dataset_for(kind, config);
+        let dc = kind.default_dc();
+        let mut cells = vec![kind.name().to_string(), data.len().to_string(), format!("{dc}")];
+        for index_kind in [
+            IndexKind::List,
+            IndexKind::Ch,
+            IndexKind::RTree,
+            IndexKind::Quadtree,
+            IndexKind::Naive,
+        ] {
+            cells.push(measure(index_kind, kind, &data, dc, config));
+        }
+        table.add_row(&cells);
+    }
+    vec![table]
+}
+
+fn measure(
+    index_kind: IndexKind,
+    dataset_kind: DatasetKind,
+    data: &dpc_core::Dataset,
+    dc: f64,
+    config: &ExperimentConfig,
+) -> String {
+    if !index_kind.feasible_for(dataset_kind, data.len()) || data.len() > support::FULL_LIST_LIMIT && index_kind.is_list_based() {
+        return "-".to_string();
+    }
+    let index = index_kind.build(data, dataset_kind);
+    support::secs(support::query_time(index.as_ref(), dc, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_dataset() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].num_rows(), PAPER_DATASETS.len());
+    }
+
+    #[test]
+    fn every_cell_is_a_time_or_a_dash() {
+        let tables = run(&ExperimentConfig::smoke());
+        for line in tables[0].to_csv().lines().skip(1) {
+            for cell in line.split(',').skip(3) {
+                assert!(cell == "-" || cell.parse::<f64>().is_ok(), "cell {cell:?}");
+            }
+        }
+    }
+}

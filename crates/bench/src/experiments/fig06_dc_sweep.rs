@@ -1,0 +1,91 @@
+//! Figure 6: query running time as a function of the cut-off distance `dc`.
+//!
+//! One sub-table per dataset. Rows are the five paper `dc` values plus `L`
+//! (the largest possible `dc`, the bounding-box diameter); columns are the
+//! four indices. List-based indices use their approximate variant on the
+//! large datasets (the paper does the same, with the largest τ).
+
+use dpc_core::DpcIndex;
+use dpc_datasets::{DatasetKind, PAPER_DATASETS};
+use dpc_metrics::ResultTable;
+
+use crate::experiments::support;
+use crate::{ExperimentConfig, IndexKind};
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    PAPER_DATASETS
+        .into_iter()
+        .map(|kind| sweep_one(kind, config))
+        .collect()
+}
+
+fn sweep_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
+    let data = support::dataset_for(kind, config);
+    let approximate_lists = !kind.full_list_feasible() || data.len() > support::FULL_LIST_LIMIT;
+    let (list_kind, ch_kind, suffix) = if approximate_lists {
+        (IndexKind::ListApprox, IndexKind::ChApprox, " (approx. lists)")
+    } else {
+        (IndexKind::List, IndexKind::Ch, "")
+    };
+
+    let list = list_kind.build(&data, kind);
+    let ch = ch_kind.build(&data, kind);
+    let quadtree = IndexKind::Quadtree.build(&data, kind);
+    let rtree = IndexKind::RTree.build(&data, kind);
+    let indices: [(&str, &dyn DpcIndex); 4] = [
+        ("List", list.as_ref()),
+        ("CH", ch.as_ref()),
+        ("Quadtree", quadtree.as_ref()),
+        ("R-tree", rtree.as_ref()),
+    ];
+
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 6 ({}) — query time in seconds vs dc (n = {}){}",
+            kind.name(),
+            data.len(),
+            suffix
+        ),
+        &["dc", "List", "CH", "Quadtree", "R-tree"],
+    );
+
+    let mut dcs: Vec<(String, f64)> = kind
+        .fig6_dc_values()
+        .iter()
+        .map(|&dc| (format!("{dc}"), dc))
+        .collect();
+    // "L": the largest meaningful dc (bounding-box diameter, slightly
+    // inflated so every pair is within range).
+    dcs.push(("L".to_string(), data.bbox_diameter() * 1.01));
+
+    for (label, dc) in dcs {
+        let mut cells = vec![label];
+        for (_, index) in &indices {
+            cells.push(support::secs(support::query_time(*index, dc, config)));
+        }
+        table.add_row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_table_per_dataset_with_six_rows() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), PAPER_DATASETS.len());
+        for t in &tables {
+            assert_eq!(t.num_rows(), 6);
+        }
+    }
+
+    #[test]
+    fn last_row_is_the_largest_dc() {
+        let tables = run(&ExperimentConfig::smoke());
+        let csv = tables[0].to_csv();
+        assert!(csv.lines().last().unwrap().starts_with("L,"));
+    }
+}

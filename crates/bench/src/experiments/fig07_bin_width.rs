@@ -1,0 +1,67 @@
+//! Figure 7: influence of the CH Index bin width `w` on query time.
+//!
+//! For each of the four large datasets the paper sweeps four bin widths at
+//! three `dc` values. Larger bins mean a larger list section to search per
+//! object, so the query time grows with `w`. The CH Index is built once per
+//! `w` (reusing the same RN-Lists) and queried at every `dc`.
+
+use dpc_datasets::DatasetKind;
+use dpc_list_index::{ChIndex, NeighborLists};
+use dpc_metrics::ResultTable;
+
+use crate::experiments::support;
+use crate::ExperimentConfig;
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    support::large_datasets()
+        .into_iter()
+        .map(|kind| sweep_one(kind, config))
+        .collect()
+}
+
+fn sweep_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
+    let data = support::dataset_for(kind, config);
+    let tau = kind.largest_tau().expect("large datasets define a largest tau");
+    let w_values = kind.fig7_w_values().expect("large datasets define w values");
+    let dc_values = kind.fig7_dc_values().expect("large datasets define fig7 dc values");
+
+    // The RN-Lists are independent of w; build them once.
+    let lists = NeighborLists::build(&data, Some(tau));
+
+    let mut columns = vec!["w".to_string()];
+    columns.extend(dc_values.iter().map(|dc| format!("dc={dc}")));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 7 ({}) — CH Index query time in seconds vs bin width w (n = {}, tau = {tau})",
+            kind.name(),
+            data.len()
+        ),
+        &column_refs,
+    );
+
+    for &w in w_values {
+        let ch = ChIndex::from_lists(&data, lists.clone(), w);
+        let mut cells = vec![format!("{w}")];
+        for &dc in dc_values {
+            cells.push(support::secs(support::query_time(&ch, dc, config)));
+        }
+        table.add_row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_tables_with_one_row_per_w() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 4);
+        for (t, kind) in tables.iter().zip(support::large_datasets()) {
+            assert_eq!(t.num_rows(), kind.fig7_w_values().unwrap().len());
+        }
+    }
+}

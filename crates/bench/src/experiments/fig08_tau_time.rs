@@ -1,0 +1,62 @@
+//! Figure 8: influence of the neighbour threshold `τ` on the query time of
+//! the approximate list-based indices.
+//!
+//! For each large dataset the paper fixes `dc` (§5.4) and sweeps three τ
+//! values above it: the shorter the RN-Lists, the faster both indices
+//! answer, with the CH Index varying less because its ρ-query already
+//! touches only one bin.
+
+use dpc_datasets::DatasetKind;
+use dpc_list_index::{ChIndex, ListIndex};
+use dpc_metrics::ResultTable;
+
+use crate::experiments::support;
+use crate::ExperimentConfig;
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    support::large_datasets()
+        .into_iter()
+        .map(|kind| sweep_one(kind, config))
+        .collect()
+}
+
+fn sweep_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
+    let data = support::dataset_for(kind, config);
+    let dc = kind.approx_dc().expect("large datasets define a fixed dc for the tau study");
+    let taus = kind.fig8_tau_values().expect("large datasets define tau values");
+
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 8 ({}) — approximate index query time in seconds vs tau (n = {}, dc = {dc})",
+            kind.name(),
+            data.len()
+        ),
+        &["tau", "List", "CH Index"],
+    );
+
+    for &tau in taus {
+        let list = ListIndex::build_approx(&data, tau);
+        let ch = ChIndex::build_approx(&data, kind.default_bin_width(), tau);
+        table.add_row(&[
+            format!("{tau}"),
+            support::secs(support::query_time(&list, dc, config)),
+            support::secs(support::query_time(&ch, dc, config)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_tables_with_one_row_per_tau() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 4);
+        for (t, kind) in tables.iter().zip(support::large_datasets()) {
+            assert_eq!(t.num_rows(), kind.fig8_tau_values().unwrap().len());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 9: memory of the CH histograms as a function of `w` (9a) and
+//! memory of the approximate List Index as a function of `τ` (9b).
+
+use dpc_core::DpcIndex;
+use dpc_list_index::{ChIndex, ListIndex, NeighborLists};
+use dpc_metrics::ResultTable;
+
+use crate::experiments::support;
+use crate::ExperimentConfig;
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    vec![histogram_memory(config), tau_memory(config)]
+}
+
+/// Figure 9a: histogram memory (MiB) for each bin width, per dataset.
+fn histogram_memory(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 9a — CH histogram memory in MiB vs bin width w (scale = {})",
+            config.scale
+        ),
+        &["dataset", "w", "histogram MiB", "total index MiB"],
+    );
+    for kind in support::large_datasets() {
+        let data = support::dataset_for(kind, config);
+        let tau = kind.largest_tau().expect("large datasets define a largest tau");
+        let lists = NeighborLists::build(&data, Some(tau));
+        for &w in kind.fig7_w_values().expect("w values") {
+            let ch = ChIndex::from_lists(&data, lists.clone(), w);
+            table.add_row(&[
+                kind.name().to_string(),
+                format!("{w}"),
+                support::mib(ch.histogram_memory_bytes()),
+                support::mib(ch.memory_bytes()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 9b: approximate List Index memory (MiB) for each τ, per dataset.
+fn tau_memory(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        format!(
+            "Figure 9b — approximate List Index memory in MiB vs tau (scale = {})",
+            config.scale
+        ),
+        &["dataset", "tau", "List Index MiB", "stored entries"],
+    );
+    for kind in support::large_datasets() {
+        let data = support::dataset_for(kind, config);
+        for &tau in kind.fig8_tau_values().expect("tau values") {
+            let list = ListIndex::build_approx(&data, tau);
+            table.add_row(&[
+                kind.name().to_string(),
+                format!("{tau}"),
+                support::mib(list.memory_bytes()),
+                list.lists().total_entries().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_two_tables() {
+        let tables = run(&ExperimentConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].num_rows() > 0);
+        assert!(tables[1].num_rows() > 0);
+    }
+
+    #[test]
+    fn histogram_memory_shrinks_as_w_grows() {
+        let tables = run(&ExperimentConfig::smoke());
+        let csv = tables[0].to_csv();
+        // Within the first dataset block, the histogram memory of the first
+        // (smallest) w must be at least that of the last (largest) w.
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .filter(|l| l.starts_with("Birch"))
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        let first: f64 = rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = rows.last().unwrap()[2].parse().unwrap();
+        assert!(first >= last, "first = {first}, last = {last}");
+    }
+
+    #[test]
+    fn list_memory_grows_with_tau() {
+        let tables = run(&ExperimentConfig::smoke());
+        let csv = tables[1].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .filter(|l| l.starts_with("Birch"))
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        let first: usize = rows.first().unwrap()[3].parse().unwrap();
+        let last: usize = rows.last().unwrap()[3].parse().unwrap();
+        assert!(last >= first, "entries must not shrink as tau grows");
+    }
+}

@@ -1,0 +1,94 @@
+//! One module per table/figure of the paper's evaluation, plus the pruning
+//! ablation. Every experiment is a pure function from an
+//! [`ExperimentConfig`](crate::ExperimentConfig) to a list of
+//! [`ResultTable`](dpc_metrics::ResultTable)s; the binaries only print and
+//! persist.
+
+pub mod ablation_pruning;
+pub mod fig01_dc_sensitivity;
+pub mod fig05_running_time;
+pub mod fig06_dc_sweep;
+pub mod fig07_bin_width;
+pub mod fig08_tau_time;
+pub mod fig09_memory;
+pub mod fig10_quality;
+pub mod support;
+pub mod table3_memory;
+pub mod table4_construction;
+
+use crate::ExperimentConfig;
+use dpc_metrics::ResultTable;
+
+/// Signature every experiment exposes.
+pub type ExperimentFn = fn(&ExperimentConfig) -> Vec<ResultTable>;
+
+/// Registry of all experiments: `(name, paper reference, function)`.
+pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+    vec![
+        (
+            "fig01_dc_sensitivity",
+            "Figure 1: clustering sensitivity to dc",
+            fig01_dc_sensitivity::run as ExperimentFn,
+        ),
+        (
+            "fig05_running_time",
+            "Figure 5: query running time per index per dataset",
+            fig05_running_time::run as ExperimentFn,
+        ),
+        (
+            "table3_memory",
+            "Table 3: index memory usage",
+            table3_memory::run as ExperimentFn,
+        ),
+        (
+            "table4_construction",
+            "Table 4: index construction time",
+            table4_construction::run as ExperimentFn,
+        ),
+        (
+            "fig06_dc_sweep",
+            "Figure 6: running time vs dc",
+            fig06_dc_sweep::run as ExperimentFn,
+        ),
+        (
+            "fig07_bin_width",
+            "Figure 7: CH Index running time vs bin width w",
+            fig07_bin_width::run as ExperimentFn,
+        ),
+        (
+            "fig08_tau_time",
+            "Figure 8: approximate index running time vs tau",
+            fig08_tau_time::run as ExperimentFn,
+        ),
+        (
+            "fig09_memory",
+            "Figure 9: memory vs w and vs tau",
+            fig09_memory::run as ExperimentFn,
+        ),
+        (
+            "fig10_quality",
+            "Figure 10: clustering quality of the approximate List Index vs tau",
+            fig10_quality::run as ExperimentFn,
+        ),
+        (
+            "ablation_pruning",
+            "Ablation: pruning rules and tree-index variants",
+            ablation_pruning::run as ExperimentFn,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let reg = registry();
+        assert_eq!(reg.len(), 10);
+        let mut names: Vec<&str> = reg.iter().map(|(n, _, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+    }
+}

@@ -1,0 +1,366 @@
+//! Implementation of the `dpc` subcommands.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use dpc_baseline::LeanDpc;
+use dpc_core::{
+    cluster_with_index, CenterSelection, Clustering, Dataset, DcEstimation, DpcIndex, DpcParams,
+};
+use dpc_datasets::{read_points_csv, write_labels_csv, write_points_csv, DatasetKind};
+use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
+use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
+
+use crate::args::ParsedArgs;
+
+/// `dpc generate`: writes a synthetic benchmark dataset (and optionally its
+/// generating labels) to CSV.
+pub fn generate(args: &ParsedArgs) -> Result<String, String> {
+    args.reject_unknown(&["dataset", "scale", "seed", "output", "labels"])?;
+    let kind = DatasetKind::parse(args.require("dataset")?)
+        .ok_or_else(|| format!("unknown dataset {:?}", args.require("dataset").unwrap_or("")))?;
+    let scale: f64 = args.get_or("scale", 0.02)?;
+    if scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    let seed: u64 = args.get_or("seed", 42)?;
+    let output = PathBuf::from(args.require("output")?);
+
+    let labelled = kind.generate(seed, scale);
+    write_points_csv(&output, &labelled.dataset).map_err(|e| e.to_string())?;
+    let mut summary = format!(
+        "wrote {} points of {} (scale {scale}, seed {seed}) to {}",
+        labelled.len(),
+        kind.name(),
+        output.display()
+    );
+    if let Some(labels_path) = args.get("labels") {
+        let path = PathBuf::from(labels_path);
+        write_labels_csv(&path, &labelled.dataset, &labelled.labels).map_err(|e| e.to_string())?;
+        let _ = write!(summary, "\nwrote generating labels to {}", path.display());
+    }
+    Ok(summary)
+}
+
+/// `dpc estimate-dc`: prints the quantile-heuristic cut-off distance.
+pub fn estimate_dc(args: &ParsedArgs) -> Result<String, String> {
+    args.reject_unknown(&["input", "fraction"])?;
+    let data = load_points(args.require("input")?)?;
+    let fraction: f64 = args.get_or("fraction", 0.02)?;
+    let dc = DcEstimation::with_fraction(fraction)
+        .estimate(&data)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "estimated dc = {dc} (targeting ~{:.1}% neighbours per point over {} points)",
+        fraction * 100.0,
+        data.len()
+    ))
+}
+
+/// `dpc cluster`: clusters a CSV point set with a chosen index and writes the
+/// labels.
+pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
+    args.reject_unknown(&[
+        "input",
+        "dc",
+        "index",
+        "bin-width",
+        "tau",
+        "centers",
+        "halo",
+        "output",
+        "decision-graph",
+    ])?;
+    let data = load_points(args.require("input")?)?;
+    let dc: f64 = args.require_parsed("dc")?;
+    let index_name = args.get("index").unwrap_or("rtree");
+    let bin_width: Option<f64> = args.get_parsed("bin-width")?;
+    let tau: Option<f64> = args.get_parsed("tau")?;
+    let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
+    let halo = args.has_switch("halo");
+
+    let index = build_index(&data, index_name, bin_width, tau, dc)?;
+    let params = DpcParams::new(dc).with_centers(selection).with_halo(halo);
+    let run = dpc_core::DpcPipeline::new(params)
+        .run(index.as_ref())
+        .map_err(|e| e.to_string())?;
+
+    if let Some(path) = args.get("decision-graph") {
+        write_decision_graph(Path::new(path), &run)?;
+    }
+    if let Some(path) = args.get("output") {
+        write_clustering(Path::new(path), &data, &run.clustering)?;
+    }
+
+    Ok(summarise(index_name, &data, &run, args.get("output")))
+}
+
+/// `dpc knn-cluster`: the kNN-density variant (no `dc` parameter).
+pub fn knn_cluster(args: &ParsedArgs) -> Result<String, String> {
+    args.reject_unknown(&["input", "k", "centers", "output"])?;
+    let data = load_points(args.require("input")?)?;
+    let k: usize = args.require_parsed("k")?;
+    let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
+
+    let knn = KnnDpc::build(&data);
+    let clustering = knn.cluster(k, &selection).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("output") {
+        write_clustering(Path::new(path), &data, &clustering)?;
+    }
+    let mut sizes = clustering.sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(format!(
+        "kNN-DPC (k = {k}): {} clusters over {} points; sizes (largest first): {:?}",
+        clustering.num_clusters(),
+        data.len(),
+        truncated(&sizes, 10)
+    ))
+}
+
+fn load_points(path: &str) -> Result<Dataset, String> {
+    read_points_csv(Path::new(path)).map_err(|e| e.to_string())
+}
+
+/// Parses a centre-selection spec: `top:K`, `auto`, `auto:MAX` or
+/// `threshold:RHO,DELTA`.
+pub fn parse_centers(spec: &str) -> Result<CenterSelection, String> {
+    let spec = spec.trim();
+    if let Some(k) = spec.strip_prefix("top:") {
+        let k: usize = k.parse().map_err(|_| format!("invalid top:K spec {spec:?}"))?;
+        return Ok(CenterSelection::TopKGamma { k });
+    }
+    if spec == "auto" {
+        return Ok(CenterSelection::GammaGap { max_centers: 64 });
+    }
+    if let Some(max) = spec.strip_prefix("auto:") {
+        let max_centers: usize =
+            max.parse().map_err(|_| format!("invalid auto:MAX spec {spec:?}"))?;
+        return Ok(CenterSelection::GammaGap { max_centers });
+    }
+    if let Some(rest) = spec.strip_prefix("threshold:") {
+        let mut parts = rest.split(',');
+        let rho = parts
+            .next()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .ok_or_else(|| format!("invalid threshold spec {spec:?}"))?;
+        let delta = parts
+            .next()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .ok_or_else(|| format!("invalid threshold spec {spec:?}"))?;
+        if parts.next().is_some() {
+            return Err(format!("invalid threshold spec {spec:?}"));
+        }
+        return Ok(CenterSelection::Threshold { rho_min: rho, delta_min: delta });
+    }
+    Err(format!(
+        "unknown centre selection {spec:?} (expected top:K, auto, auto:MAX or threshold:RHO,DELTA)"
+    ))
+}
+
+/// Builds the requested index over the data.
+pub fn build_index(
+    data: &Dataset,
+    name: &str,
+    bin_width: Option<f64>,
+    tau: Option<f64>,
+    dc: f64,
+) -> Result<Box<dyn DpcIndex>, String> {
+    let default_w = || bin_width.unwrap_or_else(|| (dc / 4.0).max(f64::MIN_POSITIVE));
+    let index: Box<dyn DpcIndex> = match name.to_ascii_lowercase().as_str() {
+        "list" => match tau {
+            Some(t) => Box::new(ListIndex::build_approx(data, t)),
+            None => Box::new(ListIndex::build(data)),
+        },
+        "ch" => match tau {
+            Some(t) => Box::new(ChIndex::build_approx(data, default_w(), t)),
+            None => Box::new(ChIndex::build(data, default_w())),
+        },
+        "quadtree" => Box::new(Quadtree::build(data)),
+        "rtree" => Box::new(RTree::build(data)),
+        "kdtree" => Box::new(KdTree::build(data)),
+        "grid" => Box::new(GridIndex::build(data)),
+        "naive" | "dpc" => Box::new(LeanDpc::build(data)),
+        other => return Err(format!("unknown index {other:?}")),
+    };
+    Ok(index)
+}
+
+fn write_clustering(path: &Path, data: &Dataset, clustering: &Clustering) -> Result<(), String> {
+    write_labels_csv(path, data, &clustering.labels_with_noise()).map_err(|e| e.to_string())
+}
+
+fn write_decision_graph(path: &Path, run: &dpc_core::DpcRun) -> Result<(), String> {
+    let mut table = dpc_metrics::ResultTable::new("decision graph", &["point", "rho", "delta", "gamma"]);
+    let gamma = run.decision_graph.gamma();
+    for p in 0..run.rho.len() {
+        table.add_row(&[
+            p.to_string(),
+            run.rho[p].to_string(),
+            format!("{}", run.decision_graph.delta(p)),
+            format!("{}", gamma[p]),
+        ]);
+    }
+    table.write_csv(path).map_err(|e| e.to_string())
+}
+
+fn summarise(
+    index_name: &str,
+    data: &Dataset,
+    run: &dpc_core::DpcRun,
+    output: Option<&str>,
+) -> String {
+    let mut sizes = run.clustering.sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut out = format!(
+        "clustered {} points with the {} index: {} clusters, {} halo points",
+        data.len(),
+        index_name,
+        run.clustering.num_clusters(),
+        run.clustering.halo_count()
+    );
+    let _ = write!(out, "\ncluster sizes (largest first): {:?}", truncated(&sizes, 10));
+    let _ = write!(
+        out,
+        "\nquery time: rho {:.3} ms + delta {:.3} ms; assignment {:.3} ms",
+        run.rho_time.as_secs_f64() * 1e3,
+        run.delta_time.as_secs_f64() * 1e3,
+        run.assign_time.as_secs_f64() * 1e3
+    );
+    if let Some(path) = output {
+        let _ = write!(out, "\nlabels written to {path}");
+    }
+    out
+}
+
+fn truncated(sizes: &[usize], max: usize) -> Vec<usize> {
+    sizes.iter().copied().take(max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_centers_specs() {
+        assert_eq!(parse_centers("top:5").unwrap(), CenterSelection::TopKGamma { k: 5 });
+        assert_eq!(
+            parse_centers("auto").unwrap(),
+            CenterSelection::GammaGap { max_centers: 64 }
+        );
+        assert_eq!(
+            parse_centers("auto:10").unwrap(),
+            CenterSelection::GammaGap { max_centers: 10 }
+        );
+        assert_eq!(
+            parse_centers("threshold:3,1.5").unwrap(),
+            CenterSelection::Threshold { rho_min: 3, delta_min: 1.5 }
+        );
+        assert!(parse_centers("top:x").is_err());
+        assert!(parse_centers("threshold:1").is_err());
+        assert!(parse_centers("nonsense").is_err());
+    }
+
+    #[test]
+    fn build_index_knows_every_name() {
+        let data = DatasetKind::S1.generate(1, 0.004).into_dataset(); // 20 points
+        for name in ["list", "ch", "quadtree", "rtree", "kdtree", "grid", "naive"] {
+            let index = build_index(&data, name, None, None, 10_000.0).unwrap();
+            assert_eq!(index.rho(10_000.0).unwrap().len(), data.len(), "{name}");
+        }
+        assert!(build_index(&data, "wat", None, None, 1.0).is_err());
+        // tau selects the approximate variants.
+        let approx = build_index(&data, "list", None, Some(50_000.0), 10_000.0).unwrap();
+        assert!(!approx.is_exact());
+    }
+
+    #[test]
+    fn generate_then_cluster_end_to_end() {
+        let dir = temp_dir();
+        let points = dir.join("points.csv");
+        let truth = dir.join("truth.csv");
+        let labels = dir.join("labels.csv");
+        let graph = dir.join("graph.csv");
+
+        let out = run(args(&[
+            "generate",
+            "--dataset",
+            "s1",
+            "--scale",
+            "0.04",
+            "--seed",
+            "9",
+            "--output",
+            points.to_str().unwrap(),
+            "--labels",
+            truth.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("200 points"));
+        assert!(points.exists() && truth.exists());
+
+        let out = run(args(&[
+            "estimate-dc",
+            "--input",
+            points.to_str().unwrap(),
+            "--fraction",
+            "0.02",
+        ]))
+        .unwrap();
+        assert!(out.contains("estimated dc"));
+
+        let out = run(args(&[
+            "cluster",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "30000",
+            "--index",
+            "ch",
+            "--centers",
+            "top:15",
+            "--output",
+            labels.to_str().unwrap(),
+            "--decision-graph",
+            graph.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("15 clusters"), "{out}");
+        let written = std::fs::read_to_string(&labels).unwrap();
+        assert_eq!(written.lines().count(), 201); // header + one row per point
+        assert!(std::fs::read_to_string(&graph).unwrap().starts_with("point,rho,delta,gamma"));
+
+        let out = run(args(&[
+            "knn-cluster",
+            "--input",
+            points.to_str().unwrap(),
+            "--k",
+            "8",
+            "--centers",
+            "top:15",
+        ]))
+        .unwrap();
+        assert!(out.contains("15 clusters"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn helpful_errors_for_bad_invocations() {
+        assert!(run(args(&["generate", "--dataset", "mars", "--output", "x.csv"])).is_err());
+        assert!(run(args(&["cluster", "--dc", "1.0"])).is_err()); // missing --input
+        assert!(run(args(&["cluster", "--input", "/no/such/file.csv", "--dc", "1.0"])).is_err());
+        assert!(run(args(&["estimate-dc", "--input", "/no/such/file.csv"])).is_err());
+        assert!(run(args(&["cluster", "--input", "x.csv", "--dc", "1.0", "--bogus", "1"])).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! The `dpc` command-line tool.
+//!
+//! See `dpc help` or the crate documentation of `dpc-cli` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dpc_cli::run(args) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", dpc_cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Step 4 of DPC: assigning every point to the cluster of its dependent
+//! neighbour, plus the optional halo (border-noise) computation of the
+//! original DPC paper.
+//!
+//! Once the centres are chosen, the assignment is a single pass over the
+//! points in order of decreasing density: a centre starts its own cluster and
+//! every other point inherits the label of its dependent neighbour `µ`
+//! (which, being denser, has already been labelled). This is the `O(n)`
+//! fourth step of the original algorithm and is reused unchanged by every
+//! index-based variant in the paper.
+
+use crate::cluster::Clustering;
+use crate::delta::{DeltaResult, DensityOrder};
+use crate::error::{DpcError, Result};
+use crate::point::{Dataset, PointId};
+
+/// Options controlling the assignment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentOptions {
+    /// When `true`, compute the cluster halos: for every cluster the *border
+    /// density* is the highest density among its points that lie within `dc`
+    /// of a point of another cluster; members with density below the border
+    /// density are flagged as halo (potential noise). This follows the
+    /// original DPC paper. The computation is `O(n²)` in the worst case and
+    /// is therefore opt-in.
+    pub compute_halo: bool,
+}
+
+impl Default for AssignmentOptions {
+    fn default() -> Self {
+        AssignmentOptions { compute_halo: false }
+    }
+}
+
+impl AssignmentOptions {
+    /// Options with halo computation enabled.
+    pub fn with_halo() -> Self {
+        AssignmentOptions { compute_halo: true }
+    }
+}
+
+/// Assigns every point to a cluster.
+///
+/// * `dataset` — the points (needed for the nearest-centre fallback and the
+///   halo computation);
+/// * `order` — the density total order (provides `ρ` and tie-breaking);
+/// * `deltas` — the δ/µ query result;
+/// * `centers` — the chosen cluster centres, sorted ascending;
+/// * `dc` — the cut-off distance (used only for the halo computation);
+/// * `options` — see [`AssignmentOptions`].
+///
+/// Points whose `µ` is unknown (the global peak when it is not itself a
+/// centre, or points truncated by an approximate index) fall back to the
+/// nearest centre by Euclidean distance, which keeps the assignment total.
+pub fn assign_clusters(
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    deltas: &DeltaResult,
+    centers: &[PointId],
+    dc: f64,
+    options: &AssignmentOptions,
+) -> Result<Clustering> {
+    let n = dataset.len();
+    if n == 0 {
+        return Ok(Clustering::new(vec![], vec![], vec![]));
+    }
+    if centers.is_empty() {
+        return Err(DpcError::invalid_parameter("centers", "at least one cluster centre is required"));
+    }
+    if order.len() != n || deltas.len() != n {
+        return Err(DpcError::LengthMismatch {
+            expected: n,
+            actual: order.len().min(deltas.len()),
+            what: "assignment inputs",
+        });
+    }
+    for &c in centers {
+        if c >= n {
+            return Err(DpcError::invalid_parameter(
+                "centers",
+                format!("centre {c} is out of range (n = {n})"),
+            ));
+        }
+    }
+
+    const UNASSIGNED: usize = usize::MAX;
+    let mut labels = vec![UNASSIGNED; n];
+    // Centres are their own clusters; cluster id = rank of centre in the
+    // (sorted) centre list.
+    for (cluster_id, &c) in centers.iter().enumerate() {
+        labels[c] = cluster_id;
+    }
+
+    // Walk points densest-first so that µ(p) is always labelled before p.
+    for p in order.rank_descending() {
+        if labels[p] != UNASSIGNED {
+            continue;
+        }
+        labels[p] = match deltas.mu(p) {
+            Some(q) => {
+                debug_assert!(order.is_denser(q, p));
+                if labels[q] == UNASSIGNED {
+                    // Can only happen with an inconsistent µ chain (e.g. a
+                    // truncated approximate index); fall back to nearest centre.
+                    nearest_center(dataset, p, centers)
+                } else {
+                    labels[q]
+                }
+            }
+            None => nearest_center(dataset, p, centers),
+        };
+    }
+
+    let halo = if options.compute_halo {
+        compute_halo(dataset, order, &labels, centers.len(), dc)
+    } else {
+        vec![false; n]
+    };
+
+    Ok(Clustering::new(labels, centers.to_vec(), halo))
+}
+
+/// Index (cluster id) of the centre nearest to `p`.
+fn nearest_center(dataset: &Dataset, p: PointId, centers: &[PointId]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (cluster_id, &c) in centers.iter().enumerate() {
+        let d = dataset.distance(p, c);
+        if d < best_d {
+            best_d = d;
+            best = cluster_id;
+        }
+    }
+    best
+}
+
+/// Computes the halo flags following the original DPC paper: for every
+/// cluster, the border density is the maximum density of a member lying
+/// within `dc` of a member of a different cluster; members with strictly
+/// lower density than the border density are halo points.
+fn compute_halo(
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    labels: &[usize],
+    num_clusters: usize,
+    dc: f64,
+) -> Vec<bool> {
+    let n = dataset.len();
+    let rho = order.rho();
+    let mut border_density = vec![0u32; num_clusters];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if labels[i] != labels[j] && dataset.distance(i, j) < dc {
+                border_density[labels[i]] = border_density[labels[i]].max(rho[i]);
+                border_density[labels[j]] = border_density[labels[j]].max(rho[j]);
+            }
+        }
+    }
+    (0..n)
+        .map(|p| rho[p] < border_density[labels[p]])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DpcIndex;
+    use crate::naive_reference::NaiveReferenceIndex;
+    use crate::point::Point;
+
+    /// Two tight blobs plus one isolated point halfway between them.
+    fn dataset() -> Dataset {
+        Dataset::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(0.0, 0.1),
+            Point::new(0.1, 0.1),
+            Point::new(10.0, 10.0),
+            Point::new(10.1, 10.0),
+            Point::new(10.0, 10.1),
+            Point::new(5.0, 5.0),
+        ])
+    }
+
+    fn rho_delta(data: &Dataset, dc: f64) -> (Vec<u32>, DeltaResult) {
+        NaiveReferenceIndex::build(data).rho_delta(dc).unwrap()
+    }
+
+    #[test]
+    fn assignment_follows_mu_chain() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        let centers = vec![0, 4];
+        let clustering =
+            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
+                .unwrap();
+        assert_eq!(clustering.num_clusters(), 2);
+        // Blob around origin.
+        for p in 0..4 {
+            assert_eq!(clustering.label(p), clustering.label(0), "point {p}");
+        }
+        // Blob around (10, 10).
+        for p in 4..7 {
+            assert_eq!(clustering.label(p), clustering.label(4), "point {p}");
+        }
+        // The two blobs are distinct clusters.
+        assert_ne!(clustering.label(0), clustering.label(4));
+    }
+
+    #[test]
+    fn centres_label_themselves() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        let centers = vec![0, 4];
+        let c =
+            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
+                .unwrap();
+        assert_eq!(c.label(0), 0);
+        assert_eq!(c.label(4), 1);
+    }
+
+    #[test]
+    fn isolated_point_is_assigned_somewhere() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        let centers = vec![0, 4];
+        let c =
+            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
+                .unwrap();
+        // Point 7 sits exactly between the blobs; it must still receive one
+        // of the two labels (DPC assigns every point).
+        assert!(c.label(7) < 2);
+    }
+
+    #[test]
+    fn global_peak_not_a_centre_falls_back_to_nearest_centre() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        let peak = order.global_peak().unwrap();
+        // Pick centres that deliberately exclude the global peak.
+        let centers: Vec<PointId> = vec![4, 7];
+        let c =
+            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
+                .unwrap();
+        // The peak is in the origin blob, nearest centre is 7 (at 5,5) vs 4 (10,10).
+        assert_eq!(c.label(peak), 1);
+    }
+
+    #[test]
+    fn no_centres_is_an_error() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        assert!(assign_clusters(&data, &order, &deltas, &[], 0.3, &AssignmentOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_range_centre_is_an_error() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        assert!(assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &[999],
+            0.3,
+            &AssignmentOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn halo_disabled_by_default() {
+        let data = dataset();
+        let (rho, deltas) = rho_delta(&data, 0.3);
+        let order = DensityOrder::new(&rho);
+        let c = assign_clusters(&data, &order, &deltas, &[0, 4], 0.3, &AssignmentOptions::default())
+            .unwrap();
+        assert_eq!(c.halo_count(), 0);
+    }
+
+    #[test]
+    fn halo_flags_border_points_between_touching_clusters() {
+        // Two 7x7 grid clusters whose facing edges lie within dc of each
+        // other. The sparse edge/corner points must be flagged as halo while
+        // the dense cluster cores must not.
+        let mut pts = Vec::new();
+        for x0 in [0.0, 1.6] {
+            for i in 0..7 {
+                for j in 0..7 {
+                    pts.push(Point::new(x0 + i as f64 * 0.2, j as f64 * 0.2));
+                }
+            }
+        }
+        let data = Dataset::new(pts);
+        let dc = 0.5;
+        let (rho, deltas) = rho_delta(&data, dc);
+        let order = DensityOrder::new(&rho);
+        // Densest point of each half as centres.
+        let peak_a = (0..49).max_by_key(|&p| order.key(p)).unwrap();
+        let peak_b = (49..98).max_by_key(|&p| order.key(p)).unwrap();
+        let centers = vec![peak_a, peak_b];
+        let c = assign_clusters(&data, &order, &deltas, &centers, dc, &AssignmentOptions::with_halo())
+            .unwrap();
+        assert!(c.halo_count() > 0, "facing edges must produce halo points");
+        assert!(!c.is_halo(peak_a), "cluster core must not be halo");
+        assert!(!c.is_halo(peak_b), "cluster core must not be halo");
+        // The facing corner of the first grid (i=6, j=0 -> id 42) is sparse
+        // and adjacent to the other cluster, so it must be halo.
+        assert!(c.is_halo(42));
+    }
+
+    #[test]
+    fn empty_dataset_gives_empty_clustering() {
+        let data = Dataset::new(vec![]);
+        let rho: Vec<u32> = vec![];
+        let order = DensityOrder::new(&rho);
+        let deltas = DeltaResult::unset(0);
+        let c = assign_clusters(&data, &order, &deltas, &[], 1.0, &AssignmentOptions::default())
+            .unwrap();
+        assert!(c.is_empty());
+    }
+}

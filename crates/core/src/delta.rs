@@ -1,0 +1,341 @@
+//! Dependent distance (`δ`) and the density total order.
+//!
+//! For a point `p`, the dependent distance is
+//!
+//! ```text
+//! δ(p) = min { dist(p, q) : q is denser than p }
+//! ```
+//!
+//! and `µ(p)` is the argmin (the *dependent neighbour*). The densest point of
+//! the whole dataset — the *global peak* — has no denser neighbour; following
+//! the original DPC paper its `δ` is set to the maximum distance from it to
+//! any other point.
+//!
+//! ## Ties
+//!
+//! The paper defines "denser" as `ρ(q) > ρ(p)` and implicitly breaks ties by
+//! object id (its running example states *"suppose a smaller object ID
+//! represents a higher local density"*). Ties are not an edge case in
+//! practice: integer densities collide all the time, and without a total
+//! order different indices could legitimately return different `µ`
+//! assignments, which would make cross-index validation impossible. We
+//! therefore make the tie-breaking rule explicit in [`TieBreak`] and use the
+//! resulting **total order** ([`DensityOrder`]) everywhere: list indices,
+//! tree indices and the naive baseline all agree bit-for-bit.
+
+use crate::density::Rho;
+use crate::error::{DpcError, Result};
+use crate::point::PointId;
+
+/// How to order two points with the same integer density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// The point with the *smaller* id is considered denser (paper's
+    /// convention in Example 1). This is the default.
+    #[default]
+    SmallerIdDenser,
+    /// The point with the *larger* id is considered denser.
+    LargerIdDenser,
+}
+
+/// A total order on points induced by `(ρ, tie-break)`.
+///
+/// `q` is denser than `p` iff `ρ(q) > ρ(p)`, or `ρ(q) = ρ(p)` and the
+/// tie-break favours `q`. Exactly one point — the [global
+/// peak](DensityOrder::global_peak) — is denser than every other point.
+#[derive(Debug, Clone)]
+pub struct DensityOrder<'a> {
+    rho: &'a [Rho],
+    tie: TieBreak,
+}
+
+impl<'a> DensityOrder<'a> {
+    /// Creates the order with the default tie-break
+    /// ([`TieBreak::SmallerIdDenser`]).
+    pub fn new(rho: &'a [Rho]) -> Self {
+        DensityOrder { rho, tie: TieBreak::default() }
+    }
+
+    /// Creates the order with an explicit tie-break rule.
+    pub fn with_tie_break(rho: &'a [Rho], tie: TieBreak) -> Self {
+        DensityOrder { rho, tie }
+    }
+
+    /// Number of points covered by the order.
+    pub fn len(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// True when the order covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.rho.is_empty()
+    }
+
+    /// The underlying density slice.
+    pub fn rho(&self) -> &[Rho] {
+        self.rho
+    }
+
+    /// The tie-break rule in use.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+
+    /// Whether point `q` is denser than point `p` under the total order.
+    #[inline]
+    pub fn is_denser(&self, q: PointId, p: PointId) -> bool {
+        let (rq, rp) = (self.rho[q], self.rho[p]);
+        if rq != rp {
+            return rq > rp;
+        }
+        if q == p {
+            return false;
+        }
+        match self.tie {
+            TieBreak::SmallerIdDenser => q < p,
+            TieBreak::LargerIdDenser => q > p,
+        }
+    }
+
+    /// Sort key such that a larger key means denser. Useful with
+    /// `sort_by_key` / `max_by_key`.
+    #[inline]
+    pub fn key(&self, p: PointId) -> (Rho, i64) {
+        let id_key = match self.tie {
+            TieBreak::SmallerIdDenser => -(p as i64),
+            TieBreak::LargerIdDenser => p as i64,
+        };
+        (self.rho[p], id_key)
+    }
+
+    /// The densest point under the total order (`None` for an empty order).
+    pub fn global_peak(&self) -> Option<PointId> {
+        (0..self.rho.len()).max_by_key(|&p| self.key(p))
+    }
+
+    /// Point ids sorted from densest to sparsest under the total order.
+    pub fn rank_descending(&self) -> Vec<PointId> {
+        let mut ids: Vec<PointId> = (0..self.rho.len()).collect();
+        ids.sort_by(|&a, &b| self.key(b).cmp(&self.key(a)));
+        ids
+    }
+}
+
+/// The dependent distances `δ` and dependent neighbours `µ` of every point.
+///
+/// `mu[p]` is `None` exactly for the global peak (whose `δ` is the maximum
+/// distance to any other point, by convention). In approximate settings
+/// (RN-List with a too small `τ`) a point whose neighbour could not be found
+/// within the truncated list also gets `mu = None` and a sentinel `δ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaResult {
+    /// Dependent distance per point.
+    pub delta: Vec<f64>,
+    /// Dependent (higher-density) neighbour per point.
+    pub mu: Vec<Option<PointId>>,
+}
+
+impl DeltaResult {
+    /// Creates a result from its two columns.
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths.
+    pub fn new(delta: Vec<f64>, mu: Vec<Option<PointId>>) -> Self {
+        assert_eq!(
+            delta.len(),
+            mu.len(),
+            "DeltaResult::new: delta and mu must have the same length"
+        );
+        DeltaResult { delta, mu }
+    }
+
+    /// A result with `n` entries, all initialised to `δ = +∞`, `µ = None`.
+    pub fn unset(n: usize) -> Self {
+        DeltaResult { delta: vec![f64::INFINITY; n], mu: vec![None; n] }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// True when the result covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Dependent distance of one point.
+    #[inline]
+    pub fn delta(&self, p: PointId) -> f64 {
+        self.delta[p]
+    }
+
+    /// Dependent neighbour of one point (`None` for the global peak).
+    #[inline]
+    pub fn mu(&self, p: PointId) -> Option<PointId> {
+        self.mu[p]
+    }
+
+    /// Checks structural consistency against a density order:
+    ///
+    /// * lengths match,
+    /// * every `µ(p)` is denser than `p`,
+    /// * exactly the points without `µ` are allowed to exist (at least one —
+    ///   the global peak — must have `µ = None`).
+    pub fn validate(&self, order: &DensityOrder<'_>) -> Result<()> {
+        if self.delta.len() != order.len() {
+            return Err(DpcError::LengthMismatch {
+                expected: order.len(),
+                actual: self.delta.len(),
+                what: "delta",
+            });
+        }
+        for p in 0..self.len() {
+            if let Some(q) = self.mu[p] {
+                if q >= order.len() {
+                    return Err(DpcError::LengthMismatch {
+                        expected: order.len(),
+                        actual: q,
+                        what: "mu points outside dataset",
+                    });
+                }
+                if !order.is_denser(q, p) {
+                    return Err(DpcError::invalid_parameter(
+                        "mu",
+                        format!("mu[{p}] = {q} is not denser than {p}"),
+                    ));
+                }
+            }
+        }
+        if self.len() > 0 && self.mu.iter().all(|m| m.is_some()) {
+            return Err(DpcError::invalid_parameter(
+                "mu",
+                "no global peak: every point has a dependent neighbour",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maximum finite `δ` (0 when there is none). Used to clip the sentinel
+    /// `δ` of the global peak in plots.
+    pub fn max_finite_delta(&self) -> f64 {
+        self.delta
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_denser_uses_rho_first() {
+        let rho = vec![5, 3, 7];
+        let ord = DensityOrder::new(&rho);
+        assert!(ord.is_denser(2, 0));
+        assert!(ord.is_denser(0, 1));
+        assert!(!ord.is_denser(1, 2));
+        assert!(!ord.is_denser(1, 1));
+    }
+
+    #[test]
+    fn tie_break_smaller_id_default() {
+        let rho = vec![4, 4, 4];
+        let ord = DensityOrder::new(&rho);
+        assert!(ord.is_denser(0, 1));
+        assert!(ord.is_denser(1, 2));
+        assert!(!ord.is_denser(2, 0));
+        assert_eq!(ord.global_peak(), Some(0));
+    }
+
+    #[test]
+    fn tie_break_larger_id() {
+        let rho = vec![4, 4, 4];
+        let ord = DensityOrder::with_tie_break(&rho, TieBreak::LargerIdDenser);
+        assert!(ord.is_denser(2, 1));
+        assert!(!ord.is_denser(0, 1));
+        assert_eq!(ord.global_peak(), Some(2));
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let rho = vec![1, 5, 5, 0, 5];
+        let ord = DensityOrder::new(&rho);
+        for p in 0..rho.len() {
+            for q in 0..rho.len() {
+                if p == q {
+                    assert!(!ord.is_denser(p, q));
+                } else {
+                    // exactly one direction holds
+                    assert_ne!(ord.is_denser(p, q), ord.is_denser(q, p), "{p} vs {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_descending_is_consistent_with_is_denser() {
+        let rho = vec![2, 9, 9, 1, 4];
+        let ord = DensityOrder::new(&rho);
+        let ranked = ord.rank_descending();
+        assert_eq!(ranked.len(), rho.len());
+        for w in ranked.windows(2) {
+            assert!(ord.is_denser(w[0], w[1]));
+        }
+        assert_eq!(ranked[0], ord.global_peak().unwrap());
+    }
+
+    #[test]
+    fn global_peak_of_empty_is_none() {
+        let rho: Vec<Rho> = vec![];
+        assert_eq!(DensityOrder::new(&rho).global_peak(), None);
+    }
+
+    #[test]
+    fn delta_result_validation_accepts_consistent_result() {
+        let rho = vec![3, 2, 1];
+        let ord = DensityOrder::new(&rho);
+        let res = DeltaResult::new(vec![10.0, 1.0, 2.0], vec![None, Some(0), Some(1)]);
+        assert!(res.validate(&ord).is_ok());
+    }
+
+    #[test]
+    fn delta_result_validation_rejects_non_denser_mu() {
+        let rho = vec![3, 2, 1];
+        let ord = DensityOrder::new(&rho);
+        // mu[0] = 2 but point 2 is sparser than point 0.
+        let res = DeltaResult::new(vec![1.0, 1.0, 2.0], vec![Some(2), Some(0), Some(1)]);
+        assert!(res.validate(&ord).is_err());
+    }
+
+    #[test]
+    fn delta_result_validation_requires_a_global_peak() {
+        let rho = vec![3, 2];
+        let ord = DensityOrder::new(&rho);
+        let res = DeltaResult::new(vec![1.0, 1.0], vec![Some(1), Some(0)]);
+        assert!(res.validate(&ord).is_err());
+    }
+
+    #[test]
+    fn delta_result_validation_rejects_length_mismatch() {
+        let rho = vec![3, 2, 1];
+        let ord = DensityOrder::new(&rho);
+        let res = DeltaResult::unset(2);
+        assert!(res.validate(&ord).is_err());
+    }
+
+    #[test]
+    fn max_finite_delta_ignores_infinities() {
+        let res = DeltaResult::new(vec![1.0, f64::INFINITY, 2.5], vec![Some(1), None, Some(1)]);
+        assert_eq!(res.max_finite_delta(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn delta_result_new_panics_on_mismatch() {
+        DeltaResult::new(vec![1.0], vec![]);
+    }
+}

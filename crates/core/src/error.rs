@@ -1,0 +1,119 @@
+//! Error type shared by the DPC crates.
+
+use std::fmt;
+
+/// Convenience alias for results in the DPC workspace.
+pub type Result<T> = std::result::Result<T, DpcError>;
+
+/// Errors produced by dataset construction, index building or the clustering
+/// pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpcError {
+    /// A point contained a NaN or infinite coordinate.
+    InvalidPoint {
+        /// Position of the offending point in the input.
+        id: usize,
+        /// x coordinate as provided.
+        x: f64,
+        /// y coordinate as provided.
+        y: f64,
+    },
+    /// A parameter was outside its valid domain (e.g. `dc <= 0`).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// The dataset is empty but the operation needs at least one point.
+    EmptyDataset,
+    /// The lengths of per-point vectors disagree (internal consistency).
+    LengthMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+        /// Which quantity mismatched.
+        what: &'static str,
+    },
+    /// Requested number of cluster centres exceeds the number of points.
+    TooManyCenters {
+        /// Requested centre count.
+        requested: usize,
+        /// Number of available points.
+        available: usize,
+    },
+    /// An I/O error while reading or writing datasets or results.
+    Io(String),
+}
+
+impl fmt::Display for DpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpcError::InvalidPoint { id, x, y } => {
+                write!(f, "point {id} has a non-finite coordinate ({x}, {y})")
+            }
+            DpcError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            DpcError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            DpcError::LengthMismatch { expected, actual, what } => {
+                write!(f, "{what}: expected length {expected}, got {actual}")
+            }
+            DpcError::TooManyCenters { requested, available } => {
+                write!(
+                    f,
+                    "requested {requested} cluster centres but only {available} points exist"
+                )
+            }
+            DpcError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpcError {}
+
+impl From<std::io::Error> for DpcError {
+    fn from(e: std::io::Error) -> Self {
+        DpcError::Io(e.to_string())
+    }
+}
+
+impl DpcError {
+    /// Helper constructing an [`DpcError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
+        DpcError::InvalidParameter { name, message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DpcError::InvalidPoint { id: 3, x: f64::NAN, y: 1.0 };
+        assert!(e.to_string().contains("point 3"));
+
+        let e = DpcError::invalid_parameter("dc", "must be positive");
+        assert!(e.to_string().contains("dc"));
+        assert!(e.to_string().contains("must be positive"));
+
+        let e = DpcError::LengthMismatch { expected: 5, actual: 3, what: "rho" };
+        assert!(e.to_string().contains("expected length 5"));
+
+        let e = DpcError::TooManyCenters { requested: 10, available: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("4"));
+
+        assert!(DpcError::EmptyDataset.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let e: DpcError = io.into();
+        assert!(matches!(e, DpcError::Io(_)));
+        assert!(e.to_string().contains("missing.csv"));
+    }
+}

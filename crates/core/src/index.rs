@@ -1,0 +1,197 @@
+//! The [`DpcIndex`] trait — the seam between the clustering pipeline and the
+//! concrete index structures.
+//!
+//! An index is built once over a dataset and can then answer, for *any*
+//! cut-off distance `dc`, the two expensive DPC queries:
+//!
+//! * the **ρ-query**: local density of every point,
+//! * the **δ-query**: dependent distance and dependent neighbour of every
+//!   point (given the densities).
+//!
+//! The motivation in the paper is exactly this split: the user typically runs
+//! DPC for many `dc` values while searching for a satisfactory clustering, so
+//! the index is amortised across runs.
+
+use std::time::Duration;
+
+use crate::delta::{DeltaResult, TieBreak};
+use crate::density::Rho;
+use crate::error::{DpcError, Result};
+use crate::point::Dataset;
+
+/// Construction-time statistics of an index, reported by every
+/// implementation and consumed by the experiment harness (Tables 3–4 of the
+/// paper).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexStats {
+    /// Wall-clock time spent building the index.
+    pub construction_time: Duration,
+    /// Analytic heap footprint of the index in bytes.
+    pub memory_bytes: usize,
+    /// Implementation-specific counters (number of tree nodes, bins per
+    /// object, truncated list length, …).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl IndexStats {
+    /// Creates stats with the given construction time and memory footprint.
+    pub fn new(construction_time: Duration, memory_bytes: usize) -> Self {
+        IndexStats { construction_time, memory_bytes, counters: Vec::new() }
+    }
+
+    /// Adds an implementation-specific counter (builder style).
+    pub fn with_counter(mut self, name: &'static str, value: u64) -> Self {
+        self.counters.push((name, value));
+        self
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// An index over a dataset that can answer the DPC ρ- and δ-queries for any
+/// cut-off distance.
+///
+/// Implementations must agree on the exact semantics defined in
+/// [`crate::density`] and [`crate::delta`]:
+///
+/// * `ρ(p)` counts *other* points strictly within `dc`;
+/// * "denser" is the total order of [`DensityOrder`](crate::DensityOrder)
+///   with the index's [`tie_break`](DpcIndex::tie_break) rule;
+/// * the global peak gets `µ = None` and `δ` = max distance to any point.
+///
+/// Exact indices (List, CH, Quadtree, R-tree) return results identical to the
+/// naive baseline. Approximate indices (RN-List with threshold `τ`) may
+/// return a clipped `δ` for points whose dependent neighbour is farther than
+/// `τ`; see `dpc-list-index` for details.
+pub trait DpcIndex {
+    /// Short, stable name used in reports and plots (e.g. `"list"`,
+    /// `"ch"`, `"quadtree"`, `"rtree"`).
+    fn name(&self) -> &'static str;
+
+    /// The dataset the index was built over.
+    ///
+    /// The clustering pipeline needs the raw points for the assignment step
+    /// (nearest-centre fallback, halo computation), so every index keeps a
+    /// copy of — or a handle to — its dataset. Relative to the index payload
+    /// this is negligible.
+    fn dataset(&self) -> &Dataset;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize {
+        self.dataset().len()
+    }
+
+    /// True when the index covers no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Computes the local density of every point for the cut-off `dc`.
+    ///
+    /// Returns [`DpcError::InvalidParameter`] when `dc` is not a positive
+    /// finite number.
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>>;
+
+    /// Computes `δ` and `µ` for every point, given per-point densities
+    /// previously obtained from [`rho`](DpcIndex::rho).
+    ///
+    /// `dc` is passed through because approximate indices need it to decide
+    /// whether a truncated neighbourhood is sufficient.
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult>;
+
+    /// Runs the ρ-query and δ-query back to back.
+    fn rho_delta(&self, dc: f64) -> Result<(Vec<Rho>, DeltaResult)> {
+        let rho = self.rho(dc)?;
+        let delta = self.delta(dc, &rho)?;
+        Ok((rho, delta))
+    }
+
+    /// Analytic heap footprint of the index in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Construction statistics recorded while building the index.
+    fn stats(&self) -> IndexStats;
+
+    /// The tie-break rule this index uses for the density order.
+    fn tie_break(&self) -> TieBreak {
+        TieBreak::SmallerIdDenser
+    }
+
+    /// Whether the index guarantees results identical to the naive baseline
+    /// (`true`) or may trade accuracy for memory (`false`).
+    fn is_exact(&self) -> bool {
+        true
+    }
+}
+
+/// Validates a cut-off distance, shared by all index implementations.
+pub fn validate_dc(dc: f64) -> Result<()> {
+    if !(dc.is_finite() && dc > 0.0) {
+        return Err(DpcError::invalid_parameter(
+            "dc",
+            format!("cut-off distance must be a positive finite number, got {dc}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates that a `rho` slice covers the whole dataset, shared by all index
+/// implementations.
+pub fn validate_rho_len(rho: &[Rho], expected: usize) -> Result<()> {
+    if rho.len() != expected {
+        return Err(DpcError::LengthMismatch {
+            expected,
+            actual: rho.len(),
+            what: "rho slice passed to delta query",
+        });
+    }
+    Ok(())
+}
+
+/// Convenience used by index constructors that want to fail early on invalid
+/// datasets (currently only emptiness is rejected lazily, at query time).
+pub fn dataset_len(dataset: &Dataset) -> usize {
+    dataset.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_dc_accepts_positive_finite() {
+        assert!(validate_dc(0.1).is_ok());
+        assert!(validate_dc(1e9).is_ok());
+    }
+
+    #[test]
+    fn validate_dc_rejects_bad_values() {
+        assert!(validate_dc(0.0).is_err());
+        assert!(validate_dc(-1.0).is_err());
+        assert!(validate_dc(f64::NAN).is_err());
+        assert!(validate_dc(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn validate_rho_len_checks_length() {
+        assert!(validate_rho_len(&[1, 2, 3], 3).is_ok());
+        assert!(validate_rho_len(&[1, 2], 3).is_err());
+    }
+
+    #[test]
+    fn index_stats_counters() {
+        let s = IndexStats::new(Duration::from_millis(5), 1024)
+            .with_counter("nodes", 17)
+            .with_counter("height", 3);
+        assert_eq!(s.counter("nodes"), Some(17));
+        assert_eq!(s.counter("height"), Some(3));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.memory_bytes, 1024);
+    }
+}

@@ -1,0 +1,136 @@
+//! Distance metrics.
+//!
+//! The paper (and the original DPC algorithm) uses the Euclidean distance on
+//! 2-D spatial data. The [`Metric`] trait keeps the rest of the crate generic
+//! enough to experiment with other metrics (e.g. Manhattan for grid-like
+//! mobility data) while every index in the workspace defaults to
+//! [`Euclidean`].
+
+use crate::point::Point;
+
+/// A distance function over 2-D points.
+///
+/// Implementations must be *metrics* in the mathematical sense for the index
+/// pruning rules to remain correct: non-negative, symmetric, zero only on
+/// identical inputs, and satisfying the triangle inequality.
+/// [`SquaredEuclidean`] deliberately violates the triangle inequality and is
+/// documented as such; it is only meant for nearest-neighbour style
+/// comparisons where monotonicity suffices.
+pub trait Metric: Send + Sync {
+    /// Distance between two points.
+    fn distance(&self, a: &Point, b: &Point) -> f64;
+
+    /// Human-readable name of the metric (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The standard Euclidean (L2) distance. This is the metric used throughout
+/// the paper's evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        a.distance(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Squared Euclidean distance.
+///
+/// Not a metric (no triangle inequality); only useful where distances are
+/// compared against each other or against a squared threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredEuclidean;
+
+impl Metric for SquaredEuclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        a.distance_squared(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "squared-euclidean"
+    }
+}
+
+/// Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        (a.x - b.x).abs() + (a.y - b.y).abs()
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+/// Chebyshev (L∞) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        (a.x - b.x).abs().max((a.y - b.y).abs())
+    }
+
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Point = Point::new(1.0, 2.0);
+    const B: Point = Point::new(4.0, 6.0);
+
+    #[test]
+    fn euclidean_matches_point_distance() {
+        assert_eq!(Euclidean.distance(&A, &B), 5.0);
+        assert_eq!(Euclidean.name(), "euclidean");
+    }
+
+    #[test]
+    fn squared_euclidean_is_square_of_euclidean() {
+        assert_eq!(SquaredEuclidean.distance(&A, &B), 25.0);
+    }
+
+    #[test]
+    fn manhattan_sums_axis_distances() {
+        assert_eq!(Manhattan.distance(&A, &B), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_takes_max_axis_distance() {
+        assert_eq!(Chebyshev.distance(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn all_metrics_are_symmetric_and_zero_on_self() {
+        let metrics: [&dyn Metric; 4] = [&Euclidean, &SquaredEuclidean, &Manhattan, &Chebyshev];
+        for m in metrics {
+            assert_eq!(m.distance(&A, &B), m.distance(&B, &A), "{}", m.name());
+            assert_eq!(m.distance(&A, &A), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn lp_metric_ordering_on_same_pair() {
+        // For any pair: chebyshev <= euclidean <= manhattan.
+        let c = Chebyshev.distance(&A, &B);
+        let e = Euclidean.distance(&A, &B);
+        let m = Manhattan.distance(&A, &B);
+        assert!(c <= e && e <= m);
+    }
+}

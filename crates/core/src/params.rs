@@ -1,0 +1,97 @@
+//! Parameters of a DPC run.
+
+use crate::assign::AssignmentOptions;
+use crate::decision::CenterSelection;
+use crate::delta::TieBreak;
+use crate::error::{DpcError, Result};
+
+/// All parameters needed to turn an index's ρ/δ answers into a clustering.
+///
+/// The only mandatory parameter is the cut-off distance `dc` — the parameter
+/// whose sensitivity motivates the whole paper. Centre selection defaults to
+/// the automatic γ-gap heuristic and halo computation is off by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpcParams {
+    /// Cut-off distance defining the density neighbourhood.
+    pub dc: f64,
+    /// How cluster centres are chosen from the decision graph.
+    pub centers: CenterSelection,
+    /// Tie-break rule for the density total order.
+    pub tie_break: TieBreak,
+    /// Assignment options (halo computation).
+    pub assignment: AssignmentOptions,
+}
+
+impl DpcParams {
+    /// Parameters with the given `dc` and defaults for everything else.
+    pub fn new(dc: f64) -> Self {
+        DpcParams {
+            dc,
+            centers: CenterSelection::default(),
+            tie_break: TieBreak::default(),
+            assignment: AssignmentOptions::default(),
+        }
+    }
+
+    /// Sets the centre-selection strategy.
+    pub fn with_centers(mut self, centers: CenterSelection) -> Self {
+        self.centers = centers;
+        self
+    }
+
+    /// Sets the tie-break rule.
+    pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie_break = tie;
+        self
+    }
+
+    /// Enables or disables halo computation.
+    pub fn with_halo(mut self, compute_halo: bool) -> Self {
+        self.assignment = AssignmentOptions { compute_halo };
+        self
+    }
+
+    /// Validates the parameters (currently: `dc` must be positive and finite).
+    pub fn validate(&self) -> Result<()> {
+        if !(self.dc.is_finite() && self.dc > 0.0) {
+            return Err(DpcError::invalid_parameter(
+                "dc",
+                format!("cut-off distance must be a positive finite number, got {}", self.dc),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let p = DpcParams::new(0.5)
+            .with_centers(CenterSelection::TopKGamma { k: 3 })
+            .with_tie_break(TieBreak::LargerIdDenser)
+            .with_halo(true);
+        assert_eq!(p.dc, 0.5);
+        assert_eq!(p.centers, CenterSelection::TopKGamma { k: 3 });
+        assert_eq!(p.tie_break, TieBreak::LargerIdDenser);
+        assert!(p.assignment.compute_halo);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let p = DpcParams::new(1.0);
+        assert!(!p.assignment.compute_halo);
+        assert_eq!(p.tie_break, TieBreak::SmallerIdDenser);
+        assert!(matches!(p.centers, CenterSelection::GammaGap { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_non_positive_dc() {
+        assert!(DpcParams::new(0.0).validate().is_err());
+        assert!(DpcParams::new(-1.0).validate().is_err());
+        assert!(DpcParams::new(f64::NAN).validate().is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Points, point identifiers and datasets.
+//!
+//! The paper evaluates DPC on two-dimensional spatial data (synthetic cluster
+//! benchmarks and geo check-ins), so the data model here is a dense array of
+//! 2-D points addressed by a stable [`PointId`]. Every index structure in the
+//! workspace refers to points exclusively through their id, which is the
+//! position of the point inside its [`Dataset`].
+
+use crate::bbox::BoundingBox;
+use crate::error::{DpcError, Result};
+
+/// Identifier of a point inside a [`Dataset`].
+///
+/// Ids are dense: the i-th point of the dataset has id `i`. They are stable
+/// for the lifetime of the dataset, which lets indices store plain `u32`
+/// references instead of copies of the coordinates.
+pub type PointId = usize;
+
+/// A two-dimensional point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// First coordinate (x / longitude).
+    pub x: f64,
+    /// Second coordinate (y / latitude).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its two coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Point { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// Cheaper than [`Point::distance`] and sufficient whenever only
+    /// comparisons are needed.
+    #[inline]
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Coordinate of the point along dimension `dim` (0 = x, 1 = y).
+    ///
+    /// # Panics
+    /// Panics if `dim > 1`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> f64 {
+        match dim {
+            0 => self.x,
+            1 => self.y,
+            _ => panic!("Point::coord: dimension {dim} out of range (2-D points)"),
+        }
+    }
+
+    /// Returns true if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<[f64; 2]> for Point {
+    fn from([x, y]: [f64; 2]) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An immutable collection of points to be clustered.
+///
+/// A dataset owns its points and exposes them by [`PointId`]. Construction
+/// validates that all coordinates are finite so that downstream distance
+/// computations and index invariants never have to deal with NaN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    points: Vec<Point>,
+    bbox: BoundingBox,
+}
+
+impl Dataset {
+    /// Creates a dataset from a vector of points.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is non-finite. Use [`Dataset::try_new`] for a
+    /// fallible variant.
+    pub fn new(points: Vec<Point>) -> Self {
+        Self::try_new(points).expect("Dataset::new: non-finite coordinate")
+    }
+
+    /// Creates a dataset, returning an error when a coordinate is NaN or
+    /// infinite.
+    pub fn try_new(points: Vec<Point>) -> Result<Self> {
+        for (id, p) in points.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(DpcError::InvalidPoint { id, x: p.x, y: p.y });
+            }
+        }
+        let bbox = BoundingBox::from_points(&points);
+        Ok(Dataset { points, bbox })
+    }
+
+    /// Creates a dataset from `(x, y)` tuples.
+    pub fn from_coords<I>(coords: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        Self::new(coords.into_iter().map(Point::from).collect())
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn point(&self, id: PointId) -> Point {
+        self.points[id]
+    }
+
+    /// The point with the given id, or `None` when out of range.
+    #[inline]
+    pub fn get(&self, id: PointId) -> Option<Point> {
+        self.points.get(id).copied()
+    }
+
+    /// All points as a slice, indexed by [`PointId`].
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Iterator over `(id, point)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, Point)> + '_ {
+        self.points.iter().copied().enumerate()
+    }
+
+    /// Euclidean distance between two points of the dataset.
+    #[inline]
+    pub fn distance(&self, a: PointId, b: PointId) -> f64 {
+        self.points[a].distance(&self.points[b])
+    }
+
+    /// The tight axis-aligned bounding box of the dataset.
+    ///
+    /// For an empty dataset this is the canonical empty box.
+    #[inline]
+    pub fn bounding_box(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// The diameter of the bounding box (length of its diagonal).
+    ///
+    /// This is an upper bound on any pairwise distance and is the natural
+    /// scale against which cut-off distances `dc` are expressed.
+    pub fn bbox_diameter(&self) -> f64 {
+        self.bbox.diagonal()
+    }
+
+    /// Approximate number of heap bytes held by the dataset.
+    pub fn memory_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<Point>()
+    }
+}
+
+impl From<Vec<Point>> for Dataset {
+    fn from(points: Vec<Point>) -> Self {
+        Dataset::new(points)
+    }
+}
+
+impl From<Vec<(f64, f64)>> for Dataset {
+    fn from(coords: Vec<(f64, f64)>) -> Self {
+        Dataset::from_coords(coords)
+    }
+}
+
+impl std::ops::Index<PointId> for Dataset {
+    type Output = Point;
+
+    fn index(&self, id: PointId) -> &Point {
+        &self.points[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn point_distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn point_distance_to_self_is_zero() {
+        let a = Point::new(12.0, -3.5);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn point_coord_accessor() {
+        let p = Point::new(3.0, 7.0);
+        assert_eq!(p.coord(0), 3.0);
+        assert_eq!(p.coord(1), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_coord_out_of_range_panics() {
+        Point::new(0.0, 0.0).coord(2);
+    }
+
+    #[test]
+    fn point_conversions() {
+        assert_eq!(Point::from((1.0, 2.0)), Point::new(1.0, 2.0));
+        assert_eq!(Point::from([1.0, 2.0]), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn dataset_basic_accessors() {
+        let d = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.point(1), Point::new(1.0, 1.0));
+        assert_eq!(d[2], Point::new(2.0, 0.0));
+        assert_eq!(d.get(3), None);
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn dataset_distance_between_members() {
+        let d = Dataset::from_coords(vec![(0.0, 0.0), (3.0, 4.0)]);
+        assert_eq!(d.distance(0, 1), 5.0);
+        assert_eq!(d.distance(1, 0), 5.0);
+    }
+
+    #[test]
+    fn dataset_rejects_nan() {
+        let err = Dataset::try_new(vec![Point::new(0.0, f64::NAN)]).unwrap_err();
+        match err {
+            DpcError::InvalidPoint { id, .. } => assert_eq!(id, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_rejects_infinity() {
+        assert!(Dataset::try_new(vec![Point::new(f64::INFINITY, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn dataset_bounding_box_is_tight() {
+        let d = Dataset::from_coords(vec![(0.0, -1.0), (4.0, 2.0), (2.0, 5.0)]);
+        let bb = d.bounding_box();
+        assert_eq!(bb.min_x(), 0.0);
+        assert_eq!(bb.max_x(), 4.0);
+        assert_eq!(bb.min_y(), -1.0);
+        assert_eq!(bb.max_y(), 5.0);
+        assert!((d.bbox_diameter() - (16.0f64 + 36.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.bbox_diameter(), 0.0);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_len() {
+        let small = Dataset::from_coords(vec![(0.0, 0.0); 10]);
+        let big = Dataset::from_coords(vec![(0.0, 0.0); 1000]);
+        assert!(big.memory_bytes() > small.memory_bytes());
+        assert!(big.memory_bytes() >= 1000 * std::mem::size_of::<Point>());
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the core geometric and ordering primitives.
+//!
+//! The pruning rules of the tree indices are only correct if `min_dist` /
+//! `max_dist` really bound every point-to-region distance, and the δ
+//! semantics are only well defined if the density order is a strict total
+//! order — these are the invariants checked here on random inputs.
+
+use dpc_core::naive_reference::NaiveReferenceIndex;
+use dpc_core::{
+    assign_clusters, AssignmentOptions, BoundingBox, CenterSelection, Dataset, DecisionGraph,
+    DensityOrder, DpcIndex, Point, TieBreak,
+};
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-1_000.0f64..1_000.0, -1_000.0f64..1_000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(point_strategy(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bbox_contains_all_generating_points(points in points_strategy(50)) {
+        let bb = BoundingBox::from_points(&points);
+        for p in &points {
+            prop_assert!(bb.contains(*p));
+        }
+    }
+
+    #[test]
+    fn min_and_max_dist_bound_every_contained_point(
+        points in points_strategy(50),
+        query in point_strategy()
+    ) {
+        let bb = BoundingBox::from_points(&points);
+        let dmin = bb.min_dist(query);
+        let dmax = bb.max_dist(query);
+        prop_assert!(dmin <= dmax + 1e-12);
+        for p in &points {
+            let d = query.distance(p);
+            prop_assert!(d + 1e-9 >= dmin, "point closer than min_dist");
+            prop_assert!(d <= dmax + 1e-9, "point farther than max_dist");
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_and_covers_operands(
+        a in points_strategy(20),
+        b in points_strategy(20)
+    ) {
+        let ba = BoundingBox::from_points(&a);
+        let bb = BoundingBox::from_points(&b);
+        let u1 = ba.union(&bb);
+        let u2 = bb.union(&ba);
+        prop_assert_eq!(u1, u2);
+        prop_assert!(u1.contains_box(&ba));
+        prop_assert!(u1.contains_box(&bb));
+    }
+
+    #[test]
+    fn quadrants_cover_all_contained_points(points in points_strategy(60)) {
+        let bb = BoundingBox::from_points(&points);
+        if bb.is_empty() || bb.width() == 0.0 || bb.height() == 0.0 {
+            return Ok(());
+        }
+        let quadrants = bb.quadrants();
+        for p in &points {
+            prop_assert!(
+                quadrants.iter().any(|q| q.contains(*p)),
+                "point {p:?} not covered by any quadrant"
+            );
+        }
+    }
+
+    #[test]
+    fn density_order_is_a_strict_total_order(
+        rho in prop::collection::vec(0u32..10, 2..40),
+        larger_tie in any::<bool>()
+    ) {
+        let tie = if larger_tie { TieBreak::LargerIdDenser } else { TieBreak::SmallerIdDenser };
+        let order = DensityOrder::with_tie_break(&rho, tie);
+        let n = rho.len();
+        for a in 0..n {
+            prop_assert!(!order.is_denser(a, a), "irreflexivity");
+            for b in 0..n {
+                if a != b {
+                    prop_assert!(
+                        order.is_denser(a, b) != order.is_denser(b, a),
+                        "totality/antisymmetry for ({a},{b})"
+                    );
+                }
+                for c in 0..n {
+                    if order.is_denser(a, b) && order.is_denser(b, c) {
+                        prop_assert!(order.is_denser(a, c), "transitivity for ({a},{b},{c})");
+                    }
+                }
+            }
+        }
+        // The ranking is consistent with the relation.
+        let ranked = order.rank_descending();
+        for w in ranked.windows(2) {
+            prop_assert!(order.is_denser(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn reference_index_rho_delta_satisfy_definitions(
+        coords in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40),
+        dc in 0.5f64..150.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        let index = NaiveReferenceIndex::build(&data);
+        let (rho, deltas) = index.rho_delta(dc).unwrap();
+        let order = DensityOrder::new(&rho);
+        // Definition of rho.
+        for p in 0..data.len() {
+            let expected = (0..data.len())
+                .filter(|&q| q != p && data.distance(p, q) < dc)
+                .count() as u32;
+            prop_assert_eq!(rho[p], expected);
+        }
+        // Structural validity of delta.
+        deltas.validate(&order).unwrap();
+        // Minimality of delta.
+        for p in 0..data.len() {
+            if deltas.mu(p).is_some() {
+                for q in 0..data.len() {
+                    if q != p && order.is_denser(q, p) {
+                        prop_assert!(data.distance(p, q) >= deltas.delta(p) - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_selection_returns_exactly_k_distinct_centres(
+        coords in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40),
+        dc in 1.0f64..100.0,
+        k in 1usize..5
+    ) {
+        let data = Dataset::from_coords(coords);
+        let k = k.min(data.len());
+        let index = NaiveReferenceIndex::build(&data);
+        let (rho, deltas) = index.rho_delta(dc).unwrap();
+        let graph = DecisionGraph::new(rho, &deltas).unwrap();
+        let centers = graph.select_centers(&CenterSelection::TopKGamma { k }).unwrap();
+        prop_assert_eq!(centers.len(), k);
+        let mut sorted = centers.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(centers.iter().all(|&c| c < data.len()));
+    }
+
+    #[test]
+    fn assignment_is_total_and_respects_centres(
+        coords in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40),
+        dc in 1.0f64..100.0,
+        k in 1usize..4
+    ) {
+        let data = Dataset::from_coords(coords);
+        let k = k.min(data.len());
+        let index = NaiveReferenceIndex::build(&data);
+        let (rho, deltas) = index.rho_delta(dc).unwrap();
+        let graph = DecisionGraph::new(rho.clone(), &deltas).unwrap();
+        let centers = graph.select_centers(&CenterSelection::TopKGamma { k }).unwrap();
+        let order = DensityOrder::new(&rho);
+        let clustering = assign_clusters(
+            &data, &order, &deltas, &centers, dc, &AssignmentOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(clustering.len(), data.len());
+        prop_assert_eq!(clustering.num_clusters(), centers.len());
+        // Every label is valid and every centre belongs to its own cluster.
+        for p in 0..data.len() {
+            prop_assert!(clustering.label(p) < centers.len());
+        }
+        for (cluster_id, &c) in centers.iter().enumerate() {
+            prop_assert_eq!(clustering.label(c), cluster_id);
+        }
+        // Cluster sizes sum to n.
+        prop_assert_eq!(clustering.sizes().iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn assignment_follows_the_dependent_neighbour_chain(
+        coords in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..40),
+        dc in 1.0f64..100.0
+    ) {
+        // With a single centre every point must end up in that cluster, and
+        // with centres = all points every point keeps its own label — two
+        // degenerate cases that pin the chain-following logic.
+        let data = Dataset::from_coords(coords);
+        let index = NaiveReferenceIndex::build(&data);
+        let (rho, deltas) = index.rho_delta(dc).unwrap();
+        let order = DensityOrder::new(&rho);
+
+        let single = vec![order.global_peak().unwrap()];
+        let clustering = assign_clusters(
+            &data, &order, &deltas, &single, dc, &AssignmentOptions::default(),
+        )
+        .unwrap();
+        prop_assert!(clustering.labels().iter().all(|&l| l == 0));
+
+        let all: Vec<usize> = (0..data.len()).collect();
+        let clustering = assign_clusters(
+            &data, &order, &deltas, &all, dc, &AssignmentOptions::default(),
+        )
+        .unwrap();
+        for p in 0..data.len() {
+            prop_assert_eq!(clustering.label(p), p);
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Synthetic dataset generators.
+//!
+//! Each generator is deterministic given its seed and returns a
+//! [`LabelledDataset`] carrying the generating component of every point. The
+//! six named generators ([`s1`], [`query`], [`birch`], [`range`] and
+//! [`checkins`] for the two check-in datasets) reproduce the size, domain and
+//! density structure of the paper's evaluation datasets; `DESIGN.md` records
+//! the substitution rationale.
+
+use dpc_core::{BoundingBox, Dataset, Point};
+
+use crate::ground_truth::LabelledDataset;
+use crate::rng::SplitMix64;
+
+/// One Gaussian mixture component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianBlob {
+    /// Centre of the component.
+    pub center: Point,
+    /// Isotropic standard deviation.
+    pub std_dev: f64,
+    /// Relative weight (need not be normalised).
+    pub weight: f64,
+}
+
+impl GaussianBlob {
+    /// Creates a component with the given centre, spread and weight.
+    pub fn new(center: Point, std_dev: f64, weight: f64) -> Self {
+        GaussianBlob { center, std_dev, weight }
+    }
+}
+
+/// Configuration of a Gaussian-mixture dataset with optional uniform
+/// background noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureConfig {
+    /// The mixture components.
+    pub blobs: Vec<GaussianBlob>,
+    /// Fraction of points drawn uniformly from `domain` instead of from a
+    /// component (labelled as noise).
+    pub noise_fraction: f64,
+    /// Domain for noise points and for clamping component samples.
+    pub domain: BoundingBox,
+}
+
+impl MixtureConfig {
+    /// Creates a mixture configuration without background noise.
+    pub fn new(blobs: Vec<GaussianBlob>, domain: BoundingBox) -> Self {
+        MixtureConfig { blobs, noise_fraction: 0.0, domain }
+    }
+
+    /// Sets the fraction of uniform background noise.
+    pub fn with_noise(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "noise fraction must lie in [0, 1]"
+        );
+        self.noise_fraction = fraction;
+        self
+    }
+
+    /// Generates `n` points from the mixture.
+    pub fn generate(&self, n: usize, seed: u64) -> LabelledDataset {
+        assert!(!self.blobs.is_empty(), "mixture needs at least one component");
+        let mut rng = SplitMix64::new(seed);
+        let total_weight: f64 = self.blobs.iter().map(|b| b.weight).sum();
+        let mut points = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            if self.noise_fraction > 0.0 && rng.next_f64() < self.noise_fraction {
+                points.push(sample_uniform(&mut rng, &self.domain));
+                labels.push(None);
+                continue;
+            }
+            let component = sample_component(&mut rng, &self.blobs, total_weight);
+            let blob = &self.blobs[component];
+            let p = Point::new(
+                rng.normal_with(blob.center.x, blob.std_dev),
+                rng.normal_with(blob.center.y, blob.std_dev),
+            );
+            points.push(clamp_to(&self.domain, p));
+            labels.push(Some(component));
+        }
+        LabelledDataset::new(Dataset::new(points), labels)
+    }
+}
+
+fn sample_component(rng: &mut SplitMix64, blobs: &[GaussianBlob], total_weight: f64) -> usize {
+    let target = rng.next_f64() * total_weight;
+    let mut acc = 0.0;
+    for (i, b) in blobs.iter().enumerate() {
+        acc += b.weight;
+        if acc >= target {
+            return i;
+        }
+    }
+    blobs.len() - 1
+}
+
+fn sample_uniform(rng: &mut SplitMix64, domain: &BoundingBox) -> Point {
+    Point::new(
+        rng.uniform(domain.min_x(), domain.max_x()),
+        rng.uniform(domain.min_y(), domain.max_y()),
+    )
+}
+
+fn clamp_to(domain: &BoundingBox, p: Point) -> Point {
+    Point::new(
+        p.x.clamp(domain.min_x(), domain.max_x()),
+        p.y.clamp(domain.min_y(), domain.max_y()),
+    )
+}
+
+/// Uniformly distributed points over a domain (no cluster structure; every
+/// point is labelled as noise).
+pub fn uniform(n: usize, domain: BoundingBox, seed: u64) -> LabelledDataset {
+    let mut rng = SplitMix64::new(seed);
+    let points = (0..n).map(|_| sample_uniform(&mut rng, &domain)).collect();
+    LabelledDataset::new(Dataset::new(points), vec![None; n])
+}
+
+/// Clusters centred on a regular `rows × cols` grid — the BIRCH benchmark
+/// layout. `spread` is the standard deviation of each cluster relative to the
+/// grid spacing (the original BIRCH-1 uses well separated clusters, ≈0.2).
+pub fn grid_clusters(
+    n: usize,
+    rows: usize,
+    cols: usize,
+    domain: BoundingBox,
+    spread: f64,
+    seed: u64,
+) -> LabelledDataset {
+    assert!(rows > 0 && cols > 0, "grid_clusters: grid must be non-empty");
+    let dx = domain.width() / cols as f64;
+    let dy = domain.height() / rows as f64;
+    let std_dev = spread * dx.min(dy);
+    let mut blobs = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let center = Point::new(
+                domain.min_x() + (c as f64 + 0.5) * dx,
+                domain.min_y() + (r as f64 + 0.5) * dy,
+            );
+            blobs.push(GaussianBlob::new(center, std_dev, 1.0));
+        }
+    }
+    MixtureConfig::new(blobs, domain).generate(n, seed)
+}
+
+/// S1-like dataset: 15 Gaussian clusters with moderate overlap on a
+/// `[0, 10⁶]²` domain, matching the size and scale of the S1 benchmark of
+/// Fränti & Virmajoki used in the paper (5 000 points at `scale = 1`).
+pub fn s1(seed: u64, scale: f64) -> LabelledDataset {
+    let n = scaled(5_000, scale);
+    let domain = BoundingBox::new(0.0, 0.0, 1.0e6, 1.0e6);
+    // Cluster centres laid out irregularly (mimicking S1's hand-placed
+    // centres) with ~9% overlap between neighbouring clusters.
+    let centres = [
+        (150_000.0, 180_000.0),
+        (370_000.0, 120_000.0),
+        (610_000.0, 150_000.0),
+        (850_000.0, 200_000.0),
+        (120_000.0, 420_000.0),
+        (330_000.0, 390_000.0),
+        (560_000.0, 430_000.0),
+        (800_000.0, 410_000.0),
+        (200_000.0, 640_000.0),
+        (430_000.0, 620_000.0),
+        (660_000.0, 680_000.0),
+        (880_000.0, 650_000.0),
+        (280_000.0, 860_000.0),
+        (540_000.0, 880_000.0),
+        (780_000.0, 870_000.0),
+    ];
+    let blobs = centres
+        .iter()
+        .map(|&(x, y)| GaussianBlob::new(Point::new(x, y), 32_000.0, 1.0))
+        .collect();
+    MixtureConfig::new(blobs, domain).generate(n, seed)
+}
+
+/// Birch-like dataset: 100 clusters on a 10×10 grid over `[0, 10⁶]²`
+/// (100 000 points at `scale = 1`).
+pub fn birch(seed: u64, scale: f64) -> LabelledDataset {
+    let n = scaled(100_000, scale);
+    let domain = BoundingBox::new(0.0, 0.0, 1.0e6, 1.0e6);
+    grid_clusters(n, 10, 10, domain, 0.18, seed)
+}
+
+/// Query-workload-like dataset: a handful of dense regions over a unit
+/// domain with a uniform background, mimicking the spatial attributes of the
+/// UCI "Query Analytics" workload used in the paper (50 000 points at
+/// `scale = 1`, domain `[0, 1]²`).
+pub fn query(seed: u64, scale: f64) -> LabelledDataset {
+    let n = scaled(50_000, scale);
+    let domain = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+    let blobs = vec![
+        GaussianBlob::new(Point::new(0.22, 0.28), 0.045, 3.0),
+        GaussianBlob::new(Point::new(0.70, 0.25), 0.055, 2.5),
+        GaussianBlob::new(Point::new(0.48, 0.55), 0.040, 2.0),
+        GaussianBlob::new(Point::new(0.25, 0.78), 0.050, 2.0),
+        GaussianBlob::new(Point::new(0.76, 0.72), 0.060, 2.5),
+        GaussianBlob::new(Point::new(0.52, 0.88), 0.035, 1.5),
+    ];
+    MixtureConfig::new(blobs, domain)
+        .with_noise(0.15)
+        .generate(n, seed)
+}
+
+/// Range-query-like dataset: like [`query`] but larger and on a
+/// `[0, 10⁵]²` domain (200 000 points at `scale = 1`), matching the dc range
+/// the paper sweeps for the Range dataset (300 … 10 000).
+pub fn range(seed: u64, scale: f64) -> LabelledDataset {
+    let n = scaled(200_000, scale);
+    let domain = BoundingBox::new(0.0, 0.0, 1.0e5, 1.0e5);
+    let blobs = vec![
+        GaussianBlob::new(Point::new(18_000.0, 22_000.0), 4_200.0, 3.0),
+        GaussianBlob::new(Point::new(62_000.0, 18_000.0), 5_000.0, 2.5),
+        GaussianBlob::new(Point::new(45_000.0, 52_000.0), 3_800.0, 2.0),
+        GaussianBlob::new(Point::new(21_000.0, 76_000.0), 4_600.0, 2.5),
+        GaussianBlob::new(Point::new(71_000.0, 68_000.0), 5_400.0, 3.0),
+        GaussianBlob::new(Point::new(88_000.0, 42_000.0), 3_200.0, 1.5),
+        GaussianBlob::new(Point::new(55_000.0, 85_000.0), 3_600.0, 1.5),
+    ];
+    MixtureConfig::new(blobs, domain)
+        .with_noise(0.18)
+        .generate(n, seed)
+}
+
+/// Configuration of the check-in (Brightkite/Gowalla-like) simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckinConfig {
+    /// Number of hotspot centres (cities).
+    pub hotspots: usize,
+    /// Zipf exponent controlling how skewed the hotspot popularity is.
+    pub zipf_exponent: f64,
+    /// Standard deviation of a hotspot, in domain units (degrees).
+    pub hotspot_spread: f64,
+    /// Fraction of points scattered uniformly over the domain (rural noise).
+    pub noise_fraction: f64,
+    /// Geographic domain (longitude × latitude).
+    pub domain: BoundingBox,
+}
+
+impl Default for CheckinConfig {
+    fn default() -> Self {
+        CheckinConfig {
+            hotspots: 60,
+            zipf_exponent: 1.1,
+            hotspot_spread: 0.35,
+            noise_fraction: 0.04,
+            domain: BoundingBox::new(-125.0, 24.0, -60.0, 50.0),
+        }
+    }
+}
+
+impl CheckinConfig {
+    /// Configuration resembling Brightkite (moderately skewed, ~400 k points
+    /// at scale 1).
+    pub fn brightkite() -> Self {
+        CheckinConfig { hotspots: 60, zipf_exponent: 1.0, ..CheckinConfig::default() }
+    }
+
+    /// Configuration resembling Gowalla (very skewed, ~1.26 M points at
+    /// scale 1).
+    pub fn gowalla() -> Self {
+        CheckinConfig {
+            hotspots: 90,
+            zipf_exponent: 1.3,
+            hotspot_spread: 0.25,
+            noise_fraction: 0.03,
+            ..CheckinConfig::default()
+        }
+    }
+}
+
+/// Check-in simulator: heavy-tailed hotspot clusters (cities) with Gaussian
+/// spread over a longitude/latitude domain plus uniform rural noise. This is
+/// the substitution for the real Brightkite/Gowalla check-in datasets; the
+/// skew is what stresses the quadtree balance and the approximate RN-List in
+/// the paper's experiments.
+pub fn checkins(n: usize, config: &CheckinConfig, seed: u64) -> LabelledDataset {
+    assert!(config.hotspots > 0, "checkins: need at least one hotspot");
+    let mut rng = SplitMix64::new(seed);
+    // Hotspot centres are themselves random but drawn once per dataset.
+    let centres: Vec<Point> = (0..config.hotspots)
+        .map(|_| sample_uniform(&mut rng, &config.domain))
+        .collect();
+    // Hotspot spread shrinks slowly with popularity rank: big cities are
+    // denser, not just bigger.
+    let zipf_total = SplitMix64::zipf_total_weight(config.hotspots, config.zipf_exponent);
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        if config.noise_fraction > 0.0 && rng.next_f64() < config.noise_fraction {
+            points.push(sample_uniform(&mut rng, &config.domain));
+            labels.push(None);
+            continue;
+        }
+        let hotspot = rng.zipf(config.hotspots, config.zipf_exponent, zipf_total);
+        let spread = config.hotspot_spread * (1.0 + 0.5 * (hotspot as f64 / config.hotspots as f64));
+        let centre = centres[hotspot];
+        let p = Point::new(
+            rng.normal_with(centre.x, spread),
+            rng.normal_with(centre.y, spread * 0.8),
+        );
+        points.push(clamp_to(&config.domain, p));
+        labels.push(Some(hotspot));
+    }
+    LabelledDataset::new(Dataset::new(points), labels)
+}
+
+/// The classic "two moons" dataset — two interleaving half circles. Not part
+/// of the paper's evaluation, but a standard showcase of what density-based
+/// clustering can do that centroid-based clustering cannot; used by the
+/// examples.
+pub fn two_moons(n: usize, noise: f64, seed: u64) -> LabelledDataset {
+    let mut rng = SplitMix64::new(seed);
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = rng.next_f64() * std::f64::consts::PI;
+        let (p, label) = if i % 2 == 0 {
+            (Point::new(t.cos(), t.sin()), 0)
+        } else {
+            (Point::new(1.0 - t.cos(), 0.5 - t.sin()), 1)
+        };
+        points.push(Point::new(
+            p.x + rng.normal_with(0.0, noise),
+            p.y + rng.normal_with(0.0, noise),
+        ));
+        labels.push(Some(label));
+    }
+    LabelledDataset::new(Dataset::new(points), labels)
+}
+
+/// Rounds `base * scale` to a dataset size, never below 16 points.
+fn scaled(base: usize, scale: f64) -> usize {
+    assert!(scale > 0.0, "dataset scale must be positive");
+    ((base as f64 * scale).round() as usize).max(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_is_deterministic_per_seed() {
+        let cfg = MixtureConfig::new(
+            vec![GaussianBlob::new(Point::new(0.0, 0.0), 1.0, 1.0)],
+            BoundingBox::new(-10.0, -10.0, 10.0, 10.0),
+        );
+        let a = cfg.generate(100, 7);
+        let b = cfg.generate(100, 7);
+        let c = cfg.generate(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixture_labels_match_components() {
+        let cfg = MixtureConfig::new(
+            vec![
+                GaussianBlob::new(Point::new(0.0, 0.0), 0.1, 1.0),
+                GaussianBlob::new(Point::new(100.0, 100.0), 0.1, 1.0),
+            ],
+            BoundingBox::new(-10.0, -10.0, 110.0, 110.0),
+        );
+        let data = cfg.generate(200, 3);
+        for (id, p) in data.dataset.iter() {
+            match data.label(id) {
+                Some(0) => assert!(p.x < 50.0),
+                Some(1) => assert!(p.x > 50.0),
+                other => panic!("unexpected label {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn noise_fraction_produces_noise_labels() {
+        let cfg = MixtureConfig::new(
+            vec![GaussianBlob::new(Point::new(0.5, 0.5), 0.01, 1.0)],
+            BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+        )
+        .with_noise(0.5);
+        let data = cfg.generate(1000, 11);
+        let noise = data.noise_count();
+        assert!(noise > 350 && noise < 650, "noise count {noise}");
+    }
+
+    #[test]
+    fn points_respect_domain() {
+        let domain = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        let data = query(5, 0.01);
+        for (_, p) in data.dataset.iter() {
+            assert!(domain.contains(p), "{p:?} outside domain");
+        }
+    }
+
+    #[test]
+    fn s1_has_15_components_and_right_size() {
+        let data = s1(42, 1.0);
+        assert_eq!(data.len(), 5000);
+        assert_eq!(data.num_components(), 15);
+        assert!(data.dataset.bounding_box().max_x() <= 1.0e6);
+    }
+
+    #[test]
+    fn birch_has_100_components() {
+        let data = birch(42, 0.1);
+        assert_eq!(data.len(), 10_000);
+        assert_eq!(data.num_components(), 100);
+    }
+
+    #[test]
+    fn scaled_sizes_follow_scale_factor() {
+        assert_eq!(query(1, 0.1).len(), 5_000);
+        assert_eq!(range(1, 0.05).len(), 10_000);
+        assert_eq!(s1(1, 2.0).len(), 10_000);
+    }
+
+    #[test]
+    fn checkins_is_heavy_tailed() {
+        let data = checkins(20_000, &CheckinConfig::gowalla(), 5);
+        assert_eq!(data.len(), 20_000);
+        // Count points per hotspot; the most popular hotspot must dominate.
+        let mut counts = std::collections::HashMap::new();
+        for l in data.labels.iter().flatten() {
+            *counts.entry(*l).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap_or(&0);
+        assert!(max > 10 * min.max(1), "max {max} min {min}");
+    }
+
+    #[test]
+    fn checkins_respects_domain() {
+        let cfg = CheckinConfig::brightkite();
+        let data = checkins(2_000, &cfg, 9);
+        for (_, p) in data.dataset.iter() {
+            assert!(cfg.domain.contains(p));
+        }
+    }
+
+    #[test]
+    fn uniform_has_only_noise_labels() {
+        let data = uniform(500, BoundingBox::new(0.0, 0.0, 1.0, 1.0), 3);
+        assert_eq!(data.noise_count(), 500);
+        assert_eq!(data.num_components(), 0);
+    }
+
+    #[test]
+    fn two_moons_has_two_balanced_components() {
+        let data = two_moons(1000, 0.05, 21);
+        assert_eq!(data.num_components(), 2);
+        let zeros = data.labels.iter().filter(|l| **l == Some(0)).count();
+        assert!((400..=600).contains(&zeros));
+    }
+
+    #[test]
+    fn grid_clusters_components_sit_near_grid_cells() {
+        let domain = BoundingBox::new(0.0, 0.0, 100.0, 100.0);
+        let data = grid_clusters(2_000, 2, 2, domain, 0.1, 13);
+        assert_eq!(data.num_components(), 4);
+        // Component 0 is the bottom-left cell (centre 25, 25).
+        for (id, p) in data.dataset.iter() {
+            if data.label(id) == Some(0) {
+                assert!(p.x < 50.0 && p.y < 50.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn invalid_noise_fraction_panics() {
+        MixtureConfig::new(
+            vec![GaussianBlob::new(Point::origin(), 1.0, 1.0)],
+            BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+        )
+        .with_noise(1.5);
+    }
+}

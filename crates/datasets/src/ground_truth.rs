@@ -1,0 +1,94 @@
+//! Datasets bundled with generator-provided ground-truth labels.
+//!
+//! The paper's quality experiment (Figure 10) measures the approximate
+//! indices against the clustering produced by the *exact* DPC algorithm, not
+//! against generator labels; but having the generating cluster of every
+//! synthetic point available is useful for sanity checks and for the
+//! examples, so the generators return a [`LabelledDataset`].
+
+use dpc_core::{Dataset, PointId};
+
+/// A dataset together with the generating cluster of every point.
+///
+/// `labels[p]` is `Some(cluster)` for points drawn from a mixture component
+/// and `None` for background-noise points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledDataset {
+    /// The points.
+    pub dataset: Dataset,
+    /// Generating component per point (`None` = background noise).
+    pub labels: Vec<Option<usize>>,
+}
+
+impl LabelledDataset {
+    /// Creates a labelled dataset.
+    ///
+    /// # Panics
+    /// Panics if the number of labels differs from the number of points.
+    pub fn new(dataset: Dataset, labels: Vec<Option<usize>>) -> Self {
+        assert_eq!(
+            dataset.len(),
+            labels.len(),
+            "LabelledDataset: labels must cover every point"
+        );
+        LabelledDataset { dataset, labels }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// True when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Generating component of a point (`None` = noise).
+    pub fn label(&self, p: PointId) -> Option<usize> {
+        self.labels[p]
+    }
+
+    /// Number of distinct generating components (noise excluded).
+    pub fn num_components(&self) -> usize {
+        let mut seen: Vec<usize> = self.labels.iter().filter_map(|l| *l).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Number of background-noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Drops the labels, keeping only the dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::Point;
+
+    #[test]
+    fn accessors() {
+        let d = Dataset::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)]);
+        let l = LabelledDataset::new(d, vec![Some(0), Some(1), None]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.label(0), Some(0));
+        assert_eq!(l.label(2), None);
+        assert_eq!(l.num_components(), 2);
+        assert_eq!(l.noise_count(), 1);
+        assert_eq!(l.into_dataset().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover")]
+    fn mismatched_labels_panic() {
+        let d = Dataset::new(vec![Point::new(0.0, 0.0)]);
+        LabelledDataset::new(d, vec![]);
+    }
+}

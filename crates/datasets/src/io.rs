@@ -1,0 +1,151 @@
+//! Minimal CSV I/O for datasets and clustering labels.
+//!
+//! The experiment harness writes every generated dataset and every result
+//! series to plain CSV so they can be plotted or diffed outside of Rust. The
+//! format is deliberately simple: an optional `x,y` header followed by one
+//! `x,y` row per point (labels add a third column).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use dpc_core::{Dataset, DpcError, Point, Result};
+
+/// Writes a dataset as `x,y` rows (with header) to `path`.
+pub fn write_points_csv(path: &Path, dataset: &Dataset) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "x,y").map_err(DpcError::from)?;
+    for (_, p) in dataset.iter() {
+        writeln!(w, "{},{}", p.x, p.y).map_err(DpcError::from)?;
+    }
+    w.flush().map_err(DpcError::from)
+}
+
+/// Writes a dataset together with per-point labels as `x,y,label` rows.
+/// `label` is empty for `None` (noise / halo).
+pub fn write_labels_csv(path: &Path, dataset: &Dataset, labels: &[Option<usize>]) -> Result<()> {
+    if dataset.len() != labels.len() {
+        return Err(DpcError::LengthMismatch {
+            expected: dataset.len(),
+            actual: labels.len(),
+            what: "labels written to CSV",
+        });
+    }
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "x,y,label").map_err(DpcError::from)?;
+    for (id, p) in dataset.iter() {
+        match labels[id] {
+            Some(l) => writeln!(w, "{},{},{}", p.x, p.y, l).map_err(DpcError::from)?,
+            None => writeln!(w, "{},{},", p.x, p.y).map_err(DpcError::from)?,
+        }
+    }
+    w.flush().map_err(DpcError::from)
+}
+
+/// Reads a dataset from a CSV file of `x,y[,...]` rows. A non-numeric first
+/// row is treated as a header and skipped; extra columns are ignored.
+pub fn read_points_csv(path: &Path) -> Result<Dataset> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut points = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut cols = trimmed.split(',');
+        let x = cols.next().map(str::trim);
+        let y = cols.next().map(str::trim);
+        match (x, y) {
+            (Some(xs), Some(ys)) => match (xs.parse::<f64>(), ys.parse::<f64>()) {
+                (Ok(x), Ok(y)) => points.push(Point::new(x, y)),
+                _ if lineno == 0 => continue, // header row
+                _ => {
+                    return Err(DpcError::Io(format!(
+                        "{}: line {} is not a valid x,y row: {trimmed:?}",
+                        path.display(),
+                        lineno + 1
+                    )))
+                }
+            },
+            _ => {
+                return Err(DpcError::Io(format!(
+                    "{}: line {} has fewer than two columns",
+                    path.display(),
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    Dataset::try_new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dpc-datasets-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn points_round_trip() {
+        let path = temp_path("roundtrip.csv");
+        let data = Dataset::new(vec![Point::new(1.5, -2.25), Point::new(0.0, 3.0)]);
+        write_points_csv(&path, &data).unwrap();
+        let back = read_points_csv(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.point(0), Point::new(1.5, -2.25));
+        assert_eq!(back.point(1), Point::new(0.0, 3.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn labels_csv_contains_label_column() {
+        let path = temp_path("labels.csv");
+        let data = Dataset::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        write_labels_csv(&path, &data, &[Some(3), None]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,y,label"));
+        assert!(content.contains("0,0,3"));
+        assert!(content.lines().count() == 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn labels_length_mismatch_is_an_error() {
+        let path = temp_path("mismatch.csv");
+        let data = Dataset::new(vec![Point::new(0.0, 0.0)]);
+        assert!(write_labels_csv(&path, &data, &[]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_skips_header_and_ignores_extra_columns() {
+        let path = temp_path("header.csv");
+        std::fs::write(&path, "x,y,label\n1.0,2.0,7\n3.0,4.0,\n").unwrap();
+        let data = read_points_csv(&path).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.point(1), Point::new(3.0, 4.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_rejects_garbage_rows() {
+        let path = temp_path("garbage.csv");
+        std::fs::write(&path, "1.0,2.0\nnot,numbers\n").unwrap();
+        assert!(read_points_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_is_an_io_error() {
+        let err = read_points_csv(Path::new("/nonexistent/definitely-missing.csv")).unwrap_err();
+        assert!(matches!(err, DpcError::Io(_)));
+    }
+}

@@ -1,0 +1,216 @@
+//! A tiny, fully deterministic pseudo-random number generator.
+//!
+//! The generators in this crate must produce exactly the same dataset for the
+//! same seed on every platform and for every dependency version, because the
+//! experiment harness quotes the generated dataset sizes and densities in
+//! `EXPERIMENTS.md`. We therefore implement SplitMix64 (a well-known, tiny,
+//! high-quality 64-bit mixer) plus the handful of distributions the
+//! generators need (uniform, normal via Box–Muller, Zipf-like power-law),
+//! rather than relying on an external RNG whose stream could change between
+//! versions.
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// Passes BigCrush when used as a 64-bit generator; more than adequate for
+/// driving synthetic benchmark data.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Two generators created with the same
+    /// seed produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform: lo must not exceed hi");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize: empty range");
+        // Multiplication-based bounded generation (Lemire); the tiny modulo
+        // bias of the simpler approach would be irrelevant here, but this is
+        // just as cheap.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal variate via the Box–Muller transform.
+    pub fn normal(&mut self) -> f64 {
+        // Avoid log(0).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Samples an index in `[0, n)` from a Zipf-like power-law distribution
+    /// with exponent `s` (larger `s` = more skew). Index 0 is the most
+    /// probable outcome.
+    ///
+    /// Uses inverse-CDF sampling on the pre-normalised weights, computed on
+    /// the fly in `O(n)`; the dataset generators only call this once per
+    /// point with small `n` (number of hotspots), so this is fast enough.
+    pub fn zipf(&mut self, n: usize, s: f64, total_weight: f64) -> usize {
+        assert!(n > 0, "zipf: empty range");
+        let target = self.next_f64() * total_weight;
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            if acc >= target {
+                return k;
+            }
+        }
+        n - 1
+    }
+
+    /// Total weight of the Zipf distribution over `n` items with exponent
+    /// `s`; pass the result to [`SplitMix64::zipf`] to avoid recomputing it
+    /// for every sample.
+    pub fn zipf_total_weight(n: usize, s: f64) -> f64 {
+        (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).sum()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let v = r.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_usize_covers_range() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.uniform_usize(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_variance() {
+        let mut r = SplitMix64::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn normal_with_shifts_and_scales() {
+        let mut r = SplitMix64::new(17);
+        let n = 20_000;
+        let mean_target = 10.0;
+        let sd_target = 3.0;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal_with(mean_target, sd_target)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - mean_target).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_small_indices() {
+        let mut r = SplitMix64::new(19);
+        let n = 10;
+        let w = SplitMix64::zipf_total_weight(n, 1.2);
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            counts[r.zipf(n, 1.2, w)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > counts[n - 1] * 3);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(23);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_usize_rejects_zero() {
+        SplitMix64::new(1).uniform_usize(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the dataset generators: determinism, domain
+//! containment, label validity and scale behaviour.
+
+use dpc_datasets::generators::{checkins, grid_clusters, two_moons, uniform, CheckinConfig};
+use dpc_datasets::{DatasetKind, DatasetSpec, SplitMix64, PAPER_DATASETS};
+use dpc_core::BoundingBox;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_paper_generator_is_deterministic_and_in_domain(
+        seed in 0u64..1_000,
+        scale in 0.001f64..0.01
+    ) {
+        for kind in PAPER_DATASETS {
+            let a = kind.generate(seed, scale);
+            let b = kind.generate(seed, scale);
+            prop_assert_eq!(&a, &b, "{} must be deterministic", kind);
+            // Every label refers to a component that exists, or is noise.
+            let components = a.num_components();
+            for l in a.labels.iter().flatten() {
+                prop_assert!(*l < components.max(*l + 1));
+            }
+            // All coordinates are finite (Dataset construction enforces it,
+            // but assert the bounding box is sane too).
+            let bb = a.dataset.bounding_box();
+            prop_assert!(bb.diagonal().is_finite());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_data(seed in 0u64..1_000) {
+        let a = DatasetKind::Query.generate(seed, 0.005);
+        let b = DatasetKind::Query.generate(seed + 1, 0.005);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scaled_sizes_are_proportional(scale in 0.002f64..0.05) {
+        for kind in PAPER_DATASETS {
+            let spec = DatasetSpec::new(kind, scale, 1);
+            let expected = ((kind.paper_size() as f64 * scale).round() as usize).max(16);
+            prop_assert_eq!(spec.size(), expected);
+            prop_assert_eq!(spec.generate().len(), expected);
+        }
+    }
+
+    #[test]
+    fn uniform_points_stay_inside_their_domain(
+        n in 1usize..500,
+        seed in 0u64..100,
+        x0 in -100.0f64..0.0,
+        x1 in 1.0f64..100.0
+    ) {
+        let domain = BoundingBox::new(x0, x0, x1, x1);
+        let data = uniform(n, domain, seed);
+        prop_assert_eq!(data.len(), n);
+        prop_assert_eq!(data.noise_count(), n);
+        for (_, p) in data.dataset.iter() {
+            prop_assert!(domain.contains(p));
+        }
+    }
+
+    #[test]
+    fn grid_clusters_use_every_cell(rows in 1usize..5, cols in 1usize..5, seed in 0u64..50) {
+        let n = 200 * rows * cols;
+        let domain = BoundingBox::new(0.0, 0.0, 1000.0, 1000.0);
+        let data = grid_clusters(n, rows, cols, domain, 0.1, seed);
+        prop_assert_eq!(data.num_components(), rows * cols);
+        for (_, p) in data.dataset.iter() {
+            prop_assert!(domain.contains(p));
+        }
+    }
+
+    #[test]
+    fn checkins_respect_their_domain_and_hotspot_count(
+        n in 100usize..2_000,
+        seed in 0u64..50,
+        hotspots in 2usize..30
+    ) {
+        let config = CheckinConfig { hotspots, ..CheckinConfig::default() };
+        let data = checkins(n, &config, seed);
+        prop_assert_eq!(data.len(), n);
+        prop_assert!(data.num_components() <= hotspots);
+        for (id, p) in data.dataset.iter() {
+            prop_assert!(config.domain.contains(p));
+            if let Some(l) = data.label(id) {
+                prop_assert!(l < hotspots);
+            }
+        }
+    }
+
+    #[test]
+    fn two_moons_labels_are_binary_and_balanced(n in 50usize..1_000, seed in 0u64..50) {
+        let data = two_moons(n, 0.05, seed);
+        prop_assert_eq!(data.len(), n);
+        let ones = data.labels.iter().filter(|l| **l == Some(1)).count();
+        let zeros = data.labels.iter().filter(|l| **l == Some(0)).count();
+        prop_assert_eq!(ones + zeros, n);
+        prop_assert!((ones as i64 - zeros as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn splitmix_uniform_usize_is_unbiased_enough(seed in 0u64..1_000, n in 2usize..20) {
+        let mut rng = SplitMix64::new(seed);
+        let samples = 2_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..samples {
+            counts[rng.uniform_usize(n)] += 1;
+        }
+        let expected = samples as f64 / n as f64;
+        for &c in &counts {
+            prop_assert!((c as f64) > expected * 0.4, "bucket badly under-filled: {counts:?}");
+            prop_assert!((c as f64) < expected * 1.8, "bucket badly over-filled: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn splitmix_normal_is_symmetric_around_the_mean(seed in 0u64..500) {
+        let mut rng = SplitMix64::new(seed);
+        let n = 4_000;
+        let positive = (0..n).filter(|_| rng.normal() > 0.0).count();
+        let fraction = positive as f64 / n as f64;
+        prop_assert!((0.42..0.58).contains(&fraction), "fraction positive = {fraction}");
+    }
+}

@@ -1,0 +1,366 @@
+//! The Cumulative Histogram (CH) Index (§3.2 of the paper).
+//!
+//! On top of every object's N-List the CH Index stores a cumulative
+//! histogram with bin width `w`: bin `k` records how many neighbours lie at
+//! distance `< (k+1)·w` (Algorithm 3). The ρ-query (Algorithm 4) first jumps
+//! to the bin containing `dc` in `O(1)` and then searches only the list
+//! section covered by that single bin, so with a well chosen `w` the per-
+//! object cost is constant and the whole ρ-query is `O(n)` (Theorem 2).
+//!
+//! The δ-query is unchanged from the List Index — the histogram only helps
+//! ρ — and the approximate RN-List variant composes with the histogram in the
+//! obvious way (`τ` truncates the lists, the histogram covers what remains).
+
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::stats::nested_vec_bytes;
+use dpc_core::{
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result, TieBreak,
+    Timer,
+};
+
+use crate::nlist::NeighborLists;
+
+/// Configuration of a [`ChIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChIndexConfig {
+    /// Histogram bin width `w`. Smaller bins mean faster ρ-queries and more
+    /// memory (Figure 7 / Figure 9a of the paper).
+    pub bin_width: f64,
+    /// Neighbour threshold `τ` (`None` = exact index).
+    pub tau: Option<f64>,
+    /// Tie-break rule of the density order.
+    pub tie_break: TieBreak,
+    /// Worker threads for construction (`None` = all available cores).
+    pub threads: Option<usize>,
+}
+
+impl ChIndexConfig {
+    /// Configuration with the given bin width and defaults otherwise.
+    pub fn new(bin_width: f64) -> Self {
+        ChIndexConfig {
+            bin_width,
+            tau: None,
+            tie_break: TieBreak::default(),
+            threads: None,
+        }
+    }
+
+    /// Sets the neighbour threshold `τ`.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = Some(tau);
+        self
+    }
+}
+
+/// The Cumulative Histogram Index.
+#[derive(Debug, Clone)]
+pub struct ChIndex {
+    dataset: Dataset,
+    lists: NeighborLists,
+    /// `histograms[p][k]` = number of neighbours of `p` with
+    /// `dist < (k+1) * bin_width`.
+    histograms: Vec<Vec<u32>>,
+    bin_width: f64,
+    tie: TieBreak,
+    construction_time: Duration,
+}
+
+impl ChIndex {
+    /// Builds an exact CH Index with the given bin width.
+    pub fn build(dataset: &Dataset, bin_width: f64) -> Self {
+        Self::with_config(dataset, &ChIndexConfig::new(bin_width))
+    }
+
+    /// Builds the approximate variant: RN-Lists truncated at `tau`, histogram
+    /// over the truncated lists.
+    pub fn build_approx(dataset: &Dataset, bin_width: f64, tau: f64) -> Self {
+        Self::with_config(dataset, &ChIndexConfig::new(bin_width).with_tau(tau))
+    }
+
+    /// Builds the index with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if the bin width is not a positive finite number.
+    pub fn with_config(dataset: &Dataset, config: &ChIndexConfig) -> Self {
+        assert!(
+            config.bin_width.is_finite() && config.bin_width > 0.0,
+            "ChIndex: bin width must be positive and finite, got {}",
+            config.bin_width
+        );
+        let timer = Timer::start();
+        let threads = config.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        let lists = NeighborLists::build_with_threads(dataset, config.tau, threads);
+        let histograms = build_histograms(&lists, config.bin_width);
+        ChIndex {
+            dataset: dataset.clone(),
+            lists,
+            histograms,
+            bin_width: config.bin_width,
+            tie: config.tie_break,
+            construction_time: timer.elapsed(),
+        }
+    }
+
+    /// Builds a CH Index reusing already-constructed neighbour lists. This is
+    /// how the paper reports CH construction cost: only the extra histogram-
+    /// building time on top of an existing List Index.
+    pub fn from_lists(dataset: &Dataset, lists: NeighborLists, bin_width: f64) -> Self {
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "ChIndex: bin width must be positive and finite, got {bin_width}"
+        );
+        assert_eq!(lists.len(), dataset.len(), "lists must cover the dataset");
+        let timer = Timer::start();
+        let histograms = build_histograms(&lists, bin_width);
+        ChIndex {
+            dataset: dataset.clone(),
+            lists,
+            histograms,
+            bin_width,
+            tie: TieBreak::default(),
+            construction_time: timer.elapsed(),
+        }
+    }
+
+    /// The histogram bin width `w`.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// The neighbour threshold used at construction (`None` = exact).
+    pub fn tau(&self) -> Option<f64> {
+        self.lists.tau()
+    }
+
+    /// The underlying neighbour lists.
+    pub fn lists(&self) -> &NeighborLists {
+        &self.lists
+    }
+
+    /// Memory of the histograms alone (the "extra cost over the List Index"
+    /// reported in Table 3 / Figure 9a).
+    pub fn histogram_memory_bytes(&self) -> usize {
+        nested_vec_bytes(&self.histograms)
+    }
+
+    /// Total number of histogram bins across all objects.
+    pub fn total_bins(&self) -> usize {
+        self.histograms.iter().map(Vec::len).sum()
+    }
+
+    /// ρ of a single object — Algorithm 4, one iteration.
+    fn rho_one(&self, p: PointId, dc: f64) -> Rho {
+        let list = self.lists.list(p);
+        if list.is_empty() {
+            return 0;
+        }
+        let hist = &self.histograms[p];
+        let bin = (dc / self.bin_width).floor();
+        if bin >= hist.len() as f64 {
+            // dc reaches past the last bin: every stored neighbour counts.
+            return list.len() as Rho;
+        }
+        let bin = bin as usize;
+        let prev = if bin == 0 { 0 } else { hist[bin - 1] as usize };
+        let last = hist[bin] as usize;
+        // Only the section [prev, last) of the list can contain neighbours
+        // with dist in [bin*w, dc); everything before `prev` is already
+        // strictly below bin*w <= dc.
+        let extra = list[prev..last].partition_point(|nb| nb.dist < dc);
+        (prev + extra) as Rho
+    }
+}
+
+/// Builds the per-object cumulative histograms (Algorithm 3).
+fn build_histograms(lists: &NeighborLists, bin_width: f64) -> Vec<Vec<u32>> {
+    let mut histograms = Vec::with_capacity(lists.len());
+    for p in 0..lists.len() {
+        let list = lists.list(p);
+        let mut hist: Vec<u32> = Vec::new();
+        let mut upper = bin_width;
+        let mut i = 0usize;
+        while i < list.len() {
+            if list[i].dist < upper {
+                i += 1;
+            } else {
+                hist.push(i as u32);
+                upper += bin_width;
+            }
+        }
+        // Last bin: total number of stored neighbours.
+        hist.push(i as u32);
+        hist.shrink_to_fit();
+        histograms.push(hist);
+    }
+    histograms
+}
+
+impl DpcIndex for ChIndex {
+    fn name(&self) -> &'static str {
+        if self.lists.tau().is_some() {
+            "ch-approx"
+        } else {
+            "ch"
+        }
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        Ok((0..self.dataset.len()).map(|p| self.rho_one(p, dc)).collect())
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let order = DensityOrder::with_tie_break(rho, self.tie);
+        Ok(self.lists.delta_by_scan(&order))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.lists.memory_bytes() + nested_vec_bytes(&self.histograms) + self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+            .with_counter("total_entries", self.lists.total_entries() as u64)
+            .with_counter("total_bins", self.total_bins() as u64)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+
+    fn is_exact(&self) -> bool {
+        self.lists.tau().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListIndex;
+    use dpc_baseline::LeanDpc;
+    use dpc_datasets::generators::{checkins, query, s1, CheckinConfig};
+
+    fn assert_matches_baseline(data: &Dataset, index: &ChIndex, dc: f64) {
+        let baseline = LeanDpc::build(data);
+        let (r1, d1) = index.rho_delta(dc).unwrap();
+        let (r2, d2) = baseline.rho_delta(dc).unwrap();
+        assert_eq!(r1, r2, "rho mismatch at dc = {dc} (w = {})", index.bin_width());
+        assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
+        for p in 0..data.len() {
+            assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_ch_matches_baseline_for_various_bin_widths() {
+        let data = s1(61, 0.05).into_dataset(); // 250 points
+        for w in [2_000.0, 17_000.0, 120_000.0, 2_000_000.0] {
+            let index = ChIndex::build(&data, w);
+            for dc in [5_000.0, 34_000.0, 200_000.0, 1_500_000.0] {
+                assert_matches_baseline(&data, &index, dc);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_equal_to_bin_boundary_is_handled() {
+        let data = query(67, 0.004).into_dataset(); // 200 points
+        let w = 0.01;
+        let index = ChIndex::build(&data, w);
+        for k in 1..5 {
+            assert_matches_baseline(&data, &index, k as f64 * w);
+        }
+    }
+
+    #[test]
+    fn dc_larger_than_any_distance_counts_everything() {
+        let data = query(71, 0.002).into_dataset(); // 100 points
+        let index = ChIndex::build(&data, 0.05);
+        let rho = index.rho(10.0).unwrap();
+        assert!(rho.iter().all(|&r| r as usize == data.len() - 1));
+    }
+
+    #[test]
+    fn rho_agrees_with_list_index_on_skewed_checkin_data() {
+        let data = checkins(300, &CheckinConfig::gowalla(), 5).into_dataset();
+        let ch = ChIndex::build(&data, 0.015);
+        let list = ListIndex::build(&data);
+        for dc in [0.005, 0.03, 0.5, 10.0] {
+            assert_eq!(ch.rho(dc).unwrap(), list.rho(dc).unwrap(), "dc = {dc}");
+        }
+    }
+
+    #[test]
+    fn smaller_bins_use_more_histogram_memory() {
+        let data = s1(73, 0.06).into_dataset();
+        let fine = ChIndex::build(&data, 5_000.0);
+        let coarse = ChIndex::build(&data, 100_000.0);
+        assert!(fine.histogram_memory_bytes() > coarse.histogram_memory_bytes());
+        assert!(fine.total_bins() > coarse.total_bins());
+    }
+
+    #[test]
+    fn ch_memory_exceeds_list_memory_by_the_histograms() {
+        let data = s1(79, 0.05).into_dataset();
+        let list = ListIndex::build(&data);
+        let ch = ChIndex::build(&data, 20_000.0);
+        assert!(ch.memory_bytes() > list.memory_bytes());
+        assert!(ch.memory_bytes() - list.memory_bytes() <= ch.histogram_memory_bytes() + 64);
+    }
+
+    #[test]
+    fn from_lists_reuses_existing_lists() {
+        let data = s1(83, 0.04).into_dataset();
+        let lists = NeighborLists::build(&data, None);
+        let ch = ChIndex::from_lists(&data, lists, 10_000.0);
+        assert_matches_baseline(&data, &ch, 30_000.0);
+    }
+
+    #[test]
+    fn approximate_ch_undercounts_beyond_tau() {
+        let data = s1(89, 0.05).into_dataset();
+        let tau = 40_000.0;
+        let approx = ChIndex::build_approx(&data, 10_000.0, tau);
+        let exact = ChIndex::build(&data, 10_000.0);
+        assert_eq!(approx.rho(20_000.0).unwrap(), exact.rho(20_000.0).unwrap());
+        let ra = approx.rho(300_000.0).unwrap();
+        let re = exact.rho(300_000.0).unwrap();
+        assert!(ra.iter().zip(&re).all(|(a, e)| a <= e));
+        assert!(ra.iter().zip(&re).any(|(a, e)| a < e));
+        assert!(!approx.is_exact());
+        assert_eq!(approx.name(), "ch-approx");
+    }
+
+    #[test]
+    fn stats_report_bins_and_entries() {
+        let data = s1(97, 0.02).into_dataset(); // 100 points
+        let ch = ChIndex::build(&data, 50_000.0);
+        let stats = ch.stats();
+        assert_eq!(stats.counter("total_entries"), Some((100 * 99) as u64));
+        assert!(stats.counter("total_bins").unwrap() >= 100);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let data = s1(3, 0.01).into_dataset();
+        let ch = ChIndex::build(&data, 1_000.0);
+        assert!(ch.rho(-5.0).is_err());
+        assert!(ch.delta(1.0, &[1, 2]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_panics() {
+        ChIndex::build(&Dataset::new(vec![]), 0.0);
+    }
+}

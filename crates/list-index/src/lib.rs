@@ -1,0 +1,35 @@
+//! # dpc-list-index
+//!
+//! The paper's list-based index structures for Density Peak Clustering:
+//!
+//! * [`ListIndex`] (§3.1) — for every object a **Neighbor List (N-List)**
+//!   holding all other objects sorted by distance. The ρ-query becomes a
+//!   binary search per object (`O(n log n)` total) and the δ-query a short
+//!   sequential scan from the head of the list (`O(n)` expected total,
+//!   Theorem 1).
+//! * [`ChIndex`] (§3.2) — a **Cumulative Histogram** per object on top of the
+//!   N-List, with bin width `w`. The ρ-query first jumps to the bin
+//!   containing `dc` and then searches only that small section, making it
+//!   effectively `O(1)` per object (Theorem 2).
+//! * The **approximate solution** (§3.3) — both indices can be built with a
+//!   neighbour threshold `τ`, storing only the *Reduced Neighbor List
+//!   (RN-List)* of objects within distance `τ`. This trades accuracy
+//!   (whenever `dc > τ`, or a point's dependent neighbour lies beyond `τ`)
+//!   for a large reduction in memory.
+//!
+//! Both indices keep the full dataset and answer queries for **any** `dc`
+//! without rebuilding, which is the point of the paper: the expensive
+//! construction is amortised over the many `dc` values a user tries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ch;
+pub mod knn;
+pub mod list;
+pub mod nlist;
+
+pub use ch::{ChIndex, ChIndexConfig};
+pub use knn::KnnDpc;
+pub use list::{ListIndex, ListIndexConfig};
+pub use nlist::{Neighbor, NeighborLists};

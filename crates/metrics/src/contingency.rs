@@ -1,0 +1,216 @@
+//! Contingency table between two labelings of the same points.
+//!
+//! All pair-counting and information-theoretic metrics in this crate are
+//! derived from the contingency table, so the `O(n²)` pair enumeration never
+//! happens explicitly.
+
+use std::collections::HashMap;
+
+use dpc_core::ClusterId;
+
+/// Cross-tabulation of two labelings.
+///
+/// Noise points (label `None`) are treated as singleton clusters: a noise
+/// point is "together" with no other point, which is the standard convention
+/// and matches how the paper's halo/outlier points behave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    /// `counts[i][j]` = number of points with row-label `i` and column-label `j`.
+    counts: Vec<Vec<usize>>,
+    row_sums: Vec<usize>,
+    col_sums: Vec<usize>,
+    total: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two labelings of the same length.
+    ///
+    /// # Panics
+    /// Panics if the labelings have different lengths.
+    pub fn new(rows: &[Option<ClusterId>], cols: &[Option<ClusterId>]) -> Self {
+        assert_eq!(
+            rows.len(),
+            cols.len(),
+            "contingency table requires labelings of equal length"
+        );
+        let row_ids = normalize(rows);
+        let col_ids = normalize(cols);
+        let n_rows = row_ids.iter().copied().max().map_or(0, |m| m + 1);
+        let n_cols = col_ids.iter().copied().max().map_or(0, |m| m + 1);
+        let mut counts = vec![vec![0usize; n_cols]; n_rows];
+        for (&r, &c) in row_ids.iter().zip(&col_ids) {
+            counts[r][c] += 1;
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|row| row.iter().sum()).collect();
+        let mut col_sums = vec![0usize; n_cols];
+        for row in &counts {
+            for (j, &v) in row.iter().enumerate() {
+                col_sums[j] += v;
+            }
+        }
+        ContingencyTable { counts, row_sums, col_sums, total: rows.len() }
+    }
+
+    /// Builds the table from plain (noise-free) label vectors.
+    pub fn from_labels(rows: &[ClusterId], cols: &[ClusterId]) -> Self {
+        let rows: Vec<Option<ClusterId>> = rows.iter().map(|&l| Some(l)).collect();
+        let cols: Vec<Option<ClusterId>> = cols.iter().map(|&l| Some(l)).collect();
+        Self::new(&rows, &cols)
+    }
+
+    /// Total number of points.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct row clusters (noise singletons included).
+    pub fn num_row_clusters(&self) -> usize {
+        self.row_sums.len()
+    }
+
+    /// Number of distinct column clusters (noise singletons included).
+    pub fn num_col_clusters(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Row marginal sizes.
+    pub fn row_sums(&self) -> &[usize] {
+        &self.row_sums
+    }
+
+    /// Column marginal sizes.
+    pub fn col_sums(&self) -> &[usize] {
+        &self.col_sums
+    }
+
+    /// The raw cell counts.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// Number of co-clustered pairs in the row labeling
+    /// (`Σᵢ C(rowᵢ, 2)`).
+    pub fn row_pairs(&self) -> u64 {
+        self.row_sums.iter().map(|&s| choose2(s)).sum()
+    }
+
+    /// Number of co-clustered pairs in the column labeling
+    /// (`Σⱼ C(colⱼ, 2)`).
+    pub fn col_pairs(&self) -> u64 {
+        self.col_sums.iter().map(|&s| choose2(s)).sum()
+    }
+
+    /// Number of pairs co-clustered in *both* labelings
+    /// (`Σᵢⱼ C(nᵢⱼ, 2)`).
+    pub fn joint_pairs(&self) -> u64 {
+        self.counts
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|&v| choose2(v))
+            .sum()
+    }
+
+    /// Total number of point pairs, `C(n, 2)`.
+    pub fn total_pairs(&self) -> u64 {
+        choose2(self.total)
+    }
+}
+
+/// `C(n, 2)` as a u64.
+pub(crate) fn choose2(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+/// Maps labels to dense ids, giving every noise point its own fresh id.
+fn normalize(labels: &[Option<ClusterId>]) -> Vec<usize> {
+    let mut map: HashMap<ClusterId, usize> = HashMap::new();
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(labels.len());
+    // First pass: real clusters get the low ids.
+    for l in labels.iter().flatten() {
+        if !map.contains_key(l) {
+            map.insert(*l, next);
+            next += 1;
+        }
+    }
+    for l in labels {
+        match l {
+            Some(l) => out.push(map[l]),
+            None => {
+                out.push(next);
+                next += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_labelings_put_everything_on_the_diagonal() {
+        let labels = vec![0, 0, 1, 1, 2];
+        let t = ContingencyTable::from_labels(&labels, &labels);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.joint_pairs(), t.row_pairs());
+        assert_eq!(t.row_pairs(), t.col_pairs());
+        assert_eq!(t.row_pairs(), 1 + 1); // two pairs of size-2 clusters
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let a = vec![0, 0, 1, 2, 2, 2];
+        let b = vec![1, 1, 0, 0, 0, 2];
+        let t = ContingencyTable::from_labels(&a, &b);
+        assert_eq!(t.row_sums().iter().sum::<usize>(), 6);
+        assert_eq!(t.col_sums().iter().sum::<usize>(), 6);
+        assert_eq!(t.num_row_clusters(), 3);
+        assert_eq!(t.num_col_clusters(), 3);
+    }
+
+    #[test]
+    fn noise_points_are_singletons() {
+        let a = vec![Some(0), Some(0), None, None];
+        let b = vec![Some(0), Some(0), Some(0), Some(0)];
+        let t = ContingencyTable::new(&a, &b);
+        // Noise singletons contribute no co-clustered pairs on the row side.
+        assert_eq!(t.row_pairs(), 1);
+        assert_eq!(t.col_pairs(), choose2(4));
+        assert_eq!(t.joint_pairs(), 1);
+    }
+
+    #[test]
+    fn joint_pairs_never_exceed_either_marginal() {
+        let a = vec![0, 1, 0, 1, 2, 2, 0];
+        let b = vec![0, 0, 1, 1, 1, 2, 2];
+        let t = ContingencyTable::from_labels(&a, &b);
+        assert!(t.joint_pairs() <= t.row_pairs());
+        assert!(t.joint_pairs() <= t.col_pairs());
+        assert!(t.row_pairs() <= t.total_pairs());
+    }
+
+    #[test]
+    fn empty_labelings() {
+        let t = ContingencyTable::from_labels(&[], &[]);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.total_pairs(), 0);
+        assert_eq!(t.joint_pairs(), 0);
+    }
+
+    #[test]
+    fn choose2_small_values() {
+        assert_eq!(choose2(0), 0);
+        assert_eq!(choose2(1), 0);
+        assert_eq!(choose2(2), 1);
+        assert_eq!(choose2(5), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        ContingencyTable::from_labels(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Normalised Mutual Information (extension beyond the paper's metrics).
+
+use dpc_core::ClusterId;
+
+use crate::contingency::ContingencyTable;
+
+/// Computes the Normalised Mutual Information between two labelings,
+/// normalised by the arithmetic mean of the two entropies (`2·I / (H_a + H_b)`).
+///
+/// Returns 1.0 for identical partitions and for the degenerate case where
+/// both partitions carry no information (both single-cluster or both empty);
+/// otherwise values lie in `[0, 1]`. Noise points (`None`) are singletons.
+pub fn normalized_mutual_information(a: &[Option<ClusterId>], b: &[Option<ClusterId>]) -> f64 {
+    let table = ContingencyTable::new(a, b);
+    let n = table.total() as f64;
+    if table.total() == 0 {
+        return 1.0;
+    }
+    let h_a = entropy(table.row_sums(), n);
+    let h_b = entropy(table.col_sums(), n);
+    if h_a == 0.0 && h_b == 0.0 {
+        // Both partitions are a single cluster: identical by definition.
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.counts().iter().enumerate() {
+        let row_sum = table.row_sums()[i] as f64;
+        for (j, &nij) in row.iter().enumerate() {
+            if nij == 0 {
+                continue;
+            }
+            let nij = nij as f64;
+            let col_sum = table.col_sums()[j] as f64;
+            mi += (nij / n) * ((n * nij) / (row_sum * col_sum)).ln();
+        }
+    }
+    (2.0 * mi / (h_a + h_b)).clamp(0.0, 1.0)
+}
+
+/// Convenience overload for plain label vectors.
+pub fn normalized_mutual_information_labels(a: &[ClusterId], b: &[ClusterId]) -> f64 {
+    let a: Vec<Option<ClusterId>> = a.iter().map(|&l| Some(l)).collect();
+    let b: Vec<Option<ClusterId>> = b.iter().map(|&l| Some(l)).collect();
+    normalized_mutual_information(&a, &b)
+}
+
+fn entropy(sums: &[usize], n: f64) -> f64 {
+    sums.iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let nmi = normalized_mutual_information_labels(&[0, 0, 1, 1, 2, 2], &[0, 0, 1, 1, 2, 2]);
+        assert!((nmi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelling_does_not_matter() {
+        let nmi = normalized_mutual_information_labels(&[0, 0, 1, 1], &[3, 3, 8, 8]);
+        assert!((nmi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let nmi = normalized_mutual_information_labels(&a, &b);
+        assert!(nmi < 0.2, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn partial_agreement_in_unit_interval() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let nmi = normalized_mutual_information_labels(&a, &b);
+        assert!(nmi > 0.0 && nmi < 1.0, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+        assert_eq!(normalized_mutual_information_labels(&[0, 0, 0], &[5, 5, 5]), 1.0);
+    }
+
+    #[test]
+    fn single_cluster_vs_split_scores_zero() {
+        // One side carries no information: MI is 0, entropy of the other is
+        // positive, so NMI must be 0.
+        let nmi = normalized_mutual_information_labels(&[0, 0, 0, 0], &[0, 0, 1, 1]);
+        assert_eq!(nmi, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pair-counting Precision, Recall and F1 (Equations 3–5 of the paper).
+//!
+//! A *pair* is any unordered pair of distinct points. A pair is a true
+//! positive when both clusterings put its two points in the same cluster,
+//! a false positive when only the *obtained* clustering does, and a false
+//! negative when only the *reference* clustering does.
+
+use dpc_core::{ClusterId, Clustering};
+
+use crate::contingency::ContingencyTable;
+
+/// Raw pair counts underlying the scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs co-clustered in both the obtained and the reference clustering.
+    pub true_positives: u64,
+    /// Pairs co-clustered only in the obtained clustering.
+    pub false_positives: u64,
+    /// Pairs co-clustered only in the reference clustering.
+    pub false_negatives: u64,
+    /// Pairs co-clustered in neither.
+    pub true_negatives: u64,
+}
+
+/// Precision / Recall / F1 derived from [`PairCounts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScores {
+    /// TP / (TP + FP); 1.0 when the obtained clustering creates no pairs.
+    pub precision: f64,
+    /// TP / (TP + FN); 1.0 when the reference clustering contains no pairs.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// The underlying counts.
+    pub counts: PairCounts,
+}
+
+/// Computes the pair-counting scores of an `obtained` labeling against a
+/// `reference` labeling. Noise points (`None`) are singletons.
+pub fn pair_counting_scores(
+    obtained: &[Option<ClusterId>],
+    reference: &[Option<ClusterId>],
+) -> PairScores {
+    let table = ContingencyTable::new(obtained, reference);
+    scores_from_table(&table)
+}
+
+/// Convenience overload for two [`Clustering`]s (halo points count as
+/// ordinary members, matching the paper which does not remove halos before
+/// comparing).
+pub fn pair_counting_scores_for(obtained: &Clustering, reference: &Clustering) -> PairScores {
+    let o: Vec<Option<ClusterId>> = obtained.labels().iter().map(|&l| Some(l)).collect();
+    let r: Vec<Option<ClusterId>> = reference.labels().iter().map(|&l| Some(l)).collect();
+    pair_counting_scores(&o, &r)
+}
+
+fn scores_from_table(table: &ContingencyTable) -> PairScores {
+    let tp = table.joint_pairs();
+    let obtained_pairs = table.row_pairs();
+    let reference_pairs = table.col_pairs();
+    let fp = obtained_pairs - tp;
+    let fn_ = reference_pairs - tp;
+    let tn = table.total_pairs() - tp - fp - fn_;
+
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairScores {
+        precision,
+        recall,
+        f1,
+        counts: PairCounts {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            true_negatives: tn,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrap(labels: &[usize]) -> Vec<Option<ClusterId>> {
+        labels.iter().map(|&l| Some(l)).collect()
+    }
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let labels = wrap(&[0, 0, 1, 1, 2, 2, 2]);
+        let s = pair_counting_scores(&labels, &labels);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.counts.false_positives, 0);
+        assert_eq!(s.counts.false_negatives, 0);
+    }
+
+    #[test]
+    fn relabelled_clusterings_score_one() {
+        // Same partition, different label ids.
+        let a = wrap(&[0, 0, 1, 1]);
+        let b = wrap(&[7, 7, 3, 3]);
+        let s = pair_counting_scores(&a, &b);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn merging_two_reference_clusters_hurts_precision_not_recall() {
+        // Obtained puts everything together; reference has two clusters.
+        let obtained = wrap(&[0, 0, 0, 0]);
+        let reference = wrap(&[0, 0, 1, 1]);
+        let s = pair_counting_scores(&obtained, &reference);
+        assert_eq!(s.recall, 1.0);
+        assert!(s.precision < 1.0);
+        // 6 obtained pairs, 2 of them correct.
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitting_a_reference_cluster_hurts_recall_not_precision() {
+        let obtained = wrap(&[0, 0, 1, 1]);
+        let reference = wrap(&[0, 0, 0, 0]);
+        let s = pair_counting_scores(&obtained, &reference);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 2.0 / 6.0).abs() < 1e-12);
+        assert!(s.f1 > 0.0 && s.f1 < 1.0);
+    }
+
+    #[test]
+    fn all_singletons_against_clusters() {
+        let obtained: Vec<Option<ClusterId>> = vec![None; 6];
+        let reference = wrap(&[0, 0, 0, 1, 1, 1]);
+        let s = pair_counting_scores(&obtained, &reference);
+        // No obtained pairs at all: precision defaults to 1, recall is 0.
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn counts_partition_all_pairs() {
+        let a = wrap(&[0, 1, 0, 1, 2, 2, 0, 1]);
+        let b = wrap(&[0, 0, 1, 1, 1, 2, 2, 0]);
+        let s = pair_counting_scores(&a, &b);
+        let c = s.counts;
+        let total = c.true_positives + c.false_positives + c.false_negatives + c.true_negatives;
+        assert_eq!(total, (8 * 7 / 2) as u64);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let a = wrap(&[0, 0, 0, 1, 1, 1]);
+        let b = wrap(&[0, 0, 1, 1, 2, 2]);
+        let s = pair_counting_scores(&a, &b);
+        let expected = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+        assert!((s.f1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_overload_works() {
+        let c1 = Clustering::new(vec![0, 0, 1, 1], vec![0, 2], vec![false; 4]);
+        let c2 = Clustering::new(vec![1, 1, 0, 0], vec![2, 0], vec![false; 4]);
+        let s = pair_counting_scores_for(&c1, &c2);
+        assert_eq!(s.f1, 1.0);
+    }
+}

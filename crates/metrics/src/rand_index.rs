@@ -1,0 +1,87 @@
+//! Adjusted Rand Index (extension beyond the paper's metrics).
+
+use dpc_core::ClusterId;
+
+use crate::contingency::ContingencyTable;
+
+/// Computes the Adjusted Rand Index between two labelings.
+///
+/// 1.0 means identical partitions, 0.0 is the chance level, negative values
+/// mean worse-than-chance agreement. Noise points (`None`) are singletons.
+pub fn adjusted_rand_index(a: &[Option<ClusterId>], b: &[Option<ClusterId>]) -> f64 {
+    let table = ContingencyTable::new(a, b);
+    let total_pairs = table.total_pairs();
+    if total_pairs == 0 {
+        return 1.0;
+    }
+    let index = table.joint_pairs() as f64;
+    let row = table.row_pairs() as f64;
+    let col = table.col_pairs() as f64;
+    let expected = row * col / total_pairs as f64;
+    let max_index = 0.5 * (row + col);
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Degenerate case: both partitions are all-singletons or a single
+        // cluster; they are identical iff the index equals the expectation.
+        return 1.0;
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// Convenience overload for plain label vectors.
+pub fn adjusted_rand_index_labels(a: &[ClusterId], b: &[ClusterId]) -> f64 {
+    let a: Vec<Option<ClusterId>> = a.iter().map(|&l| Some(l)).collect();
+    let b: Vec<Option<ClusterId>> = b.iter().map(|&l| Some(l)).collect();
+    adjusted_rand_index(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        assert!((adjusted_rand_index_labels(&[0, 0, 1, 1, 2], &[0, 0, 1, 1, 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelling_does_not_matter() {
+        assert!((adjusted_rand_index_labels(&[0, 0, 1, 1], &[5, 5, 9, 9]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // A checkerboard assignment of 2 clusters vs 2 clusters that share
+        // exactly half their members pairwise.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let ari = adjusted_rand_index_labels(&a, &b);
+        assert!(ari.abs() < 0.2, "ari = {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let ari = adjusted_rand_index_labels(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "ari = {ari}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        // Single cluster vs single cluster.
+        assert_eq!(adjusted_rand_index_labels(&[0, 0, 0], &[1, 1, 1]), 1.0);
+        // All singletons vs all singletons.
+        let noise: Vec<Option<ClusterId>> = vec![None, None, None];
+        assert_eq!(adjusted_rand_index(&noise, &noise), 1.0);
+    }
+
+    #[test]
+    fn worse_than_chance_can_go_negative() {
+        // Systematically opposed partitions of 4 points.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        let ari = adjusted_rand_index_labels(&a, &b);
+        assert!(ari <= 0.0, "ari = {ari}");
+    }
+}

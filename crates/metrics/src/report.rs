@@ -1,0 +1,190 @@
+//! Small text/CSV result tables, used by the experiment harness to print
+//! paper-style tables and to persist every series under `results/`.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use dpc_core::{DpcError, Result};
+
+/// A simple column-oriented results table.
+///
+/// ```
+/// use dpc_metrics::ResultTable;
+/// let mut t = ResultTable::new("Table 3: memory (MiB)", &["dataset", "list", "rtree"]);
+/// t.add_row(&["S1", "98.7", "5.2"]);
+/// let text = t.render();
+/// assert!(text.contains("dataset"));
+/// assert!(text.contains("98.7"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a row of cells (stringly typed on purpose: the harness formats
+    /// numbers with experiment-specific precision).
+    ///
+    /// # Panics
+    /// Panics if the row has a different number of cells than there are
+    /// columns.
+    pub fn add_row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} does not match column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Convenience for rows of mixed display values.
+    pub fn add_display_row(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to a file, creating parent directories as needed.
+    pub fn write_csv(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(DpcError::from)?;
+        }
+        let mut file = File::create(path)?;
+        file.write_all(self.to_csv().as_bytes()).map_err(DpcError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("Running time (s)", &["dataset", "list", "ch"]);
+        t.add_row(&["S1", "0.0025", "0.002"]);
+        t.add_row(&["Query", "0.11", "0.062"]);
+        t
+    }
+
+    #[test]
+    fn render_contains_title_headers_and_rows() {
+        let text = sample().render();
+        assert!(text.contains("Running time"));
+        assert!(text.contains("dataset"));
+        assert!(text.contains("Query"));
+        assert!(text.contains("0.062"));
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        // "list" column starts at the same offset in header and data rows.
+        let header_pos = lines[1].find("list").unwrap();
+        let row_pos = lines[3].find("0.0025").unwrap();
+        assert_eq!(header_pos, row_pos);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "dataset,list,ch");
+        assert!(lines[2].starts_with("Query,"));
+    }
+
+    #[test]
+    fn write_csv_creates_parent_dirs() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("dpc-metrics-report-{}", std::process::id()));
+        let path = dir.join("nested/table.csv");
+        sample().write_csv(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("dataset"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        sample().add_row(&["only-one-cell"]);
+    }
+
+    #[test]
+    fn display_row_accepts_mixed_types() {
+        let mut t = ResultTable::new("t", &["a", "b"]);
+        t.add_display_row(&[&1.5f64, &"x"]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_csv().contains("1.5,x"));
+    }
+}

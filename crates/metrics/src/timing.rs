@@ -1,0 +1,63 @@
+//! Tiny measurement helpers for the experiment harness.
+//!
+//! Criterion handles the statistically careful micro-benchmarks; the harness
+//! binaries that regenerate the paper's tables only need a robust point
+//! estimate per configuration, which is what [`measure_median`] provides.
+
+use std::time::Duration;
+
+use dpc_core::Timer;
+
+/// Runs `f` once and returns its wall-clock time together with its result.
+pub fn measure_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let timer = Timer::start();
+    let value = f();
+    (timer.elapsed(), value)
+}
+
+/// Runs `f` `repetitions` times and returns the median wall-clock time and
+/// the result of the last run.
+///
+/// # Panics
+/// Panics if `repetitions` is 0.
+pub fn measure_median<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(repetitions > 0, "measure_median: need at least one repetition");
+    let mut times = Vec::with_capacity(repetitions);
+    let mut last = None;
+    for _ in 0..repetitions {
+        let (t, value) = measure_once(&mut f);
+        times.push(t);
+        last = Some(value);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("at least one repetition ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_once_returns_value_and_time() {
+        let (t, v) = measure_once(|| (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499500);
+        assert!(t < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn measure_median_runs_the_requested_number_of_times() {
+        let mut counter = 0usize;
+        let (_, last) = measure_median(5, || {
+            counter += 1;
+            counter
+        });
+        assert_eq!(counter, 5);
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_panics() {
+        measure_median(0, || ());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the clustering-quality metrics.
+
+use dpc_core::ClusterId;
+use dpc_metrics::{
+    adjusted_rand_index, normalized_mutual_information, pair_counting_scores, ContingencyTable,
+};
+use proptest::prelude::*;
+
+/// Strategy: a labeling of up to 60 points over up to 6 clusters, with some
+/// points marked as noise.
+fn labeling_strategy() -> impl Strategy<Value = Vec<Option<ClusterId>>> {
+    prop::collection::vec(prop_oneof![3 => (0usize..6).prop_map(Some), 1 => Just(None)], 1..60)
+}
+
+/// A random permutation of cluster ids applied to a labeling (noise stays
+/// noise).
+fn permute(labels: &[Option<ClusterId>], offset: usize) -> Vec<Option<ClusterId>> {
+    labels.iter().map(|l| l.map(|c| (c * 7 + offset) % 31 + 100)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scores_lie_in_the_unit_interval(a in labeling_strategy(), b in labeling_strategy()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let s = pair_counting_scores(a, b);
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+        let nmi = normalized_mutual_information(a, b);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+        let ari = adjusted_rand_index(a, b);
+        prop_assert!(ari <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn comparing_a_labeling_with_itself_is_perfect(a in labeling_strategy()) {
+        let s = pair_counting_scores(&a, &a);
+        prop_assert_eq!(s.precision, 1.0);
+        prop_assert_eq!(s.recall, 1.0);
+        prop_assert_eq!(s.f1, 1.0);
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_invariant_to_relabelling(a in labeling_strategy(), b in labeling_strategy(), off in 0usize..13) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let b_permuted = permute(b, off);
+        let s1 = pair_counting_scores(a, b);
+        let s2 = pair_counting_scores(a, &b_permuted);
+        prop_assert!((s1.f1 - s2.f1).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(a, b) - adjusted_rand_index(a, &b_permuted)).abs() < 1e-9);
+        prop_assert!(
+            (normalized_mutual_information(a, b) - normalized_mutual_information(a, &b_permuted)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn precision_and_recall_swap_when_the_arguments_swap(
+        a in labeling_strategy(),
+        b in labeling_strategy()
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let forward = pair_counting_scores(a, b);
+        let backward = pair_counting_scores(b, a);
+        prop_assert!((forward.precision - backward.recall).abs() < 1e-12);
+        prop_assert!((forward.recall - backward.precision).abs() < 1e-12);
+        prop_assert!((forward.f1 - backward.f1).abs() < 1e-12);
+        // ARI and NMI are symmetric.
+        prop_assert!((adjusted_rand_index(a, b) - adjusted_rand_index(b, a)).abs() < 1e-9);
+        prop_assert!(
+            (normalized_mutual_information(a, b) - normalized_mutual_information(b, a)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn pair_counts_partition_the_pair_universe(a in labeling_strategy(), b in labeling_strategy()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let s = pair_counting_scores(a, b);
+        let c = s.counts;
+        let total = n as u64 * (n as u64 - 1) / 2;
+        prop_assert_eq!(
+            c.true_positives + c.false_positives + c.false_negatives + c.true_negatives,
+            total
+        );
+    }
+
+    #[test]
+    fn contingency_marginals_are_consistent(a in labeling_strategy(), b in labeling_strategy()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let t = ContingencyTable::new(a, b);
+        prop_assert_eq!(t.total(), n);
+        prop_assert_eq!(t.row_sums().iter().sum::<usize>(), n);
+        prop_assert_eq!(t.col_sums().iter().sum::<usize>(), n);
+        prop_assert!(t.joint_pairs() <= t.row_pairs());
+        prop_assert!(t.joint_pairs() <= t.col_pairs());
+        prop_assert!(t.row_pairs() <= t.total_pairs());
+        prop_assert!(t.col_pairs() <= t.total_pairs());
+    }
+
+    #[test]
+    fn coarsening_a_partition_keeps_recall_at_one(a in labeling_strategy()) {
+        // Merging all clusters into one can only create pairs, so every
+        // reference pair is preserved: recall(merged vs original) = 1.
+        let merged: Vec<Option<ClusterId>> = a.iter().map(|_| Some(0)).collect();
+        let s = pair_counting_scores(&merged, &a);
+        prop_assert_eq!(s.recall, 1.0);
+        // And the opposite direction keeps precision at one.
+        let s = pair_counting_scores(&a, &merged);
+        prop_assert_eq!(s.precision, 1.0);
+    }
+}

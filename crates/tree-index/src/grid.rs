@@ -1,0 +1,328 @@
+//! A uniform grid index (extension; related-work style ablation).
+//!
+//! The related work the paper cites ([22], [24]) accelerates DPC with grid
+//! structures. This module provides a flat uniform grid exposed as a
+//! two-level [`SpatialPartition`] (a root whose children are the non-empty
+//! cells), so the same pruned query algorithms apply. It serves as an
+//! ablation point between "no index" and the hierarchical indices: cheap to
+//! build, but with far weaker pruning on skewed data.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::{
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result,
+    TieBreak, Timer,
+};
+
+use crate::common::{NodeId, SpatialPartition};
+use crate::query::{
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
+    QueryStats,
+};
+
+/// Configuration of a [`GridIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Side length of a grid cell. `None` chooses a size targeting
+    /// [`GridConfig::target_points_per_cell`] points per cell on average.
+    pub cell_size: Option<f64>,
+    /// Average cell occupancy targeted when `cell_size` is `None`.
+    pub target_points_per_cell: usize,
+    /// Tie-break rule of the density order.
+    pub tie_break: TieBreak,
+    /// Pruning configuration used by the δ-query of the [`DpcIndex`] impl.
+    pub delta: DeltaQueryConfig,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            cell_size: None,
+            target_points_per_cell: 32,
+            tie_break: TieBreak::default(),
+            delta: DeltaQueryConfig::default(),
+        }
+    }
+}
+
+/// The uniform grid index.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    dataset: Dataset,
+    /// Tight bounding box of each non-empty cell (index 0 is the root).
+    boxes: Vec<BoundingBox>,
+    /// Point ids of each non-empty cell (index 0, the root, stays empty).
+    members: Vec<Vec<u32>>,
+    /// Children of the root: ids 1..=cells.
+    root_children: Vec<NodeId>,
+    cell_size: f64,
+    config: GridConfig,
+    construction_time: Duration,
+}
+
+impl GridIndex {
+    /// Builds a grid index with the default configuration.
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::with_config(dataset, &GridConfig::default())
+    }
+
+    /// Builds a grid index with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if an explicit `cell_size` is not positive and finite, or if
+    /// `target_points_per_cell` is 0.
+    pub fn with_config(dataset: &Dataset, config: &GridConfig) -> Self {
+        assert!(
+            config.target_points_per_cell > 0,
+            "GridIndex: target points per cell must be positive"
+        );
+        if let Some(s) = config.cell_size {
+            assert!(s.is_finite() && s > 0.0, "GridIndex: cell size must be positive, got {s}");
+        }
+        let timer = Timer::start();
+        let n = dataset.len();
+        let bb = dataset.bounding_box();
+        let cell_size = config.cell_size.unwrap_or_else(|| {
+            // Aim for ~target_points_per_cell points per cell on average,
+            // assuming a uniform spread over the bounding box.
+            let cells = (n as f64 / config.target_points_per_cell as f64).max(1.0);
+            let per_axis = cells.sqrt().ceil().max(1.0);
+            let extent = bb.width().max(bb.height()).max(f64::MIN_POSITIVE);
+            extent / per_axis
+        });
+
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (id, p) in dataset.iter() {
+            let cx = ((p.x - bb.min_x()) / cell_size).floor() as i64;
+            let cy = ((p.y - bb.min_y()) / cell_size).floor() as i64;
+            cells.entry((cx, cy)).or_default().push(id as u32);
+        }
+        // Deterministic node order regardless of hash iteration order.
+        let mut keys: Vec<(i64, i64)> = cells.keys().copied().collect();
+        keys.sort_unstable();
+
+        let mut boxes = vec![bb];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new()];
+        for key in keys {
+            let ids = cells.remove(&key).expect("cell key must exist");
+            let tight = ids.iter().fold(BoundingBox::EMPTY, |acc, &id| {
+                acc.extended(dataset.point(id as PointId))
+            });
+            boxes.push(tight);
+            members.push(ids);
+        }
+        let root_children: Vec<NodeId> = (1..boxes.len()).collect();
+
+        GridIndex {
+            dataset: dataset.clone(),
+            boxes,
+            members,
+            root_children,
+            cell_size,
+            config: *config,
+            construction_time: timer.elapsed(),
+        }
+    }
+
+    /// The side length of a grid cell.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.root_children.len()
+    }
+
+    /// ρ-query that also reports traversal statistics.
+    pub fn rho_with_stats(&self, dc: f64) -> Result<(Vec<Rho>, QueryStats)> {
+        validate_dc(dc)?;
+        Ok(rho_query_with_stats(self, &self.dataset, dc))
+    }
+
+    /// δ-query with an explicit pruning configuration, reporting traversal
+    /// statistics.
+    pub fn delta_with_config(
+        &self,
+        dc: f64,
+        rho: &[Rho],
+        config: &DeltaQueryConfig,
+    ) -> Result<(DeltaResult, QueryStats)> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
+        let maxrho = subtree_max_density(self, rho);
+        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+    }
+}
+
+impl SpatialPartition for GridIndex {
+    fn root(&self) -> Option<NodeId> {
+        if self.dataset.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn bbox(&self, node: NodeId) -> BoundingBox {
+        self.boxes[node]
+    }
+
+    fn point_count(&self, node: NodeId) -> usize {
+        if node == 0 {
+            self.dataset.len()
+        } else {
+            self.members[node].len()
+        }
+    }
+
+    fn children(&self, node: NodeId) -> &[NodeId] {
+        if node == 0 {
+            &self.root_children
+        } else {
+            &[]
+        }
+    }
+
+    fn points(&self, node: NodeId) -> &[u32] {
+        if node == 0 {
+            &[]
+        } else {
+            &self.members[node]
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.boxes.len()
+    }
+}
+
+impl DpcIndex for GridIndex {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        self.rho_with_stats(dc).map(|(rho, _)| rho)
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        self.delta_with_config(dc, rho, &self.config.delta)
+            .map(|(result, _)| result)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let cells: usize = self
+            .members
+            .iter()
+            .map(|m| m.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        let boxes = self.boxes.capacity() * std::mem::size_of::<BoundingBox>();
+        cells + boxes + self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+            .with_counter("cells", self.cell_count() as u64)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.config.tie_break
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::check_partition_invariants;
+    use dpc_baseline::LeanDpc;
+    use dpc_datasets::generators::{checkins, s1, CheckinConfig};
+
+    fn assert_matches_baseline(data: &Dataset, grid: &GridIndex, dc: f64) {
+        let baseline = LeanDpc::build(data);
+        let (r1, d1) = grid.rho_delta(dc).unwrap();
+        let (r2, d2) = baseline.rho_delta(dc).unwrap();
+        assert_eq!(r1, r2, "rho mismatch at dc = {dc}");
+        assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
+        for p in 0..data.len() {
+            assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn structure_invariants_hold() {
+        let data = s1(301, 0.1).into_dataset();
+        let grid = GridIndex::build(&data);
+        check_partition_invariants(&grid, &data);
+        assert!(grid.cell_count() > 1);
+        assert_eq!(grid.height(), 2);
+    }
+
+    #[test]
+    fn matches_baseline_with_auto_and_explicit_cell_size() {
+        let data = s1(307, 0.05).into_dataset();
+        let auto = GridIndex::build(&data);
+        let explicit = GridIndex::with_config(
+            &data,
+            &GridConfig { cell_size: Some(75_000.0), ..Default::default() },
+        );
+        for dc in [10_000.0, 120_000.0] {
+            assert_matches_baseline(&data, &auto, dc);
+            assert_matches_baseline(&data, &explicit, dc);
+        }
+        assert_eq!(explicit.cell_size(), 75_000.0);
+    }
+
+    #[test]
+    fn matches_baseline_on_skewed_data() {
+        let data = checkins(300, &CheckinConfig::gowalla(), 17).into_dataset();
+        let grid = GridIndex::build(&data);
+        check_partition_invariants(&grid, &data);
+        for dc in [0.01, 0.3] {
+            assert_matches_baseline(&data, &grid, dc);
+        }
+    }
+
+    #[test]
+    fn single_cell_degenerate_grid_is_correct() {
+        let data = s1(311, 0.02).into_dataset();
+        let grid = GridIndex::with_config(
+            &data,
+            &GridConfig { cell_size: Some(1.0e7), ..Default::default() },
+        );
+        assert_eq!(grid.cell_count(), 1);
+        assert_matches_baseline(&data, &grid, 40_000.0);
+    }
+
+    #[test]
+    fn coincident_points_land_in_one_cell() {
+        let data = Dataset::new(vec![dpc_core::Point::new(5.0, 5.0); 20]);
+        let grid = GridIndex::build(&data);
+        check_partition_invariants(&grid, &data);
+        assert_eq!(grid.cell_count(), 1);
+        assert!(grid.rho(1.0).unwrap().iter().all(|&r| r == 19));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let grid = GridIndex::build(&Dataset::new(vec![]));
+        assert_eq!(grid.root(), None);
+        assert!(grid.rho(1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn invalid_cell_size_panics() {
+        GridIndex::with_config(
+            &Dataset::new(vec![]),
+            &GridConfig { cell_size: Some(-1.0), ..Default::default() },
+        );
+    }
+}

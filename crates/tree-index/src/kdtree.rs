@@ -1,0 +1,319 @@
+//! A k-d tree index (extension; not part of the paper's evaluation).
+//!
+//! The paper's reproduction hint ("kd-tree crates available") and its
+//! related-work discussion both suggest the k-d tree as the obvious third
+//! tree index. It is built here from scratch by recursive median splits on
+//! alternating axes, producing a balanced binary tree with tight per-node
+//! bounding boxes, and reuses the exact same pruned query algorithms as the
+//! quadtree and the R-tree. The ablation benchmark compares it against both.
+
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::{
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result,
+    TieBreak, Timer,
+};
+
+use crate::common::{NodeId, SpatialPartition};
+use crate::query::{
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
+    QueryStats,
+};
+
+/// Configuration of a [`KdTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KdTreeConfig {
+    /// Maximum number of points per leaf.
+    pub leaf_capacity: usize,
+    /// Tie-break rule of the density order.
+    pub tie_break: TieBreak,
+    /// Pruning configuration used by the δ-query of the [`DpcIndex`] impl.
+    pub delta: DeltaQueryConfig,
+}
+
+impl Default for KdTreeConfig {
+    fn default() -> Self {
+        KdTreeConfig {
+            leaf_capacity: 32,
+            tie_break: TieBreak::default(),
+            delta: DeltaQueryConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { points: Vec<u32> },
+    Internal { children: [NodeId; 2] },
+}
+
+#[derive(Debug, Clone)]
+struct KdNode {
+    bbox: BoundingBox,
+    count: usize,
+    kind: NodeKind,
+}
+
+/// The k-d tree index.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dataset: Dataset,
+    nodes: Vec<KdNode>,
+    root: Option<NodeId>,
+    config: KdTreeConfig,
+    construction_time: Duration,
+}
+
+impl KdTree {
+    /// Builds a k-d tree with the default configuration.
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::with_config(dataset, &KdTreeConfig::default())
+    }
+
+    /// Builds a k-d tree with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `leaf_capacity` is 0.
+    pub fn with_config(dataset: &Dataset, config: &KdTreeConfig) -> Self {
+        assert!(config.leaf_capacity > 0, "KdTree: leaf capacity must be positive");
+        let timer = Timer::start();
+        let mut tree = KdTree {
+            dataset: dataset.clone(),
+            nodes: Vec::new(),
+            root: None,
+            config: *config,
+            construction_time: Duration::ZERO,
+        };
+        if !dataset.is_empty() {
+            let mut ids: Vec<u32> = (0..dataset.len() as u32).collect();
+            let root = tree.build_recursive(&mut ids, 0);
+            tree.root = Some(root);
+        }
+        tree.construction_time = timer.elapsed();
+        tree
+    }
+
+    /// The configuration used to build the tree.
+    pub fn config(&self) -> &KdTreeConfig {
+        &self.config
+    }
+
+    /// ρ-query that also reports traversal statistics.
+    pub fn rho_with_stats(&self, dc: f64) -> Result<(Vec<Rho>, QueryStats)> {
+        validate_dc(dc)?;
+        Ok(rho_query_with_stats(self, &self.dataset, dc))
+    }
+
+    /// δ-query with an explicit pruning configuration, reporting traversal
+    /// statistics.
+    pub fn delta_with_config(
+        &self,
+        dc: f64,
+        rho: &[Rho],
+        config: &DeltaQueryConfig,
+    ) -> Result<(DeltaResult, QueryStats)> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
+        let maxrho = subtree_max_density(self, rho);
+        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+    }
+
+    fn tight_bbox(&self, ids: &[u32]) -> BoundingBox {
+        ids.iter().fold(BoundingBox::EMPTY, |bb, &id| {
+            bb.extended(self.dataset.point(id as PointId))
+        })
+    }
+
+    /// Recursively builds the subtree over `ids`, splitting on axis
+    /// `depth % 2` at the median.
+    fn build_recursive(&mut self, ids: &mut [u32], depth: usize) -> NodeId {
+        let bbox = self.tight_bbox(ids);
+        if ids.len() <= self.config.leaf_capacity {
+            self.nodes.push(KdNode {
+                bbox,
+                count: ids.len(),
+                kind: NodeKind::Leaf { points: ids.to_vec() },
+            });
+            return self.nodes.len() - 1;
+        }
+        let axis = depth % 2;
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            let pa = self.dataset.point(a as PointId);
+            let pb = self.dataset.point(b as PointId);
+            pa.coord(axis)
+                .total_cmp(&pb.coord(axis))
+                .then(a.cmp(&b))
+        });
+        let (left_ids, right_ids) = ids.split_at_mut(mid);
+        // `split_at_mut` lets both halves be recursed without cloning, but we
+        // need owned slices to satisfy the borrow checker against `self`.
+        let mut left_vec = left_ids.to_vec();
+        let mut right_vec = right_ids.to_vec();
+        let left = self.build_recursive(&mut left_vec, depth + 1);
+        let right = self.build_recursive(&mut right_vec, depth + 1);
+        let count = self.nodes[left].count + self.nodes[right].count;
+        self.nodes.push(KdNode { bbox, count, kind: NodeKind::Internal { children: [left, right] } });
+        self.nodes.len() - 1
+    }
+}
+
+impl SpatialPartition for KdTree {
+    fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    fn bbox(&self, node: NodeId) -> BoundingBox {
+        self.nodes[node].bbox
+    }
+
+    fn point_count(&self, node: NodeId) -> usize {
+        self.nodes[node].count
+    }
+
+    fn children(&self, node: NodeId) -> &[NodeId] {
+        match &self.nodes[node].kind {
+            NodeKind::Internal { children } => children,
+            NodeKind::Leaf { .. } => &[],
+        }
+    }
+
+    fn points(&self, node: NodeId) -> &[u32] {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf { points } => points,
+            NodeKind::Internal { .. } => &[],
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl DpcIndex for KdTree {
+    fn name(&self) -> &'static str {
+        "kdtree"
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        self.rho_with_stats(dc).map(|(rho, _)| rho)
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        self.delta_with_config(dc, rho, &self.config.delta)
+            .map(|(result, _)| result)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<KdNode>()
+                    + match &n.kind {
+                        NodeKind::Leaf { points } => points.capacity() * std::mem::size_of::<u32>(),
+                        NodeKind::Internal { .. } => 0,
+                    }
+            })
+            .sum();
+        node_bytes + self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+            .with_counter("nodes", self.num_nodes() as u64)
+            .with_counter("height", self.height() as u64)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.config.tie_break
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::check_partition_invariants;
+    use dpc_baseline::LeanDpc;
+    use dpc_datasets::generators::{checkins, s1, CheckinConfig};
+
+    fn assert_matches_baseline(data: &Dataset, tree: &KdTree, dc: f64) {
+        let baseline = LeanDpc::build(data);
+        let (r1, d1) = tree.rho_delta(dc).unwrap();
+        let (r2, d2) = baseline.rho_delta(dc).unwrap();
+        assert_eq!(r1, r2, "rho mismatch at dc = {dc}");
+        assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
+        for p in 0..data.len() {
+            assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn structure_invariants_and_balance() {
+        let data = s1(211, 0.1).into_dataset(); // 500 points
+        let tree = KdTree::build(&data);
+        check_partition_invariants(&tree, &data);
+        // Median splits keep the tree balanced: height is O(log2(n/capacity)).
+        assert!(tree.height() <= 8, "height = {}", tree.height());
+    }
+
+    #[test]
+    fn matches_baseline_on_s1_and_checkins() {
+        let s1_data = s1(223, 0.05).into_dataset();
+        let tree = KdTree::build(&s1_data);
+        for dc in [10_000.0, 100_000.0, 2_000_000.0] {
+            assert_matches_baseline(&s1_data, &tree, dc);
+        }
+        let ck = checkins(300, &CheckinConfig::gowalla(), 3).into_dataset();
+        let tree = KdTree::build(&ck);
+        for dc in [0.01, 0.5] {
+            assert_matches_baseline(&ck, &tree, dc);
+        }
+    }
+
+    #[test]
+    fn small_leaf_capacity_still_correct() {
+        let data = s1(227, 0.03).into_dataset();
+        let tree = KdTree::with_config(
+            &data,
+            &KdTreeConfig { leaf_capacity: 2, ..Default::default() },
+        );
+        check_partition_invariants(&tree, &data);
+        assert_matches_baseline(&data, &tree, 50_000.0);
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let data = s1(229, 0.1).into_dataset();
+        let tree = KdTree::build(&data);
+        let dc = 30_000.0;
+        let rho = tree.rho(dc).unwrap();
+        let (_, s_pruned) = tree.delta_with_config(dc, &rho, &DeltaQueryConfig::default()).unwrap();
+        let (_, s_full) = tree.delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning()).unwrap();
+        assert!(s_pruned.points_scanned < s_full.points_scanned);
+    }
+
+    #[test]
+    fn coincident_points_are_handled() {
+        let data = Dataset::new(vec![dpc_core::Point::new(2.0, 2.0); 50]);
+        let tree = KdTree::build(&data);
+        check_partition_invariants(&tree, &data);
+        let rho = tree.rho(0.1).unwrap();
+        assert!(rho.iter().all(|&r| r == 49));
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        assert_eq!(KdTree::build(&Dataset::new(vec![])).num_nodes(), 0);
+        let single = KdTree::build(&Dataset::new(vec![dpc_core::Point::new(0.0, 0.0)]));
+        let (rho, deltas) = single.rho_delta(1.0).unwrap();
+        assert_eq!(rho, vec![0]);
+        assert_eq!(deltas.mu(0), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dpc-tree-index
+//!
+//! Tree-based index structures for Density Peak Clustering (§4 of the paper).
+//!
+//! List-based indices answer DPC queries very fast but need `Θ(n²)` memory;
+//! tree-based spatial indices trade a little query time for near-linear
+//! memory and much cheaper construction. This crate provides:
+//!
+//! * [`Quadtree`] (§4.1) — a point-region quadtree,
+//! * [`RTree`] (§4.2) — an R-tree bulk-loaded with the STR packing algorithm,
+//! * [`KdTree`] — a k-d tree (not in the paper; ablation/extension),
+//! * [`GridIndex`] — a uniform grid (related-work style ablation),
+//!
+//! all built over the same [`SpatialPartition`] abstraction so that the two
+//! DPC queries are implemented exactly once, in [`query`]:
+//!
+//! * the **ρ-query** classifies each node against the query circle as fully
+//!   contained / discarded / intersecting (Observation 1) and only descends
+//!   into intersecting nodes;
+//! * the **δ-query** performs a best-first search with the paper's two
+//!   pruning rules — *density pruning* (Lemma 1: skip nodes whose `maxrho` is
+//!   below the query point's density) and *distance pruning* (Lemma 2: skip
+//!   nodes farther than the best candidate δ found so far).
+//!
+//! The pruning rules can be switched off individually via
+//! [`DeltaQueryConfig`] for the ablation experiments, and every query can
+//! report [`QueryStats`] (nodes visited/pruned, points scanned).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod grid;
+pub mod kdtree;
+pub mod quadtree;
+pub mod query;
+pub mod rtree;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use common::{NodeId, SpatialPartition};
+pub use grid::{GridConfig, GridIndex};
+pub use kdtree::{KdTree, KdTreeConfig};
+pub use quadtree::{Quadtree, QuadtreeConfig};
+pub use query::{DeltaQueryConfig, QueryStats};
+pub use rtree::{RTree, RTreeConfig};

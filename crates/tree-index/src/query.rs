@@ -1,0 +1,410 @@
+//! The generic ρ- and δ-query algorithms shared by all tree indices.
+//!
+//! These are Algorithms 5 and 6 of the paper, written once against
+//! [`SpatialPartition`]:
+//!
+//! * **ρ-query** (Algorithm 5): depth-first traversal that classifies every
+//!   node against the query circle `(p, dc)` — *fully contained* nodes
+//!   contribute their point count `nc` wholesale, *discarded* nodes
+//!   contribute nothing, and only *intersecting* nodes are descended into
+//!   (Observation 1).
+//! * **δ-query** (Algorithm 6): best-first search over nodes ordered by
+//!   `dmin(p, node)`, with **density pruning** (Lemma 1: a node whose
+//!   `maxrho` is below `ρ(p)` cannot contain the dependent neighbour) and
+//!   **distance pruning** (Lemma 2: a node farther than the best candidate δ
+//!   cannot improve it).
+//!
+//! Both pruning rules can be disabled individually through
+//! [`DeltaQueryConfig`] — that is what the pruning-ablation benchmark
+//! measures — and both queries can report [`QueryStats`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dpc_core::{Dataset, DeltaResult, DensityOrder, PointId, Rho};
+
+use crate::common::{NodeId, SpatialPartition};
+
+/// Counters describing how much work a query did. Used by the ablation
+/// benchmarks and by tests asserting that pruning actually prunes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Nodes popped/descended into.
+    pub nodes_visited: u64,
+    /// Nodes skipped because they lie entirely outside the query circle
+    /// (ρ-query only).
+    pub nodes_discarded: u64,
+    /// Nodes counted wholesale because they lie entirely inside the query
+    /// circle (ρ-query only).
+    pub nodes_fully_contained: u64,
+    /// Nodes skipped by density pruning (δ-query only).
+    pub nodes_density_pruned: u64,
+    /// Nodes skipped by distance pruning (δ-query only).
+    pub nodes_distance_pruned: u64,
+    /// Individual points compared against the query point.
+    pub points_scanned: u64,
+}
+
+impl QueryStats {
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_discarded += other.nodes_discarded;
+        self.nodes_fully_contained += other.nodes_fully_contained;
+        self.nodes_density_pruned += other.nodes_density_pruned;
+        self.nodes_distance_pruned += other.nodes_distance_pruned;
+        self.points_scanned += other.points_scanned;
+    }
+}
+
+/// Configuration of the δ-query; both pruning rules default to enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaQueryConfig {
+    /// Lemma 1: skip subtrees whose maximum density is below the query
+    /// point's density.
+    pub density_pruning: bool,
+    /// Lemma 2: skip subtrees whose minimum distance exceeds the best
+    /// candidate δ found so far.
+    pub distance_pruning: bool,
+}
+
+impl Default for DeltaQueryConfig {
+    fn default() -> Self {
+        DeltaQueryConfig { density_pruning: true, distance_pruning: true }
+    }
+}
+
+impl DeltaQueryConfig {
+    /// Configuration with every pruning rule disabled (exhaustive best-first
+    /// search); the ablation baseline.
+    pub fn no_pruning() -> Self {
+        DeltaQueryConfig { density_pruning: false, distance_pruning: false }
+    }
+}
+
+/// Computes ρ for every point of the dataset.
+pub fn rho_query<T: SpatialPartition + ?Sized>(tree: &T, dataset: &Dataset, dc: f64) -> Vec<Rho> {
+    rho_query_with_stats(tree, dataset, dc).0
+}
+
+/// [`rho_query`] that also returns aggregate traversal statistics.
+pub fn rho_query_with_stats<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    dc: f64,
+) -> (Vec<Rho>, QueryStats) {
+    let mut stats = QueryStats::default();
+    let mut rho = Vec::with_capacity(dataset.len());
+    for p in 0..dataset.len() {
+        rho.push(rho_one(tree, dataset, p, dc, &mut stats));
+    }
+    (rho, stats)
+}
+
+/// ρ of a single point: counts points strictly within `dc`, excluding the
+/// point itself.
+pub fn rho_one<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    p: PointId,
+    dc: f64,
+    stats: &mut QueryStats,
+) -> Rho {
+    let Some(root) = tree.root() else { return 0 };
+    let query = dataset.point(p);
+    // Count all points (including p itself, which is trivially within dc of
+    // itself) and subtract 1 at the end; this lets fully-contained nodes be
+    // added wholesale without worrying about which node holds p.
+    let mut count = 0usize;
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        stats.nodes_visited += 1;
+        let bbox = tree.bbox(node);
+        if bbox.min_dist(query) >= dc {
+            stats.nodes_discarded += 1;
+            continue;
+        }
+        if bbox.max_dist(query) < dc {
+            stats.nodes_fully_contained += 1;
+            count += tree.point_count(node);
+            continue;
+        }
+        if tree.is_leaf(node) {
+            for &q in tree.points(node) {
+                stats.points_scanned += 1;
+                if dataset.point(q as PointId).distance(&query) < dc {
+                    count += 1;
+                }
+            }
+        } else {
+            stack.extend_from_slice(tree.children(node));
+        }
+    }
+    // `count` includes p itself (distance 0 < dc always holds for dc > 0).
+    (count.saturating_sub(1)) as Rho
+}
+
+/// Computes, for every node, the maximum density of any point stored in its
+/// subtree (the `maxrho` annotation of Lemma 1). Returned as a vector indexed
+/// by [`NodeId`]; nodes with no points get 0.
+pub fn subtree_max_density<T: SpatialPartition + ?Sized>(tree: &T, rho: &[Rho]) -> Vec<Rho> {
+    let mut maxrho = vec![0 as Rho; tree.num_nodes()];
+    let Some(root) = tree.root() else { return maxrho };
+    // Iterative post-order: process children before parents.
+    let mut order: Vec<NodeId> = Vec::with_capacity(tree.num_nodes());
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        order.push(node);
+        stack.extend_from_slice(tree.children(node));
+    }
+    for &node in order.iter().rev() {
+        let mut best = 0 as Rho;
+        for &q in tree.points(node) {
+            best = best.max(rho[q as usize]);
+        }
+        for &c in tree.children(node) {
+            best = best.max(maxrho[c]);
+        }
+        maxrho[node] = best;
+    }
+    maxrho
+}
+
+/// Computes δ and µ for every point of the dataset.
+///
+/// `maxrho` must come from [`subtree_max_density`] for the same `rho` the
+/// `order` was built from.
+pub fn delta_query<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    maxrho: &[Rho],
+    config: &DeltaQueryConfig,
+) -> DeltaResult {
+    delta_query_with_stats(tree, dataset, order, maxrho, config).0
+}
+
+/// [`delta_query`] that also returns aggregate traversal statistics.
+pub fn delta_query_with_stats<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    maxrho: &[Rho],
+    config: &DeltaQueryConfig,
+) -> (DeltaResult, QueryStats) {
+    let n = dataset.len();
+    debug_assert_eq!(order.len(), n);
+    let mut result = DeltaResult::unset(n);
+    let mut stats = QueryStats::default();
+    for p in 0..n {
+        let (delta, mu) = delta_one(tree, dataset, order, maxrho, p, config, &mut stats);
+        result.delta[p] = delta;
+        result.mu[p] = mu;
+    }
+    (result, stats)
+}
+
+/// Ordered f64 wrapper so `BinaryHeap` can prioritise by `dmin`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// δ and µ of a single point — the best-first search of Algorithm 6.
+pub fn delta_one<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    maxrho: &[Rho],
+    p: PointId,
+    config: &DeltaQueryConfig,
+    stats: &mut QueryStats,
+) -> (f64, Option<PointId>) {
+    let Some(root) = tree.root() else { return (0.0, None) };
+    let query = dataset.point(p);
+    let rho_p = order.rho()[p];
+
+    let mut best_d = f64::INFINITY;
+    let mut best_q: Option<PointId> = None;
+
+    // Min-heap on dmin: the node most likely to contain the dependent
+    // neighbour is explored first, so the candidate δ shrinks quickly and
+    // distance pruning bites early.
+    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+    heap.push(Reverse((OrdF64(tree.bbox(root).min_dist(query)), root)));
+
+    while let Some(Reverse((OrdF64(dmin), node))) = heap.pop() {
+        if config.distance_pruning && dmin > best_d {
+            // The heap is ordered by dmin, so every remaining node is at
+            // least this far: nothing can improve the candidate any more.
+            stats.nodes_distance_pruned += heap.len() as u64 + 1;
+            break;
+        }
+        stats.nodes_visited += 1;
+        if tree.is_leaf(node) {
+            for &q in tree.points(node) {
+                let q = q as PointId;
+                stats.points_scanned += 1;
+                if q == p || !order.is_denser(q, p) {
+                    continue;
+                }
+                let d = dataset.point(q).distance(&query);
+                // Lexicographic (distance, id) comparison keeps µ identical
+                // to the list-based indices and the baseline when several
+                // denser neighbours are equidistant.
+                if d < best_d || (d == best_d && best_q.map_or(true, |b| q < b)) {
+                    best_d = d;
+                    best_q = Some(q);
+                }
+            }
+        } else {
+            for &c in tree.children(node) {
+                if config.density_pruning && maxrho[c] < rho_p {
+                    stats.nodes_density_pruned += 1;
+                    continue;
+                }
+                let child_dmin = tree.bbox(c).min_dist(query);
+                if config.distance_pruning && child_dmin > best_d {
+                    stats.nodes_distance_pruned += 1;
+                    continue;
+                }
+                heap.push(Reverse((OrdF64(child_dmin), c)));
+            }
+        }
+    }
+
+    match best_q {
+        Some(q) => (best_d, Some(q)),
+        None => {
+            // No denser point exists: p is the global peak. Its δ is the
+            // maximum distance to any other point (original DPC convention).
+            let max_d = dataset
+                .points()
+                .iter()
+                .map(|q| q.distance(&query))
+                .fold(0.0f64, f64::max);
+            (max_d, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::check_partition_invariants;
+    use crate::testutil::FlatPartition;
+    use dpc_core::naive_reference::NaiveReferenceIndex;
+    use dpc_core::DpcIndex;
+    use dpc_datasets::generators::{query as query_dataset, s1};
+
+    fn reference(data: &Dataset, dc: f64) -> (Vec<Rho>, DeltaResult) {
+        NaiveReferenceIndex::build(data).rho_delta(dc).unwrap()
+    }
+
+    #[test]
+    fn generic_queries_match_reference_on_flat_partition() {
+        let data = s1(7, 0.04).into_dataset(); // 200 points
+        let part = FlatPartition::strips(&data, 120_000.0);
+        check_partition_invariants(&part, &data);
+        for dc in [10_000.0, 60_000.0, 400_000.0] {
+            let (ref_rho, ref_delta) = reference(&data, dc);
+            let rho = rho_query(&part, &data, dc);
+            assert_eq!(rho, ref_rho, "dc = {dc}");
+            let order = DensityOrder::new(&rho);
+            let maxrho = subtree_max_density(&part, &rho);
+            let deltas = delta_query(&part, &data, &order, &maxrho, &DeltaQueryConfig::default());
+            assert_eq!(deltas.mu, ref_delta.mu, "dc = {dc}");
+            for p in 0..data.len() {
+                assert!((deltas.delta(p) - ref_delta.delta(p)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_pruning_gives_identical_results_but_more_work() {
+        let data = query_dataset(13, 0.006).into_dataset(); // 300 points
+        let part = FlatPartition::strips(&data, 0.07);
+        let dc = 0.02;
+        let rho = rho_query(&part, &data, dc);
+        let order = DensityOrder::new(&rho);
+        let maxrho = subtree_max_density(&part, &rho);
+
+        let (with_pruning, stats_pruned) =
+            delta_query_with_stats(&part, &data, &order, &maxrho, &DeltaQueryConfig::default());
+        let (without_pruning, stats_full) =
+            delta_query_with_stats(&part, &data, &order, &maxrho, &DeltaQueryConfig::no_pruning());
+
+        assert_eq!(with_pruning.mu, without_pruning.mu);
+        assert!(
+            stats_pruned.points_scanned < stats_full.points_scanned,
+            "pruning must reduce the number of points scanned ({} vs {})",
+            stats_pruned.points_scanned,
+            stats_full.points_scanned
+        );
+    }
+
+    #[test]
+    fn rho_query_prunes_disjoint_and_contained_nodes() {
+        let data = s1(19, 0.04).into_dataset();
+        let part = FlatPartition::strips(&data, 100_000.0);
+        let (_, stats_small) = rho_query_with_stats(&part, &data, 5_000.0);
+        assert!(stats_small.nodes_discarded > 0);
+        let diameter = data.bbox_diameter() * 1.01;
+        let (rho_l, stats_large) = rho_query_with_stats(&part, &data, diameter);
+        assert!(stats_large.nodes_fully_contained > 0);
+        assert!(rho_l.iter().all(|&r| r as usize == data.len() - 1));
+    }
+
+    #[test]
+    fn subtree_max_density_is_max_over_members() {
+        let data = s1(23, 0.02).into_dataset();
+        let part = FlatPartition::strips(&data, 150_000.0);
+        let rho = rho_query(&part, &data, 40_000.0);
+        let maxrho = subtree_max_density(&part, &rho);
+        let root = part.root().unwrap();
+        assert_eq!(maxrho[root], rho.iter().copied().max().unwrap());
+        for node in 1..part.num_nodes() {
+            let expected = part
+                .points(node)
+                .iter()
+                .map(|&q| rho[q as usize])
+                .max()
+                .unwrap_or(0);
+            assert_eq!(maxrho[node], expected, "node {node}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries_are_empty() {
+        let data = Dataset::new(vec![]);
+        let part = FlatPartition::strips(&data, 1.0);
+        assert!(rho_query(&part, &data, 1.0).is_empty());
+        let rho: Vec<Rho> = vec![];
+        let order = DensityOrder::new(&rho);
+        let maxrho = subtree_max_density(&part, &rho);
+        let deltas = delta_query(&part, &data, &order, &maxrho, &DeltaQueryConfig::default());
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = QueryStats { nodes_visited: 1, points_scanned: 5, ..Default::default() };
+        let b = QueryStats { nodes_visited: 2, nodes_discarded: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.nodes_visited, 3);
+        assert_eq!(a.nodes_discarded, 3);
+        assert_eq!(a.points_scanned, 5);
+    }
+}

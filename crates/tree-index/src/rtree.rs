@@ -1,0 +1,444 @@
+//! The R-tree index (§4.2 of the paper), bulk-loaded with the
+//! Sort-Tile-Recursive (STR) packing algorithm.
+//!
+//! Unlike the quadtree, the R-tree is balanced: every leaf sits at the same
+//! depth and the height is `O(log_M n)`. The STR packing of Leutenegger et
+//! al. sorts the points by x, slices them into vertical strips of
+//! `≈ M·√(n/M)` points, sorts each strip by y and cuts it into leaves of at
+//! most `M` points; the upper levels are built by packing the child MBR
+//! centres the same way until a single root remains. The DPC queries are the
+//! generic pruned traversals of [`crate::query`].
+
+use std::time::Duration;
+
+use dpc_core::index::{validate_dc, validate_rho_len};
+use dpc_core::{
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak,
+    Timer,
+};
+
+use crate::common::{NodeId, SpatialPartition};
+use crate::query::{
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
+    QueryStats,
+};
+
+/// Configuration of an [`RTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeConfig {
+    /// Maximum number of entries per node (`M`), for both leaves and internal
+    /// nodes.
+    pub node_capacity: usize,
+    /// Tie-break rule of the density order.
+    pub tie_break: TieBreak,
+    /// Pruning configuration used by the δ-query of the [`DpcIndex`] impl.
+    pub delta: DeltaQueryConfig,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            node_capacity: 32,
+            tie_break: TieBreak::default(),
+            delta: DeltaQueryConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { points: Vec<u32> },
+    Internal { children: Vec<NodeId> },
+}
+
+#[derive(Debug, Clone)]
+struct RNode {
+    bbox: BoundingBox,
+    count: usize,
+    kind: NodeKind,
+}
+
+/// The STR-packed R-tree index.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    dataset: Dataset,
+    nodes: Vec<RNode>,
+    root: Option<NodeId>,
+    config: RTreeConfig,
+    construction_time: Duration,
+}
+
+impl RTree {
+    /// Builds an R-tree with the default configuration.
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::with_config(dataset, &RTreeConfig::default())
+    }
+
+    /// Builds an R-tree with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `node_capacity < 2`.
+    pub fn with_config(dataset: &Dataset, config: &RTreeConfig) -> Self {
+        assert!(config.node_capacity >= 2, "RTree: node capacity must be at least 2");
+        let timer = Timer::start();
+        let mut tree = RTree {
+            dataset: dataset.clone(),
+            nodes: Vec::new(),
+            root: None,
+            config: *config,
+            construction_time: Duration::ZERO,
+        };
+        if !dataset.is_empty() {
+            tree.bulk_load();
+        }
+        tree.construction_time = timer.elapsed();
+        tree
+    }
+
+    /// The configuration used to build the tree.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+            .count()
+    }
+
+    /// ρ-query that also reports traversal statistics.
+    pub fn rho_with_stats(&self, dc: f64) -> Result<(Vec<Rho>, QueryStats)> {
+        validate_dc(dc)?;
+        Ok(rho_query_with_stats(self, &self.dataset, dc))
+    }
+
+    /// δ-query with an explicit pruning configuration, reporting traversal
+    /// statistics.
+    pub fn delta_with_config(
+        &self,
+        dc: f64,
+        rho: &[Rho],
+        config: &DeltaQueryConfig,
+    ) -> Result<(DeltaResult, QueryStats)> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
+        let maxrho = subtree_max_density(self, rho);
+        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+    }
+
+    /// STR bulk loading: build the leaf level from the points, then pack each
+    /// level into the one above until a single root remains.
+    fn bulk_load(&mut self) {
+        let m = self.config.node_capacity;
+        // Leaf level.
+        let coords: Vec<(f64, f64)> = self.dataset.points().iter().map(|p| (p.x, p.y)).collect();
+        let groups = str_groups(&coords, m);
+        let mut level: Vec<NodeId> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut bbox = BoundingBox::EMPTY;
+            let mut points = Vec::with_capacity(group.len());
+            for idx in group {
+                bbox = bbox.extended(self.dataset.point(idx));
+                points.push(idx as u32);
+            }
+            let count = points.len();
+            self.nodes.push(RNode { bbox, count, kind: NodeKind::Leaf { points } });
+            level.push(self.nodes.len() - 1);
+        }
+        // Upper levels.
+        while level.len() > 1 {
+            let centers: Vec<(f64, f64)> = level
+                .iter()
+                .map(|&id| {
+                    let c = self.nodes[id].bbox.center();
+                    (c.x, c.y)
+                })
+                .collect();
+            let groups = str_groups(&centers, m);
+            let mut next_level = Vec::with_capacity(groups.len());
+            for group in groups {
+                let children: Vec<NodeId> = group.into_iter().map(|idx| level[idx]).collect();
+                let mut bbox = BoundingBox::EMPTY;
+                let mut count = 0;
+                for &c in &children {
+                    bbox = bbox.union(&self.nodes[c].bbox);
+                    count += self.nodes[c].count;
+                }
+                self.nodes.push(RNode { bbox, count, kind: NodeKind::Internal { children } });
+                next_level.push(self.nodes.len() - 1);
+            }
+            level = next_level;
+        }
+        self.root = level.first().copied();
+    }
+}
+
+/// Sort-Tile-Recursive grouping of `coords` into groups of at most
+/// `capacity` items: sort by x, slice into `⌈√(⌈n/capacity⌉)⌉` vertical
+/// strips, sort each strip by y and chunk it. Returns groups of indices into
+/// `coords`.
+fn str_groups(coords: &[(f64, f64)], capacity: usize) -> Vec<Vec<usize>> {
+    let n = coords.len();
+    if n == 0 {
+        return vec![];
+    }
+    let leaves = n.div_ceil(capacity);
+    let strips = (leaves as f64).sqrt().ceil() as usize;
+    let strip_size = capacity * strips;
+
+    let mut by_x: Vec<usize> = (0..n).collect();
+    by_x.sort_by(|&a, &b| {
+        coords[a]
+            .0
+            .total_cmp(&coords[b].0)
+            .then(coords[a].1.total_cmp(&coords[b].1))
+            .then(a.cmp(&b))
+    });
+
+    let mut groups = Vec::with_capacity(leaves);
+    for strip in by_x.chunks(strip_size.max(1)) {
+        let mut strip: Vec<usize> = strip.to_vec();
+        strip.sort_by(|&a, &b| {
+            coords[a]
+                .1
+                .total_cmp(&coords[b].1)
+                .then(coords[a].0.total_cmp(&coords[b].0))
+                .then(a.cmp(&b))
+        });
+        for chunk in strip.chunks(capacity) {
+            groups.push(chunk.to_vec());
+        }
+    }
+    groups
+}
+
+impl SpatialPartition for RTree {
+    fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    fn bbox(&self, node: NodeId) -> BoundingBox {
+        self.nodes[node].bbox
+    }
+
+    fn point_count(&self, node: NodeId) -> usize {
+        self.nodes[node].count
+    }
+
+    fn children(&self, node: NodeId) -> &[NodeId] {
+        match &self.nodes[node].kind {
+            NodeKind::Internal { children } => children,
+            NodeKind::Leaf { .. } => &[],
+        }
+    }
+
+    fn points(&self, node: NodeId) -> &[u32] {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf { points } => points,
+            NodeKind::Internal { .. } => &[],
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl DpcIndex for RTree {
+    fn name(&self) -> &'static str {
+        "rtree"
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
+        self.rho_with_stats(dc).map(|(rho, _)| rho)
+    }
+
+    fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        self.delta_with_config(dc, rho, &self.config.delta)
+            .map(|(result, _)| result)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<RNode>()
+                    + match &n.kind {
+                        NodeKind::Leaf { points } => points.capacity() * std::mem::size_of::<u32>(),
+                        NodeKind::Internal { children } => {
+                            children.capacity() * std::mem::size_of::<NodeId>()
+                        }
+                    }
+            })
+            .sum();
+        node_bytes + self.dataset.memory_bytes()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::new(self.construction_time, self.memory_bytes())
+            .with_counter("nodes", self.num_nodes() as u64)
+            .with_counter("leaves", self.leaf_count() as u64)
+            .with_counter("height", self.height() as u64)
+            .with_counter("fanout", self.config.node_capacity as u64)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        self.config.tie_break
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::check_partition_invariants;
+    use crate::quadtree::Quadtree;
+    use dpc_baseline::LeanDpc;
+    use dpc_datasets::generators::{checkins, range, s1, CheckinConfig};
+
+    fn assert_matches_baseline(data: &Dataset, tree: &RTree, dc: f64) {
+        let baseline = LeanDpc::build(data);
+        let (r1, d1) = tree.rho_delta(dc).unwrap();
+        let (r2, d2) = baseline.rho_delta(dc).unwrap();
+        assert_eq!(r1, r2, "rho mismatch at dc = {dc}");
+        assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
+        for p in 0..data.len() {
+            assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9, "dc = {dc}, p = {p}");
+        }
+    }
+
+    #[test]
+    fn str_groups_respect_capacity_and_cover_all_items() {
+        let coords: Vec<(f64, f64)> = (0..137).map(|i| (i as f64 * 0.7, (i % 13) as f64)).collect();
+        let groups = str_groups(&coords, 10);
+        let mut seen = vec![false; coords.len()];
+        for g in &groups {
+            assert!(!g.is_empty() && g.len() <= 10);
+            for &i in g {
+                assert!(!seen[i], "item {i} grouped twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn structure_invariants_hold_and_tree_is_balanced() {
+        let data = range(137, 0.004).into_dataset(); // 800 points
+        let tree = RTree::build(&data);
+        check_partition_invariants(&tree, &data);
+        // Height must be logarithmic in n with fanout 32: 800 points -> 3 levels.
+        assert!(tree.height() <= 3, "height = {}", tree.height());
+        // All leaves at the same depth (balance): walk and check.
+        fn leaf_depths(tree: &RTree, node: NodeId, depth: usize, out: &mut Vec<usize>) {
+            if tree.is_leaf(node) {
+                out.push(depth);
+            } else {
+                for &c in tree.children(node) {
+                    leaf_depths(tree, c, depth + 1, out);
+                }
+            }
+        }
+        let mut depths = Vec::new();
+        leaf_depths(&tree, tree.root().unwrap(), 0, &mut depths);
+        let first = depths[0];
+        assert!(depths.iter().all(|&d| d == first), "leaves at different depths");
+    }
+
+    #[test]
+    fn matches_baseline_on_s1() {
+        let data = s1(139, 0.06).into_dataset(); // 300 points
+        let tree = RTree::build(&data);
+        for dc in [5_000.0, 30_000.0, 200_000.0, 1_500_000.0] {
+            assert_matches_baseline(&data, &tree, dc);
+        }
+    }
+
+    #[test]
+    fn matches_baseline_on_skewed_checkins() {
+        let data = checkins(400, &CheckinConfig::brightkite(), 11).into_dataset();
+        let tree = RTree::build(&data);
+        for dc in [0.005, 0.05, 1.0] {
+            assert_matches_baseline(&data, &tree, dc);
+        }
+    }
+
+    #[test]
+    fn matches_quadtree_results_exactly() {
+        let data = range(149, 0.002).into_dataset(); // 400 points
+        let rtree = RTree::build(&data);
+        let quadtree = Quadtree::build(&data);
+        for dc in [500.0, 2_200.0, 10_000.0] {
+            let (r1, d1) = rtree.rho_delta(dc).unwrap();
+            let (r2, d2) = quadtree.rho_delta(dc).unwrap();
+            assert_eq!(r1, r2);
+            assert_eq!(d1.mu, d2.mu);
+        }
+    }
+
+    #[test]
+    fn small_fanout_still_correct() {
+        let data = s1(151, 0.03).into_dataset(); // 150 points
+        let config = RTreeConfig { node_capacity: 3, ..Default::default() };
+        let tree = RTree::with_config(&data, &config);
+        check_partition_invariants(&tree, &data);
+        assert_matches_baseline(&data, &tree, 40_000.0);
+    }
+
+    #[test]
+    fn pruning_reduces_work_but_not_results() {
+        let data = s1(157, 0.1).into_dataset(); // 500 points
+        let tree = RTree::build(&data);
+        let dc = 30_000.0;
+        let rho = tree.rho(dc).unwrap();
+        let (d_pruned, s_pruned) =
+            tree.delta_with_config(dc, &rho, &DeltaQueryConfig::default()).unwrap();
+        let (d_full, s_full) =
+            tree.delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning()).unwrap();
+        assert_eq!(d_pruned.mu, d_full.mu);
+        assert!(s_pruned.points_scanned < s_full.points_scanned);
+    }
+
+    #[test]
+    fn memory_is_near_linear() {
+        let small = RTree::build(&s1(163, 0.04).into_dataset()); // 200
+        let large = RTree::build(&s1(163, 0.4).into_dataset()); // 2000
+        let ratio = large.memory_bytes() as f64 / small.memory_bytes() as f64;
+        assert!(ratio < 20.0, "memory grew superlinearly: ratio = {ratio}");
+    }
+
+    #[test]
+    fn empty_and_single_point_trees() {
+        let empty = RTree::build(&Dataset::new(vec![]));
+        assert_eq!(empty.num_nodes(), 0);
+        assert!(empty.rho(1.0).unwrap().is_empty());
+
+        let single = RTree::build(&Dataset::new(vec![dpc_core::Point::new(3.0, 4.0)]));
+        check_partition_invariants(&single, &Dataset::new(vec![dpc_core::Point::new(3.0, 4.0)]));
+        let (rho, deltas) = single.rho_delta(1.0).unwrap();
+        assert_eq!(rho, vec![0]);
+        assert_eq!(deltas.mu(0), None);
+    }
+
+    #[test]
+    fn stats_expose_structure() {
+        let data = s1(167, 0.1).into_dataset();
+        let tree = RTree::build(&data);
+        let stats = tree.stats();
+        assert!(stats.counter("nodes").unwrap() >= stats.counter("leaves").unwrap());
+        assert_eq!(stats.counter("fanout"), Some(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn capacity_below_two_panics() {
+        RTree::with_config(&Dataset::new(vec![]), &RTreeConfig { node_capacity: 1, ..Default::default() });
+    }
+}

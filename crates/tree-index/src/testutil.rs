@@ -1,0 +1,95 @@
+//! Test-only helpers shared by the modules of this crate.
+
+use dpc_core::{BoundingBox, Dataset};
+
+use crate::common::{NodeId, SpatialPartition};
+
+/// A hand-rolled two-level partition (root + vertical strips) used to test
+/// the invariant checker and the generic query code against a structure that
+/// is trivially correct.
+pub(crate) struct FlatPartition {
+    pub(crate) boxes: Vec<BoundingBox>,
+    pub(crate) members: Vec<Vec<u32>>,
+    pub(crate) root_children: Vec<NodeId>,
+    pub(crate) root_box: BoundingBox,
+    pub(crate) total: usize,
+}
+
+impl FlatPartition {
+    /// Partitions a dataset into vertical strips of the given width.
+    pub(crate) fn strips(dataset: &Dataset, strip_width: f64) -> Self {
+        let bb = dataset.bounding_box();
+        let mut boxes = Vec::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        if !dataset.is_empty() {
+            let strips = ((bb.width() / strip_width).ceil() as usize).max(1);
+            for s in 0..strips {
+                let lo = bb.min_x() + s as f64 * strip_width;
+                let hi = (lo + strip_width).min(bb.max_x());
+                boxes.push(BoundingBox::new(lo, bb.min_y(), hi.max(lo), bb.max_y()));
+                members.push(Vec::new());
+            }
+            for (id, p) in dataset.iter() {
+                let mut s = ((p.x - bb.min_x()) / strip_width) as usize;
+                if s >= members.len() {
+                    s = members.len() - 1;
+                }
+                members[s].push(id as u32);
+            }
+        }
+        let root_children = (1..=boxes.len()).collect();
+        FlatPartition {
+            boxes,
+            members,
+            root_children,
+            root_box: bb,
+            total: dataset.len(),
+        }
+    }
+}
+
+impl SpatialPartition for FlatPartition {
+    fn root(&self) -> Option<NodeId> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn bbox(&self, node: NodeId) -> BoundingBox {
+        if node == 0 {
+            self.root_box
+        } else {
+            self.boxes[node - 1]
+        }
+    }
+
+    fn point_count(&self, node: NodeId) -> usize {
+        if node == 0 {
+            self.total
+        } else {
+            self.members[node - 1].len()
+        }
+    }
+
+    fn children(&self, node: NodeId) -> &[NodeId] {
+        if node == 0 {
+            &self.root_children
+        } else {
+            &[]
+        }
+    }
+
+    fn points(&self, node: NodeId) -> &[u32] {
+        if node == 0 {
+            &[]
+        } else {
+            &self.members[node - 1]
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        1 + self.boxes.len()
+    }
+}

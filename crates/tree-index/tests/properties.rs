@@ -1,0 +1,184 @@
+//! Property-based tests of the tree-based index structures: structural
+//! invariants and query correctness on arbitrary point sets and parameters.
+
+use dpc_baseline::LeanDpc;
+use dpc_core::{Dataset, DensityOrder, DpcIndex};
+use dpc_tree_index::common::check_partition_invariants;
+use dpc_tree_index::query::{rho_query, subtree_max_density};
+use dpc_tree_index::{
+    DeltaQueryConfig, GridConfig, GridIndex, KdTree, KdTreeConfig, Quadtree, QuadtreeConfig,
+    RTree, RTreeConfig, SpatialPartition,
+};
+use proptest::prelude::*;
+
+fn coords_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-500.0f64..500.0, -500.0f64..500.0), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quadtree_invariants_hold_for_any_capacity(
+        coords in coords_strategy(),
+        capacity in 1usize..16,
+        max_depth in 4usize..16
+    ) {
+        let data = Dataset::from_coords(coords);
+        let tree = Quadtree::with_config(
+            &data,
+            &QuadtreeConfig { node_capacity: capacity, max_depth, ..Default::default() },
+        );
+        check_partition_invariants(&tree, &data);
+    }
+
+    #[test]
+    fn rtree_invariants_hold_for_any_fanout(coords in coords_strategy(), fanout in 2usize..20) {
+        let data = Dataset::from_coords(coords);
+        let tree = RTree::with_config(
+            &data,
+            &RTreeConfig { node_capacity: fanout, ..Default::default() },
+        );
+        check_partition_invariants(&tree, &data);
+    }
+
+    #[test]
+    fn kdtree_invariants_hold_for_any_leaf_capacity(
+        coords in coords_strategy(),
+        capacity in 1usize..16
+    ) {
+        let data = Dataset::from_coords(coords);
+        let tree = KdTree::with_config(
+            &data,
+            &KdTreeConfig { leaf_capacity: capacity, ..Default::default() },
+        );
+        check_partition_invariants(&tree, &data);
+    }
+
+    #[test]
+    fn grid_invariants_hold_for_any_cell_size(
+        coords in coords_strategy(),
+        cell in 1.0f64..500.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        let grid = GridIndex::with_config(
+            &data,
+            &GridConfig { cell_size: Some(cell), ..Default::default() },
+        );
+        check_partition_invariants(&grid, &data);
+    }
+
+    #[test]
+    fn all_trees_match_the_baseline_for_arbitrary_dc(
+        coords in coords_strategy(),
+        dc in 0.5f64..1500.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        let baseline = LeanDpc::build(&data);
+        let (ref_rho, ref_delta) = baseline.rho_delta(dc).unwrap();
+
+        let quadtree = Quadtree::build(&data);
+        let rtree = RTree::build(&data);
+        let kdtree = KdTree::build(&data);
+        let grid = GridIndex::build(&data);
+        let trees: [(&str, &dyn DpcIndex); 4] = [
+            ("quadtree", &quadtree),
+            ("rtree", &rtree),
+            ("kdtree", &kdtree),
+            ("grid", &grid),
+        ];
+        for (name, tree) in trees {
+            let (rho, delta) = tree.rho_delta(dc).unwrap();
+            prop_assert_eq!(&rho, &ref_rho, "{} rho", name);
+            prop_assert_eq!(&delta.mu, &ref_delta.mu, "{} mu", name);
+        }
+    }
+
+    #[test]
+    fn subtree_max_density_bounds_every_member(
+        coords in coords_strategy(),
+        dc in 1.0f64..800.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        let tree = RTree::build(&data);
+        let rho = rho_query(&tree, &data, dc);
+        let maxrho = subtree_max_density(&tree, &rho);
+        // For every node, maxrho equals the maximum density of the points in
+        // its subtree (checked by walking leaves).
+        if let Some(root) = tree.root() {
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                let mut points = Vec::new();
+                let mut inner = vec![node];
+                while let Some(m) = inner.pop() {
+                    points.extend(tree.points(m).iter().map(|&q| q as usize));
+                    inner.extend_from_slice(tree.children(m));
+                }
+                let expected = points.iter().map(|&q| rho[q]).max().unwrap_or(0);
+                prop_assert_eq!(maxrho[node], expected);
+                stack.extend_from_slice(tree.children(node));
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_the_delta_result(
+        coords in coords_strategy(),
+        dc in 0.5f64..1000.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        let tree = Quadtree::build(&data);
+        let rho = DpcIndex::rho(&tree, dc).unwrap();
+        let configs = [
+            DeltaQueryConfig::default(),
+            DeltaQueryConfig { density_pruning: true, distance_pruning: false },
+            DeltaQueryConfig { density_pruning: false, distance_pruning: true },
+            DeltaQueryConfig::no_pruning(),
+        ];
+        let reference = tree.delta_with_config(dc, &rho, &configs[3]).unwrap().0;
+        for config in &configs[..3] {
+            let (result, _) = tree.delta_with_config(dc, &rho, config).unwrap();
+            prop_assert_eq!(&result.mu, &reference.mu);
+            for p in 0..data.len() {
+                prop_assert!((result.delta(p) - reference.delta(p)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_result_is_structurally_valid_for_every_tree(
+        coords in coords_strategy(),
+        dc in 0.5f64..1000.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        for tree in [
+            Box::new(Quadtree::build(&data)) as Box<dyn DpcIndex>,
+            Box::new(RTree::build(&data)),
+            Box::new(KdTree::build(&data)),
+            Box::new(GridIndex::build(&data)),
+        ] {
+            let (rho, delta) = tree.rho_delta(dc).unwrap();
+            let order = DensityOrder::new(&rho);
+            delta.validate(&order).unwrap();
+        }
+    }
+
+    #[test]
+    fn node_counts_are_consistent_with_memory_accounting(coords in coords_strategy()) {
+        let data = Dataset::from_coords(coords);
+        let quadtree = Quadtree::build(&data);
+        let rtree = RTree::build(&data);
+        // The indices keep a copy of the points, so their footprint is at
+        // least the point payload (compare against len * size_of::<Point>,
+        // not Dataset::memory_bytes(), because the latter reports the
+        // *capacity* of the caller's vector, which proptest may over-allocate).
+        let point_payload = data.len() * std::mem::size_of::<dpc_core::Point>();
+        prop_assert!(quadtree.memory_bytes() >= point_payload);
+        prop_assert!(rtree.memory_bytes() >= point_payload);
+        if !data.is_empty() {
+            prop_assert!(quadtree.num_nodes() >= 1);
+            prop_assert!(rtree.num_nodes() >= 1);
+            prop_assert!(rtree.height() >= 1);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Clustering without hand-picking `dc`: the quantile heuristic and the
+//! kNN-density variant.
+//!
+//! ```text
+//! cargo run --release --example dc_free_clustering
+//! ```
+//!
+//! The paper's whole premise is that `dc` is hard to pick and will be retried
+//! many times. This example shows the two mitigations shipped with this
+//! workspace:
+//!
+//! 1. the classic rule of thumb — pick `dc` so that points have on average
+//!    1–2 % of the dataset as neighbours ([`estimate_dc`]) — as a starting
+//!    point for the interactive search, and
+//! 2. the kNN-density variant ([`KnnDpc`], following the paper's related
+//!    work), which replaces `dc` with a neighbour count `k` entirely.
+
+use density_peaks::prelude::*;
+
+fn main() {
+    // A Birch-like dataset: 100 clusters on a 10x10 grid.
+    let labelled = density_peaks::datasets::generators::birch(7, 0.05); // 5 000 points
+    let data = labelled.dataset.clone();
+    let truth = &labelled.labels;
+    println!("dataset: {} points, {} generating clusters\n", data.len(), labelled.num_components());
+
+    // --- Variant 1: estimate dc, then run classic DPC through an index. ---
+    // With 100 clusters each holding ~1% of the data, the neighbour-fraction
+    // target must stay below the per-cluster share; 0.5% is a good default
+    // for strongly clustered data.
+    let dc = DcEstimation::with_fraction(0.005).estimate(&data).expect("dc estimation");
+    println!("estimated dc (0.5% neighbour rule): {dc:.0}");
+    let index = RTree::build(&data);
+    let params = DpcParams::new(dc).with_centers(CenterSelection::TopKGamma { k: 100 });
+    let classic = cluster_with_index(&index, &params).expect("classic DPC");
+    let classic_labels: Vec<_> = classic.labels().iter().map(|&l| Some(l)).collect();
+    println!(
+        "classic DPC @ estimated dc: {} clusters, ARI vs generator = {:.3}\n",
+        classic.num_clusters(),
+        adjusted_rand_index(&classic_labels, truth)
+    );
+
+    // --- Variant 2: kNN-density DPC, no dc anywhere. ---
+    let knn = KnnDpc::build(&data);
+    for k in [8, 16, 32] {
+        let clustering = knn
+            .cluster(k, &CenterSelection::TopKGamma { k: 100 })
+            .expect("kNN DPC");
+        let labels: Vec<_> = clustering.labels().iter().map(|&l| Some(l)).collect();
+        println!(
+            "kNN-DPC with k = {k:>2}: {} clusters, ARI vs generator = {:.3}",
+            clustering.num_clusters(),
+            adjusted_rand_index(&labels, truth)
+        );
+    }
+
+    println!("\nBoth variants reuse the same neighbour lists / spatial indices,");
+    println!("so trying another k or dc costs only a query, not a rebuild.");
+}
