@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
 };
 
 /// The memory-lean O(n²)-time baseline.
@@ -28,7 +28,11 @@ impl LeanDpc {
     /// Builds the baseline with an explicit tie-break rule.
     pub fn build_with_tie_break(dataset: &Dataset, tie: TieBreak) -> Self {
         let timer = Timer::start();
-        LeanDpc { dataset: dataset.clone(), tie, construction_time: timer.elapsed() }
+        LeanDpc {
+            dataset: dataset.clone(),
+            tie,
+            construction_time: timer.elapsed(),
+        }
     }
 }
 
@@ -121,7 +125,10 @@ mod tests {
             assert_eq!(r1, r2, "dc = {dc}");
             assert_eq!(d1.mu, d2.mu, "dc = {dc}");
             for p in 0..data.len() {
-                assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9, "dc = {dc}, p = {p}");
+                assert!(
+                    (d1.delta(p) - d2.delta(p)).abs() < 1e-9,
+                    "dc = {dc}, p = {p}"
+                );
             }
         }
     }

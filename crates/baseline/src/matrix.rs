@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
 };
 
 /// Condensed symmetric pairwise-distance matrix.

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
 };
 
 /// The parallel O(n²) baseline.
@@ -33,15 +33,20 @@ impl ParallelDpc {
 
     /// Builds the baseline with an explicit thread count.
     ///
+    /// The worker count is clamped to the number of points, so
+    /// [`threads()`](Self::threads) and the `threads` stats counter always
+    /// report the number of workers a query actually spawns (the chunked
+    /// partitioning never creates more chunks than points).
+    ///
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn build_with_threads(dataset: &Dataset, threads: usize) -> Self {
         assert!(threads > 0, "ParallelDpc: need at least one thread");
         let timer = Timer::start();
         ParallelDpc {
-            dataset: dataset.clone(),
             tie: TieBreak::default(),
-            threads,
+            threads: threads.min(dataset.len()).max(1),
+            dataset: dataset.clone(),
             construction_time: timer.elapsed(),
         }
     }
@@ -189,6 +194,24 @@ mod tests {
         let (rho, deltas) = par.rho_delta(0.05).unwrap();
         assert_eq!(rho.len(), data.len());
         assert_eq!(deltas.len(), data.len());
+    }
+
+    #[test]
+    fn clamps_threads_to_point_count() {
+        use dpc_core::Point;
+        let data = Dataset::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]);
+        let par = ParallelDpc::build_with_threads(&data, 8);
+        assert_eq!(par.threads(), 3, "worker count must be clamped to n");
+        assert_eq!(par.stats().counter("threads"), Some(3));
+        let lean = LeanDpc::build(&data);
+        let (r1, d1) = par.rho_delta(1.5).unwrap();
+        let (r2, d2) = lean.rho_delta(1.5).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(d1.mu, d2.mu);
     }
 
     #[test]

@@ -18,8 +18,20 @@ fn bench_pruning(c: &mut Criterion) {
 
     let variants = [
         ("both", DeltaQueryConfig::default()),
-        ("density_only", DeltaQueryConfig { density_pruning: true, distance_pruning: false }),
-        ("distance_only", DeltaQueryConfig { density_pruning: false, distance_pruning: true }),
+        (
+            "density_only",
+            DeltaQueryConfig {
+                density_pruning: true,
+                distance_pruning: false,
+            },
+        ),
+        (
+            "distance_only",
+            DeltaQueryConfig {
+                density_pruning: false,
+                distance_pruning: true,
+            },
+        ),
         ("none", DeltaQueryConfig::no_pruning()),
     ];
 

@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `ablation_pruning` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin ablation_pruning -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin ablation_pruning -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("ablation_pruning");

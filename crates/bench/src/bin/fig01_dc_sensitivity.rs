@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `fig01_dc_sensitivity` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin fig01_dc_sensitivity -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin fig01_dc_sensitivity -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("fig01_dc_sensitivity");

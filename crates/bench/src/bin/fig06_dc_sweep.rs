@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `fig06_dc_sweep` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin fig06_dc_sweep -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin fig06_dc_sweep -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("fig06_dc_sweep");

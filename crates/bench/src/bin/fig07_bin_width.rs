@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `fig07_bin_width` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin fig07_bin_width -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin fig07_bin_width -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("fig07_bin_width");

@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `fig08_tau_time` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin fig08_tau_time -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin fig08_tau_time -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("fig08_tau_time");

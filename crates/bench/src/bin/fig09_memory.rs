@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `fig09_memory` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin fig09_memory -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin fig09_memory -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("fig09_memory");

@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `fig10_quality` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin fig10_quality -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin fig10_quality -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("fig10_quality");

@@ -1,5 +1,5 @@
 //! Harness binary regenerating the `table4_construction` experiment.
-//! Run with `cargo run -p dpc-bench --release --bin table4_construction -- [--scale S] [--seed N] [--reps R] [--out DIR]`.
+//! Run with `cargo run -p dpc-bench --release --bin table4_construction -- [--scale S] [--seed N] [--reps R] [--out-dir DIR]`.
 
 fn main() {
     dpc_bench::run_cli("table4_construction");

@@ -13,7 +13,9 @@ pub fn run_cli(experiment: &str) {
         Ok(()) => {}
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: {experiment} [--scale S] [--seed N] [--reps R] [--out DIR | --no-out]");
+            eprintln!(
+                "usage: {experiment} [--scale S] [--seed N] [--reps R] [--out-dir DIR | --no-out]"
+            );
             std::process::exit(2);
         }
     }
@@ -26,6 +28,7 @@ pub fn run_with_args(experiment: &str, args: Vec<String>) -> Result<(), String> 
     if !rest.is_empty() {
         return Err(format!("unrecognised arguments: {rest:?}"));
     }
+    config.ensure_output_dir()?;
     let reg = registry();
     let (name, description, run) = reg
         .iter()
@@ -49,7 +52,7 @@ pub fn run_repro_cli() {
         Ok(()) => {}
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: repro [all | <experiment>...] [--list] [--scale S] [--seed N] [--reps R] [--out DIR | --no-out]");
+            eprintln!("usage: repro [all | <experiment>...] [--list] [--scale S] [--seed N] [--reps R] [--out-dir DIR | --no-out]");
             eprintln!("experiments:");
             for (name, description, _) in registry() {
                 eprintln!("  {name:<24} {description}");
@@ -68,6 +71,7 @@ pub fn run_repro_with_args(args: Vec<String>) -> Result<(), String> {
         }
         return Ok(());
     }
+    config.ensure_output_dir()?;
     let reg = registry();
     let selected: Vec<&(&str, &str, crate::experiments::ExperimentFn)> =
         if rest.is_empty() || rest.iter().any(|a| a == "all") {
@@ -120,7 +124,13 @@ mod tests {
         // The cheapest experiment at smoke scale, without persistence.
         assert!(run_with_args(
             "fig01_dc_sensitivity",
-            vec!["--scale".into(), "0.002".into(), "--reps".into(), "1".into(), "--no-out".into()],
+            vec![
+                "--scale".into(),
+                "0.002".into(),
+                "--reps".into(),
+                "1".into(),
+                "--no-out".into()
+            ],
         )
         .is_ok());
     }

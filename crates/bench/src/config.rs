@@ -16,13 +16,17 @@ pub struct ExperimentConfig {
     pub output_dir: Option<PathBuf>,
 }
 
+/// Default output directory of every experiment binary (`--out-dir`
+/// overrides it, `--no-out` disables persistence).
+pub const DEFAULT_OUTPUT_DIR: &str = "target/experiments";
+
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
             scale: 0.02,
             seed: 42,
             repetitions: 3,
-            output_dir: Some(PathBuf::from("results")),
+            output_dir: Some(PathBuf::from(DEFAULT_OUTPUT_DIR)),
         }
     }
 }
@@ -38,8 +42,9 @@ impl ExperimentConfig {
         }
     }
 
-    /// Parses `--scale`, `--seed`, `--reps` and `--out` from an argument
-    /// list (unrecognised arguments are returned for the caller to handle).
+    /// Parses `--scale`, `--seed`, `--reps`, `--out-dir` (alias `--out`) and
+    /// `--no-out` from an argument list (unrecognised arguments are returned
+    /// for the caller to handle).
     ///
     /// Returns the parsed configuration together with the leftover
     /// arguments.
@@ -54,25 +59,30 @@ impl ExperimentConfig {
             match arg.as_str() {
                 "--scale" => {
                     let v = iter.next().ok_or("--scale needs a value")?;
-                    config.scale = v.parse().map_err(|_| format!("invalid --scale value {v:?}"))?;
+                    config.scale = v
+                        .parse()
+                        .map_err(|_| format!("invalid --scale value {v:?}"))?;
                     if config.scale <= 0.0 {
                         return Err("--scale must be positive".to_string());
                     }
                 }
                 "--seed" => {
                     let v = iter.next().ok_or("--seed needs a value")?;
-                    config.seed = v.parse().map_err(|_| format!("invalid --seed value {v:?}"))?;
+                    config.seed = v
+                        .parse()
+                        .map_err(|_| format!("invalid --seed value {v:?}"))?;
                 }
                 "--reps" => {
                     let v = iter.next().ok_or("--reps needs a value")?;
-                    config.repetitions =
-                        v.parse().map_err(|_| format!("invalid --reps value {v:?}"))?;
+                    config.repetitions = v
+                        .parse()
+                        .map_err(|_| format!("invalid --reps value {v:?}"))?;
                     if config.repetitions == 0 {
                         return Err("--reps must be at least 1".to_string());
                     }
                 }
-                "--out" => {
-                    let v = iter.next().ok_or("--out needs a value")?;
+                "--out-dir" | "--out" => {
+                    let v = iter.next().ok_or_else(|| format!("{arg} needs a value"))?;
                     config.output_dir = Some(PathBuf::from(v));
                 }
                 "--no-out" => config.output_dir = None,
@@ -84,7 +94,29 @@ impl ExperimentConfig {
 
     /// Path for one result CSV, or `None` when persistence is disabled.
     pub fn csv_path(&self, name: &str) -> Option<PathBuf> {
-        self.output_dir.as_ref().map(|d| d.join(format!("{name}.csv")))
+        self.output_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.csv")))
+    }
+
+    /// Ensures the output directory exists before any experiment runs.
+    ///
+    /// Returns a clear, actionable error (instead of letting every table
+    /// write fail later) when the directory cannot be created — e.g. a
+    /// read-only working directory. A `None` output directory is fine: it
+    /// means persistence is disabled.
+    pub fn ensure_output_dir(&self) -> Result<(), String> {
+        if let Some(dir) = &self.output_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                format!(
+                    "cannot create output directory {}: {e}\n\
+                     (pass --out-dir DIR to choose a writable directory, or \
+                     --no-out to skip writing CSVs)",
+                    dir.display()
+                )
+            })?;
+        }
+        Ok(())
     }
 }
 
@@ -107,7 +139,15 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let (c, rest) = ExperimentConfig::from_args(args(&[
-            "--scale", "0.5", "--seed", "7", "--reps", "5", "--out", "/tmp/results", "extra",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--reps",
+            "5",
+            "--out",
+            "/tmp/results",
+            "extra",
         ]))
         .unwrap();
         assert_eq!(c.scale, 0.5);
@@ -137,5 +177,42 @@ mod tests {
         let c = ExperimentConfig::default();
         let p = c.csv_path("fig05_running_time").unwrap();
         assert!(p.ends_with("fig05_running_time.csv"));
+    }
+
+    #[test]
+    fn default_output_dir_is_under_target() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.output_dir, Some(PathBuf::from(DEFAULT_OUTPUT_DIR)));
+        assert_eq!(DEFAULT_OUTPUT_DIR, "target/experiments");
+    }
+
+    #[test]
+    fn out_dir_flag_and_out_alias_agree() {
+        let (a, _) = ExperimentConfig::from_args(args(&["--out-dir", "/tmp/dpc-out"])).unwrap();
+        let (b, _) = ExperimentConfig::from_args(args(&["--out", "/tmp/dpc-out"])).unwrap();
+        assert_eq!(a.output_dir, Some(PathBuf::from("/tmp/dpc-out")));
+        assert_eq!(a.output_dir, b.output_dir);
+        assert!(ExperimentConfig::from_args(args(&["--out-dir"])).is_err());
+    }
+
+    #[test]
+    fn ensure_output_dir_reports_a_clear_error() {
+        // A directory path whose parent is a regular file cannot be created
+        // on any platform.
+        let blocker = std::env::temp_dir().join(format!("dpc-config-test-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let c = ExperimentConfig {
+            output_dir: Some(blocker.join("nested/out")),
+            ..ExperimentConfig::smoke()
+        };
+        let err = c.ensure_output_dir().unwrap_err();
+        std::fs::remove_file(&blocker).unwrap();
+        assert!(err.contains("--no-out"), "error must be actionable: {err}");
+        assert!(
+            err.contains("dpc-config-test"),
+            "error names the dir: {err}"
+        );
+        // Disabled persistence never touches the filesystem.
+        assert!(ExperimentConfig::smoke().ensure_output_dir().is_ok());
     }
 }

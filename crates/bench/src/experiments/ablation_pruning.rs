@@ -30,11 +30,17 @@ fn pruning_variants() -> [(&'static str, DeltaQueryConfig); 4] {
         ("density + distance", DeltaQueryConfig::default()),
         (
             "density only",
-            DeltaQueryConfig { density_pruning: true, distance_pruning: false },
+            DeltaQueryConfig {
+                density_pruning: true,
+                distance_pruning: false,
+            },
         ),
         (
             "distance only",
-            DeltaQueryConfig { density_pruning: false, distance_pruning: true },
+            DeltaQueryConfig {
+                density_pruning: false,
+                distance_pruning: true,
+            },
         ),
         ("none", DeltaQueryConfig::no_pruning()),
     ]
@@ -93,8 +99,7 @@ fn ablate_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
     for (name, rho, delta_fn) in &indices {
         for (pruning_name, pruning) in pruning_variants() {
             let reps = config.repetitions.max(1);
-            let (time, (_, stats)) =
-                dpc_metrics::measure_median(reps, || delta_fn(rho, &pruning));
+            let (time, (_, stats)) = dpc_metrics::measure_median(reps, || delta_fn(rho, &pruning));
             table.add_row(&[
                 name.to_string(),
                 pruning_name.to_string(),

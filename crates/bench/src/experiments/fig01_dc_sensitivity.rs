@@ -7,9 +7,7 @@
 //! (i.e. it is a density peak at the chosen scale) — and report how the
 //! number of clusters and the assignment change with `dc`.
 
-use dpc_core::{
-    assign_clusters, AssignmentOptions, CenterSelection, DecisionGraph, DensityOrder,
-};
+use dpc_core::{assign_clusters, AssignmentOptions, CenterSelection, DecisionGraph, DensityOrder};
 use dpc_datasets::DatasetKind;
 use dpc_metrics::ResultTable;
 
@@ -30,13 +28,20 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
             "Figure 1 — DPC clusterings of a Gowalla-like dataset (n = {}) under different dc",
             data.len()
         ),
-        &["dc", "clusters", "largest cluster %", "median cluster size", "query time (s)"],
+        &[
+            "dc",
+            "clusters",
+            "largest cluster %",
+            "median cluster size",
+            "query time (s)",
+        ],
     );
 
     for dc in FIG1_DC_VALUES {
-        let (query_time, (rho, deltas)) = dpc_metrics::measure_median(config.repetitions.max(1), || {
-            index.rho_delta(dc).expect("queries must succeed")
-        });
+        let (query_time, (rho, deltas)) =
+            dpc_metrics::measure_median(config.repetitions.max(1), || {
+                index.rho_delta(dc).expect("queries must succeed")
+            });
         let graph = DecisionGraph::new(rho.clone(), &deltas).expect("decision graph");
         // Centres: above-average density and a dependent distance larger than
         // dc (a local peak at scale dc). Fall back to the single densest
@@ -98,7 +103,10 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').nth(1).unwrap())
             .collect();
-        assert!(clusters.windows(2).any(|w| w[0] != w[1]), "clusters: {clusters:?}");
+        assert!(
+            clusters.windows(2).any(|w| w[0] != w[1]),
+            "clusters: {clusters:?}"
+        );
     }
 
     #[test]

@@ -19,13 +19,19 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
             "Figure 5 — query running time in seconds (scale = {}, dc = per-dataset default)",
             config.scale
         ),
-        &["dataset", "n", "dc", "List", "CH", "R-tree", "Quadtree", "DPC"],
+        &[
+            "dataset", "n", "dc", "List", "CH", "R-tree", "Quadtree", "DPC",
+        ],
     );
 
     for kind in PAPER_DATASETS {
         let data = support::dataset_for(kind, config);
         let dc = kind.default_dc();
-        let mut cells = vec![kind.name().to_string(), data.len().to_string(), format!("{dc}")];
+        let mut cells = vec![
+            kind.name().to_string(),
+            data.len().to_string(),
+            format!("{dc}"),
+        ];
         for index_kind in [
             IndexKind::List,
             IndexKind::Ch,
@@ -47,7 +53,9 @@ fn measure(
     dc: f64,
     config: &ExperimentConfig,
 ) -> String {
-    if !index_kind.feasible_for(dataset_kind, data.len()) || data.len() > support::FULL_LIST_LIMIT && index_kind.is_list_based() {
+    if !index_kind.feasible_for(dataset_kind, data.len())
+        || data.len() > support::FULL_LIST_LIMIT && index_kind.is_list_based()
+    {
         return "-".to_string();
     }
     let index = index_kind.build(data, dataset_kind);

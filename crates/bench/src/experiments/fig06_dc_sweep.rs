@@ -24,7 +24,11 @@ fn sweep_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
     let data = support::dataset_for(kind, config);
     let approximate_lists = !kind.full_list_feasible() || data.len() > support::FULL_LIST_LIMIT;
     let (list_kind, ch_kind, suffix) = if approximate_lists {
-        (IndexKind::ListApprox, IndexKind::ChApprox, " (approx. lists)")
+        (
+            IndexKind::ListApprox,
+            IndexKind::ChApprox,
+            " (approx. lists)",
+        )
     } else {
         (IndexKind::List, IndexKind::Ch, "")
     };

@@ -22,9 +22,15 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
 
 fn sweep_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
     let data = support::dataset_for(kind, config);
-    let tau = kind.largest_tau().expect("large datasets define a largest tau");
-    let w_values = kind.fig7_w_values().expect("large datasets define w values");
-    let dc_values = kind.fig7_dc_values().expect("large datasets define fig7 dc values");
+    let tau = kind
+        .largest_tau()
+        .expect("large datasets define a largest tau");
+    let w_values = kind
+        .fig7_w_values()
+        .expect("large datasets define w values");
+    let dc_values = kind
+        .fig7_dc_values()
+        .expect("large datasets define fig7 dc values");
 
     // The RN-Lists are independent of w; build them once.
     let lists = NeighborLists::build(&data, Some(tau));

@@ -23,8 +23,12 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
 
 fn sweep_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
     let data = support::dataset_for(kind, config);
-    let dc = kind.approx_dc().expect("large datasets define a fixed dc for the tau study");
-    let taus = kind.fig8_tau_values().expect("large datasets define tau values");
+    let dc = kind
+        .approx_dc()
+        .expect("large datasets define a fixed dc for the tau study");
+    let taus = kind
+        .fig8_tau_values()
+        .expect("large datasets define tau values");
 
     let mut table = ResultTable::new(
         format!(

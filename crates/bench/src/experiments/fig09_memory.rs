@@ -24,7 +24,9 @@ fn histogram_memory(config: &ExperimentConfig) -> ResultTable {
     );
     for kind in support::large_datasets() {
         let data = support::dataset_for(kind, config);
-        let tau = kind.largest_tau().expect("large datasets define a largest tau");
+        let tau = kind
+            .largest_tau()
+            .expect("large datasets define a largest tau");
         let lists = NeighborLists::build(&data, Some(tau));
         for &w in kind.fig7_w_values().expect("w values") {
             let ch = ChIndex::from_lists(&data, lists.clone(), w);

@@ -10,11 +10,11 @@
 //! drops below `dc`.
 
 use dpc_core::pipeline::cluster_with_index;
+use dpc_core::ClusterId;
 use dpc_datasets::DatasetKind;
 use dpc_list_index::ListIndex;
-use dpc_metrics::{adjusted_rand_index, pair_counting_scores_for, ResultTable};
-use dpc_core::ClusterId;
 use dpc_metrics::PairScores;
+use dpc_metrics::{adjusted_rand_index, pair_counting_scores_for, ResultTable};
 
 use crate::experiments::support;
 use crate::{ExperimentConfig, IndexKind};
@@ -29,16 +29,20 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
 
 fn quality_one(kind: DatasetKind, config: &ExperimentConfig) -> ResultTable {
     let data = support::dataset_for(kind, config);
-    let dc = kind.approx_dc().expect("large datasets define a fixed dc for the quality study");
-    let taus = kind.fig10_tau_values().expect("large datasets define fig10 tau values");
+    let dc = kind
+        .approx_dc()
+        .expect("large datasets define a fixed dc for the quality study");
+    let taus = kind
+        .fig10_tau_values()
+        .expect("large datasets define fig10 tau values");
     // Both clusterings use the same, deterministic centre selection: the
     // top-k points by γ, with k the dataset's documented component count
     // (capped for very small scaled-down instances). This mirrors the paper,
     // where the same decision-graph centres are used for the reference and
     // the approximate runs.
     let k = kind.natural_clusters().min(data.len() / 5).max(2);
-    let params = dpc_core::DpcParams::new(dc)
-        .with_centers(dpc_core::CenterSelection::TopKGamma { k });
+    let params =
+        dpc_core::DpcParams::new(dc).with_centers(dpc_core::CenterSelection::TopKGamma { k });
 
     let reference_index = IndexKind::RTree.build(&data, kind);
     let reference = cluster_with_index(reference_index.as_ref(), &params)
@@ -106,7 +110,10 @@ mod tests {
     fn quality_is_high_when_tau_is_at_least_dc() {
         // For the Birch-like dataset the largest tau is far above dc, so the
         // approximate clustering must essentially match the exact one.
-        let config = ExperimentConfig { scale: 0.005, ..ExperimentConfig::smoke() };
+        let config = ExperimentConfig {
+            scale: 0.005,
+            ..ExperimentConfig::smoke()
+        };
         let tables = run(&config);
         let birch = &tables[0];
         let last_row = birch.to_csv().lines().last().unwrap().to_string();

@@ -25,7 +25,9 @@ pub fn dataset_for(kind: DatasetKind, config: &ExperimentConfig) -> Dataset {
     if target > MAX_POINTS {
         scale = MAX_POINTS as f64 / kind.paper_size() as f64;
     }
-    DatasetSpec::new(kind, scale, config.seed).generate().into_dataset()
+    DatasetSpec::new(kind, scale, config.seed)
+        .generate()
+        .into_dataset()
 }
 
 /// Scales a paper distance parameter to the generated dataset.
@@ -42,9 +44,8 @@ pub fn scaled_distance(value: f64, _kind: DatasetKind, _config: &ExperimentConfi
 /// repetitions.
 pub fn query_time(index: &dyn DpcIndex, dc: f64, config: &ExperimentConfig) -> Duration {
     let reps = config.repetitions.max(1);
-    let (time, _) = dpc_metrics::measure_median(reps, || {
-        index.rho_delta(dc).expect("query must succeed")
-    });
+    let (time, _) =
+        dpc_metrics::measure_median(reps, || index.rho_delta(dc).expect("query must succeed"));
     time
 }
 
@@ -101,11 +102,17 @@ mod tests {
 
     #[test]
     fn dataset_for_respects_scale_and_cap() {
-        let config = ExperimentConfig { scale: 0.01, ..ExperimentConfig::smoke() };
+        let config = ExperimentConfig {
+            scale: 0.01,
+            ..ExperimentConfig::smoke()
+        };
         let d = dataset_for(DatasetKind::Query, &config);
         assert_eq!(d.len(), 500);
 
-        let huge = ExperimentConfig { scale: 1000.0, ..ExperimentConfig::smoke() };
+        let huge = ExperimentConfig {
+            scale: 1000.0,
+            ..ExperimentConfig::smoke()
+        };
         let d = dataset_for(DatasetKind::S1, &huge);
         assert!(d.len() <= MAX_POINTS);
     }

@@ -13,14 +13,23 @@ use crate::{ExperimentConfig, IndexKind};
 /// Runs the experiment.
 pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
-        format!("Table 3 — index memory usage in MiB (scale = {})", config.scale),
-        &["dataset", "n", "List Index", "CH Index", "R-tree", "Quadtree"],
+        format!(
+            "Table 3 — index memory usage in MiB (scale = {})",
+            config.scale
+        ),
+        &[
+            "dataset",
+            "n",
+            "List Index",
+            "CH Index",
+            "R-tree",
+            "Quadtree",
+        ],
     );
 
     for kind in PAPER_DATASETS {
         let data = support::dataset_for(kind, config);
-        let approximate_lists =
-            !kind.full_list_feasible() || data.len() > support::FULL_LIST_LIMIT;
+        let approximate_lists = !kind.full_list_feasible() || data.len() > support::FULL_LIST_LIMIT;
         let (list_kind, ch_kind, marker) = if approximate_lists {
             (IndexKind::ListApprox, IndexKind::ChApprox, "*")
         } else {
@@ -52,7 +61,10 @@ mod tests {
         assert_eq!(tables[0].num_rows(), PAPER_DATASETS.len());
         for line in tables[0].to_csv().lines().skip(1) {
             for cell in line.split(',').skip(2) {
-                assert!(cell.trim_end_matches('*').parse::<f64>().is_ok(), "cell {cell:?}");
+                assert!(
+                    cell.trim_end_matches('*').parse::<f64>().is_ok(),
+                    "cell {cell:?}"
+                );
             }
         }
     }
@@ -64,7 +76,10 @@ mod tests {
         // a moderately sized exact dataset instead of through the table.
         use crate::IndexKind;
         use dpc_datasets::DatasetKind;
-        let config = ExperimentConfig { scale: 0.01, ..ExperimentConfig::smoke() };
+        let config = ExperimentConfig {
+            scale: 0.01,
+            ..ExperimentConfig::smoke()
+        };
         let data = support::dataset_for(DatasetKind::Query, &config); // 500 points
         let list = IndexKind::List.build(&data, DatasetKind::Query);
         let rtree = IndexKind::RTree.build(&data, DatasetKind::Query);

@@ -16,15 +16,28 @@ use crate::{ExperimentConfig, IndexKind};
 /// Runs the experiment.
 pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
-        format!("Table 4 — index construction time in seconds (scale = {})", config.scale),
-        &["dataset", "n", "List Index", "CH Index (extra)", "R-tree", "Quadtree"],
+        format!(
+            "Table 4 — index construction time in seconds (scale = {})",
+            config.scale
+        ),
+        &[
+            "dataset",
+            "n",
+            "List Index",
+            "CH Index (extra)",
+            "R-tree",
+            "Quadtree",
+        ],
     );
 
     for kind in PAPER_DATASETS {
         let data = support::dataset_for(kind, config);
-        let approximate_lists =
-            !kind.full_list_feasible() || data.len() > support::FULL_LIST_LIMIT;
-        let tau = if approximate_lists { kind.largest_tau() } else { None };
+        let approximate_lists = !kind.full_list_feasible() || data.len() > support::FULL_LIST_LIMIT;
+        let tau = if approximate_lists {
+            kind.largest_tau()
+        } else {
+            None
+        };
         let marker = if approximate_lists { "*" } else { "" };
 
         // List construction (full or approximate).

@@ -1,10 +1,10 @@
 //! Uniform construction of every index the experiments compare.
 
+use dpc_baseline::LeanDpc;
 use dpc_core::{Dataset, DpcIndex};
 use dpc_datasets::DatasetKind;
 use dpc_list_index::{ChIndex, ListIndex};
 use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
-use dpc_baseline::LeanDpc;
 
 /// The index structures compared throughout the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -51,7 +51,11 @@ impl ParsedArgs {
                 _ => switches.push(name.to_string()),
             }
         }
-        Ok(ParsedArgs { command, flags, switches })
+        Ok(ParsedArgs {
+            command,
+            flags,
+            switches,
+        })
     }
 
     /// The raw string value of a flag, if present.
@@ -61,7 +65,8 @@ impl ParsedArgs {
 
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// An optional flag parsed into any `FromStr` type.
@@ -77,9 +82,12 @@ impl ParsedArgs {
 
     /// A required flag parsed into any `FromStr` type.
     pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
-        self.require(name)?
-            .parse()
-            .map_err(|_| format!("invalid value {:?} for --{name}", self.get(name).unwrap_or("")))
+        self.require(name)?.parse().map_err(|_| {
+            format!(
+                "invalid value {:?} for --{name}",
+                self.get(name).unwrap_or("")
+            )
+        })
     }
 
     /// An optional flag with a default.
@@ -108,7 +116,11 @@ impl ParsedArgs {
                 return Err(format!(
                     "unknown flag --{name} for `{}` (allowed: {})",
                     self.command,
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
         }

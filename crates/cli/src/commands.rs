@@ -4,9 +4,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use dpc_baseline::LeanDpc;
-use dpc_core::{
-    cluster_with_index, CenterSelection, Clustering, Dataset, DcEstimation, DpcIndex, DpcParams,
-};
+use dpc_core::{CenterSelection, Clustering, Dataset, DcEstimation, DpcIndex, DpcParams};
 use dpc_datasets::{read_points_csv, write_labels_csv, write_points_csv, DatasetKind};
 use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
 use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
@@ -17,8 +15,12 @@ use crate::args::ParsedArgs;
 /// generating labels) to CSV.
 pub fn generate(args: &ParsedArgs) -> Result<String, String> {
     args.reject_unknown(&["dataset", "scale", "seed", "output", "labels"])?;
-    let kind = DatasetKind::parse(args.require("dataset")?)
-        .ok_or_else(|| format!("unknown dataset {:?}", args.require("dataset").unwrap_or("")))?;
+    let kind = DatasetKind::parse(args.require("dataset")?).ok_or_else(|| {
+        format!(
+            "unknown dataset {:?}",
+            args.require("dataset").unwrap_or("")
+        )
+    })?;
     let scale: f64 = args.get_or("scale", 0.02)?;
     if scale <= 0.0 {
         return Err("--scale must be positive".into());
@@ -126,15 +128,18 @@ fn load_points(path: &str) -> Result<Dataset, String> {
 pub fn parse_centers(spec: &str) -> Result<CenterSelection, String> {
     let spec = spec.trim();
     if let Some(k) = spec.strip_prefix("top:") {
-        let k: usize = k.parse().map_err(|_| format!("invalid top:K spec {spec:?}"))?;
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("invalid top:K spec {spec:?}"))?;
         return Ok(CenterSelection::TopKGamma { k });
     }
     if spec == "auto" {
         return Ok(CenterSelection::GammaGap { max_centers: 64 });
     }
     if let Some(max) = spec.strip_prefix("auto:") {
-        let max_centers: usize =
-            max.parse().map_err(|_| format!("invalid auto:MAX spec {spec:?}"))?;
+        let max_centers: usize = max
+            .parse()
+            .map_err(|_| format!("invalid auto:MAX spec {spec:?}"))?;
         return Ok(CenterSelection::GammaGap { max_centers });
     }
     if let Some(rest) = spec.strip_prefix("threshold:") {
@@ -150,7 +155,10 @@ pub fn parse_centers(spec: &str) -> Result<CenterSelection, String> {
         if parts.next().is_some() {
             return Err(format!("invalid threshold spec {spec:?}"));
         }
-        return Ok(CenterSelection::Threshold { rho_min: rho, delta_min: delta });
+        return Ok(CenterSelection::Threshold {
+            rho_min: rho,
+            delta_min: delta,
+        });
     }
     Err(format!(
         "unknown centre selection {spec:?} (expected top:K, auto, auto:MAX or threshold:RHO,DELTA)"
@@ -190,14 +198,15 @@ fn write_clustering(path: &Path, data: &Dataset, clustering: &Clustering) -> Res
 }
 
 fn write_decision_graph(path: &Path, run: &dpc_core::DpcRun) -> Result<(), String> {
-    let mut table = dpc_metrics::ResultTable::new("decision graph", &["point", "rho", "delta", "gamma"]);
+    let mut table =
+        dpc_metrics::ResultTable::new("decision graph", &["point", "rho", "delta", "gamma"]);
     let gamma = run.decision_graph.gamma();
-    for p in 0..run.rho.len() {
+    for (p, (rho_p, gamma_p)) in run.rho.iter().zip(gamma.iter()).enumerate() {
         table.add_row(&[
             p.to_string(),
-            run.rho[p].to_string(),
+            rho_p.to_string(),
             format!("{}", run.decision_graph.delta(p)),
-            format!("{}", gamma[p]),
+            format!("{gamma_p}"),
         ]);
     }
     table.write_csv(path).map_err(|e| e.to_string())
@@ -218,7 +227,11 @@ fn summarise(
         run.clustering.num_clusters(),
         run.clustering.halo_count()
     );
-    let _ = write!(out, "\ncluster sizes (largest first): {:?}", truncated(&sizes, 10));
+    let _ = write!(
+        out,
+        "\ncluster sizes (largest first): {:?}",
+        truncated(&sizes, 10)
+    );
     let _ = write!(
         out,
         "\nquery time: rho {:.3} ms + delta {:.3} ms; assignment {:.3} ms",
@@ -253,7 +266,10 @@ mod tests {
 
     #[test]
     fn parse_centers_specs() {
-        assert_eq!(parse_centers("top:5").unwrap(), CenterSelection::TopKGamma { k: 5 });
+        assert_eq!(
+            parse_centers("top:5").unwrap(),
+            CenterSelection::TopKGamma { k: 5 }
+        );
         assert_eq!(
             parse_centers("auto").unwrap(),
             CenterSelection::GammaGap { max_centers: 64 }
@@ -264,7 +280,10 @@ mod tests {
         );
         assert_eq!(
             parse_centers("threshold:3,1.5").unwrap(),
-            CenterSelection::Threshold { rho_min: 3, delta_min: 1.5 }
+            CenterSelection::Threshold {
+                rho_min: 3,
+                delta_min: 1.5
+            }
         );
         assert!(parse_centers("top:x").is_err());
         assert!(parse_centers("threshold:1").is_err());
@@ -338,7 +357,9 @@ mod tests {
         assert!(out.contains("15 clusters"), "{out}");
         let written = std::fs::read_to_string(&labels).unwrap();
         assert_eq!(written.lines().count(), 201); // header + one row per point
-        assert!(std::fs::read_to_string(&graph).unwrap().starts_with("point,rho,delta,gamma"));
+        assert!(std::fs::read_to_string(&graph)
+            .unwrap()
+            .starts_with("point,rho,delta,gamma"));
 
         let out = run(args(&[
             "knn-cluster",
@@ -357,10 +378,27 @@ mod tests {
 
     #[test]
     fn helpful_errors_for_bad_invocations() {
-        assert!(run(args(&["generate", "--dataset", "mars", "--output", "x.csv"])).is_err());
+        assert!(run(args(&[
+            "generate",
+            "--dataset",
+            "mars",
+            "--output",
+            "x.csv"
+        ]))
+        .is_err());
         assert!(run(args(&["cluster", "--dc", "1.0"])).is_err()); // missing --input
-        assert!(run(args(&["cluster", "--input", "/no/such/file.csv", "--dc", "1.0"])).is_err());
+        assert!(run(args(&[
+            "cluster",
+            "--input",
+            "/no/such/file.csv",
+            "--dc",
+            "1.0"
+        ]))
+        .is_err());
         assert!(run(args(&["estimate-dc", "--input", "/no/such/file.csv"])).is_err());
-        assert!(run(args(&["cluster", "--input", "x.csv", "--dc", "1.0", "--bogus", "1"])).is_err());
+        assert!(run(args(&[
+            "cluster", "--input", "x.csv", "--dc", "1.0", "--bogus", "1"
+        ]))
+        .is_err());
     }
 }

@@ -15,7 +15,7 @@ use crate::error::{DpcError, Result};
 use crate::point::{Dataset, PointId};
 
 /// Options controlling the assignment step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AssignmentOptions {
     /// When `true`, compute the cluster halos: for every cluster the *border
     /// density* is the highest density among its points that lie within `dc`
@@ -24,12 +24,6 @@ pub struct AssignmentOptions {
     /// original DPC paper. The computation is `O(n²)` in the worst case and
     /// is therefore opt-in.
     pub compute_halo: bool,
-}
-
-impl Default for AssignmentOptions {
-    fn default() -> Self {
-        AssignmentOptions { compute_halo: false }
-    }
 }
 
 impl AssignmentOptions {
@@ -65,7 +59,10 @@ pub fn assign_clusters(
         return Ok(Clustering::new(vec![], vec![], vec![]));
     }
     if centers.is_empty() {
-        return Err(DpcError::invalid_parameter("centers", "at least one cluster centre is required"));
+        return Err(DpcError::invalid_parameter(
+            "centers",
+            "at least one cluster centre is required",
+        ));
     }
     if order.len() != n || deltas.len() != n {
         return Err(DpcError::LengthMismatch {
@@ -156,9 +153,7 @@ fn compute_halo(
             }
         }
     }
-    (0..n)
-        .map(|p| rho[p] < border_density[labels[p]])
-        .collect()
+    (0..n).map(|p| rho[p] < border_density[labels[p]]).collect()
 }
 
 #[cfg(test)]
@@ -192,9 +187,15 @@ mod tests {
         let (rho, deltas) = rho_delta(&data, 0.3);
         let order = DensityOrder::new(&rho);
         let centers = vec![0, 4];
-        let clustering =
-            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
-                .unwrap();
+        let clustering = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &centers,
+            0.3,
+            &AssignmentOptions::default(),
+        )
+        .unwrap();
         assert_eq!(clustering.num_clusters(), 2);
         // Blob around origin.
         for p in 0..4 {
@@ -214,9 +215,15 @@ mod tests {
         let (rho, deltas) = rho_delta(&data, 0.3);
         let order = DensityOrder::new(&rho);
         let centers = vec![0, 4];
-        let c =
-            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
-                .unwrap();
+        let c = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &centers,
+            0.3,
+            &AssignmentOptions::default(),
+        )
+        .unwrap();
         assert_eq!(c.label(0), 0);
         assert_eq!(c.label(4), 1);
     }
@@ -227,9 +234,15 @@ mod tests {
         let (rho, deltas) = rho_delta(&data, 0.3);
         let order = DensityOrder::new(&rho);
         let centers = vec![0, 4];
-        let c =
-            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
-                .unwrap();
+        let c = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &centers,
+            0.3,
+            &AssignmentOptions::default(),
+        )
+        .unwrap();
         // Point 7 sits exactly between the blobs; it must still receive one
         // of the two labels (DPC assigns every point).
         assert!(c.label(7) < 2);
@@ -243,9 +256,15 @@ mod tests {
         let peak = order.global_peak().unwrap();
         // Pick centres that deliberately exclude the global peak.
         let centers: Vec<PointId> = vec![4, 7];
-        let c =
-            assign_clusters(&data, &order, &deltas, &centers, 0.3, &AssignmentOptions::default())
-                .unwrap();
+        let c = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &centers,
+            0.3,
+            &AssignmentOptions::default(),
+        )
+        .unwrap();
         // The peak is in the origin blob, nearest centre is 7 (at 5,5) vs 4 (10,10).
         assert_eq!(c.label(peak), 1);
     }
@@ -255,8 +274,15 @@ mod tests {
         let data = dataset();
         let (rho, deltas) = rho_delta(&data, 0.3);
         let order = DensityOrder::new(&rho);
-        assert!(assign_clusters(&data, &order, &deltas, &[], 0.3, &AssignmentOptions::default())
-            .is_err());
+        assert!(assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &[],
+            0.3,
+            &AssignmentOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -280,8 +306,15 @@ mod tests {
         let data = dataset();
         let (rho, deltas) = rho_delta(&data, 0.3);
         let order = DensityOrder::new(&rho);
-        let c = assign_clusters(&data, &order, &deltas, &[0, 4], 0.3, &AssignmentOptions::default())
-            .unwrap();
+        let c = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &[0, 4],
+            0.3,
+            &AssignmentOptions::default(),
+        )
+        .unwrap();
         assert_eq!(c.halo_count(), 0);
     }
 
@@ -306,8 +339,15 @@ mod tests {
         let peak_a = (0..49).max_by_key(|&p| order.key(p)).unwrap();
         let peak_b = (49..98).max_by_key(|&p| order.key(p)).unwrap();
         let centers = vec![peak_a, peak_b];
-        let c = assign_clusters(&data, &order, &deltas, &centers, dc, &AssignmentOptions::with_halo())
-            .unwrap();
+        let c = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &centers,
+            dc,
+            &AssignmentOptions::with_halo(),
+        )
+        .unwrap();
         assert!(c.halo_count() > 0, "facing edges must produce halo points");
         assert!(!c.is_halo(peak_a), "cluster core must not be halo");
         assert!(!c.is_halo(peak_b), "cluster core must not be halo");
@@ -322,8 +362,15 @@ mod tests {
         let rho: Vec<u32> = vec![];
         let order = DensityOrder::new(&rho);
         let deltas = DeltaResult::unset(0);
-        let c = assign_clusters(&data, &order, &deltas, &[], 1.0, &AssignmentOptions::default())
-            .unwrap();
+        let c = assign_clusters(
+            &data,
+            &order,
+            &deltas,
+            &[],
+            1.0,
+            &AssignmentOptions::default(),
+        )
+        .unwrap();
         assert!(c.is_empty());
     }
 }

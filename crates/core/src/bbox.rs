@@ -42,12 +42,22 @@ impl BoundingBox {
             min_x <= max_x && min_y <= max_y,
             "BoundingBox::new: inverted bounds ({min_x},{min_y})-({max_x},{max_y})"
         );
-        BoundingBox { min_x, min_y, max_x, max_y }
+        BoundingBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The degenerate box containing exactly one point.
     pub fn from_point(p: Point) -> Self {
-        BoundingBox { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+        BoundingBox {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
     }
 
     /// The tight bounding box of a set of points (empty box for no points).
@@ -280,7 +290,11 @@ mod tests {
 
     #[test]
     fn from_points_is_tight() {
-        let pts = vec![Point::new(1.0, 2.0), Point::new(-3.0, 5.0), Point::new(0.0, 0.0)];
+        let pts = vec![
+            Point::new(1.0, 2.0),
+            Point::new(-3.0, 5.0),
+            Point::new(0.0, 0.0),
+        ];
         let bb = BoundingBox::from_points(&pts);
         assert_eq!(bb, BoundingBox::new(-3.0, 0.0, 1.0, 5.0));
         for p in &pts {

@@ -26,17 +26,27 @@ impl Clustering {
     /// Panics if `labels` and `halo` have different lengths, if a label is
     /// out of range, or if a centre id is out of range.
     pub fn new(labels: Vec<ClusterId>, centers: Vec<PointId>, halo: Vec<bool>) -> Self {
-        assert_eq!(labels.len(), halo.len(), "labels and halo must have the same length");
+        assert_eq!(
+            labels.len(),
+            halo.len(),
+            "labels and halo must have the same length"
+        );
         let k = centers.len();
         assert!(
             labels.iter().all(|&l| l < k),
             "every label must reference one of the {k} centres"
         );
         assert!(
-            centers.iter().all(|&c| c < labels.len() || labels.is_empty()),
+            centers
+                .iter()
+                .all(|&c| c < labels.len() || labels.is_empty()),
             "centre ids must reference points of the dataset"
         );
-        Clustering { labels, centers, halo }
+        Clustering {
+            labels,
+            centers,
+            halo,
+        }
     }
 
     /// Number of clustered points.

@@ -30,14 +30,21 @@ pub struct DcEstimation {
 
 impl Default for DcEstimation {
     fn default() -> Self {
-        DcEstimation { target_fraction: 0.02, max_pairs: 100_000, seed: 0x5EED }
+        DcEstimation {
+            target_fraction: 0.02,
+            max_pairs: 100_000,
+            seed: 0x5EED,
+        }
     }
 }
 
 impl DcEstimation {
     /// Creates the heuristic for a given neighbour fraction.
     pub fn with_fraction(target_fraction: f64) -> Self {
-        DcEstimation { target_fraction, ..Default::default() }
+        DcEstimation {
+            target_fraction,
+            ..Default::default()
+        }
     }
 
     /// Estimates `dc` for a dataset.
@@ -48,11 +55,17 @@ impl DcEstimation {
         if !(self.target_fraction > 0.0 && self.target_fraction < 1.0) {
             return Err(DpcError::invalid_parameter(
                 "target_fraction",
-                format!("must lie strictly between 0 and 1, got {}", self.target_fraction),
+                format!(
+                    "must lie strictly between 0 and 1, got {}",
+                    self.target_fraction
+                ),
             ));
         }
         if self.max_pairs == 0 {
-            return Err(DpcError::invalid_parameter("max_pairs", "must be at least 1"));
+            return Err(DpcError::invalid_parameter(
+                "max_pairs",
+                "must be at least 1",
+            ));
         }
         let n = dataset.len();
         if n < 2 {
@@ -129,7 +142,9 @@ mod tests {
     fn estimated_dc_yields_roughly_the_requested_neighbour_fraction() {
         let data = ring(400, 10.0);
         let fraction = 0.02;
-        let dc = DcEstimation::with_fraction(fraction).estimate(&data).unwrap();
+        let dc = DcEstimation::with_fraction(fraction)
+            .estimate(&data)
+            .unwrap();
         let rho = NaiveReferenceIndex::build(&data).rho(dc).unwrap();
         let mean = rho.iter().map(|&r| r as f64).sum::<f64>() / data.len() as f64;
         let achieved = mean / data.len() as f64;
@@ -150,22 +165,37 @@ mod tests {
     #[test]
     fn sampling_path_agrees_roughly_with_the_exhaustive_path() {
         let data = ring(300, 5.0);
-        let exhaustive = DcEstimation { max_pairs: usize::MAX, ..Default::default() }
-            .estimate(&data)
-            .unwrap();
-        let sampled = DcEstimation { max_pairs: 20_000, ..Default::default() }
-            .estimate(&data)
-            .unwrap();
+        let exhaustive = DcEstimation {
+            max_pairs: usize::MAX,
+            ..Default::default()
+        }
+        .estimate(&data)
+        .unwrap();
+        let sampled = DcEstimation {
+            max_pairs: 20_000,
+            ..Default::default()
+        }
+        .estimate(&data)
+        .unwrap();
         // The sampled quantile is a statistical estimate of a tail quantile;
         // only require the right order of magnitude.
-        assert!((sampled - exhaustive).abs() / exhaustive < 0.5, "{sampled} vs {exhaustive}");
+        assert!(
+            (sampled - exhaustive).abs() / exhaustive < 0.5,
+            "{sampled} vs {exhaustive}"
+        );
     }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let data = ring(500, 5.0);
-        let config = DcEstimation { max_pairs: 2_000, ..Default::default() };
-        assert_eq!(config.estimate(&data).unwrap(), config.estimate(&data).unwrap());
+        let config = DcEstimation {
+            max_pairs: 2_000,
+            ..Default::default()
+        };
+        assert_eq!(
+            config.estimate(&data).unwrap(),
+            config.estimate(&data).unwrap()
+        );
     }
 
     #[test]
@@ -173,7 +203,12 @@ mod tests {
         let data = ring(10, 1.0);
         assert!(DcEstimation::with_fraction(0.0).estimate(&data).is_err());
         assert!(DcEstimation::with_fraction(1.0).estimate(&data).is_err());
-        assert!(DcEstimation { max_pairs: 0, ..Default::default() }.estimate(&data).is_err());
+        assert!(DcEstimation {
+            max_pairs: 0,
+            ..Default::default()
+        }
+        .estimate(&data)
+        .is_err());
         assert!(estimate_dc(&Dataset::new(vec![Point::origin()])).is_err());
         assert!(estimate_dc(&Dataset::new(vec![])).is_err());
     }

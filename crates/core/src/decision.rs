@@ -81,7 +81,12 @@ impl DecisionGraph {
     /// when the decision graph is not inspected manually.
     pub fn gamma(&self) -> Vec<f64> {
         let max_rho = self.rho.iter().copied().max().unwrap_or(0).max(1) as f64;
-        let max_delta = self.delta.iter().copied().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+        let max_delta = self
+            .delta
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
         self.rho
             .iter()
             .zip(&self.delta)
@@ -114,10 +119,16 @@ impl DecisionGraph {
                 .collect::<Vec<_>>(),
             CenterSelection::TopKGamma { k } => {
                 if *k == 0 {
-                    return Err(DpcError::invalid_parameter("k", "must select at least one centre"));
+                    return Err(DpcError::invalid_parameter(
+                        "k",
+                        "must select at least one centre",
+                    ));
                 }
                 if *k > self.len() {
-                    return Err(DpcError::TooManyCenters { requested: *k, available: self.len() });
+                    return Err(DpcError::TooManyCenters {
+                        requested: *k,
+                        available: self.len(),
+                    });
                 }
                 self.gamma_ranking().into_iter().take(*k).collect()
             }
@@ -262,7 +273,10 @@ mod tests {
     fn threshold_selection_matches_rectangle() {
         let g = graph();
         let centers = g
-            .select_centers(&CenterSelection::Threshold { rho_min: 7, delta_min: 1.0 })
+            .select_centers(&CenterSelection::Threshold {
+                rho_min: 7,
+                delta_min: 1.0,
+            })
             .unwrap();
         assert_eq!(centers, vec![0, 5]);
     }
@@ -271,7 +285,10 @@ mod tests {
     fn threshold_with_nothing_selected_is_an_error() {
         let g = graph();
         assert!(g
-            .select_centers(&CenterSelection::Threshold { rho_min: 100, delta_min: 100.0 })
+            .select_centers(&CenterSelection::Threshold {
+                rho_min: 100,
+                delta_min: 100.0
+            })
             .is_err());
     }
 
@@ -279,7 +296,9 @@ mod tests {
     fn explicit_selection_is_validated_and_sorted() {
         let g = graph();
         let centers = g
-            .select_centers(&CenterSelection::Explicit { centers: vec![5, 0, 5] })
+            .select_centers(&CenterSelection::Explicit {
+                centers: vec![5, 0, 5],
+            })
             .unwrap();
         assert_eq!(centers, vec![0, 5]);
         assert!(g
@@ -290,8 +309,12 @@ mod tests {
     #[test]
     fn top_k_rejects_zero_and_too_many() {
         let g = graph();
-        assert!(g.select_centers(&CenterSelection::TopKGamma { k: 0 }).is_err());
-        assert!(g.select_centers(&CenterSelection::TopKGamma { k: 7 }).is_err());
+        assert!(g
+            .select_centers(&CenterSelection::TopKGamma { k: 0 })
+            .is_err());
+        assert!(g
+            .select_centers(&CenterSelection::TopKGamma { k: 7 })
+            .is_err());
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl<'a> DensityOrder<'a> {
     /// Creates the order with the default tie-break
     /// ([`TieBreak::SmallerIdDenser`]).
     pub fn new(rho: &'a [Rho]) -> Self {
-        DensityOrder { rho, tie: TieBreak::default() }
+        DensityOrder {
+            rho,
+            tie: TieBreak::default(),
+        }
     }
 
     /// Creates the order with an explicit tie-break rule.
@@ -116,7 +119,7 @@ impl<'a> DensityOrder<'a> {
     /// Point ids sorted from densest to sparsest under the total order.
     pub fn rank_descending(&self) -> Vec<PointId> {
         let mut ids: Vec<PointId> = (0..self.rho.len()).collect();
-        ids.sort_by(|&a, &b| self.key(b).cmp(&self.key(a)));
+        ids.sort_by_key(|&p| std::cmp::Reverse(self.key(p)));
         ids
     }
 }
@@ -151,7 +154,10 @@ impl DeltaResult {
 
     /// A result with `n` entries, all initialised to `δ = +∞`, `µ = None`.
     pub fn unset(n: usize) -> Self {
-        DeltaResult { delta: vec![f64::INFINITY; n], mu: vec![None; n] }
+        DeltaResult {
+            delta: vec![f64::INFINITY; n],
+            mu: vec![None; n],
+        }
     }
 
     /// Number of points.
@@ -207,7 +213,7 @@ impl DeltaResult {
                 }
             }
         }
-        if self.len() > 0 && self.mu.iter().all(|m| m.is_some()) {
+        if !self.is_empty() && self.mu.iter().all(|m| m.is_some()) {
             return Err(DpcError::invalid_parameter(
                 "mu",
                 "no global peak: every point has a dependent neighbour",

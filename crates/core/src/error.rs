@@ -57,10 +57,17 @@ impl fmt::Display for DpcError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             DpcError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
-            DpcError::LengthMismatch { expected, actual, what } => {
+            DpcError::LengthMismatch {
+                expected,
+                actual,
+                what,
+            } => {
                 write!(f, "{what}: expected length {expected}, got {actual}")
             }
-            DpcError::TooManyCenters { requested, available } => {
+            DpcError::TooManyCenters {
+                requested,
+                available,
+            } => {
                 write!(
                     f,
                     "requested {requested} cluster centres but only {available} points exist"
@@ -82,7 +89,10 @@ impl From<std::io::Error> for DpcError {
 impl DpcError {
     /// Helper constructing an [`DpcError::InvalidParameter`].
     pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
-        DpcError::InvalidParameter { name, message: message.into() }
+        DpcError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
     }
 }
 
@@ -92,17 +102,28 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DpcError::InvalidPoint { id: 3, x: f64::NAN, y: 1.0 };
+        let e = DpcError::InvalidPoint {
+            id: 3,
+            x: f64::NAN,
+            y: 1.0,
+        };
         assert!(e.to_string().contains("point 3"));
 
         let e = DpcError::invalid_parameter("dc", "must be positive");
         assert!(e.to_string().contains("dc"));
         assert!(e.to_string().contains("must be positive"));
 
-        let e = DpcError::LengthMismatch { expected: 5, actual: 3, what: "rho" };
+        let e = DpcError::LengthMismatch {
+            expected: 5,
+            actual: 3,
+            what: "rho",
+        };
         assert!(e.to_string().contains("expected length 5"));
 
-        let e = DpcError::TooManyCenters { requested: 10, available: 4 };
+        let e = DpcError::TooManyCenters {
+            requested: 10,
+            available: 4,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("4"));
 

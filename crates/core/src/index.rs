@@ -36,7 +36,11 @@ pub struct IndexStats {
 impl IndexStats {
     /// Creates stats with the given construction time and memory footprint.
     pub fn new(construction_time: Duration, memory_bytes: usize) -> Self {
-        IndexStats { construction_time, memory_bytes, counters: Vec::new() }
+        IndexStats {
+            construction_time,
+            memory_bytes,
+            counters: Vec::new(),
+        }
     }
 
     /// Adds an implementation-specific counter (builder style).

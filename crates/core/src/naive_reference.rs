@@ -37,7 +37,11 @@ impl NaiveReferenceIndex {
         let dataset = dataset.clone();
         let memory = dataset.memory_bytes();
         let stats = IndexStats::new(timer.elapsed(), memory);
-        NaiveReferenceIndex { dataset, tie, stats }
+        NaiveReferenceIndex {
+            dataset,
+            tie,
+            stats,
+        }
     }
 }
 

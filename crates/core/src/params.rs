@@ -56,7 +56,10 @@ impl DpcParams {
         if !(self.dc.is_finite() && self.dc > 0.0) {
             return Err(DpcError::invalid_parameter(
                 "dc",
-                format!("cut-off distance must be a positive finite number, got {}", self.dc),
+                format!(
+                    "cut-off distance must be a positive finite number, got {}",
+                    self.dc
+                ),
             ));
         }
         Ok(())

@@ -123,7 +123,9 @@ pub fn cluster_with_index<I: DpcIndex + ?Sized>(
     index: &I,
     params: &DpcParams,
 ) -> Result<Clustering> {
-    DpcPipeline::new(params.clone()).run(index).map(|run| run.clustering)
+    DpcPipeline::new(params.clone())
+        .run(index)
+        .map(|run| run.clustering)
 }
 
 #[cfg(test)]
@@ -166,7 +168,8 @@ mod tests {
     fn gamma_gap_auto_selection_also_finds_three() {
         let data = three_blobs();
         let index = NaiveReferenceIndex::build(&data);
-        let params = DpcParams::new(0.5).with_centers(CenterSelection::GammaGap { max_centers: 10 });
+        let params =
+            DpcParams::new(0.5).with_centers(CenterSelection::GammaGap { max_centers: 10 });
         let clustering = cluster_with_index(&index, &params).unwrap();
         assert_eq!(clustering.num_clusters(), 3);
     }

@@ -24,7 +24,9 @@ pub struct Timer {
 impl Timer {
     /// Starts the timer now.
     pub fn start() -> Self {
-        Timer { start: Instant::now() }
+        Timer {
+            start: Instant::now(),
+        }
     }
 
     /// Time elapsed since the timer was started.
@@ -166,7 +168,8 @@ mod tests {
     #[test]
     fn memory_report_totals_and_renders() {
         let mut r = MemoryReport::new();
-        r.add("lists", 2 * 1024 * 1024).add("histograms", 512 * 1024);
+        r.add("lists", 2 * 1024 * 1024)
+            .add("histograms", 512 * 1024);
         assert_eq!(r.total_bytes(), 2 * 1024 * 1024 + 512 * 1024);
         assert!((r.total_mib() - 2.5).abs() < 1e-9);
         let text = r.render();

@@ -117,11 +117,11 @@ proptest! {
         let (rho, deltas) = index.rho_delta(dc).unwrap();
         let order = DensityOrder::new(&rho);
         // Definition of rho.
-        for p in 0..data.len() {
+        for (p, &rho_p) in rho.iter().enumerate() {
             let expected = (0..data.len())
                 .filter(|&q| q != p && data.distance(p, q) < dc)
                 .count() as u32;
-            prop_assert_eq!(rho[p], expected);
+            prop_assert_eq!(rho_p, expected);
         }
         // Structural validity of delta.
         deltas.validate(&order).unwrap();

@@ -26,7 +26,11 @@ pub struct GaussianBlob {
 impl GaussianBlob {
     /// Creates a component with the given centre, spread and weight.
     pub fn new(center: Point, std_dev: f64, weight: f64) -> Self {
-        GaussianBlob { center, std_dev, weight }
+        GaussianBlob {
+            center,
+            std_dev,
+            weight,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ pub struct MixtureConfig {
 impl MixtureConfig {
     /// Creates a mixture configuration without background noise.
     pub fn new(blobs: Vec<GaussianBlob>, domain: BoundingBox) -> Self {
-        MixtureConfig { blobs, noise_fraction: 0.0, domain }
+        MixtureConfig {
+            blobs,
+            noise_fraction: 0.0,
+            domain,
+        }
     }
 
     /// Sets the fraction of uniform background noise.
@@ -61,7 +69,10 @@ impl MixtureConfig {
 
     /// Generates `n` points from the mixture.
     pub fn generate(&self, n: usize, seed: u64) -> LabelledDataset {
-        assert!(!self.blobs.is_empty(), "mixture needs at least one component");
+        assert!(
+            !self.blobs.is_empty(),
+            "mixture needs at least one component"
+        );
         let mut rng = SplitMix64::new(seed);
         let total_weight: f64 = self.blobs.iter().map(|b| b.weight).sum();
         let mut points = Vec::with_capacity(n);
@@ -130,7 +141,10 @@ pub fn grid_clusters(
     spread: f64,
     seed: u64,
 ) -> LabelledDataset {
-    assert!(rows > 0 && cols > 0, "grid_clusters: grid must be non-empty");
+    assert!(
+        rows > 0 && cols > 0,
+        "grid_clusters: grid must be non-empty"
+    );
     let dx = domain.width() / cols as f64;
     let dy = domain.height() / rows as f64;
     let std_dev = spread * dx.min(dy);
@@ -258,7 +272,11 @@ impl CheckinConfig {
     /// Configuration resembling Brightkite (moderately skewed, ~400 k points
     /// at scale 1).
     pub fn brightkite() -> Self {
-        CheckinConfig { hotspots: 60, zipf_exponent: 1.0, ..CheckinConfig::default() }
+        CheckinConfig {
+            hotspots: 60,
+            zipf_exponent: 1.0,
+            ..CheckinConfig::default()
+        }
     }
 
     /// Configuration resembling Gowalla (very skewed, ~1.26 M points at
@@ -298,7 +316,8 @@ pub fn checkins(n: usize, config: &CheckinConfig, seed: u64) -> LabelledDataset 
             continue;
         }
         let hotspot = rng.zipf(config.hotspots, config.zipf_exponent, zipf_total);
-        let spread = config.hotspot_spread * (1.0 + 0.5 * (hotspot as f64 / config.hotspots as f64));
+        let spread =
+            config.hotspot_spread * (1.0 + 0.5 * (hotspot as f64 / config.hotspots as f64));
         let centre = centres[hotspot];
         let p = Point::new(
             rng.normal_with(centre.x, spread),

@@ -75,7 +75,11 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let d = Dataset::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)]);
+        let d = Dataset::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
         let l = LabelledDataset::new(d, vec![Some(0), Some(1), None]);
         assert_eq!(l.len(), 3);
         assert_eq!(l.label(0), Some(0));

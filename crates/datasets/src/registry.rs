@@ -333,7 +333,11 @@ mod tests {
     fn tau_values_bracket_the_fixed_dc() {
         // For the quality experiment to show the collapse below dc, the τ
         // sweep must contain values below and above the fixed dc.
-        for kind in [DatasetKind::Birch, DatasetKind::Range, DatasetKind::Brightkite] {
+        for kind in [
+            DatasetKind::Birch,
+            DatasetKind::Range,
+            DatasetKind::Brightkite,
+        ] {
             let dc = kind.approx_dc().unwrap();
             let taus = kind.fig10_tau_values().unwrap();
             assert!(taus.iter().any(|&t| t < dc), "{kind}");

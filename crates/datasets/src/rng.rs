@@ -178,7 +178,9 @@ mod tests {
         let n = 20_000;
         let mean_target = 10.0;
         let sd_target = 3.0;
-        let samples: Vec<f64> = (0..n).map(|_| r.normal_with(mean_target, sd_target)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| r.normal_with(mean_target, sd_target))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - mean_target).abs() < 0.2, "mean {mean}");
     }

@@ -1,9 +1,9 @@
 //! Property-based tests of the dataset generators: determinism, domain
 //! containment, label validity and scale behaviour.
 
+use dpc_core::BoundingBox;
 use dpc_datasets::generators::{checkins, grid_clusters, two_moons, uniform, CheckinConfig};
 use dpc_datasets::{DatasetKind, DatasetSpec, SplitMix64, PAPER_DATASETS};
-use dpc_core::BoundingBox;
 use proptest::prelude::*;
 
 proptest! {

@@ -16,8 +16,7 @@ use std::time::Duration;
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::stats::nested_vec_bytes;
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result, TieBreak,
-    Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Result, Rho, TieBreak, Timer,
 };
 
 use crate::nlist::NeighborLists;
@@ -91,7 +90,9 @@ impl ChIndex {
         );
         let timer = Timer::start();
         let threads = config.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         let lists = NeighborLists::build_with_threads(dataset, config.tau, threads);
         let histograms = build_histograms(&lists, config.bin_width);
@@ -214,7 +215,9 @@ impl DpcIndex for ChIndex {
 
     fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
         validate_dc(dc)?;
-        Ok((0..self.dataset.len()).map(|p| self.rho_one(p, dc)).collect())
+        Ok((0..self.dataset.len())
+            .map(|p| self.rho_one(p, dc))
+            .collect())
     }
 
     fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
@@ -254,7 +257,12 @@ mod tests {
         let baseline = LeanDpc::build(data);
         let (r1, d1) = index.rho_delta(dc).unwrap();
         let (r2, d2) = baseline.rho_delta(dc).unwrap();
-        assert_eq!(r1, r2, "rho mismatch at dc = {dc} (w = {})", index.bin_width());
+        assert_eq!(
+            r1,
+            r2,
+            "rho mismatch at dc = {dc} (w = {})",
+            index.bin_width()
+        );
         assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
         for p in 0..data.len() {
             assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9);

@@ -52,7 +52,10 @@ impl KnnDpc {
     /// Panics if the lists were built with a threshold or cover a different
     /// number of points than the dataset.
     pub fn from_lists(dataset: &Dataset, lists: NeighborLists) -> Self {
-        assert!(lists.tau().is_none(), "KnnDpc requires full (untruncated) neighbour lists");
+        assert!(
+            lists.tau().is_none(),
+            "KnnDpc requires full (untruncated) neighbour lists"
+        );
         assert_eq!(lists.len(), dataset.len(), "lists must cover the dataset");
         KnnDpc {
             dataset: dataset.clone(),
@@ -146,7 +149,9 @@ impl KnnDpc {
         let order = DensityOrder::with_tie_break(&ranks, self.tie);
         // The assignment step only uses a distance for the (disabled) halo
         // computation; the median k-distance is a sensible stand-in.
-        let mut kdists: Vec<f64> = (0..self.dataset.len()).map(|p| self.knn_distance(p, k)).collect();
+        let mut kdists: Vec<f64> = (0..self.dataset.len())
+            .map(|p| self.knn_distance(p, k))
+            .collect();
         kdists.sort_by(f64::total_cmp);
         let pseudo_dc = kdists[kdists.len() / 2].max(f64::MIN_POSITIVE);
         assign_clusters(
@@ -231,7 +236,9 @@ mod tests {
     fn clusters_three_blobs_without_a_dc_parameter() {
         let data = blobs();
         let knn = KnnDpc::build(&data);
-        let clustering = knn.cluster(6, &CenterSelection::TopKGamma { k: 3 }).unwrap();
+        let clustering = knn
+            .cluster(6, &CenterSelection::TopKGamma { k: 3 })
+            .unwrap();
         assert_eq!(clustering.num_clusters(), 3);
         assert_eq!(clustering.sizes(), vec![36, 36, 36]);
     }
@@ -242,11 +249,13 @@ mod tests {
         // variant must produce the same partition (up to label permutation).
         let data = s1(71, 0.06).into_dataset(); // 300 points
         let knn = KnnDpc::build(&data);
-        let knn_clustering = knn.cluster(8, &CenterSelection::TopKGamma { k: 15 }).unwrap();
+        let knn_clustering = knn
+            .cluster(8, &CenterSelection::TopKGamma { k: 15 })
+            .unwrap();
 
         let list = crate::list::ListIndex::build(&data);
-        let params = dpc_core::DpcParams::new(30_000.0)
-            .with_centers(CenterSelection::TopKGamma { k: 15 });
+        let params =
+            dpc_core::DpcParams::new(30_000.0).with_centers(CenterSelection::TopKGamma { k: 15 });
         let cutoff_clustering = dpc_core::pipeline::cluster_with_index(&list, &params).unwrap();
 
         // Both produce 15 clusters with very similar size distributions
@@ -258,15 +267,22 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         let total_diff: usize = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
-        assert!(total_diff <= data.len() / 10, "size distributions differ too much: {a:?} vs {b:?}");
+        assert!(
+            total_diff <= data.len() / 10,
+            "size distributions differ too much: {a:?} vs {b:?}"
+        );
     }
 
     #[test]
     fn identical_partitions_for_identical_parameters() {
         let data = blobs();
         let knn = KnnDpc::build(&data);
-        let a = knn.cluster(5, &CenterSelection::TopKGamma { k: 3 }).unwrap();
-        let b = knn.cluster(5, &CenterSelection::TopKGamma { k: 3 }).unwrap();
+        let a = knn
+            .cluster(5, &CenterSelection::TopKGamma { k: 3 })
+            .unwrap();
+        let b = knn
+            .cluster(5, &CenterSelection::TopKGamma { k: 3 })
+            .unwrap();
         assert_same_partition(&a, &b);
     }
 
@@ -303,8 +319,11 @@ mod tests {
         let knn = KnnDpc::build(&data);
         let ranks = knn.density_ranks(3).unwrap();
         let max_rank = *ranks.iter().max().unwrap();
-        for p in 0..5 {
-            assert_eq!(ranks[p], max_rank, "coincident point {p} must have the top rank");
+        for (p, &rank) in ranks.iter().take(5).enumerate() {
+            assert_eq!(
+                rank, max_rank,
+                "coincident point {p} must have the top rank"
+            );
         }
     }
 }

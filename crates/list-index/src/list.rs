@@ -9,13 +9,13 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak, Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
 };
 
 use crate::nlist::NeighborLists;
 
 /// Configuration of a [`ListIndex`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ListIndexConfig {
     /// Neighbour threshold `τ`; `None` builds full N-Lists, `Some(t)` builds
     /// the approximate RN-Lists of §3.3.
@@ -24,12 +24,6 @@ pub struct ListIndexConfig {
     pub tie_break: TieBreak,
     /// Worker threads for construction (`None` = all available cores).
     pub threads: Option<usize>,
-}
-
-impl Default for ListIndexConfig {
-    fn default() -> Self {
-        ListIndexConfig { tau: None, tie_break: TieBreak::default(), threads: None }
-    }
 }
 
 /// The List Index.
@@ -49,14 +43,22 @@ impl ListIndex {
 
     /// Builds the approximate variant with RN-Lists truncated at `tau`.
     pub fn build_approx(dataset: &Dataset, tau: f64) -> Self {
-        Self::with_config(dataset, &ListIndexConfig { tau: Some(tau), ..Default::default() })
+        Self::with_config(
+            dataset,
+            &ListIndexConfig {
+                tau: Some(tau),
+                ..Default::default()
+            },
+        )
     }
 
     /// Builds the index with an explicit configuration.
     pub fn with_config(dataset: &Dataset, config: &ListIndexConfig) -> Self {
         let timer = Timer::start();
         let threads = config.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         let lists = NeighborLists::build_with_threads(dataset, config.tau, threads);
         ListIndex {

@@ -23,7 +23,10 @@ pub struct Neighbor {
 impl Neighbor {
     /// Creates an entry.
     pub fn new(dist: f64, id: PointId) -> Self {
-        Neighbor { dist, id: id as u32 }
+        Neighbor {
+            dist,
+            id: id as u32,
+        }
     }
 
     /// Neighbour id as a [`PointId`].
@@ -85,17 +88,14 @@ impl NeighborLists {
                 scope.spawn(move |_| {
                     for (offset, list) in out.iter_mut().enumerate() {
                         let p = start + offset;
-                        let mut entries: Vec<Neighbor> = Vec::with_capacity(if tau.is_some() {
-                            16
-                        } else {
-                            n - 1
-                        });
+                        let mut entries: Vec<Neighbor> =
+                            Vec::with_capacity(if tau.is_some() { 16 } else { n - 1 });
                         for (q, point_q) in pts.iter().enumerate() {
                             if q == p {
                                 continue;
                             }
                             let d = pts[p].distance(point_q);
-                            if tau.map_or(true, |t| d < t) {
+                            if tau.is_none_or(|t| d < t) {
                                 entries.push(Neighbor::new(d, q));
                             }
                         }

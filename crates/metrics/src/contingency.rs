@@ -48,7 +48,12 @@ impl ContingencyTable {
                 col_sums[j] += v;
             }
         }
-        ContingencyTable { counts, row_sums, col_sums, total: rows.len() }
+        ContingencyTable {
+            counts,
+            row_sums,
+            col_sums,
+            total: rows.len(),
+        }
     }
 
     /// Builds the table from plain (noise-free) label vectors.

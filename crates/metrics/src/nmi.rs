@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
-        assert_eq!(normalized_mutual_information_labels(&[0, 0, 0], &[5, 5, 5]), 1.0);
+        assert_eq!(
+            normalized_mutual_information_labels(&[0, 0, 0], &[5, 5, 5]),
+            1.0
+        );
     }
 
     #[test]

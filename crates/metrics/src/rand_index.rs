@@ -40,7 +40,9 @@ mod tests {
 
     #[test]
     fn identical_partitions_score_one() {
-        assert!((adjusted_rand_index_labels(&[0, 0, 1, 1, 2], &[0, 0, 1, 1, 2]) - 1.0).abs() < 1e-12);
+        assert!(
+            (adjusted_rand_index_labels(&[0, 0, 1, 1, 2], &[0, 0, 1, 1, 2]) - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -58,7 +58,8 @@ impl ResultTable {
             cells.len(),
             self.columns.len()
         );
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
         self
     }
 
@@ -89,7 +90,9 @@ impl ResultTable {
             .collect();
         out.push_str(&header.join("  "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             let cells: Vec<String> = row
@@ -121,7 +124,8 @@ impl ResultTable {
             std::fs::create_dir_all(parent).map_err(DpcError::from)?;
         }
         let mut file = File::create(path)?;
-        file.write_all(self.to_csv().as_bytes()).map_err(DpcError::from)
+        file.write_all(self.to_csv().as_bytes())
+            .map_err(DpcError::from)
     }
 }
 

@@ -21,7 +21,10 @@ pub fn measure_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
 /// # Panics
 /// Panics if `repetitions` is 0.
 pub fn measure_median<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
-    assert!(repetitions > 0, "measure_median: need at least one repetition");
+    assert!(
+        repetitions > 0,
+        "measure_median: need at least one repetition"
+    );
     let mut times = Vec::with_capacity(repetitions);
     let mut last = None;
     for _ in 0..repetitions {
@@ -30,7 +33,10 @@ pub fn measure_median<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (Durat
         last = Some(value);
     }
     times.sort_unstable();
-    (times[times.len() / 2], last.expect("at least one repetition ran"))
+    (
+        times[times.len() / 2],
+        last.expect("at least one repetition ran"),
+    )
 }
 
 #[cfg(test)]

@@ -9,13 +9,19 @@ use proptest::prelude::*;
 /// Strategy: a labeling of up to 60 points over up to 6 clusters, with some
 /// points marked as noise.
 fn labeling_strategy() -> impl Strategy<Value = Vec<Option<ClusterId>>> {
-    prop::collection::vec(prop_oneof![3 => (0usize..6).prop_map(Some), 1 => Just(None)], 1..60)
+    prop::collection::vec(
+        prop_oneof![3 => (0usize..6).prop_map(Some), 1 => Just(None)],
+        1..60,
+    )
 }
 
 /// A random permutation of cluster ids applied to a labeling (noise stays
 /// noise).
 fn permute(labels: &[Option<ClusterId>], offset: usize) -> Vec<Option<ClusterId>> {
-    labels.iter().map(|l| l.map(|c| (c * 7 + offset) % 31 + 100)).collect()
+    labels
+        .iter()
+        .map(|l| l.map(|c| (c * 7 + offset) % 31 + 100))
+        .collect()
 }
 
 proptest! {

@@ -111,10 +111,7 @@ pub fn check_partition_invariants<T: SpatialPartition + ?Sized>(
             );
             for &p in points {
                 let p = p as PointId;
-                assert!(
-                    !seen[p],
-                    "point {p} appears in more than one leaf"
-                );
+                assert!(!seen[p], "point {p} appears in more than one leaf");
                 seen[p] = true;
                 assert!(
                     bbox.contains(dataset.point(p)),
@@ -132,7 +129,11 @@ pub fn check_partition_invariants<T: SpatialPartition + ?Sized>(
         "more reachable nodes than num_nodes() reports"
     );
     let root_count = tree.point_count(root);
-    assert_eq!(root_count, dataset.len(), "root nc must equal the dataset size");
+    assert_eq!(
+        root_count,
+        dataset.len(),
+        "root nc must equal the dataset size"
+    );
 }
 
 #[cfg(test)]

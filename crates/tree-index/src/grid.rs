@@ -12,14 +12,13 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Result, Rho,
     TieBreak, Timer,
 };
 
 use crate::common::{NodeId, SpatialPartition};
 use crate::query::{
-    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
-    QueryStats,
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of a [`GridIndex`].
@@ -79,7 +78,10 @@ impl GridIndex {
             "GridIndex: target points per cell must be positive"
         );
         if let Some(s) = config.cell_size {
-            assert!(s.is_finite() && s > 0.0, "GridIndex: cell size must be positive, got {s}");
+            assert!(
+                s.is_finite() && s > 0.0,
+                "GridIndex: cell size must be positive, got {s}"
+            );
         }
         let timer = Timer::start();
         let n = dataset.len();
@@ -154,7 +156,13 @@ impl GridIndex {
         validate_rho_len(rho, self.dataset.len())?;
         let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
         let maxrho = subtree_max_density(self, rho);
-        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+        Ok(delta_query_with_stats(
+            self,
+            &self.dataset,
+            &order,
+            &maxrho,
+            config,
+        ))
     }
 }
 
@@ -271,7 +279,10 @@ mod tests {
         let auto = GridIndex::build(&data);
         let explicit = GridIndex::with_config(
             &data,
-            &GridConfig { cell_size: Some(75_000.0), ..Default::default() },
+            &GridConfig {
+                cell_size: Some(75_000.0),
+                ..Default::default()
+            },
         );
         for dc in [10_000.0, 120_000.0] {
             assert_matches_baseline(&data, &auto, dc);
@@ -295,7 +306,10 @@ mod tests {
         let data = s1(311, 0.02).into_dataset();
         let grid = GridIndex::with_config(
             &data,
-            &GridConfig { cell_size: Some(1.0e7), ..Default::default() },
+            &GridConfig {
+                cell_size: Some(1.0e7),
+                ..Default::default()
+            },
         );
         assert_eq!(grid.cell_count(), 1);
         assert_matches_baseline(&data, &grid, 40_000.0);
@@ -322,7 +336,10 @@ mod tests {
     fn invalid_cell_size_panics() {
         GridIndex::with_config(
             &Dataset::new(vec![]),
-            &GridConfig { cell_size: Some(-1.0), ..Default::default() },
+            &GridConfig {
+                cell_size: Some(-1.0),
+                ..Default::default()
+            },
         );
     }
 }

@@ -11,14 +11,13 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Result, Rho,
     TieBreak, Timer,
 };
 
 use crate::common::{NodeId, SpatialPartition};
 use crate::query::{
-    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
-    QueryStats,
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of a [`KdTree`].
@@ -76,7 +75,10 @@ impl KdTree {
     /// # Panics
     /// Panics if `leaf_capacity` is 0.
     pub fn with_config(dataset: &Dataset, config: &KdTreeConfig) -> Self {
-        assert!(config.leaf_capacity > 0, "KdTree: leaf capacity must be positive");
+        assert!(
+            config.leaf_capacity > 0,
+            "KdTree: leaf capacity must be positive"
+        );
         let timer = Timer::start();
         let mut tree = KdTree {
             dataset: dataset.clone(),
@@ -117,7 +119,13 @@ impl KdTree {
         validate_rho_len(rho, self.dataset.len())?;
         let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
         let maxrho = subtree_max_density(self, rho);
-        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+        Ok(delta_query_with_stats(
+            self,
+            &self.dataset,
+            &order,
+            &maxrho,
+            config,
+        ))
     }
 
     fn tight_bbox(&self, ids: &[u32]) -> BoundingBox {
@@ -134,7 +142,9 @@ impl KdTree {
             self.nodes.push(KdNode {
                 bbox,
                 count: ids.len(),
-                kind: NodeKind::Leaf { points: ids.to_vec() },
+                kind: NodeKind::Leaf {
+                    points: ids.to_vec(),
+                },
             });
             return self.nodes.len() - 1;
         }
@@ -143,9 +153,7 @@ impl KdTree {
         ids.select_nth_unstable_by(mid, |&a, &b| {
             let pa = self.dataset.point(a as PointId);
             let pb = self.dataset.point(b as PointId);
-            pa.coord(axis)
-                .total_cmp(&pb.coord(axis))
-                .then(a.cmp(&b))
+            pa.coord(axis).total_cmp(&pb.coord(axis)).then(a.cmp(&b))
         });
         let (left_ids, right_ids) = ids.split_at_mut(mid);
         // `split_at_mut` lets both halves be recursed without cloning, but we
@@ -155,7 +163,13 @@ impl KdTree {
         let left = self.build_recursive(&mut left_vec, depth + 1);
         let right = self.build_recursive(&mut right_vec, depth + 1);
         let count = self.nodes[left].count + self.nodes[right].count;
-        self.nodes.push(KdNode { bbox, count, kind: NodeKind::Internal { children: [left, right] } });
+        self.nodes.push(KdNode {
+            bbox,
+            count,
+            kind: NodeKind::Internal {
+                children: [left, right],
+            },
+        });
         self.nodes.len() - 1
     }
 }
@@ -282,7 +296,10 @@ mod tests {
         let data = s1(227, 0.03).into_dataset();
         let tree = KdTree::with_config(
             &data,
-            &KdTreeConfig { leaf_capacity: 2, ..Default::default() },
+            &KdTreeConfig {
+                leaf_capacity: 2,
+                ..Default::default()
+            },
         );
         check_partition_invariants(&tree, &data);
         assert_matches_baseline(&data, &tree, 50_000.0);
@@ -294,8 +311,12 @@ mod tests {
         let tree = KdTree::build(&data);
         let dc = 30_000.0;
         let rho = tree.rho(dc).unwrap();
-        let (_, s_pruned) = tree.delta_with_config(dc, &rho, &DeltaQueryConfig::default()).unwrap();
-        let (_, s_full) = tree.delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning()).unwrap();
+        let (_, s_pruned) = tree
+            .delta_with_config(dc, &rho, &DeltaQueryConfig::default())
+            .unwrap();
+        let (_, s_full) = tree
+            .delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning())
+            .unwrap();
         assert!(s_pruned.points_scanned < s_full.points_scanned);
     }
 

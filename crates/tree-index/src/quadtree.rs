@@ -11,14 +11,13 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Rho, Result,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Result, Rho,
     TieBreak, Timer,
 };
 
 use crate::common::{NodeId, SpatialPartition};
 use crate::query::{
-    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
-    QueryStats,
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of a [`Quadtree`].
@@ -81,7 +80,10 @@ impl Quadtree {
     /// # Panics
     /// Panics if `node_capacity` is 0 or `max_depth` is 0.
     pub fn with_config(dataset: &Dataset, config: &QuadtreeConfig) -> Self {
-        assert!(config.node_capacity > 0, "Quadtree: node capacity must be positive");
+        assert!(
+            config.node_capacity > 0,
+            "Quadtree: node capacity must be positive"
+        );
         assert!(config.max_depth > 0, "Quadtree: max depth must be positive");
         let timer = Timer::start();
         let mut tree = Quadtree {
@@ -139,7 +141,13 @@ impl Quadtree {
         validate_rho_len(rho, self.dataset.len())?;
         let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
         let maxrho = subtree_max_density(self, rho);
-        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+        Ok(delta_query_with_stats(
+            self,
+            &self.dataset,
+            &order,
+            &maxrho,
+            config,
+        ))
     }
 
     /// Inserts point `p`, splitting leaves as needed.
@@ -165,7 +173,9 @@ impl Quadtree {
             let quadrant = quadrant_of(&bbox, point);
             match &self.nodes[node].kind {
                 NodeKind::Internal { children } => node = children[quadrant],
-                NodeKind::Leaf { .. } => unreachable!("split must turn the node into an internal node"),
+                NodeKind::Leaf { .. } => {
+                    unreachable!("split must turn the node into an internal node")
+                }
             }
         }
     }
@@ -189,7 +199,12 @@ impl Quadtree {
                 kind: NodeKind::Leaf { points: Vec::new() },
             });
         }
-        let children = [first_child, first_child + 1, first_child + 2, first_child + 3];
+        let children = [
+            first_child,
+            first_child + 1,
+            first_child + 2,
+            first_child + 3,
+        ];
         for pid in old_points {
             let point = self.dataset.point(pid as PointId);
             let child = children[quadrant_of(&bbox, point)];
@@ -308,7 +323,10 @@ mod tests {
         assert_eq!(r1, r2, "rho mismatch at dc = {dc}");
         assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
         for p in 0..data.len() {
-            assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9, "dc = {dc}, p = {p}");
+            assert!(
+                (d1.delta(p) - d2.delta(p)).abs() < 1e-9,
+                "dc = {dc}, p = {p}"
+            );
         }
     }
 
@@ -342,7 +360,10 @@ mod tests {
     #[test]
     fn matches_baseline_with_tiny_node_capacity() {
         let data = query(107, 0.004).into_dataset(); // 200 points
-        let config = QuadtreeConfig { node_capacity: 2, ..Default::default() };
+        let config = QuadtreeConfig {
+            node_capacity: 2,
+            ..Default::default()
+        };
         let tree = Quadtree::with_config(&data, &config);
         check_partition_invariants(&tree, &data);
         assert_matches_baseline(&data, &tree, 0.02);
@@ -352,7 +373,11 @@ mod tests {
     fn handles_coincident_points_via_max_depth() {
         // 100 identical points would split forever without the depth guard.
         let data = Dataset::new(vec![dpc_core::Point::new(1.0, 1.0); 100]);
-        let config = QuadtreeConfig { node_capacity: 4, max_depth: 6, ..Default::default() };
+        let config = QuadtreeConfig {
+            node_capacity: 4,
+            max_depth: 6,
+            ..Default::default()
+        };
         let tree = Quadtree::with_config(&data, &config);
         check_partition_invariants(&tree, &data);
         assert!(tree.height() <= 7);
@@ -366,10 +391,12 @@ mod tests {
         let tree = Quadtree::build(&data);
         let dc = 30_000.0;
         let rho = tree.rho(dc).unwrap();
-        let (d_pruned, s_pruned) =
-            tree.delta_with_config(dc, &rho, &DeltaQueryConfig::default()).unwrap();
-        let (d_full, s_full) =
-            tree.delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning()).unwrap();
+        let (d_pruned, s_pruned) = tree
+            .delta_with_config(dc, &rho, &DeltaQueryConfig::default())
+            .unwrap();
+        let (d_full, s_full) = tree
+            .delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning())
+            .unwrap();
         assert_eq!(d_pruned.mu, d_full.mu);
         assert!(s_pruned.points_scanned < s_full.points_scanned);
         assert!(s_pruned.nodes_visited < s_full.nodes_visited);

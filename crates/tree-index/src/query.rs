@@ -70,7 +70,10 @@ pub struct DeltaQueryConfig {
 
 impl Default for DeltaQueryConfig {
     fn default() -> Self {
-        DeltaQueryConfig { density_pruning: true, distance_pruning: true }
+        DeltaQueryConfig {
+            density_pruning: true,
+            distance_pruning: true,
+        }
     }
 }
 
@@ -78,7 +81,10 @@ impl DeltaQueryConfig {
     /// Configuration with every pruning rule disabled (exhaustive best-first
     /// search); the ablation baseline.
     pub fn no_pruning() -> Self {
-        DeltaQueryConfig { density_pruning: false, distance_pruning: false }
+        DeltaQueryConfig {
+            density_pruning: false,
+            distance_pruning: false,
+        }
     }
 }
 
@@ -149,7 +155,9 @@ pub fn rho_one<T: SpatialPartition + ?Sized>(
 /// by [`NodeId`]; nodes with no points get 0.
 pub fn subtree_max_density<T: SpatialPartition + ?Sized>(tree: &T, rho: &[Rho]) -> Vec<Rho> {
     let mut maxrho = vec![0 as Rho; tree.num_nodes()];
-    let Some(root) = tree.root() else { return maxrho };
+    let Some(root) = tree.root() else {
+        return maxrho;
+    };
     // Iterative post-order: process children before parents.
     let mut order: Vec<NodeId> = Vec::with_capacity(tree.num_nodes());
     let mut stack = vec![root];
@@ -232,7 +240,9 @@ pub fn delta_one<T: SpatialPartition + ?Sized>(
     config: &DeltaQueryConfig,
     stats: &mut QueryStats,
 ) -> (f64, Option<PointId>) {
-    let Some(root) = tree.root() else { return (0.0, None) };
+    let Some(root) = tree.root() else {
+        return (0.0, None);
+    };
     let query = dataset.point(p);
     let rho_p = order.rho()[p];
 
@@ -264,7 +274,7 @@ pub fn delta_one<T: SpatialPartition + ?Sized>(
                 // Lexicographic (distance, id) comparison keeps µ identical
                 // to the list-based indices and the baseline when several
                 // denser neighbours are equidistant.
-                if d < best_d || (d == best_d && best_q.map_or(true, |b| q < b)) {
+                if d < best_d || (d == best_d && best_q.is_none_or(|b| q < b)) {
                     best_d = d;
                     best_q = Some(q);
                 }
@@ -343,8 +353,13 @@ mod tests {
 
         let (with_pruning, stats_pruned) =
             delta_query_with_stats(&part, &data, &order, &maxrho, &DeltaQueryConfig::default());
-        let (without_pruning, stats_full) =
-            delta_query_with_stats(&part, &data, &order, &maxrho, &DeltaQueryConfig::no_pruning());
+        let (without_pruning, stats_full) = delta_query_with_stats(
+            &part,
+            &data,
+            &order,
+            &maxrho,
+            &DeltaQueryConfig::no_pruning(),
+        );
 
         assert_eq!(with_pruning.mu, without_pruning.mu);
         assert!(
@@ -375,14 +390,14 @@ mod tests {
         let maxrho = subtree_max_density(&part, &rho);
         let root = part.root().unwrap();
         assert_eq!(maxrho[root], rho.iter().copied().max().unwrap());
-        for node in 1..part.num_nodes() {
+        for (node, &got) in maxrho.iter().enumerate().skip(1) {
             let expected = part
                 .points(node)
                 .iter()
                 .map(|&q| rho[q as usize])
                 .max()
                 .unwrap_or(0);
-            assert_eq!(maxrho[node], expected, "node {node}");
+            assert_eq!(got, expected, "node {node}");
         }
     }
 
@@ -400,8 +415,16 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = QueryStats { nodes_visited: 1, points_scanned: 5, ..Default::default() };
-        let b = QueryStats { nodes_visited: 2, nodes_discarded: 3, ..Default::default() };
+        let mut a = QueryStats {
+            nodes_visited: 1,
+            points_scanned: 5,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            nodes_visited: 2,
+            nodes_discarded: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.nodes_visited, 3);
         assert_eq!(a.nodes_discarded, 3);

@@ -13,14 +13,13 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Rho, Result, TieBreak,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak,
     Timer,
 };
 
 use crate::common::{NodeId, SpatialPartition};
 use crate::query::{
-    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig,
-    QueryStats,
+    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of an [`RTree`].
@@ -79,7 +78,10 @@ impl RTree {
     /// # Panics
     /// Panics if `node_capacity < 2`.
     pub fn with_config(dataset: &Dataset, config: &RTreeConfig) -> Self {
-        assert!(config.node_capacity >= 2, "RTree: node capacity must be at least 2");
+        assert!(
+            config.node_capacity >= 2,
+            "RTree: node capacity must be at least 2"
+        );
         let timer = Timer::start();
         let mut tree = RTree {
             dataset: dataset.clone(),
@@ -126,7 +128,13 @@ impl RTree {
         validate_rho_len(rho, self.dataset.len())?;
         let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
         let maxrho = subtree_max_density(self, rho);
-        Ok(delta_query_with_stats(self, &self.dataset, &order, &maxrho, config))
+        Ok(delta_query_with_stats(
+            self,
+            &self.dataset,
+            &order,
+            &maxrho,
+            config,
+        ))
     }
 
     /// STR bulk loading: build the leaf level from the points, then pack each
@@ -145,7 +153,11 @@ impl RTree {
                 points.push(idx as u32);
             }
             let count = points.len();
-            self.nodes.push(RNode { bbox, count, kind: NodeKind::Leaf { points } });
+            self.nodes.push(RNode {
+                bbox,
+                count,
+                kind: NodeKind::Leaf { points },
+            });
             level.push(self.nodes.len() - 1);
         }
         // Upper levels.
@@ -167,7 +179,11 @@ impl RTree {
                     bbox = bbox.union(&self.nodes[c].bbox);
                     count += self.nodes[c].count;
                 }
-                self.nodes.push(RNode { bbox, count, kind: NodeKind::Internal { children } });
+                self.nodes.push(RNode {
+                    bbox,
+                    count,
+                    kind: NodeKind::Internal { children },
+                });
                 next_level.push(self.nodes.len() - 1);
             }
             level = next_level;
@@ -310,13 +326,18 @@ mod tests {
         assert_eq!(r1, r2, "rho mismatch at dc = {dc}");
         assert_eq!(d1.mu, d2.mu, "mu mismatch at dc = {dc}");
         for p in 0..data.len() {
-            assert!((d1.delta(p) - d2.delta(p)).abs() < 1e-9, "dc = {dc}, p = {p}");
+            assert!(
+                (d1.delta(p) - d2.delta(p)).abs() < 1e-9,
+                "dc = {dc}, p = {p}"
+            );
         }
     }
 
     #[test]
     fn str_groups_respect_capacity_and_cover_all_items() {
-        let coords: Vec<(f64, f64)> = (0..137).map(|i| (i as f64 * 0.7, (i % 13) as f64)).collect();
+        let coords: Vec<(f64, f64)> = (0..137)
+            .map(|i| (i as f64 * 0.7, (i % 13) as f64))
+            .collect();
         let groups = str_groups(&coords, 10);
         let mut seen = vec![false; coords.len()];
         for g in &groups {
@@ -349,7 +370,10 @@ mod tests {
         let mut depths = Vec::new();
         leaf_depths(&tree, tree.root().unwrap(), 0, &mut depths);
         let first = depths[0];
-        assert!(depths.iter().all(|&d| d == first), "leaves at different depths");
+        assert!(
+            depths.iter().all(|&d| d == first),
+            "leaves at different depths"
+        );
     }
 
     #[test]
@@ -386,7 +410,10 @@ mod tests {
     #[test]
     fn small_fanout_still_correct() {
         let data = s1(151, 0.03).into_dataset(); // 150 points
-        let config = RTreeConfig { node_capacity: 3, ..Default::default() };
+        let config = RTreeConfig {
+            node_capacity: 3,
+            ..Default::default()
+        };
         let tree = RTree::with_config(&data, &config);
         check_partition_invariants(&tree, &data);
         assert_matches_baseline(&data, &tree, 40_000.0);
@@ -398,10 +425,12 @@ mod tests {
         let tree = RTree::build(&data);
         let dc = 30_000.0;
         let rho = tree.rho(dc).unwrap();
-        let (d_pruned, s_pruned) =
-            tree.delta_with_config(dc, &rho, &DeltaQueryConfig::default()).unwrap();
-        let (d_full, s_full) =
-            tree.delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning()).unwrap();
+        let (d_pruned, s_pruned) = tree
+            .delta_with_config(dc, &rho, &DeltaQueryConfig::default())
+            .unwrap();
+        let (d_full, s_full) = tree
+            .delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning())
+            .unwrap();
         assert_eq!(d_pruned.mu, d_full.mu);
         assert!(s_pruned.points_scanned < s_full.points_scanned);
     }
@@ -439,6 +468,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2")]
     fn capacity_below_two_panics() {
-        RTree::with_config(&Dataset::new(vec![]), &RTreeConfig { node_capacity: 1, ..Default::default() });
+        RTree::with_config(
+            &Dataset::new(vec![]),
+            &RTreeConfig {
+                node_capacity: 1,
+                ..Default::default()
+            },
+        );
     }
 }

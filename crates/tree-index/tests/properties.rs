@@ -6,8 +6,8 @@ use dpc_core::{Dataset, DensityOrder, DpcIndex};
 use dpc_tree_index::common::check_partition_invariants;
 use dpc_tree_index::query::{rho_query, subtree_max_density};
 use dpc_tree_index::{
-    DeltaQueryConfig, GridConfig, GridIndex, KdTree, KdTreeConfig, Quadtree, QuadtreeConfig,
-    RTree, RTreeConfig, SpatialPartition,
+    DeltaQueryConfig, GridConfig, GridIndex, KdTree, KdTreeConfig, Quadtree, QuadtreeConfig, RTree,
+    RTreeConfig, SpatialPartition,
 };
 use proptest::prelude::*;
 

@@ -52,5 +52,7 @@ fn main() {
     }
 
     println!("\ntau >= dc ({dc}) keeps the clustering essentially exact;");
-    println!("smaller tau saves memory but loses the dependent neighbours and the quality collapses.");
+    println!(
+        "smaller tau saves memory but loses the dependent neighbours and the quality collapses."
+    );
 }

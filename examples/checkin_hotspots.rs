@@ -25,7 +25,11 @@ fn main() {
 
     // One R-tree, many dc values: the index is built once.
     let index = RTree::build(&data);
-    println!("index: {} ({} KiB)\n", index.name(), index.memory_bytes() / 1024);
+    println!(
+        "index: {} ({} KiB)\n",
+        index.name(),
+        index.memory_bytes() / 1024
+    );
 
     for dc in [0.05, 0.2, 1.0, 5.0] {
         // Check-in data is heavily skewed (a few huge hotspots, many small
@@ -40,7 +44,9 @@ fn main() {
             rho_min: mean_rho.max(1),
             delta_min: dc,
         });
-        let run = DpcPipeline::new(params).run(&index).expect("clustering failed");
+        let run = DpcPipeline::new(params)
+            .run(&index)
+            .expect("clustering failed");
         let mut sizes = run.clustering.sizes();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let top: Vec<usize> = sizes.iter().copied().take(5).collect();
@@ -53,7 +59,10 @@ fn main() {
         // Show where the biggest hotspot is.
         let biggest_center = run.clustering.centers()[0];
         let p = data.point(biggest_center);
-        println!("          densest hotspot centre near ({:.2}, {:.2})", p.x, p.y);
+        println!(
+            "          densest hotspot centre near ({:.2}, {:.2})",
+            p.x, p.y
+        );
     }
 
     println!("\nDifferent dc values give genuinely different clusterings —");

@@ -22,13 +22,19 @@ fn main() {
     let labelled = density_peaks::datasets::generators::birch(7, 0.05); // 5 000 points
     let data = labelled.dataset.clone();
     let truth = &labelled.labels;
-    println!("dataset: {} points, {} generating clusters\n", data.len(), labelled.num_components());
+    println!(
+        "dataset: {} points, {} generating clusters\n",
+        data.len(),
+        labelled.num_components()
+    );
 
     // --- Variant 1: estimate dc, then run classic DPC through an index. ---
     // With 100 clusters each holding ~1% of the data, the neighbour-fraction
     // target must stay below the per-cluster share; 0.5% is a good default
     // for strongly clustered data.
-    let dc = DcEstimation::with_fraction(0.005).estimate(&data).expect("dc estimation");
+    let dc = DcEstimation::with_fraction(0.005)
+        .estimate(&data)
+        .expect("dc estimation");
     println!("estimated dc (0.5% neighbour rule): {dc:.0}");
     let index = RTree::build(&data);
     let params = DpcParams::new(dc).with_centers(CenterSelection::TopKGamma { k: 100 });

@@ -27,10 +27,18 @@ fn main() {
     //    by gamma = normalised rho * delta; we ask for the top 15.
     let dc = 30_000.0;
     let params = DpcParams::new(dc).with_centers(CenterSelection::TopKGamma { k: 15 });
-    let run = DpcPipeline::new(params).run(&index).expect("clustering failed");
+    let run = DpcPipeline::new(params)
+        .run(&index)
+        .expect("clustering failed");
 
     println!("\ndecision graph: top centre candidates (rho, delta):");
-    for (rank, &p) in run.decision_graph.gamma_ranking().iter().take(5).enumerate() {
+    for (rank, &p) in run
+        .decision_graph
+        .gamma_ranking()
+        .iter()
+        .take(5)
+        .enumerate()
+    {
         println!(
             "  #{rank}: point {p} with rho = {}, delta = {:.0}",
             run.decision_graph.rho(p),
@@ -40,7 +48,10 @@ fn main() {
 
     let mut sizes = run.clustering.sizes();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("\nfound {} clusters with dc = {dc}", run.clustering.num_clusters());
+    println!(
+        "\nfound {} clusters with dc = {dc}",
+        run.clustering.num_clusters()
+    );
     println!("cluster sizes (largest first): {sizes:?}");
     println!(
         "query time: rho = {:.2} ms, delta = {:.2} ms",

@@ -126,6 +126,12 @@ fn quality_degrades_gracefully_then_collapses_as_tau_shrinks() {
 
     let high = f1_at(250_000.0); // tau well above dc
     let low = f1_at(5_000.0); // tau far below dc
-    assert!(high > 0.95, "tau >= dc must stay essentially exact, F1 = {high}");
-    assert!(low < high, "tiny tau must not beat a sufficient tau (low = {low}, high = {high})");
+    assert!(
+        high > 0.95,
+        "tau >= dc must stay essentially exact, F1 = {high}"
+    );
+    assert!(
+        low < high,
+        "tiny tau must not beat a sufficient tau (low = {low}, high = {high})"
+    );
 }

@@ -119,9 +119,9 @@ proptest! {
 fn duplicate_and_collinear_points_are_handled_by_every_index() {
     // Degenerate layouts that stress tie-breaking and zero-area boxes.
     let layouts: Vec<Vec<(f64, f64)>> = vec![
-        vec![(1.0, 1.0); 12],                                        // all identical
-        (0..20).map(|i| (i as f64, 0.0)).collect(),                  // collinear on x
-        (0..20).map(|i| (0.0, i as f64)).collect(),                  // collinear on y
+        vec![(1.0, 1.0); 12],                       // all identical
+        (0..20).map(|i| (i as f64, 0.0)).collect(), // collinear on x
+        (0..20).map(|i| (0.0, i as f64)).collect(), // collinear on y
         vec![(0.0, 0.0), (0.0, 0.0), (1.0, 1.0), (1.0, 1.0), (2.0, 2.0)], // duplicates
     ];
     for points in layouts {

@@ -46,7 +46,10 @@ fn gamma_gap_auto_selection_finds_the_grid_clusters() {
     let clustering = cluster_with_index(&index, &params).unwrap();
     assert_eq!(clustering.num_clusters(), 9);
     let sizes = clustering.sizes();
-    assert!(sizes.iter().all(|&s| s > 50), "balanced clusters expected, got {sizes:?}");
+    assert!(
+        sizes.iter().all(|&s| s > 50),
+        "balanced clusters expected, got {sizes:?}"
+    );
 }
 
 #[test]
@@ -67,7 +70,10 @@ fn two_moons_shows_the_known_limits_of_vanilla_dpc() {
     assert!(sizes.iter().all(|&s| s > 60), "degenerate split: {sizes:?}");
     let ari = adjusted_rand_index(&as_options(clustering.labels()), &labelled.labels);
     assert!(ari > 0.15, "moons ARI = {ari} (should beat chance)");
-    assert!(ari < 0.99, "vanilla DPC is not expected to solve moons perfectly");
+    assert!(
+        ari < 0.99,
+        "vanilla DPC is not expected to solve moons perfectly"
+    );
 }
 
 #[test]
@@ -91,8 +97,16 @@ fn the_full_pipeline_is_identical_across_indices_on_a_real_generator() {
         ("kdtree", &kdtree),
         ("grid", &grid),
     ] {
-        assert_eq!(clustering.centers(), reference.centers(), "{name} centres differ");
-        assert_eq!(clustering.labels(), reference.labels(), "{name} labels differ");
+        assert_eq!(
+            clustering.centers(),
+            reference.centers(),
+            "{name} centres differ"
+        );
+        assert_eq!(
+            clustering.labels(),
+            reference.labels(),
+            "{name} labels differ"
+        );
     }
 }
 
@@ -109,7 +123,11 @@ fn halo_points_appear_only_between_clusters() {
     let halo = run.clustering.halo_count();
     // Some borders exist, but the vast majority of points are core.
     assert!(halo > 0, "expected some halo points");
-    assert!(halo < data.len() / 2, "halo dominates: {halo} of {}", data.len());
+    assert!(
+        halo < data.len() / 2,
+        "halo dominates: {halo} of {}",
+        data.len()
+    );
     // Cluster centres are the densest points of their clusters and are never halo.
     for &c in run.clustering.centers() {
         assert!(!run.clustering.is_halo(c));
@@ -129,5 +147,8 @@ fn reclustering_with_a_different_dc_reuses_the_same_index() {
         cluster_counts.push(clustering.num_clusters());
     }
     // The index answered all three without rebuilding; the clusterings differ.
-    assert!(cluster_counts.windows(2).any(|w| w[0] != w[1]), "{cluster_counts:?}");
+    assert!(
+        cluster_counts.windows(2).any(|w| w[0] != w[1]),
+        "{cluster_counts:?}"
+    );
 }

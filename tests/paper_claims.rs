@@ -40,14 +40,24 @@ fn construction_cost_ordering_matches_table4() {
     let data = kind.generate(2, 0.01).into_dataset(); // 2 000 points
 
     let (list_time, lists) = dpc_metrics::measure_once(|| NeighborLists::build(&data, None));
-    let (hist_time, _) =
-        dpc_metrics::measure_once(|| ChIndex::from_lists(&data, lists.clone(), kind.default_bin_width()));
+    let (hist_time, _) = dpc_metrics::measure_once(|| {
+        ChIndex::from_lists(&data, lists.clone(), kind.default_bin_width())
+    });
     let (rtree_time, _) = dpc_metrics::measure_once(|| RTree::build(&data));
     let (quadtree_time, _) = dpc_metrics::measure_once(|| Quadtree::build(&data));
 
-    assert!(rtree_time < list_time, "rtree {rtree_time:?} vs list {list_time:?}");
-    assert!(quadtree_time < list_time, "quadtree {quadtree_time:?} vs list {list_time:?}");
-    assert!(hist_time < list_time, "histograms {hist_time:?} vs lists {list_time:?}");
+    assert!(
+        rtree_time < list_time,
+        "rtree {rtree_time:?} vs list {list_time:?}"
+    );
+    assert!(
+        quadtree_time < list_time,
+        "quadtree {quadtree_time:?} vs list {list_time:?}"
+    );
+    assert!(
+        hist_time < list_time,
+        "histograms {hist_time:?} vs lists {list_time:?}"
+    );
 }
 
 /// §5.1 / Figure 5: on a medium dataset the index-based queries beat the
@@ -88,7 +98,11 @@ fn delta_probe_fraction_is_small_on_clustered_data() {
     let (_, probes) = index.delta_with_probes(dc, &rho).unwrap();
     let total_entries = (data.len() * (data.len() - 1)) as u64;
     let fraction = probes as f64 / total_entries as f64;
-    assert!(fraction < 0.05, "probed {:.2}% of the index", fraction * 100.0);
+    assert!(
+        fraction < 0.05,
+        "probed {:.2}% of the index",
+        fraction * 100.0
+    );
 }
 
 /// §4.1 Lemmas 1–2: pruning must cut the work of the tree δ-query
@@ -99,9 +113,12 @@ fn pruning_cuts_tree_query_work_substantially() {
     let dc = DatasetKind::Gowalla.default_dc();
     let tree = RTree::build(&data);
     let rho = DpcIndex::rho(&tree, dc).unwrap();
-    let (with, stats_with) = tree.delta_with_config(dc, &rho, &DeltaQueryConfig::default()).unwrap();
-    let (without, stats_without) =
-        tree.delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning()).unwrap();
+    let (with, stats_with) = tree
+        .delta_with_config(dc, &rho, &DeltaQueryConfig::default())
+        .unwrap();
+    let (without, stats_without) = tree
+        .delta_with_config(dc, &rho, &DeltaQueryConfig::no_pruning())
+        .unwrap();
     assert_eq!(with.mu, without.mu);
     assert!(
         stats_with.points_scanned * 2 < stats_without.points_scanned,
@@ -125,7 +142,10 @@ fn tree_rho_work_grows_with_dc_then_collapses_at_the_largest_dc() {
         medium.points_scanned > small.points_scanned,
         "medium dc must scan more points than small dc"
     );
-    assert_eq!(huge.points_scanned, 0, "largest dc must be answered from node counts alone");
+    assert_eq!(
+        huge.points_scanned, 0,
+        "largest dc must be answered from node counts alone"
+    );
 }
 
 /// §3.2 / Figure 7: a finer bin width makes the CH ρ-query cheaper (it

@@ -1,0 +1,265 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal, API-compatible benchmark harness instead
+//! of the real `criterion` crate. It supports benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical sampling it runs each benchmark for a
+//! small fixed number of timed iterations and prints the minimum and median
+//! wall-clock time — enough to compare indexes by eye and to keep
+//! `cargo bench` (and `cargo bench --no-run`) working offline. Swap the path
+//! dependency for the real crate once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark inside a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id like `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.function_name.is_empty() {
+            self.parameter.clone()
+        } else if self.parameter.is_empty() {
+            self.function_name.clone()
+        } else {
+            format!("{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iterations: u32,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations (one untimed
+    /// warm-up, then `iterations` timed runs).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.iterations as usize);
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:50} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        println!("{label:50} min {min:>12.2?}   median {median:>12.2?}");
+    }
+}
+
+/// The top-level harness handle passed to `criterion_group!` functions.
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iterations: 5 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = name.to_string();
+        run_one(self.iterations, &label, f);
+        self
+    }
+}
+
+/// A named group of benchmarks; sampling knobs are accepted for API
+/// compatibility (the shim always runs a fixed iteration count).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion API compatibility; ignored by the shim.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion API compatibility; ignored by the shim.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion API compatibility; ignored by the shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion API compatibility; ignored by the shim.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F, N>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        N: IntoBenchmarkId,
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        run_one(self.criterion.iterations, &label, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F, N>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+        N: IntoBenchmarkId,
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        run_one(self.criterion.iterations, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(iterations: u32, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iterations,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    bencher.report(label);
+}
+
+/// Conversion into a [`BenchmarkId`], so group methods accept both `&str`
+/// names and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::new(self, "")
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::new(self, "")
+    }
+}
+
+/// Throughput annotation; accepted and ignored by the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of elements processed per iteration.
+    Elements(u64),
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups (ignores harness CLI args
+/// such as `--bench` that `cargo bench` passes).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(10);
+            group.warm_up_time(Duration::from_millis(1));
+            group.measurement_time(Duration::from_millis(1));
+            group.bench_function("counting", |b| b.iter(|| runs += 1));
+            group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        // one warm-up + `iterations` timed runs
+        assert_eq!(runs, 6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so instead of
+//! the real `crossbeam` crate the workspace vendors this tiny API-compatible
+//! layer over `std::thread::scope` (stable since Rust 1.63). Only
+//! `crossbeam::thread::scope` / `Scope::spawn` are provided because that is
+//! the only surface the workspace touches; swap the `[patch]`-free path
+//! dependency for the real crate once the registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of a panicking child
+    /// thread, exactly like `crossbeam::thread::scope`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive a fresh
+    /// `&Scope` so nested spawns work like in crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` (crossbeam
+        /// convention); every call site in this workspace ignores it.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope whose spawned threads are all joined before it
+    /// returns. A panic in any child thread surfaces as `Err`, matching the
+    /// crossbeam contract (`scope(...).expect(...)` at the call sites).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawned_threads_fill_disjoint_chunks() {
+            let mut data = vec![0u32; 10];
+            super::scope(|scope| {
+                for (i, chunk) in data.chunks_mut(3).enumerate() {
+                    scope.spawn(move |_| chunk.iter_mut().for_each(|v| *v = i as u32));
+                }
+            })
+            .unwrap();
+            assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let r = super::scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 42);
+        }
+    }
+}
