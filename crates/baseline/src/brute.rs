@@ -1,0 +1,83 @@
+//! The shared brute-force ρ/δ kernels behind [`LeanDpc`](crate::LeanDpc) and
+//! [`ParallelDpc`](crate::ParallelDpc).
+//!
+//! Both baselines answer queries by scanning every point against every other
+//! point; the only difference is the execution policy they pass in. The
+//! kernels stream over the dataset's structure-of-arrays coordinate slices
+//! (cache-friendly, vectorisable) and are sqrt-free except for the single
+//! root that converts the best squared distance into the returned δ.
+//! Callers validate `dc` and the `rho` slice before calling.
+
+use dpc_core::{exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, Rho};
+
+/// ρ of every point by full scan: counts points strictly within `dc`,
+/// excluding the point itself.
+pub(crate) fn rho_scan(dataset: &Dataset, dc: f64, policy: ExecPolicy) -> Vec<Rho> {
+    let n = dataset.len();
+    let (xs, ys) = dataset.coord_slices();
+    let dc2 = dc * dc;
+    let mut rho = vec![0 as Rho; n];
+    exec::fill_slice(
+        &mut rho,
+        policy,
+        || (),
+        |i, ()| {
+            let (xi, yi) = (xs[i], ys[i]);
+            // Branch-free count over the two coordinate streams; the point
+            // itself always satisfies dist² = 0 < dc² (validate_dc guarantees
+            // dc² > 0), so subtract it at the end instead of testing j != i in
+            // the hot loop.
+            let mut count: Rho = 0;
+            for (&xj, &yj) in xs.iter().zip(ys.iter()) {
+                let (dx, dy) = (xj - xi, yj - yi);
+                count += Rho::from(dx * dx + dy * dy < dc2);
+            }
+            count.saturating_sub(1)
+        },
+    );
+    rho
+}
+
+/// δ and µ of every point by full scan under the given density order.
+pub(crate) fn delta_scan(
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    policy: ExecPolicy,
+) -> DeltaResult {
+    let n = dataset.len();
+    let (xs, ys) = dataset.coord_slices();
+    let mut result = DeltaResult::unset(n);
+    exec::fill_slice_pair(
+        &mut result.delta,
+        &mut result.mu,
+        policy,
+        || (),
+        |p, delta_slot, mu_slot, ()| {
+            let (xp, yp) = (xs[p], ys[p]);
+            let mut best_sq = f64::INFINITY;
+            let mut best_q = None;
+            let mut max_sq = 0.0f64;
+            for q in 0..n {
+                if q == p {
+                    continue;
+                }
+                let (dx, dy) = (xs[q] - xp, ys[q] - yp);
+                let d2 = dx * dx + dy * dy;
+                max_sq = max_sq.max(d2);
+                if d2 < best_sq && order.is_denser(q, p) {
+                    best_sq = d2;
+                    best_q = Some(q);
+                }
+            }
+            if best_q.is_some() {
+                *delta_slot = best_sq.sqrt();
+                *mu_slot = best_q;
+            } else {
+                // Global peak: δ = max distance to any other point. sqrt is
+                // monotone, so rooting the max squared distance is exact.
+                *delta_slot = max_sq.sqrt();
+            }
+        },
+    );
+    result
+}

@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Result, Rho, TieBreak,
+    Timer,
 };
 
 /// The memory-lean O(n²)-time baseline.
@@ -63,35 +64,25 @@ impl DpcIndex for LeanDpc {
     }
 
     fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        self.delta_with_policy(dc, rho, ExecPolicy::Sequential)
+    }
+
+    fn rho_with_policy(&self, dc: f64, policy: ExecPolicy) -> Result<Vec<Rho>> {
+        // The sequential path keeps the symmetric i < j pair loop (half the
+        // distance computations); the parallel path runs the shared
+        // per-point scan kernel. Both produce identical integer counts.
+        if policy.workers(self.dataset.len()) <= 1 {
+            return self.rho(dc);
+        }
+        validate_dc(dc)?;
+        Ok(crate::brute::rho_scan(&self.dataset, dc, policy))
+    }
+
+    fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         validate_dc(dc)?;
         validate_rho_len(rho, self.dataset.len())?;
-        let pts = self.dataset.points();
-        let n = pts.len();
         let order = DensityOrder::with_tie_break(rho, self.tie);
-        let mut result = DeltaResult::unset(n);
-        for p in 0..n {
-            let mut best_sq = f64::INFINITY;
-            let mut best_q = None;
-            let mut max_sq = 0.0f64;
-            for q in 0..n {
-                if q == p {
-                    continue;
-                }
-                let d2 = pts[p].distance_squared(&pts[q]);
-                max_sq = max_sq.max(d2);
-                if d2 < best_sq && order.is_denser(q, p) {
-                    best_sq = d2;
-                    best_q = Some(q);
-                }
-            }
-            if best_q.is_some() {
-                result.delta[p] = best_sq.sqrt();
-                result.mu[p] = best_q;
-            } else {
-                result.delta[p] = max_sq.sqrt();
-            }
-        }
-        Ok(result)
+        Ok(crate::brute::delta_scan(&self.dataset, &order, policy))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -113,6 +104,21 @@ mod tests {
     use crate::matrix::MatrixDpc;
     use dpc_core::Point;
     use dpc_datasets::generators::s1;
+
+    #[test]
+    fn parallel_policy_is_bit_identical_to_sequential() {
+        let data = s1(13, 0.05).into_dataset(); // 250 points
+        let lean = LeanDpc::build(&data);
+        let dc = 40_000.0;
+        let (seq_rho, seq_delta) = lean.rho_delta(dc).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let policy = ExecPolicy::Threads(threads);
+            let (rho, delta) = lean.rho_delta_with_policy(dc, policy).unwrap();
+            assert_eq!(rho, seq_rho, "threads = {threads}");
+            assert_eq!(delta.delta, seq_delta.delta, "threads = {threads}");
+            assert_eq!(delta.mu, seq_delta.mu, "threads = {threads}");
+        }
+    }
 
     #[test]
     fn matches_matrix_baseline_on_synthetic_data() {

@@ -13,12 +13,14 @@
 //!   query, `Θ(n²)` time per query). This is what the paper actually runs as
 //!   "DPC" for datasets where the matrix does not fit.
 //! * [`ParallelDpc`] — the lean variant with the per-point loops spread over
-//!   a configurable number of threads (crossbeam scoped threads). Not part
-//!   of the paper; provided as a reference point for the benchmarks.
+//!   a configurable number of threads via the shared chunked engine of
+//!   [`dpc_core::exec`]. Not part of the paper; provided as a reference
+//!   point for the benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod brute;
 pub mod lean;
 pub mod matrix;
 pub mod parallel;

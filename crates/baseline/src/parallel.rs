@@ -3,14 +3,18 @@
 //! Not part of the paper (all of its measurements are single-threaded), but a
 //! useful reference point: it shows how far brute force can be pushed by
 //! parallelism alone before the index structures still win asymptotically.
-//! Work is partitioned over points with crossbeam scoped threads; each query
-//! remains `Θ(n²)` total work.
+//! The chunked work partitioning lives in [`dpc_core::exec`] and the
+//! per-point kernels in [`crate::brute`] (both shared with [`LeanDpc`](crate::LeanDpc)),
+//! so this type is little more than a stored thread count. Each query
+//! remains `Θ(n²)` total work, streamed over the dataset's
+//! structure-of-arrays coordinate slices so the inner loops vectorise.
 
 use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
+    Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Result, Rho, TieBreak,
+    Timer,
 };
 
 /// The parallel O(n²) baseline.
@@ -51,13 +55,16 @@ impl ParallelDpc {
         }
     }
 
-    /// Number of worker threads used per query.
+    /// Number of worker threads used per query (unless a call-site policy
+    /// overrides it through [`DpcIndex::rho_with_policy`]).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    fn chunk_size(&self, n: usize) -> usize {
-        n.div_ceil(self.threads).max(1)
+    /// The policy the plain [`rho`](DpcIndex::rho)/[`delta`](DpcIndex::delta)
+    /// queries run under.
+    fn default_policy(&self) -> ExecPolicy {
+        ExecPolicy::Threads(self.threads)
     }
 }
 
@@ -71,85 +78,23 @@ impl DpcIndex for ParallelDpc {
     }
 
     fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
-        validate_dc(dc)?;
-        let pts = self.dataset.points();
-        let n = pts.len();
-        if n == 0 {
-            return Ok(vec![]);
-        }
-        let dc2 = dc * dc;
-        let mut rho = vec![0 as Rho; n];
-        let chunk = self.chunk_size(n);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, out) in rho.chunks_mut(chunk).enumerate() {
-                let start = chunk_idx * chunk;
-                scope.spawn(move |_| {
-                    for (offset, slot) in out.iter_mut().enumerate() {
-                        let i = start + offset;
-                        let mut count = 0 as Rho;
-                        for (j, q) in pts.iter().enumerate() {
-                            if j != i && pts[i].distance_squared(q) < dc2 {
-                                count += 1;
-                            }
-                        }
-                        *slot = count;
-                    }
-                });
-            }
-        })
-        .expect("rho worker thread panicked");
-        Ok(rho)
+        self.rho_with_policy(dc, self.default_policy())
     }
 
     fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        self.delta_with_policy(dc, rho, self.default_policy())
+    }
+
+    fn rho_with_policy(&self, dc: f64, policy: ExecPolicy) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        Ok(crate::brute::rho_scan(&self.dataset, dc, policy))
+    }
+
+    fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         validate_dc(dc)?;
         validate_rho_len(rho, self.dataset.len())?;
-        let pts = self.dataset.points();
-        let n = pts.len();
-        if n == 0 {
-            return Ok(DeltaResult::unset(0));
-        }
         let order = DensityOrder::with_tie_break(rho, self.tie);
-        let mut delta = vec![f64::INFINITY; n];
-        let mut mu = vec![None; n];
-        let chunk = self.chunk_size(n);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, (delta_out, mu_out)) in delta
-                .chunks_mut(chunk)
-                .zip(mu.chunks_mut(chunk))
-                .enumerate()
-            {
-                let start = chunk_idx * chunk;
-                let order = &order;
-                scope.spawn(move |_| {
-                    for offset in 0..delta_out.len() {
-                        let p = start + offset;
-                        let mut best_sq = f64::INFINITY;
-                        let mut best_q = None;
-                        let mut max_sq = 0.0f64;
-                        for (q, point_q) in pts.iter().enumerate() {
-                            if q == p {
-                                continue;
-                            }
-                            let d2 = pts[p].distance_squared(point_q);
-                            max_sq = max_sq.max(d2);
-                            if d2 < best_sq && order.is_denser(q, p) {
-                                best_sq = d2;
-                                best_q = Some(q);
-                            }
-                        }
-                        if best_q.is_some() {
-                            delta_out[offset] = best_sq.sqrt();
-                            mu_out[offset] = best_q;
-                        } else {
-                            delta_out[offset] = max_sq.sqrt();
-                        }
-                    }
-                });
-            }
-        })
-        .expect("delta worker thread panicked");
-        Ok(DeltaResult::new(delta, mu))
+        Ok(crate::brute::delta_scan(&self.dataset, &order, policy))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -185,6 +130,39 @@ mod tests {
                 assert_eq!(d1.mu, d2.mu, "threads {threads}, dc {dc}");
             }
         }
+    }
+
+    #[test]
+    fn explicit_policy_overrides_the_built_in_thread_count() {
+        let data = s1(5, 0.04).into_dataset(); // 200 points
+        let par = ParallelDpc::build_with_threads(&data, 4);
+        let dc = 40_000.0;
+        let (default_rho, default_delta) = par.rho_delta(dc).unwrap();
+        for policy in [
+            ExecPolicy::Sequential,
+            ExecPolicy::Threads(1),
+            ExecPolicy::Threads(3),
+            ExecPolicy::Threads(9),
+        ] {
+            let (rho, delta) = par.rho_delta_with_policy(dc, policy).unwrap();
+            assert_eq!(rho, default_rho, "{policy:?}");
+            assert_eq!(delta.delta, default_delta.delta, "{policy:?}");
+            assert_eq!(delta.mu, default_delta.mu, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_dc_whose_square_underflows_is_rejected() {
+        use dpc_core::Point;
+        // dc = 1e-170 is positive and finite but dc² underflows to 0.0,
+        // which would break the squared-distance comparisons (and previously
+        // drove `count - 1` below zero); validate_dc rejects it up front.
+        let data = Dataset::new(vec![Point::new(0.0, 0.0); 3]);
+        let par = ParallelDpc::build_with_threads(&data, 2);
+        assert!(par.rho(1e-170).is_err());
+        assert!(LeanDpc::build(&data).rho(1e-170).is_err());
+        // A comfortably-above-the-limit dc counts coincident points.
+        assert_eq!(par.rho(1e-100).unwrap(), vec![2, 2, 2]);
     }
 
     #[test]

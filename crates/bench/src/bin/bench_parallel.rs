@@ -1,0 +1,106 @@
+//! `bench_parallel`: measures parallel ρ/δ query scaling of the tree indexes
+//! and writes the `BENCH_parallel.json` snapshot.
+//!
+//! ```text
+//! bench_parallel [--n N] [--dc F] [--seed S] [--reps R]
+//!                [--threads 1,2,4,8] [--out FILE | --no-out]
+//! ```
+//!
+//! The committed snapshot at the repository root is produced with the
+//! defaults (`--n 20000 --out BENCH_parallel.json`); CI runs a tiny smoke
+//! invocation so the benchmark cannot rot.
+
+use std::path::PathBuf;
+
+use dpc_bench::parallel_scaling::{run, ScalingOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match main_with_args(args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: bench_parallel [--n N] [--dc F] [--seed S] [--reps R] \
+                 [--threads 1,2,4,8] [--out FILE | --no-out]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main_with_args(args: Vec<String>) -> Result<(), String> {
+    let (options, out) = parse_args(args)?;
+    let report = run(&options);
+    print!("{}", report.render());
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("snapshot written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn parse_args(args: Vec<String>) -> Result<(ScalingOptions, Option<PathBuf>), String> {
+    let mut options = ScalingOptions::default();
+    let mut out = Some(PathBuf::from("target/experiments/BENCH_parallel.json"));
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--n" => {
+                options.n = value_of("--n")?
+                    .parse()
+                    .map_err(|_| "invalid --n value".to_string())?;
+                if options.n == 0 {
+                    return Err("--n must be positive".into());
+                }
+            }
+            "--dc" => {
+                options.dc = value_of("--dc")?
+                    .parse()
+                    .map_err(|_| "invalid --dc value".to_string())?;
+                if !(options.dc.is_finite() && options.dc > 0.0) {
+                    return Err("--dc must be a positive finite number".into());
+                }
+            }
+            "--seed" => {
+                options.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--reps" => {
+                options.repetitions = value_of("--reps")?
+                    .parse()
+                    .map_err(|_| "invalid --reps value".to_string())?;
+                if options.repetitions == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                let list = value_of("--threads")?;
+                options.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("invalid --threads list {list:?}"))?;
+                if options.threads.is_empty() || options.threads.contains(&0) {
+                    return Err("--threads needs a comma-separated list of positive counts".into());
+                }
+                if options.threads.first() != Some(&1) {
+                    return Err("--threads must start with 1 (the speedup baseline)".into());
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--no-out" => out = None,
+            other => return Err(format!("unrecognised argument {other:?}")),
+        }
+    }
+    if let Some(path) = &out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    Ok((options, out))
+}

@@ -14,7 +14,7 @@ pub fn run_cli(experiment: &str) {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: {experiment} [--scale S] [--seed N] [--reps R] [--out-dir DIR | --no-out]"
+                "usage: {experiment} [--scale S] [--seed N] [--reps R] [--threads N] [--out-dir DIR | --no-out]"
             );
             std::process::exit(2);
         }
@@ -52,7 +52,7 @@ pub fn run_repro_cli() {
         Ok(()) => {}
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: repro [all | <experiment>...] [--list] [--scale S] [--seed N] [--reps R] [--out-dir DIR | --no-out]");
+            eprintln!("usage: repro [all | <experiment>...] [--list] [--scale S] [--seed N] [--reps R] [--threads N] [--out-dir DIR | --no-out]");
             eprintln!("experiments:");
             for (name, description, _) in registry() {
                 eprintln!("  {name:<24} {description}");

@@ -3,6 +3,8 @@
 
 use std::path::PathBuf;
 
+use dpc_core::ExecPolicy;
+
 /// Configuration common to every experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
@@ -12,6 +14,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Repetitions per timing measurement (median is reported).
     pub repetitions: usize,
+    /// Worker threads for the ρ/δ queries (1 = sequential, the
+    /// paper-faithful default).
+    pub threads: usize,
     /// Directory where result CSVs are written (`None` = don't persist).
     pub output_dir: Option<PathBuf>,
 }
@@ -26,6 +31,7 @@ impl Default for ExperimentConfig {
             scale: 0.02,
             seed: 42,
             repetitions: 3,
+            threads: 1,
             output_dir: Some(PathBuf::from(DEFAULT_OUTPUT_DIR)),
         }
     }
@@ -38,13 +44,19 @@ impl ExperimentConfig {
             scale: 0.002,
             seed: 42,
             repetitions: 1,
+            threads: 1,
             output_dir: None,
         }
     }
 
-    /// Parses `--scale`, `--seed`, `--reps`, `--out-dir` (alias `--out`) and
-    /// `--no-out` from an argument list (unrecognised arguments are returned
-    /// for the caller to handle).
+    /// The execution policy the configured thread count maps to.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        ExecPolicy::from_threads(self.threads)
+    }
+
+    /// Parses `--scale`, `--seed`, `--reps`, `--threads`, `--out-dir` (alias
+    /// `--out`) and `--no-out` from an argument list (unrecognised arguments
+    /// are returned for the caller to handle).
     ///
     /// Returns the parsed configuration together with the leftover
     /// arguments.
@@ -79,6 +91,15 @@ impl ExperimentConfig {
                         .map_err(|_| format!("invalid --reps value {v:?}"))?;
                     if config.repetitions == 0 {
                         return Err("--reps must be at least 1".to_string());
+                    }
+                }
+                "--threads" => {
+                    let v = iter.next().ok_or("--threads needs a value")?;
+                    config.threads = v
+                        .parse()
+                        .map_err(|_| format!("invalid --threads value {v:?}"))?;
+                    if config.threads == 0 {
+                        return Err("--threads must be at least 1".to_string());
                     }
                 }
                 "--out-dir" | "--out" => {
@@ -170,6 +191,18 @@ mod tests {
         assert!(ExperimentConfig::from_args(args(&["--scale", "-1"])).is_err());
         assert!(ExperimentConfig::from_args(args(&["--reps", "0"])).is_err());
         assert!(ExperimentConfig::from_args(args(&["--seed"])).is_err());
+        assert!(ExperimentConfig::from_args(args(&["--threads", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(args(&["--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_maps_to_an_exec_policy() {
+        let (c, _) = ExperimentConfig::from_args(args(&[])).unwrap();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.exec_policy(), ExecPolicy::Sequential);
+        let (c, _) = ExperimentConfig::from_args(args(&["--threads", "4"])).unwrap();
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.exec_policy(), ExecPolicy::Threads(4));
     }
 
     #[test]

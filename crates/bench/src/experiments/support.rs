@@ -41,18 +41,28 @@ pub fn scaled_distance(value: f64, _kind: DatasetKind, _config: &ExperimentConfi
 
 /// Measures the combined ρ+δ query time (the quantity the paper's running-
 /// time figures report), returning the median over the configured
-/// repetitions.
+/// repetitions. Runs under the configured thread count (`--threads`, default
+/// sequential).
 pub fn query_time(index: &dyn DpcIndex, dc: f64, config: &ExperimentConfig) -> Duration {
     let reps = config.repetitions.max(1);
-    let (time, _) =
-        dpc_metrics::measure_median(reps, || index.rho_delta(dc).expect("query must succeed"));
+    let policy = config.exec_policy();
+    let (time, _) = dpc_metrics::measure_median(reps, || {
+        index
+            .rho_delta_with_policy(dc, policy)
+            .expect("query must succeed")
+    });
     time
 }
 
-/// Measures only the ρ-query time.
+/// Measures only the ρ-query time, under the configured thread count.
 pub fn rho_time(index: &dyn DpcIndex, dc: f64, config: &ExperimentConfig) -> (Duration, Vec<Rho>) {
     let reps = config.repetitions.max(1);
-    dpc_metrics::measure_median(reps, || index.rho(dc).expect("rho query must succeed"))
+    let policy = config.exec_policy();
+    dpc_metrics::measure_median(reps, || {
+        index
+            .rho_with_policy(dc, policy)
+            .expect("rho query must succeed")
+    })
 }
 
 /// Standard clustering parameters used when an experiment needs an actual

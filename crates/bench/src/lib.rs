@@ -26,7 +26,9 @@ pub mod cli;
 pub mod config;
 pub mod experiments;
 pub mod indexes;
+pub mod parallel_scaling;
 
 pub use cli::{run_cli, run_repro_cli};
 pub use config::ExperimentConfig;
 pub use indexes::IndexKind;
+pub use parallel_scaling::{ScalingOptions, ScalingReport};

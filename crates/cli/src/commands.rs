@@ -70,6 +70,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
         "tau",
         "centers",
         "halo",
+        "threads",
         "output",
         "decision-graph",
     ])?;
@@ -80,9 +81,18 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
     let tau: Option<f64> = args.get_parsed("tau")?;
     let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
     let halo = args.has_switch("halo");
+    // Default stays 1 (sequential) so timings remain comparable to the
+    // paper's single-threaded measurements unless parallelism is asked for.
+    let threads: usize = args.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
     let index = build_index(&data, index_name, bin_width, tau, dc)?;
-    let params = DpcParams::new(dc).with_centers(selection).with_halo(halo);
+    let params = DpcParams::new(dc)
+        .with_centers(selection)
+        .with_halo(halo)
+        .with_threads(threads);
     let run = dpc_core::DpcPipeline::new(params)
         .run(index.as_ref())
         .map_err(|e| e.to_string())?;
@@ -94,7 +104,11 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
         write_clustering(Path::new(path), &data, &run.clustering)?;
     }
 
-    Ok(summarise(index_name, &data, &run, args.get("output")))
+    let mut summary = summarise(index_name, &data, &run, args.get("output"));
+    if threads > 1 {
+        summary.push_str(&format!("\nqueries ran on {threads} threads"));
+    }
+    Ok(summary)
 }
 
 /// `dpc knn-cluster`: the kNN-density variant (no `dc` parameter).
@@ -373,6 +387,64 @@ mod tests {
         .unwrap();
         assert!(out.contains("15 clusters"), "{out}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_changes_nothing_but_the_thread_count() {
+        let dir = temp_dir();
+        let points = dir.join("par-points.csv");
+        let seq_labels = dir.join("par-labels-seq.csv");
+        let par_labels = dir.join("par-labels-par.csv");
+        run(args(&[
+            "generate",
+            "--dataset",
+            "s1",
+            "--scale",
+            "0.04",
+            "--seed",
+            "11",
+            "--output",
+            points.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let base = [
+            "cluster",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "30000",
+            "--index",
+            "kdtree",
+            "--centers",
+            "top:15",
+        ];
+        let mut seq = base.to_vec();
+        seq.extend(["--output", seq_labels.to_str().unwrap()]);
+        let out_seq = run(args(&seq)).unwrap();
+        assert!(!out_seq.contains("threads"), "{out_seq}");
+
+        let mut par = base.to_vec();
+        par.extend(["--threads", "3", "--output", par_labels.to_str().unwrap()]);
+        let out_par = run(args(&par)).unwrap();
+        assert!(out_par.contains("queries ran on 3 threads"), "{out_par}");
+
+        assert_eq!(
+            std::fs::read_to_string(&seq_labels).unwrap(),
+            std::fs::read_to_string(&par_labels).unwrap(),
+            "parallel clustering must be identical to sequential"
+        );
+        assert!(run(args(&[
+            "cluster",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "1.0",
+            "--threads",
+            "0"
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

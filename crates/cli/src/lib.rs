@@ -51,7 +51,7 @@ USAGE:
   dpc cluster     --input points.csv --dc F
                   [--index list|ch|quadtree|rtree|kdtree|grid|naive]
                   [--bin-width F] [--tau F] [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
-                  [--halo] [--output labels.csv] [--decision-graph graph.csv]
+                  [--threads N] [--halo] [--output labels.csv] [--decision-graph graph.csv]
   dpc knn-cluster --input points.csv --k N
                   [--centers top:K|auto[:MAX]] [--output labels.csv]
   dpc help

@@ -199,6 +199,18 @@ impl BoundingBox {
     /// lies inside the box. Returns `+∞` for the empty box so that empty
     /// regions are always pruned.
     pub fn min_dist(&self, p: Point) -> f64 {
+        self.min_dist_squared(p).sqrt()
+    }
+
+    /// Squared minimum Euclidean distance from `p` to any point of the box.
+    ///
+    /// The sqrt-free variant of [`min_dist`](Self::min_dist), used by the
+    /// ρ-query hot loop which compares against a precomputed `dc²` instead of
+    /// paying a square root per node (safe: squaring is monotone on
+    /// non-negative distances, see the discussion in
+    /// [`crate::metric`]). Returns `+∞` for the empty box.
+    #[inline]
+    pub fn min_dist_squared(&self, p: Point) -> f64 {
         if self.is_empty() {
             return f64::INFINITY;
         }
@@ -216,7 +228,7 @@ impl BoundingBox {
         } else {
             0.0
         };
-        (dx * dx + dy * dy).sqrt()
+        dx * dx + dy * dy
     }
 
     /// Maximum Euclidean distance from `p` to any point of the box.
@@ -226,12 +238,22 @@ impl BoundingBox {
     /// empty box (an empty region can always be counted as fully contained —
     /// it contributes nothing).
     pub fn max_dist(&self, p: Point) -> f64 {
+        self.max_dist_squared(p).sqrt()
+    }
+
+    /// Squared maximum Euclidean distance from `p` to any point of the box.
+    ///
+    /// The sqrt-free variant of [`max_dist`](Self::max_dist); see
+    /// [`min_dist_squared`](Self::min_dist_squared). Returns `0` for the
+    /// empty box.
+    #[inline]
+    pub fn max_dist_squared(&self, p: Point) -> f64 {
         if self.is_empty() {
             return 0.0;
         }
         let dx = (p.x - self.min_x).abs().max((p.x - self.max_x).abs());
         let dy = (p.y - self.min_y).abs().max((p.y - self.max_y).abs());
-        (dx * dx + dy * dy).sqrt()
+        dx * dx + dy * dy
     }
 
     /// Splits the box into four equal quadrants: `[SW, SE, NW, NE]`.
@@ -317,6 +339,23 @@ mod tests {
         assert!(u.contains_box(&a));
         assert!(u.contains_box(&b));
         assert_eq!(u, BoundingBox::new(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn squared_distances_are_squares_of_the_true_ones() {
+        let bb = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        for p in [
+            Point::new(5.0, 5.0),
+            Point::new(13.0, 5.0),
+            Point::new(-2.0, -3.0),
+            Point::new(11.0, 14.0),
+        ] {
+            assert_eq!(bb.min_dist(p), bb.min_dist_squared(p).sqrt());
+            assert_eq!(bb.max_dist(p), bb.max_dist_squared(p).sqrt());
+        }
+        let e = BoundingBox::EMPTY;
+        assert_eq!(e.min_dist_squared(Point::origin()), f64::INFINITY);
+        assert_eq!(e.max_dist_squared(Point::origin()), 0.0);
     }
 
     #[test]

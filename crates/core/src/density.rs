@@ -89,11 +89,12 @@ impl DensityEstimate {
     }
 
     /// Histogram of densities: `hist[d]` = number of points with density `d`.
+    /// Empty for an empty estimate.
     pub fn histogram(&self) -> Vec<usize> {
-        let mut hist = vec![0usize; self.max() as usize + 1];
         if self.values.is_empty() {
             return vec![];
         }
+        let mut hist = vec![0usize; self.max() as usize + 1];
         for &r in &self.values {
             hist[r as usize] += 1;
         }
@@ -151,6 +152,12 @@ mod tests {
     fn histogram_counts_each_density() {
         let d = DensityEstimate::new(vec![0, 2, 2, 3]);
         assert_eq!(d.histogram(), vec![1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn histogram_of_all_zero_densities_is_one_bin_holding_n() {
+        let d = DensityEstimate::new(vec![0; 5]);
+        assert_eq!(d.histogram(), vec![5]);
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The shared parallel query engine: chunked work partitioning over scoped
+//! threads.
+//!
+//! Every per-point DPC query is embarrassingly parallel: point `p`'s ρ and δ
+//! depend only on the dataset and the (read-only) index, never on another
+//! point's result. "Faster Parallel Exact Density Peaks Clustering" (Huang,
+//! Yu & Shun, 2023) shows exact DPC scales near-linearly with cores on
+//! exactly this decomposition, so this module provides it once for the whole
+//! workspace: an [`ExecPolicy`] knob plus two chunked executors that split an
+//! output slice into contiguous per-worker chunks, run one scoped thread per
+//! chunk, and hand every worker its own scratch state (query statistics,
+//! reusable traversal stacks/heaps) that the caller merges after the join.
+//!
+//! Determinism is by construction: each output slot is written by exactly one
+//! worker running exactly the same per-point code as the sequential path, so
+//! parallel results are bit-identical to sequential results at every thread
+//! count. The chunk partitioning logic lives here and nowhere else —
+//! `ParallelDpc`, the neighbour-list builder and every index's parallel
+//! query all go through these two functions.
+
+/// How per-point query work is partitioned across worker threads.
+///
+/// The default is [`Sequential`](ExecPolicy::Sequential): the paper's
+/// measurements are single-threaded, so parallelism is strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Run in the calling thread, no workers spawned (paper-faithful
+    /// default).
+    #[default]
+    Sequential,
+    /// Use this many worker threads (clamped to the number of work items;
+    /// `0` and `1` behave like `Sequential`).
+    Threads(usize),
+    /// One worker per available CPU core.
+    Auto,
+}
+
+impl ExecPolicy {
+    /// The workspace-wide convention for mapping a user-facing thread count
+    /// to a policy: `0` and `1` mean [`Sequential`](ExecPolicy::Sequential),
+    /// anything larger means that many workers. This is the single home of
+    /// the mapping used by `DpcParams::with_threads`, the CLI `--threads`
+    /// flag and the experiment harness.
+    pub fn from_threads(n: usize) -> Self {
+        if n <= 1 {
+            ExecPolicy::Sequential
+        } else {
+            ExecPolicy::Threads(n)
+        }
+    }
+
+    /// Number of workers a query over `items` work items will actually use
+    /// (always at least 1, never more than `items.max(1)`).
+    pub fn workers(&self, items: usize) -> usize {
+        let requested = match *self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Threads(t) => t.max(1),
+            ExecPolicy::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        requested.min(items).max(1)
+    }
+}
+
+/// Length of each contiguous chunk when `items` work items are split across
+/// `workers` threads. This is the single source of truth for the chunk
+/// geometry used by both executors.
+fn chunk_len(items: usize, workers: usize) -> usize {
+    items.div_ceil(workers.max(1)).max(1)
+}
+
+/// Fills `out[i] = body(i, scratch)` for every index `i`, partitioning
+/// contiguous chunks of `out` across the policy's workers.
+///
+/// `make_scratch` creates one scratch value per worker; the scratch lives for
+/// the worker's whole chunk, so per-point state (traversal stacks, heaps,
+/// statistics counters) is reused instead of re-allocated. The per-worker
+/// scratches are returned in chunk order so the caller can merge them
+/// deterministically.
+pub fn fill_slice<T, S, M, B>(out: &mut [T], policy: ExecPolicy, make_scratch: M, body: B) -> Vec<S>
+where
+    T: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    B: Fn(usize, &mut S) -> T + Sync,
+{
+    let n = out.len();
+    let workers = policy.workers(n);
+    if workers <= 1 {
+        let mut scratch = make_scratch();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = body(i, &mut scratch);
+        }
+        return vec![scratch];
+    }
+    let chunk = chunk_len(n, workers);
+    let body = &body;
+    let make_scratch = &make_scratch;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(chunk_idx, out_chunk)| {
+                let start = chunk_idx * chunk;
+                scope.spawn(move |_| {
+                    let mut scratch = make_scratch();
+                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = body(start + offset, &mut scratch);
+                    }
+                    scratch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker thread panicked"))
+            .collect()
+    })
+    .expect("query worker thread panicked")
+}
+
+/// Like [`fill_slice`], but fills two parallel output slices at once:
+/// `body(i, &mut a[i], &mut b[i], scratch)`.
+///
+/// This is the shape of the δ-query, which produces the dependent distance
+/// and the dependent neighbour per point.
+///
+/// # Panics
+/// Panics if `a` and `b` have different lengths.
+pub fn fill_slice_pair<A, B, S, M, F>(
+    a: &mut [A],
+    b: &mut [B],
+    policy: ExecPolicy,
+    make_scratch: M,
+    body: F,
+) -> Vec<S>
+where
+    A: Send,
+    B: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut A, &mut B, &mut S) + Sync,
+{
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "fill_slice_pair: output slices must have the same length"
+    );
+    let n = a.len();
+    let workers = policy.workers(n);
+    if workers <= 1 {
+        let mut scratch = make_scratch();
+        for (i, (slot_a, slot_b)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            body(i, slot_a, slot_b, &mut scratch);
+        }
+        return vec![scratch];
+    }
+    let chunk = chunk_len(n, workers);
+    let body = &body;
+    let make_scratch = &make_scratch;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .enumerate()
+            .map(|(chunk_idx, (a_chunk, b_chunk))| {
+                let start = chunk_idx * chunk;
+                scope.spawn(move |_| {
+                    let mut scratch = make_scratch();
+                    for (offset, (slot_a, slot_b)) in
+                        a_chunk.iter_mut().zip(b_chunk.iter_mut()).enumerate()
+                    {
+                        body(start + offset, slot_a, slot_b, &mut scratch);
+                    }
+                    scratch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker thread panicked"))
+            .collect()
+    })
+    .expect("query worker thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_threads_maps_zero_and_one_to_sequential() {
+        assert_eq!(ExecPolicy::from_threads(0), ExecPolicy::Sequential);
+        assert_eq!(ExecPolicy::from_threads(1), ExecPolicy::Sequential);
+        assert_eq!(ExecPolicy::from_threads(5), ExecPolicy::Threads(5));
+    }
+
+    #[test]
+    fn workers_clamp_to_items_and_at_least_one() {
+        assert_eq!(ExecPolicy::Sequential.workers(100), 1);
+        assert_eq!(ExecPolicy::Threads(4).workers(100), 4);
+        assert_eq!(ExecPolicy::Threads(4).workers(3), 3);
+        assert_eq!(ExecPolicy::Threads(0).workers(10), 1);
+        assert_eq!(ExecPolicy::Threads(8).workers(0), 1);
+        assert!(ExecPolicy::Auto.workers(1000) >= 1);
+    }
+
+    #[test]
+    fn chunk_len_covers_all_items() {
+        for items in 0..50 {
+            for workers in 1..10 {
+                let chunk = chunk_len(items, workers);
+                assert!(chunk >= 1);
+                // chunks of this size cover `items` with at most `workers`
+                // chunks.
+                assert!(chunk * workers >= items, "{items} items, {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_slice_matches_sequential_at_every_thread_count() {
+        let expected: Vec<u64> = (0..97u64).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 3, 7, 16, 200] {
+            let mut out = vec![0u64; 97];
+            let scratches = fill_slice(
+                &mut out,
+                ExecPolicy::Threads(threads),
+                || 0u64,
+                |i, calls| {
+                    *calls += 1;
+                    (i as u64) * (i as u64) + 1
+                },
+            );
+            assert_eq!(out, expected, "threads = {threads}");
+            // Every item was processed exactly once across all workers.
+            assert_eq!(scratches.iter().sum::<u64>(), 97, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fill_slice_pair_writes_both_outputs() {
+        let mut a = vec![0usize; 23];
+        let mut b = vec![0i64; 23];
+        fill_slice_pair(
+            &mut a,
+            &mut b,
+            ExecPolicy::Threads(5),
+            || (),
+            |i, slot_a, slot_b, ()| {
+                *slot_a = i + 1;
+                *slot_b = -(i as i64);
+            },
+        );
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i + 1));
+        assert!(b.iter().enumerate().all(|(i, &v)| v == -(i as i64)));
+    }
+
+    #[test]
+    fn empty_outputs_are_fine() {
+        let mut out: Vec<u32> = vec![];
+        let scratches = fill_slice(&mut out, ExecPolicy::Threads(8), || (), |_, ()| 0);
+        assert_eq!(scratches.len(), 1);
+        let (mut a, mut b): (Vec<u32>, Vec<u32>) = (vec![], vec![]);
+        fill_slice_pair(&mut a, &mut b, ExecPolicy::Auto, || (), |_, _, _, ()| {});
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker_chunk() {
+        // With 2 workers over 10 items each worker sees 5 items; the scratch
+        // counts how many items it served.
+        let mut out = vec![0u32; 10];
+        let scratches = fill_slice(
+            &mut out,
+            ExecPolicy::Threads(2),
+            || 0u32,
+            |_, served| {
+                *served += 1;
+                *served
+            },
+        );
+        assert_eq!(scratches, vec![5, 5]);
+        // Items within a chunk saw the same scratch growing 1..=5.
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_pair_lengths_panic() {
+        let mut a = vec![0u8; 3];
+        let mut b = vec![0u8; 4];
+        fill_slice_pair(
+            &mut a,
+            &mut b,
+            ExecPolicy::Sequential,
+            || (),
+            |_, _, _, ()| {},
+        );
+    }
+}

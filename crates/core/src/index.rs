@@ -17,6 +17,7 @@ use std::time::Duration;
 use crate::delta::{DeltaResult, TieBreak};
 use crate::density::Rho;
 use crate::error::{DpcError, Result};
+use crate::exec::ExecPolicy;
 use crate::point::Dataset;
 
 /// Construction-time statistics of an index, reported by every
@@ -116,6 +117,37 @@ pub trait DpcIndex {
         Ok((rho, delta))
     }
 
+    /// [`rho`](DpcIndex::rho) under an explicit [`ExecPolicy`].
+    ///
+    /// Implementations that support the parallel query engine override this;
+    /// the default ignores the policy and runs the sequential query, so the
+    /// result is identical either way (parallelism is a pure acceleration,
+    /// never a semantic change).
+    fn rho_with_policy(&self, dc: f64, policy: ExecPolicy) -> Result<Vec<Rho>> {
+        let _ = policy;
+        self.rho(dc)
+    }
+
+    /// [`delta`](DpcIndex::delta) under an explicit [`ExecPolicy`].
+    ///
+    /// Same contract as [`rho_with_policy`](DpcIndex::rho_with_policy):
+    /// bit-identical results at every thread count.
+    fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
+        let _ = policy;
+        self.delta(dc, rho)
+    }
+
+    /// Runs both queries back to back under an explicit [`ExecPolicy`].
+    fn rho_delta_with_policy(
+        &self,
+        dc: f64,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<Rho>, DeltaResult)> {
+        let rho = self.rho_with_policy(dc, policy)?;
+        let delta = self.delta_with_policy(dc, &rho, policy)?;
+        Ok((rho, delta))
+    }
+
     /// Analytic heap footprint of the index in bytes.
     fn memory_bytes(&self) -> usize;
 
@@ -135,11 +167,28 @@ pub trait DpcIndex {
 }
 
 /// Validates a cut-off distance, shared by all index implementations.
+///
+/// Besides rejecting non-positive and non-finite values, this rejects
+/// cut-offs so small that `dc²` underflows below `f64::MIN_POSITIVE`
+/// (`dc` ≲ 1.5e-154): the sqrt-free hot loops compare squared distances
+/// against `dc²` (see [`crate::metric`]), and an underflowed threshold would
+/// silently classify *every* point — including coincident ones — as outside
+/// the neighbourhood. No meaningful dataset has a cut-off within 150 orders
+/// of magnitude of that limit.
 pub fn validate_dc(dc: f64) -> Result<()> {
     if !(dc.is_finite() && dc > 0.0) {
         return Err(DpcError::invalid_parameter(
             "dc",
             format!("cut-off distance must be a positive finite number, got {dc}"),
+        ));
+    }
+    if dc * dc < f64::MIN_POSITIVE {
+        return Err(DpcError::invalid_parameter(
+            "dc",
+            format!(
+                "cut-off distance {dc} is too small: its square underflows f64, \
+                 which would break the squared-distance comparisons (minimum ≈ 1.5e-154)"
+            ),
         ));
     }
     Ok(())
@@ -180,6 +229,15 @@ mod tests {
         assert!(validate_dc(-1.0).is_err());
         assert!(validate_dc(f64::NAN).is_err());
         assert!(validate_dc(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn validate_dc_rejects_cutoffs_whose_square_underflows() {
+        // 1e-170 is positive and finite but (1e-170)² == 0.0 in f64.
+        assert!(validate_dc(1e-170).is_err());
+        assert!(validate_dc(1e-160).is_err());
+        // Just above the underflow limit is fine.
+        assert!(validate_dc(1e-150).is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! * [`Metric`] and the concrete metrics ([`Euclidean`], [`Manhattan`], …),
 //! * [`DensityOrder`] — the total order on densities used for `δ`,
 //! * [`DpcIndex`] — the trait implemented by every index,
+//! * [`ExecPolicy`] and the chunked parallel query engine ([`exec`]),
 //! * [`DecisionGraph`] and [`CenterSelection`] — cluster-centre selection,
 //! * [`assign_clusters`] / [`Clustering`] — the final assignment step,
 //! * [`DpcPipeline`] — an end-to-end convenience wrapper.
@@ -61,6 +62,7 @@ pub mod decision;
 pub mod delta;
 pub mod density;
 pub mod error;
+pub mod exec;
 pub mod index;
 pub mod metric;
 pub mod naive_reference;
@@ -77,6 +79,7 @@ pub use decision::{CenterSelection, DecisionGraph};
 pub use delta::{DeltaResult, DensityOrder, TieBreak};
 pub use density::{DensityEstimate, Rho};
 pub use error::{DpcError, Result};
+pub use exec::ExecPolicy;
 pub use index::{DpcIndex, IndexStats};
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
 pub use params::DpcParams;

@@ -5,6 +5,35 @@
 //! enough to experiment with other metrics (e.g. Manhattan for grid-like
 //! mobility data) while every index in the workspace defaults to
 //! [`Euclidean`].
+//!
+//! ## Where squared distances are safe — and where they are not
+//!
+//! The hot loops of the workspace avoid square roots wherever the comparison
+//! allows it, and this is the one place that documents the rule:
+//!
+//! * **Safe: the ρ threshold test.** `ρ` counts points with
+//!   `dist(p, q) < dc`. Squaring is strictly monotone on non-negative reals,
+//!   so `dist < dc ⟺ dist² < dc²` (and
+//!   [`validate_dc`](crate::index::validate_dc) rejects degenerate cut-offs
+//!   whose square would underflow f64, keeping the squared comparison
+//!   well-defined); the baselines and the tree traversals
+//!   therefore compare [`Point::distance_squared`] (and
+//!   [`BoundingBox::min_dist_squared`](crate::BoundingBox::min_dist_squared) /
+//!   [`BoundingBox::max_dist_squared`](crate::BoundingBox::max_dist_squared))
+//!   against a precomputed `dc²` and never take a root. The same holds for
+//!   any *pure comparison* of two distances from the same query point, e.g.
+//!   a nearest-neighbour argmin.
+//! * **Unsafe: δ pruning and anything built on the triangle inequality.**
+//!   Lemma 2 of the paper prunes a node `N` because
+//!   `dmin(p, N) ≤ dist(p, q)` for every `q ∈ N` — a geometric lower bound
+//!   that the best-first δ-search compares against the best candidate δ so
+//!   far, and that downstream consumers (the decision graph, the RN-List
+//!   threshold reasoning of §3.3, halo boundaries) combine *additively* with
+//!   other distances. Squared "distance" is not a metric: it violates the
+//!   triangle inequality (`d²(a,c) ≰ d²(a,b) + d²(b,c)`), so any bound that
+//!   offsets, sums or subtracts distances breaks after squaring. The δ-query
+//!   therefore keeps true metric distances throughout, and
+//!   [`SquaredEuclidean`] is documented as a comparison-only pseudo-metric.
 
 use crate::point::Point;
 

@@ -3,7 +3,8 @@
 use crate::assign::AssignmentOptions;
 use crate::decision::CenterSelection;
 use crate::delta::TieBreak;
-use crate::error::{DpcError, Result};
+use crate::error::Result;
+use crate::exec::ExecPolicy;
 
 /// All parameters needed to turn an index's ρ/δ answers into a clustering.
 ///
@@ -20,6 +21,10 @@ pub struct DpcParams {
     pub tie_break: TieBreak,
     /// Assignment options (halo computation).
     pub assignment: AssignmentOptions,
+    /// How the per-point ρ/δ queries are partitioned across threads.
+    /// Defaults to [`ExecPolicy::Sequential`] so measurements stay
+    /// paper-faithful unless parallelism is explicitly requested.
+    pub exec: ExecPolicy,
 }
 
 impl DpcParams {
@@ -30,6 +35,7 @@ impl DpcParams {
             centers: CenterSelection::default(),
             tie_break: TieBreak::default(),
             assignment: AssignmentOptions::default(),
+            exec: ExecPolicy::default(),
         }
     }
 
@@ -51,18 +57,22 @@ impl DpcParams {
         self
     }
 
-    /// Validates the parameters (currently: `dc` must be positive and finite).
+    /// Sets the execution policy for the ρ/δ queries.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Convenience: runs the ρ/δ queries on `threads` worker threads
+    /// (`threads <= 1` keeps the sequential default).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_exec(ExecPolicy::from_threads(threads))
+    }
+
+    /// Validates the parameters: `dc` must pass the same checks every index
+    /// applies at query time ([`validate_dc`](crate::index::validate_dc)).
     pub fn validate(&self) -> Result<()> {
-        if !(self.dc.is_finite() && self.dc > 0.0) {
-            return Err(DpcError::invalid_parameter(
-                "dc",
-                format!(
-                    "cut-off distance must be a positive finite number, got {}",
-                    self.dc
-                ),
-            ));
-        }
-        Ok(())
+        crate::index::validate_dc(self.dc)
     }
 }
 
@@ -75,11 +85,13 @@ mod tests {
         let p = DpcParams::new(0.5)
             .with_centers(CenterSelection::TopKGamma { k: 3 })
             .with_tie_break(TieBreak::LargerIdDenser)
-            .with_halo(true);
+            .with_halo(true)
+            .with_threads(4);
         assert_eq!(p.dc, 0.5);
         assert_eq!(p.centers, CenterSelection::TopKGamma { k: 3 });
         assert_eq!(p.tie_break, TieBreak::LargerIdDenser);
         assert!(p.assignment.compute_halo);
+        assert_eq!(p.exec, ExecPolicy::Threads(4));
         assert!(p.validate().is_ok());
     }
 
@@ -89,6 +101,23 @@ mod tests {
         assert!(!p.assignment.compute_halo);
         assert_eq!(p.tie_break, TieBreak::SmallerIdDenser);
         assert!(matches!(p.centers, CenterSelection::GammaGap { .. }));
+        assert_eq!(p.exec, ExecPolicy::Sequential);
+    }
+
+    #[test]
+    fn one_thread_stays_sequential() {
+        assert_eq!(
+            DpcParams::new(1.0).with_threads(1).exec,
+            ExecPolicy::Sequential
+        );
+        assert_eq!(
+            DpcParams::new(1.0).with_threads(0).exec,
+            ExecPolicy::Sequential
+        );
+        assert_eq!(
+            DpcParams::new(1.0).with_exec(ExecPolicy::Auto).exec,
+            ExecPolicy::Auto
+        );
     }
 
     #[test]

@@ -84,11 +84,11 @@ impl DpcPipeline {
         let dc = self.params.dc;
 
         let timer = Timer::start();
-        let rho = index.rho(dc)?;
+        let rho = index.rho_with_policy(dc, self.params.exec)?;
         let rho_time = timer.elapsed();
 
         let timer = Timer::start();
-        let deltas = index.delta(dc, &rho)?;
+        let deltas = index.delta_with_policy(dc, &rho, self.params.exec)?;
         let delta_time = timer.elapsed();
 
         let timer = Timer::start();

@@ -96,6 +96,13 @@ impl From<[f64; 2]> for Point {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     points: Vec<Point>,
+    /// Structure-of-arrays mirror of `points`: all x coordinates, then all y
+    /// coordinates, each contiguous. Brute-force scans that stream over every
+    /// point (the O(n²) baselines, neighbour-list construction) iterate these
+    /// instead of the interleaved `points` so the compiler can vectorise the
+    /// distance computations.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
     bbox: BoundingBox,
 }
 
@@ -118,7 +125,14 @@ impl Dataset {
             }
         }
         let bbox = BoundingBox::from_points(&points);
-        Ok(Dataset { points, bbox })
+        let xs = points.iter().map(|p| p.x).collect();
+        let ys = points.iter().map(|p| p.y).collect();
+        Ok(Dataset {
+            points,
+            xs,
+            ys,
+            bbox,
+        })
     }
 
     /// Creates a dataset from `(x, y)` tuples.
@@ -167,6 +181,29 @@ impl Dataset {
         self.points.iter().copied().enumerate()
     }
 
+    /// Contiguous slice of all x coordinates, indexed by [`PointId`].
+    ///
+    /// Together with [`ys`](Self::ys) this is the structure-of-arrays view of
+    /// the dataset: streaming scans (ρ counting in the brute-force baselines)
+    /// read two flat `f64` streams, which keeps the hot loop cache-friendly
+    /// and lets the compiler vectorise it.
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Contiguous slice of all y coordinates, indexed by [`PointId`].
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Both coordinate slices at once: `(xs, ys)`.
+    #[inline]
+    pub fn coord_slices(&self) -> (&[f64], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+
     /// Euclidean distance between two points of the dataset.
     #[inline]
     pub fn distance(&self, a: PointId, b: PointId) -> f64 {
@@ -189,9 +226,11 @@ impl Dataset {
         self.bbox.diagonal()
     }
 
-    /// Approximate number of heap bytes held by the dataset.
+    /// Approximate number of heap bytes held by the dataset (the interleaved
+    /// point array plus the structure-of-arrays coordinate mirror).
     pub fn memory_bytes(&self) -> usize {
         self.points.capacity() * std::mem::size_of::<Point>()
+            + (self.xs.capacity() + self.ys.capacity()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -300,6 +339,18 @@ mod tests {
         assert_eq!(bb.min_y(), -1.0);
         assert_eq!(bb.max_y(), 5.0);
         assert!((d.bbox_diameter() - (16.0f64 + 36.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coord_slices_mirror_the_points() {
+        let d = Dataset::from_coords(vec![(0.5, -1.0), (4.0, 2.0), (2.0, 5.0)]);
+        let (xs, ys) = d.coord_slices();
+        assert_eq!(xs, &[0.5, 4.0, 2.0]);
+        assert_eq!(ys, &[-1.0, 2.0, 5.0]);
+        assert_eq!(d.xs().len(), d.len());
+        for (id, p) in d.iter() {
+            assert_eq!(p, Point::new(xs[id], ys[id]));
+        }
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::time::Duration;
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::stats::nested_vec_bytes;
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Result, Rho, TieBreak, Timer,
+    exec, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, PointId, Result,
+    Rho, TieBreak, Timer,
 };
 
 use crate::nlist::NeighborLists;
@@ -214,17 +215,25 @@ impl DpcIndex for ChIndex {
     }
 
     fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
-        validate_dc(dc)?;
-        Ok((0..self.dataset.len())
-            .map(|p| self.rho_one(p, dc))
-            .collect())
+        self.rho_with_policy(dc, ExecPolicy::Sequential)
     }
 
     fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
+        self.delta_with_policy(dc, rho, ExecPolicy::Sequential)
+    }
+
+    fn rho_with_policy(&self, dc: f64, policy: ExecPolicy) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        let mut rho = vec![0 as Rho; self.dataset.len()];
+        exec::fill_slice(&mut rho, policy, || (), |p, ()| self.rho_one(p, dc));
+        Ok(rho)
+    }
+
+    fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         validate_dc(dc)?;
         validate_rho_len(rho, self.dataset.len())?;
         let order = DensityOrder::with_tie_break(rho, self.tie);
-        Ok(self.lists.delta_by_scan(&order))
+        Ok(self.lists.delta_by_scan_policy(&order, policy))
     }
 
     fn memory_bytes(&self) -> usize {

@@ -17,8 +17,8 @@
 use std::time::Duration;
 
 use dpc_core::{
-    assign_clusters, AssignmentOptions, CenterSelection, Clustering, Dataset, DecisionGraph,
-    DeltaResult, DensityOrder, DpcError, PointId, Result, Rho, TieBreak, Timer,
+    assign_clusters, exec, AssignmentOptions, CenterSelection, Clustering, Dataset, DecisionGraph,
+    DeltaResult, DensityOrder, DpcError, ExecPolicy, PointId, Result, Rho, TieBreak, Timer,
 };
 
 use crate::nlist::NeighborLists;
@@ -115,9 +115,18 @@ impl KnnDpc {
     /// integer densities expected by the rest of the workspace. Points with
     /// equal scores share a rank.
     pub fn density_ranks(&self, k: usize) -> Result<Vec<Rho>> {
+        self.density_ranks_with_policy(k, ExecPolicy::Sequential)
+    }
+
+    /// [`density_ranks`](Self::density_ranks) under an explicit execution
+    /// policy: the per-point score computation is partitioned across worker
+    /// threads (the rank conversion itself is a cheap sequential sort).
+    /// Results are bit-identical at every thread count.
+    pub fn density_ranks_with_policy(&self, k: usize, policy: ExecPolicy) -> Result<Vec<Rho>> {
         self.validate_k(k)?;
         let n = self.dataset.len();
-        let scores: Vec<f64> = (0..n).map(|p| self.density_score(p, k)).collect();
+        let mut scores = vec![0.0f64; n];
+        exec::fill_slice(&mut scores, policy, || (), |p, ()| self.density_score(p, k));
         let mut by_score: Vec<PointId> = (0..n).collect();
         by_score.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
         let mut ranks = vec![0 as Rho; n];
@@ -134,9 +143,20 @@ impl KnnDpc {
     /// Computes the kNN densities (as ranks) and the dependent distances in
     /// one call.
     pub fn rho_delta(&self, k: usize) -> Result<(Vec<Rho>, DeltaResult)> {
-        let ranks = self.density_ranks(k)?;
+        self.rho_delta_with_policy(k, ExecPolicy::Sequential)
+    }
+
+    /// [`rho_delta`](Self::rho_delta) under an explicit execution policy:
+    /// both the density scores and the δ list scans run on the chunked
+    /// parallel engine. Results are bit-identical at every thread count.
+    pub fn rho_delta_with_policy(
+        &self,
+        k: usize,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<Rho>, DeltaResult)> {
+        let ranks = self.density_ranks_with_policy(k, policy)?;
         let order = DensityOrder::with_tie_break(&ranks, self.tie);
-        let deltas = self.lists.delta_by_scan(&order);
+        let deltas = self.lists.delta_by_scan_policy(&order, policy);
         Ok((ranks, deltas))
     }
 
@@ -284,6 +304,21 @@ mod tests {
             .cluster(5, &CenterSelection::TopKGamma { k: 3 })
             .unwrap();
         assert_same_partition(&a, &b);
+    }
+
+    #[test]
+    fn parallel_rho_delta_is_bit_identical_to_sequential() {
+        let data = s1(73, 0.05).into_dataset(); // 250 points
+        let knn = KnnDpc::build(&data);
+        let (seq_ranks, seq_deltas) = knn.rho_delta(8).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let (ranks, deltas) = knn
+                .rho_delta_with_policy(8, ExecPolicy::Threads(threads))
+                .unwrap();
+            assert_eq!(ranks, seq_ranks, "threads = {threads}");
+            assert_eq!(deltas.delta, seq_deltas.delta, "threads = {threads}");
+            assert_eq!(deltas.mu, seq_deltas.mu, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, Result, Rho, TieBreak, Timer,
+    exec, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Result, Rho,
+    TieBreak, Timer,
 };
 
 use crate::nlist::NeighborLists;
@@ -104,17 +105,30 @@ impl DpcIndex for ListIndex {
     }
 
     fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
-        validate_dc(dc)?;
-        let n = self.dataset.len();
-        let mut rho = Vec::with_capacity(n);
-        for p in 0..n {
-            rho.push(self.lists.count_within(p, dc) as Rho);
-        }
-        Ok(rho)
+        self.rho_with_policy(dc, ExecPolicy::Sequential)
     }
 
     fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
         self.delta_with_probes(dc, rho).map(|(result, _)| result)
+    }
+
+    fn rho_with_policy(&self, dc: f64, policy: ExecPolicy) -> Result<Vec<Rho>> {
+        validate_dc(dc)?;
+        let mut rho = vec![0 as Rho; self.dataset.len()];
+        exec::fill_slice(
+            &mut rho,
+            policy,
+            || (),
+            |p, ()| self.lists.count_within(p, dc) as Rho,
+        );
+        Ok(rho)
+    }
+
+    fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
+        validate_dc(dc)?;
+        validate_rho_len(rho, self.dataset.len())?;
+        let order = DensityOrder::with_tie_break(rho, self.tie);
+        Ok(self.lists.delta_by_scan_policy(&order, policy))
     }
 
     fn memory_bytes(&self) -> usize {

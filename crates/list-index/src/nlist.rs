@@ -7,7 +7,7 @@
 //! quadratic memory cost to whatever the local neighbourhoods contain.
 
 use dpc_core::stats::vec_bytes;
-use dpc_core::{Dataset, DeltaResult, DensityOrder, PointId};
+use dpc_core::{exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, PointId};
 
 /// One entry of a neighbour list: a neighbour id and its distance to the
 /// list's owner.
@@ -63,7 +63,8 @@ impl NeighborLists {
         Self::build_with_threads(dataset, tau, 1)
     }
 
-    /// Builds the lists with an explicit number of worker threads.
+    /// Builds the lists with an explicit number of worker threads, on top of
+    /// the chunked engine of [`dpc_core::exec`].
     ///
     /// # Panics
     /// Panics if `threads == 0` or if `tau` is not a positive finite number.
@@ -80,38 +81,35 @@ impl NeighborLists {
         if n == 0 {
             return NeighborLists { lists, tau };
         }
-        let pts = dataset.points();
-        let chunk = n.div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, out) in lists.chunks_mut(chunk).enumerate() {
-                let start = chunk_idx * chunk;
-                scope.spawn(move |_| {
-                    for (offset, list) in out.iter_mut().enumerate() {
-                        let p = start + offset;
-                        let mut entries: Vec<Neighbor> =
-                            Vec::with_capacity(if tau.is_some() { 16 } else { n - 1 });
-                        for (q, point_q) in pts.iter().enumerate() {
-                            if q == p {
-                                continue;
-                            }
-                            let d = pts[p].distance(point_q);
-                            if tau.is_none_or(|t| d < t) {
-                                entries.push(Neighbor::new(d, q));
-                            }
-                        }
-                        entries.sort_by(|a, b| {
-                            a.dist
-                                .partial_cmp(&b.dist)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then(a.id.cmp(&b.id))
-                        });
-                        entries.shrink_to_fit();
-                        *list = entries;
+        let (xs, ys) = dataset.coord_slices();
+        exec::fill_slice(
+            &mut lists,
+            ExecPolicy::Threads(threads),
+            || (),
+            |p, ()| {
+                let mut entries: Vec<Neighbor> =
+                    Vec::with_capacity(if tau.is_some() { 16 } else { n - 1 });
+                let (xp, yp) = (xs[p], ys[p]);
+                for (q, (&xq, &yq)) in xs.iter().zip(ys.iter()).enumerate() {
+                    if q == p {
+                        continue;
                     }
+                    let (dx, dy) = (xq - xp, yq - yp);
+                    let d = (dx * dx + dy * dy).sqrt();
+                    if tau.is_none_or(|t| d < t) {
+                        entries.push(Neighbor::new(d, q));
+                    }
+                }
+                entries.sort_by(|a, b| {
+                    a.dist
+                        .partial_cmp(&b.dist)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.id.cmp(&b.id))
                 });
-            }
-        })
-        .expect("neighbour list construction thread panicked");
+                entries.shrink_to_fit();
+                entries
+            },
+        );
         NeighborLists { lists, tau }
     }
 
@@ -179,35 +177,62 @@ impl NeighborLists {
     /// number of list entries probed, the quantity behind the paper's remark
     /// that *"less than 1% of the total number of objects were probed"*.
     pub fn delta_by_scan_with_probes(&self, order: &DensityOrder<'_>) -> (DeltaResult, u64) {
+        self.delta_by_scan_with_probes_policy(order, ExecPolicy::Sequential)
+    }
+
+    /// [`delta_by_scan`](Self::delta_by_scan) under an explicit execution
+    /// policy (bit-identical results at every thread count).
+    pub fn delta_by_scan_policy(
+        &self,
+        order: &DensityOrder<'_>,
+        policy: ExecPolicy,
+    ) -> DeltaResult {
+        self.delta_by_scan_with_probes_policy(order, policy).0
+    }
+
+    /// [`delta_by_scan_with_probes`](Self::delta_by_scan_with_probes) under
+    /// an explicit execution policy. The per-point scans are partitioned
+    /// across worker threads; each worker counts its own probes and the
+    /// counters are summed after the join.
+    pub fn delta_by_scan_with_probes_policy(
+        &self,
+        order: &DensityOrder<'_>,
+        policy: ExecPolicy,
+    ) -> (DeltaResult, u64) {
         let n = self.lists.len();
         debug_assert_eq!(order.len(), n, "density order must cover every object");
         let mut result = DeltaResult::unset(n);
-        let mut probes: u64 = 0;
-        for p in 0..n {
-            let list = &self.lists[p];
-            let mut found = false;
-            for nb in list {
-                probes += 1;
-                if order.is_denser(nb.point_id(), p) {
-                    result.delta[p] = nb.dist;
-                    result.mu[p] = Some(nb.point_id());
-                    found = true;
-                    break;
+        let probes_per_worker = exec::fill_slice_pair(
+            &mut result.delta,
+            &mut result.mu,
+            policy,
+            || 0u64,
+            |p, delta_slot, mu_slot, probes| {
+                let list = &self.lists[p];
+                let mut found = false;
+                for nb in list {
+                    *probes += 1;
+                    if order.is_denser(nb.point_id(), p) {
+                        *delta_slot = nb.dist;
+                        *mu_slot = Some(nb.point_id());
+                        found = true;
+                        break;
+                    }
                 }
-            }
-            if !found {
-                if self.tau.is_none() {
-                    // Global peak: δ = maximum distance to any other object,
-                    // which is the last entry of its full N-List.
-                    result.delta[p] = list.last().map_or(0.0, |nb| nb.dist);
-                } else {
-                    // Truncated list: neighbour (if any) lies beyond τ.
-                    result.delta[p] = f64::INFINITY;
+                if !found {
+                    if self.tau.is_none() {
+                        // Global peak: δ = maximum distance to any other
+                        // object, which is the last entry of its full N-List.
+                        *delta_slot = list.last().map_or(0.0, |nb| nb.dist);
+                    } else {
+                        // Truncated list: neighbour (if any) lies beyond τ.
+                        *delta_slot = f64::INFINITY;
+                    }
+                    *mu_slot = None;
                 }
-                result.mu[p] = None;
-            }
-        }
-        (result, probes)
+            },
+        );
+        (result, probes_per_worker.into_iter().sum())
     }
 }
 
@@ -277,6 +302,24 @@ mod tests {
         let parallel_t = NeighborLists::build_with_threads(&data, Some(50_000.0), 3);
         for p in 0..data.len() {
             assert_eq!(serial_t.list(p), parallel_t.list(p), "point {p}");
+        }
+    }
+
+    #[test]
+    fn parallel_delta_scan_is_bit_identical_to_sequential() {
+        let data = s1(19, 0.05).into_dataset(); // 250 points
+        for tau in [None, Some(40_000.0)] {
+            let lists = NeighborLists::build_serial(&data, tau);
+            let rho: Vec<u32> = (0..data.len() as u32).map(|i| i % 7).collect();
+            let order = DensityOrder::new(&rho);
+            let (seq, seq_probes) = lists.delta_by_scan_with_probes(&order);
+            for threads in [1usize, 2, 3, 7] {
+                let (par, par_probes) =
+                    lists.delta_by_scan_with_probes_policy(&order, ExecPolicy::Threads(threads));
+                assert_eq!(par.delta, seq.delta, "threads = {threads}, tau = {tau:?}");
+                assert_eq!(par.mu, seq.mu, "threads = {threads}, tau = {tau:?}");
+                assert_eq!(par_probes, seq_probes, "threads = {threads}, tau = {tau:?}");
+            }
         }
     }
 

@@ -12,13 +12,14 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, IndexStats, PointId, Result, Rho,
-    TieBreak, Timer,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, PointId,
+    Result, Rho, TieBreak, Timer,
 };
 
 use crate::common::{NodeId, SpatialPartition};
 use crate::query::{
-    delta_query_with_stats, rho_query_with_stats, subtree_max_density, DeltaQueryConfig, QueryStats,
+    delta_query_with_policy, rho_query_with_policy, subtree_max_density, DeltaQueryConfig,
+    QueryStats,
 };
 
 /// Configuration of a [`GridIndex`].
@@ -140,8 +141,18 @@ impl GridIndex {
 
     /// ρ-query that also reports traversal statistics.
     pub fn rho_with_stats(&self, dc: f64) -> Result<(Vec<Rho>, QueryStats)> {
+        self.rho_with_stats_policy(dc, ExecPolicy::Sequential)
+    }
+
+    /// [`rho_with_stats`](Self::rho_with_stats) under an explicit execution
+    /// policy (bit-identical results at every thread count).
+    pub fn rho_with_stats_policy(
+        &self,
+        dc: f64,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<Rho>, QueryStats)> {
         validate_dc(dc)?;
-        Ok(rho_query_with_stats(self, &self.dataset, dc))
+        Ok(rho_query_with_policy(self, &self.dataset, dc, policy))
     }
 
     /// δ-query with an explicit pruning configuration, reporting traversal
@@ -152,16 +163,29 @@ impl GridIndex {
         rho: &[Rho],
         config: &DeltaQueryConfig,
     ) -> Result<(DeltaResult, QueryStats)> {
+        self.delta_with_config_policy(dc, rho, config, ExecPolicy::Sequential)
+    }
+
+    /// [`delta_with_config`](Self::delta_with_config) under an explicit
+    /// execution policy.
+    pub fn delta_with_config_policy(
+        &self,
+        dc: f64,
+        rho: &[Rho],
+        config: &DeltaQueryConfig,
+        policy: ExecPolicy,
+    ) -> Result<(DeltaResult, QueryStats)> {
         validate_dc(dc)?;
         validate_rho_len(rho, self.dataset.len())?;
         let order = DensityOrder::with_tie_break(rho, self.config.tie_break);
         let maxrho = subtree_max_density(self, rho);
-        Ok(delta_query_with_stats(
+        Ok(delta_query_with_policy(
             self,
             &self.dataset,
             &order,
             &maxrho,
             config,
+            policy,
         ))
     }
 }
@@ -223,6 +247,15 @@ impl DpcIndex for GridIndex {
 
     fn delta(&self, dc: f64, rho: &[Rho]) -> Result<DeltaResult> {
         self.delta_with_config(dc, rho, &self.config.delta)
+            .map(|(result, _)| result)
+    }
+
+    fn rho_with_policy(&self, dc: f64, policy: ExecPolicy) -> Result<Vec<Rho>> {
+        self.rho_with_stats_policy(dc, policy).map(|(rho, _)| rho)
+    }
+
+    fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
+        self.delta_with_config_policy(dc, rho, &self.config.delta, policy)
             .map(|(result, _)| result)
     }
 

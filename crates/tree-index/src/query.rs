@@ -7,12 +7,24 @@
 //!   node against the query circle `(p, dc)` — *fully contained* nodes
 //!   contribute their point count `nc` wholesale, *discarded* nodes
 //!   contribute nothing, and only *intersecting* nodes are descended into
-//!   (Observation 1).
+//!   (Observation 1). The traversal is sqrt-free: every comparison is made
+//!   between squared distances and a precomputed `dc²` (see the safety
+//!   discussion in [`dpc_core::metric`]).
 //! * **δ-query** (Algorithm 6): best-first search over nodes ordered by
 //!   `dmin(p, node)`, with **density pruning** (Lemma 1: a node whose
 //!   `maxrho` is below `ρ(p)` cannot contain the dependent neighbour) and
 //!   **distance pruning** (Lemma 2: a node farther than the best candidate δ
-//!   cannot improve it).
+//!   cannot improve it). The δ path deliberately keeps *true* metric
+//!   distances — Lemma 2 and everything downstream of δ combine distances
+//!   additively, which squared distances (no triangle inequality) do not
+//!   support.
+//!
+//! Both queries run per point with no data dependency between points, so
+//! they parallelise over the chunked engine of [`dpc_core::exec`]: pass an
+//! [`ExecPolicy`] to [`rho_query_with_policy`] / [`delta_query_with_policy`]
+//! and each worker thread gets its own [`QueryScratch`] — a reusable node
+//! stack, best-first heap and [`QueryStats`] — merged deterministically after
+//! the join. Results are bit-identical at every thread count.
 //!
 //! Both pruning rules can be disabled individually through
 //! [`DeltaQueryConfig`] — that is what the pruning-ablation benchmark
@@ -21,7 +33,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dpc_core::{Dataset, DeltaResult, DensityOrder, PointId, Rho};
+use dpc_core::{exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, PointId, Rho};
 
 use crate::common::{NodeId, SpatialPartition};
 
@@ -57,6 +69,27 @@ impl QueryStats {
     }
 }
 
+/// Per-worker reusable traversal state: the depth-first stack of the ρ-query,
+/// the best-first heap of the δ-query, and the traversal counters.
+///
+/// One scratch lives per worker thread (or one for the whole query when
+/// sequential) and is reused across every point of that worker's chunk, so
+/// the per-point hot loops allocate nothing.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Counters accumulated over every query this scratch served.
+    pub stats: QueryStats,
+    stack: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+}
+
+impl QueryScratch {
+    /// A fresh scratch with empty stack, heap and zeroed counters.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+}
+
 /// Configuration of the δ-query; both pruning rules default to enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeltaQueryConfig {
@@ -89,48 +122,73 @@ impl DeltaQueryConfig {
 }
 
 /// Computes ρ for every point of the dataset.
-pub fn rho_query<T: SpatialPartition + ?Sized>(tree: &T, dataset: &Dataset, dc: f64) -> Vec<Rho> {
+pub fn rho_query<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    dc: f64,
+) -> Vec<Rho> {
     rho_query_with_stats(tree, dataset, dc).0
 }
 
 /// [`rho_query`] that also returns aggregate traversal statistics.
-pub fn rho_query_with_stats<T: SpatialPartition + ?Sized>(
+pub fn rho_query_with_stats<T: SpatialPartition + Sync + ?Sized>(
     tree: &T,
     dataset: &Dataset,
     dc: f64,
 ) -> (Vec<Rho>, QueryStats) {
+    rho_query_with_policy(tree, dataset, dc, ExecPolicy::Sequential)
+}
+
+/// [`rho_query`] under an explicit execution policy: the per-point queries
+/// are partitioned across worker threads, each with its own [`QueryScratch`],
+/// and the per-worker statistics are merged in chunk order after the join.
+/// Results are bit-identical to the sequential query.
+pub fn rho_query_with_policy<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    dc: f64,
+    policy: ExecPolicy,
+) -> (Vec<Rho>, QueryStats) {
+    let mut rho = vec![0 as Rho; dataset.len()];
+    let scratches = exec::fill_slice(&mut rho, policy, QueryScratch::new, |p, scratch| {
+        rho_one(tree, dataset, p, dc, scratch)
+    });
     let mut stats = QueryStats::default();
-    let mut rho = Vec::with_capacity(dataset.len());
-    for p in 0..dataset.len() {
-        rho.push(rho_one(tree, dataset, p, dc, &mut stats));
+    for s in &scratches {
+        stats.merge(&s.stats);
     }
     (rho, stats)
 }
 
 /// ρ of a single point: counts points strictly within `dc`, excluding the
-/// point itself.
+/// point itself. Sqrt-free: all comparisons are against `dc²`.
 pub fn rho_one<T: SpatialPartition + ?Sized>(
     tree: &T,
     dataset: &Dataset,
     p: PointId,
     dc: f64,
-    stats: &mut QueryStats,
+    scratch: &mut QueryScratch,
 ) -> Rho {
     let Some(root) = tree.root() else { return 0 };
     let query = dataset.point(p);
+    let pts = dataset.points();
+    let dc2 = dc * dc;
+    let stats = &mut scratch.stats;
     // Count all points (including p itself, which is trivially within dc of
     // itself) and subtract 1 at the end; this lets fully-contained nodes be
     // added wholesale without worrying about which node holds p.
     let mut count = 0usize;
-    let mut stack = vec![root];
+    let stack = &mut scratch.stack;
+    stack.clear();
+    stack.push(root);
     while let Some(node) = stack.pop() {
         stats.nodes_visited += 1;
         let bbox = tree.bbox(node);
-        if bbox.min_dist(query) >= dc {
+        if bbox.min_dist_squared(query) >= dc2 {
             stats.nodes_discarded += 1;
             continue;
         }
-        if bbox.max_dist(query) < dc {
+        if bbox.max_dist_squared(query) < dc2 {
             stats.nodes_fully_contained += 1;
             count += tree.point_count(node);
             continue;
@@ -138,7 +196,7 @@ pub fn rho_one<T: SpatialPartition + ?Sized>(
         if tree.is_leaf(node) {
             for &q in tree.points(node) {
                 stats.points_scanned += 1;
-                if dataset.point(q as PointId).distance(&query) < dc {
+                if pts[q as usize].distance_squared(&query) < dc2 {
                     count += 1;
                 }
             }
@@ -182,7 +240,7 @@ pub fn subtree_max_density<T: SpatialPartition + ?Sized>(tree: &T, rho: &[Rho]) 
 ///
 /// `maxrho` must come from [`subtree_max_density`] for the same `rho` the
 /// `order` was built from.
-pub fn delta_query<T: SpatialPartition + ?Sized>(
+pub fn delta_query<T: SpatialPartition + Sync + ?Sized>(
     tree: &T,
     dataset: &Dataset,
     order: &DensityOrder<'_>,
@@ -193,21 +251,43 @@ pub fn delta_query<T: SpatialPartition + ?Sized>(
 }
 
 /// [`delta_query`] that also returns aggregate traversal statistics.
-pub fn delta_query_with_stats<T: SpatialPartition + ?Sized>(
+pub fn delta_query_with_stats<T: SpatialPartition + Sync + ?Sized>(
     tree: &T,
     dataset: &Dataset,
     order: &DensityOrder<'_>,
     maxrho: &[Rho],
     config: &DeltaQueryConfig,
 ) -> (DeltaResult, QueryStats) {
+    delta_query_with_policy(tree, dataset, order, maxrho, config, ExecPolicy::Sequential)
+}
+
+/// [`delta_query`] under an explicit execution policy; see
+/// [`rho_query_with_policy`] for the parallel contract.
+pub fn delta_query_with_policy<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    maxrho: &[Rho],
+    config: &DeltaQueryConfig,
+    policy: ExecPolicy,
+) -> (DeltaResult, QueryStats) {
     let n = dataset.len();
     debug_assert_eq!(order.len(), n);
     let mut result = DeltaResult::unset(n);
+    let scratches = exec::fill_slice_pair(
+        &mut result.delta,
+        &mut result.mu,
+        policy,
+        QueryScratch::new,
+        |p, delta_slot, mu_slot, scratch| {
+            let (delta, mu) = delta_one(tree, dataset, order, maxrho, p, config, scratch);
+            *delta_slot = delta;
+            *mu_slot = mu;
+        },
+    );
     let mut stats = QueryStats::default();
-    for p in 0..n {
-        let (delta, mu) = delta_one(tree, dataset, order, maxrho, p, config, &mut stats);
-        result.delta[p] = delta;
-        result.mu[p] = mu;
+    for s in &scratches {
+        stats.merge(&s.stats);
     }
     (result, stats)
 }
@@ -231,6 +311,10 @@ impl Ord for OrdF64 {
 }
 
 /// δ and µ of a single point — the best-first search of Algorithm 6.
+///
+/// All node and point comparisons here use *true* Euclidean distances: the
+/// candidate δ is consumed by triangle-inequality-based reasoning downstream,
+/// which squared distances cannot serve (see [`dpc_core::metric`]).
 pub fn delta_one<T: SpatialPartition + ?Sized>(
     tree: &T,
     dataset: &Dataset,
@@ -238,21 +322,26 @@ pub fn delta_one<T: SpatialPartition + ?Sized>(
     maxrho: &[Rho],
     p: PointId,
     config: &DeltaQueryConfig,
-    stats: &mut QueryStats,
+    scratch: &mut QueryScratch,
 ) -> (f64, Option<PointId>) {
     let Some(root) = tree.root() else {
         return (0.0, None);
     };
     let query = dataset.point(p);
+    let pts = dataset.points();
     let rho_p = order.rho()[p];
+    let stats = &mut scratch.stats;
 
     let mut best_d = f64::INFINITY;
     let mut best_q: Option<PointId> = None;
 
     // Min-heap on dmin: the node most likely to contain the dependent
     // neighbour is explored first, so the candidate δ shrinks quickly and
-    // distance pruning bites early.
-    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+    // distance pruning bites early. The heap is per-worker scratch — cleared
+    // (it may hold leftovers from an early-terminated previous query) but
+    // never re-allocated.
+    let heap = &mut scratch.heap;
+    heap.clear();
     heap.push(Reverse((OrdF64(tree.bbox(root).min_dist(query)), root)));
 
     while let Some(Reverse((OrdF64(dmin), node))) = heap.pop() {
@@ -270,7 +359,7 @@ pub fn delta_one<T: SpatialPartition + ?Sized>(
                 if q == p || !order.is_denser(q, p) {
                     continue;
                 }
-                let d = dataset.point(q).distance(&query);
+                let d = pts[q].distance(&query);
                 // Lexicographic (distance, id) comparison keeps µ identical
                 // to the list-based indices and the baseline when several
                 // denser neighbours are equidistant.
@@ -300,12 +389,14 @@ pub fn delta_one<T: SpatialPartition + ?Sized>(
         None => {
             // No denser point exists: p is the global peak. Its δ is the
             // maximum distance to any other point (original DPC convention).
-            let max_d = dataset
-                .points()
+            // Maximising the squared distance and taking one root at the end
+            // gives exactly the same value (sqrt is monotone) without a root
+            // per point.
+            let max_sq = pts
                 .iter()
-                .map(|q| q.distance(&query))
+                .map(|q| q.distance_squared(&query))
                 .fold(0.0f64, f64::max);
-            (max_d, None)
+            (max_sq.sqrt(), None)
         }
     }
 }
@@ -339,6 +430,33 @@ mod tests {
             for p in 0..data.len() {
                 assert!((deltas.delta(p) - ref_delta.delta(p)).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_queries_are_bit_identical_to_sequential() {
+        let data = query_dataset(3, 0.004).into_dataset(); // 200 points
+        let part = FlatPartition::strips(&data, 0.05);
+        let dc = 0.02;
+        let (seq_rho, seq_rho_stats) = rho_query_with_stats(&part, &data, dc);
+        let order = DensityOrder::new(&seq_rho);
+        let maxrho = subtree_max_density(&part, &seq_rho);
+        let config = DeltaQueryConfig::default();
+        let (seq_delta, seq_delta_stats) =
+            delta_query_with_stats(&part, &data, &order, &maxrho, &config);
+        for threads in [1usize, 2, 3, 7, 64] {
+            let policy = ExecPolicy::Threads(threads);
+            let (rho, rho_stats) = rho_query_with_policy(&part, &data, dc, policy);
+            assert_eq!(rho, seq_rho, "threads = {threads}");
+            assert_eq!(rho_stats, seq_rho_stats, "threads = {threads}");
+            let (delta, delta_stats) =
+                delta_query_with_policy(&part, &data, &order, &maxrho, &config, policy);
+            assert_eq!(delta.delta, seq_delta.delta, "threads = {threads}");
+            assert_eq!(delta.mu, seq_delta.mu, "threads = {threads}");
+            // Distance pruning's "rest of the heap" counter depends on how
+            // many nodes are still queued at the early exit, which is
+            // per-point state — identical regardless of the partitioning.
+            assert_eq!(delta_stats, seq_delta_stats, "threads = {threads}");
         }
     }
 

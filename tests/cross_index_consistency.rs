@@ -5,6 +5,7 @@
 //! This is the central correctness claim of the reproduction: the paper's
 //! indices are pure accelerations, not approximations (Theorem 3).
 
+use density_peaks::core::ExecPolicy;
 use density_peaks::prelude::*;
 use dpc_baseline::MatrixDpc;
 use proptest::prelude::*;
@@ -49,6 +50,39 @@ proptest! {
                 prop_assert!(
                     (delta.delta(p) - ref_delta.delta(p)).abs() < 1e-9,
                     "delta mismatch for {} at point {}", name, p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_queries_are_bit_identical_to_sequential_for_every_index(
+        points in points_strategy(),
+        dc in dc_strategy()
+    ) {
+        // The parallel query engine partitions work over threads but runs
+        // exactly the same per-point code, so ρ, δ and µ must be
+        // bit-identical to the sequential query for every index and any
+        // thread count — including more threads than points (n is 2..60
+        // here, so threads = 7 regularly exceeds n).
+        let data = Dataset::from_coords(points);
+        let mut indexes = all_exact_indices(&data);
+        indexes.push(("lean", Box::new(LeanDpc::build(&data))));
+        indexes.push(("parallel", Box::new(ParallelDpc::build_with_threads(&data, 4))));
+        for (name, index) in indexes {
+            let (seq_rho, seq_delta) = index.rho_delta(dc).unwrap();
+            for threads in [1usize, 2, 3, 7] {
+                let policy = ExecPolicy::Threads(threads);
+                let rho = index.rho_with_policy(dc, policy).unwrap();
+                let delta = index.delta_with_policy(dc, &rho, policy).unwrap();
+                prop_assert_eq!(&rho, &seq_rho, "rho differs for {} at {} threads", name, threads);
+                prop_assert_eq!(
+                    &delta.delta, &seq_delta.delta,
+                    "delta differs for {} at {} threads", name, threads
+                );
+                prop_assert_eq!(
+                    &delta.mu, &seq_delta.mu,
+                    "mu differs for {} at {} threads", name, threads
                 );
             }
         }
