@@ -1,0 +1,104 @@
+//! `bench_stream`: measures sliding-window streaming throughput
+//! (incremental affected-set maintenance vs rebuild-from-scratch) and writes
+//! the `BENCH_stream.json` snapshot.
+//!
+//! ```text
+//! bench_stream [--windows 1000,4000] [--updates N] [--dc F] [--seed S]
+//!              [--threads N] [--out FILE | --no-out]
+//! ```
+//!
+//! The committed snapshot at the repository root is produced with the
+//! defaults (`--out BENCH_stream.json`); CI runs a tiny smoke invocation so
+//! the benchmark cannot rot.
+
+use std::path::PathBuf;
+
+use dpc_bench::stream_throughput::{run, StreamBenchOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match main_with_args(args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: bench_stream [--windows 1000,4000] [--updates N] [--dc F] \
+                 [--seed S] [--threads N] [--out FILE | --no-out]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main_with_args(args: Vec<String>) -> Result<(), String> {
+    let (options, out) = parse_args(args)?;
+    let report = run(&options);
+    print!("{}", report.render());
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("snapshot written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>), String> {
+    let mut options = StreamBenchOptions::default();
+    let mut out = Some(PathBuf::from("target/experiments/BENCH_stream.json"));
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--windows" => {
+                let list = value_of("--windows")?;
+                options.windows = list
+                    .split(',')
+                    .map(|w| w.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("invalid --windows list {list:?}"))?;
+                if options.windows.is_empty() || options.windows.contains(&0) {
+                    return Err("--windows needs a comma-separated list of positive sizes".into());
+                }
+            }
+            "--updates" => {
+                options.updates = value_of("--updates")?
+                    .parse()
+                    .map_err(|_| "invalid --updates value".to_string())?;
+                if options.updates == 0 {
+                    return Err("--updates must be positive".into());
+                }
+            }
+            "--dc" => {
+                options.dc = value_of("--dc")?
+                    .parse()
+                    .map_err(|_| "invalid --dc value".to_string())?;
+                if !(options.dc.is_finite() && options.dc > 0.0) {
+                    return Err("--dc must be a positive finite number".into());
+                }
+            }
+            "--seed" => {
+                options.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--threads" => {
+                options.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads value".to_string())?;
+                if options.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--no-out" => out = None,
+            other => return Err(format!("unrecognised argument {other:?}")),
+        }
+    }
+    if let Some(path) = &out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    Ok((options, out))
+}

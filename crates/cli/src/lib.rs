@@ -11,6 +11,7 @@
 //! dpc cluster     --input points.csv --dc 50000 --index rtree --centers top:100 \
 //!                 --output labels.csv --decision-graph graph.csv
 //! dpc knn-cluster --input points.csv --k 16 --centers top:100 --output labels.csv
+//! dpc stream      --input points.csv --dc 50000 --window 1000 --batch 100
 //! ```
 //!
 //! The crate exposes [`run`] so the whole tool is testable without spawning a
@@ -36,6 +37,7 @@ pub fn run(args: Vec<String>) -> Result<String, String> {
         "estimate-dc" => commands::estimate_dc(&parsed),
         "cluster" => commands::cluster(&parsed),
         "knn-cluster" => commands::knn_cluster(&parsed),
+        "stream" => commands::stream(&parsed),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -54,12 +56,18 @@ USAGE:
                   [--threads N] [--halo] [--output labels.csv] [--decision-graph graph.csv]
   dpc knn-cluster --input points.csv --k N
                   [--centers top:K|auto[:MAX]] [--output labels.csv]
+  dpc stream      --input points.csv --dc F
+                  [--index grid|naive] [--window N] [--batch N] [--threads N]
+                  [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
+                  [--max-epochs N] [--quiet]
   dpc help
 
 Datasets are the paper's six evaluation datasets, regenerated synthetically
 at `--scale` times their original size. Clustering reads any CSV of `x,y`
 rows (extra columns ignored) and writes `x,y,label` rows; halo points get an
-empty label when --halo is set."
+empty label when --halo is set. `stream` replays the CSV as a point stream:
+the first --window rows seed an incremental engine, every following batch
+slides the window, and per-epoch cluster births/deaths are printed."
         .to_string()
 }
 

@@ -356,6 +356,62 @@ mod tests {
         assert!(c.is_halo(42));
     }
 
+    /// Regression pin for centre/assignment determinism when two candidate
+    /// peaks are *exactly* tied: equal ρ, equal δ (hence equal γ).
+    ///
+    /// Two coincident pairs, far apart: every point has ρ = 1, and both pair
+    /// leaders (ids 0 and 2) end up with δ = 10 — the decision graph cannot
+    /// separate them on (ρ, δ) alone. The pinned behaviour is the workspace
+    /// convention used everywhere else: ties resolve towards the smaller id
+    /// (γ ranking is stable by id, the density order uses
+    /// `TieBreak::SmallerIdDenser`, equidistant µ candidates pick the
+    /// smaller id). The streaming engine re-runs this selection + assignment
+    /// every epoch, so any drift here would make incremental and batch runs
+    /// diverge.
+    #[test]
+    fn equal_rho_equal_delta_peaks_assign_deterministically() {
+        use crate::decision::{CenterSelection, DecisionGraph};
+        let data = Dataset::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 0.0),
+        ]);
+        let dc = 1.0;
+        let (rho, deltas) = rho_delta(&data, dc);
+        // Both pair leaders are exact ties on the decision graph.
+        assert_eq!(rho, vec![1, 1, 1, 1]);
+        assert_eq!(deltas.delta, vec![10.0, 0.0, 10.0, 0.0]);
+
+        let run_once = || {
+            let graph = DecisionGraph::new(rho.clone(), &deltas).unwrap();
+            let centers = graph
+                .select_centers(&CenterSelection::TopKGamma { k: 2 })
+                .unwrap();
+            let order = DensityOrder::new(&rho);
+            let clustering = assign_clusters(
+                &data,
+                &order,
+                &deltas,
+                &centers,
+                dc,
+                &AssignmentOptions::default(),
+            )
+            .unwrap();
+            (centers, clustering)
+        };
+
+        let (centers, clustering) = run_once();
+        // Tie resolves to the smaller ids: the two pair leaders.
+        assert_eq!(centers, vec![0, 2]);
+        assert_eq!(clustering.labels(), &[0, 0, 1, 1]);
+        // Re-running the selection + assignment is bit-identical (the
+        // streaming engine does this every epoch).
+        let (centers2, clustering2) = run_once();
+        assert_eq!(centers, centers2);
+        assert_eq!(clustering, clustering2);
+    }
+
     #[test]
     fn empty_dataset_gives_empty_clustering() {
         let data = Dataset::new(vec![]);

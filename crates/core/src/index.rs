@@ -18,7 +18,7 @@ use crate::delta::{DeltaResult, TieBreak};
 use crate::density::Rho;
 use crate::error::{DpcError, Result};
 use crate::exec::ExecPolicy;
-use crate::point::Dataset;
+use crate::point::{Dataset, Point, PointId};
 
 /// Construction-time statistics of an index, reported by every
 /// implementation and consumed by the experiment harness (Tables 3–4 of the
@@ -166,28 +166,115 @@ pub trait DpcIndex {
     }
 }
 
+/// An index that supports online point insertion and deletion, plus the
+/// ε-range query the streaming engine uses to find the *affected set* of an
+/// update.
+///
+/// This is the seam behind `dpc-stream`'s incremental clustering: inserting
+/// or deleting a point `p` only changes `ρ` for points within `dc` of `p`
+/// (the locality property the paper's indexes already exploit for batch
+/// queries), so an updatable index lets `ρ` be *maintained* instead of
+/// recomputed — the same insight as the parallel-exact and k-d-tree DPC
+/// follow-ups ("Faster Parallel Exact Density Peaks Clustering", Huang, Yu &
+/// Shun 2023; Shan et al. 2022).
+///
+/// ## Contract
+///
+/// * The index's [`dataset`](DpcIndex::dataset) mirrors the mutations:
+///   [`insert`](UpdatableIndex::insert) appends (new id = old `len()`),
+///   [`remove`](UpdatableIndex::remove) uses *swap-remove* semantics exactly
+///   like [`Dataset::swap_remove`] — the last point is renamed to the removed
+///   id, and the old id of the moved point is returned so callers can fix up
+///   external references.
+/// * After any sequence of updates, every [`DpcIndex`] query must return
+///   exactly what a freshly built index over the same dataset would return.
+///   (Internal bookkeeping such as node bounding boxes may be *conservative*
+///   after deletions — correct but less tight — as long as query results are
+///   unchanged.)
+/// * [`eps_neighbors`](UpdatableIndex::eps_neighbors) takes a *location*, not
+///   an id, so it can be asked about a point before it is inserted or after
+///   it is removed. It returns ids in ascending order.
+pub trait UpdatableIndex: DpcIndex {
+    /// Inserts a point, returning its id (the previous `len()`).
+    ///
+    /// Returns [`DpcError::InvalidPoint`] for non-finite coordinates.
+    fn insert(&mut self, p: Point) -> Result<PointId>;
+
+    /// Removes the point with the given id via swap-remove.
+    ///
+    /// Returns the old id of the point that was moved into the hole
+    /// (`Some(len - 1)`), or `None` when the last point was removed. Errors
+    /// when `id` is out of range.
+    fn remove(&mut self, id: PointId) -> Result<Option<PointId>>;
+
+    /// Ids of all points strictly within `eps` of `center`, ascending.
+    ///
+    /// Strictness matches the ρ definition (`dist < eps`), so
+    /// `eps_neighbors(point(p), dc)` returns exactly the points whose ρ a
+    /// mutation of `p` touches (including `p` itself when it is indexed —
+    /// its distance to its own location is 0). `eps` is validated like a
+    /// cut-off distance ([`validate_dc`]).
+    fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>>;
+}
+
+/// Brute-force ε-range scan over the structure-of-arrays coordinate slices:
+/// ids of all points strictly within `eps` of `center`, ascending.
+///
+/// This is the shared reference implementation of
+/// [`UpdatableIndex::eps_neighbors`] used by the index-free baselines
+/// (`NaiveReferenceIndex`, `LeanDpc`); real indexes answer the same query
+/// through their structure. Keeping one copy pins the contract — strict
+/// `dist < eps`, same validation as a cut-off distance — in one place.
+pub fn eps_neighbors_scan(dataset: &Dataset, center: Point, eps: f64) -> Result<Vec<PointId>> {
+    validate_dc(eps)?;
+    let (xs, ys) = dataset.coord_slices();
+    let eps2 = eps * eps;
+    Ok((0..dataset.len())
+        .filter(|&q| {
+            let (dx, dy) = (xs[q] - center.x, ys[q] - center.y);
+            dx * dx + dy * dy < eps2
+        })
+        .collect())
+}
+
 /// Validates a cut-off distance, shared by all index implementations.
 ///
 /// Besides rejecting non-positive and non-finite values, this rejects
-/// cut-offs so small that `dc²` underflows below `f64::MIN_POSITIVE`
-/// (`dc` ≲ 1.5e-154): the sqrt-free hot loops compare squared distances
-/// against `dc²` (see [`crate::metric`]), and an underflowed threshold would
-/// silently classify *every* point — including coincident ones — as outside
-/// the neighbourhood. No meaningful dataset has a cut-off within 150 orders
-/// of magnitude of that limit.
+/// cut-offs whose square leaves the finite f64 range: the sqrt-free hot
+/// loops compare squared distances against `dc²` (see [`crate::metric`]),
+/// so an *underflowed* square (`dc` ≲ 1.5e-154, `dc²` rounding to 0) would
+/// silently classify every point — including coincident ones — as outside
+/// the neighbourhood, and an *overflowed* square (`dc` ≳ 1.3e154, `dc²`
+/// rounding to +∞) would make the comparison against equally-overflowed
+/// pairwise distances undercount. No meaningful dataset has a cut-off within
+/// 150 orders of magnitude of either limit.
 pub fn validate_dc(dc: f64) -> Result<()> {
     if !(dc.is_finite() && dc > 0.0) {
         return Err(DpcError::invalid_parameter(
             "dc",
-            format!("cut-off distance must be a positive finite number, got {dc}"),
+            format!(
+                "cut-off distance must be a positive finite number \
+                 (valid range: approx. 1.5e-154 to 1.3e154), got {dc}"
+            ),
         ));
     }
     if dc * dc < f64::MIN_POSITIVE {
         return Err(DpcError::invalid_parameter(
             "dc",
             format!(
-                "cut-off distance {dc} is too small: its square underflows f64, \
-                 which would break the squared-distance comparisons (minimum ≈ 1.5e-154)"
+                "cut-off distance {dc:e} is below the minimum of approx. 1.5e-154 \
+                 (valid range: approx. 1.5e-154 to 1.3e154): its square underflows \
+                 f64, which would break the squared-distance comparisons"
+            ),
+        ));
+    }
+    if !(dc * dc).is_finite() {
+        return Err(DpcError::invalid_parameter(
+            "dc",
+            format!(
+                "cut-off distance {dc:e} is above the maximum of approx. 1.3e154 \
+                 (valid range: approx. 1.5e-154 to 1.3e154): its square overflows \
+                 f64, which would break the squared-distance comparisons"
             ),
         ));
     }
@@ -238,6 +325,33 @@ mod tests {
         assert!(validate_dc(1e-160).is_err());
         // Just above the underflow limit is fine.
         assert!(validate_dc(1e-150).is_ok());
+    }
+
+    #[test]
+    fn validate_dc_rejects_cutoffs_whose_square_overflows() {
+        // 1e200 is positive and finite but (1e200)² == +inf in f64.
+        assert!(validate_dc(1e200).is_err());
+        assert!(validate_dc(f64::MAX).is_err());
+        let msg = validate_dc(1e200).unwrap_err().to_string();
+        assert!(msg.contains("1e200"), "value missing in: {msg}");
+        assert!(msg.contains("1.3e154"), "range missing in: {msg}");
+        // Just below the overflow limit is fine.
+        assert!(validate_dc(1e150).is_ok());
+    }
+
+    #[test]
+    fn validate_dc_errors_name_the_value_and_the_valid_range() {
+        // Out-of-domain values: the message must quote the offending value
+        // and state the valid range.
+        for bad in [-3.25f64, 0.0, f64::NAN, f64::NEG_INFINITY] {
+            let msg = validate_dc(bad).unwrap_err().to_string();
+            assert!(msg.contains(&format!("{bad}")), "value missing in: {msg}");
+            assert!(msg.contains("1.5e-154"), "range missing in: {msg}");
+        }
+        // Underflowing values: same requirements through the other branch.
+        let msg = validate_dc(1e-170).unwrap_err().to_string();
+        assert!(msg.contains("1e-170"), "value missing in: {msg}");
+        assert!(msg.contains("1.5e-154"), "range missing in: {msg}");
     }
 
     #[test]

@@ -12,8 +12,10 @@ use std::time::Duration;
 use crate::delta::{DeltaResult, DensityOrder, TieBreak};
 use crate::density::Rho;
 use crate::error::Result;
-use crate::index::{validate_dc, validate_rho_len, DpcIndex, IndexStats};
-use crate::point::Dataset;
+use crate::index::{
+    eps_neighbors_scan, validate_dc, validate_rho_len, DpcIndex, IndexStats, UpdatableIndex,
+};
+use crate::point::{Dataset, Point, PointId};
 use crate::stats::Timer;
 
 /// The reference index: stores only a clone of the dataset and answers every
@@ -125,6 +127,24 @@ impl DpcIndex for NaiveReferenceIndex {
     }
 }
 
+/// The reference index is trivially updatable: it holds nothing but the
+/// dataset, so the mutations delegate straight to [`Dataset`] and the
+/// ε-query is a linear scan. This makes it the ground truth for the
+/// streaming engine exactly as it is for the batch queries.
+impl UpdatableIndex for NaiveReferenceIndex {
+    fn insert(&mut self, p: Point) -> Result<PointId> {
+        self.dataset.push(p)
+    }
+
+    fn remove(&mut self, id: PointId) -> Result<Option<PointId>> {
+        self.dataset.swap_remove(id)
+    }
+
+    fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>> {
+        eps_neighbors_scan(&self.dataset, center, eps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +249,41 @@ mod tests {
         assert_eq!(rho, vec![0]);
         assert_eq!(dres.mu(0), None);
         assert_eq!(dres.delta(0), 0.0);
+    }
+
+    #[test]
+    fn updatable_impl_matches_a_fresh_build_after_mutations() {
+        let mut idx = NaiveReferenceIndex::build(&two_blobs());
+        let x = idx.insert(Point::new(0.05, 0.05)).unwrap();
+        assert_eq!(x, 5);
+        // Removing id 1 renames the last point (5) to 1.
+        assert_eq!(idx.remove(1).unwrap(), Some(5));
+        let fresh = NaiveReferenceIndex::build(idx.dataset());
+        let (r1, d1) = idx.rho_delta(0.2).unwrap();
+        let (r2, d2) = fresh.rho_delta(0.2).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn eps_neighbors_is_strict_and_sorted() {
+        let data = Dataset::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.5, 0.0),
+        ]);
+        let idx = NaiveReferenceIndex::build(&data);
+        // Strictly-within: the point at distance exactly 1.0 is excluded.
+        assert_eq!(
+            idx.eps_neighbors(Point::new(0.0, 0.0), 1.0).unwrap(),
+            vec![0, 3]
+        );
+        assert_eq!(
+            idx.eps_neighbors(Point::new(0.0, 0.0), 1.5).unwrap(),
+            vec![0, 1, 3]
+        );
+        assert!(idx.eps_neighbors(Point::origin(), 0.0).is_err());
     }
 
     #[test]

@@ -88,12 +88,28 @@ impl From<[f64; 2]> for Point {
     }
 }
 
-/// An immutable collection of points to be clustered.
+/// A collection of points to be clustered.
 ///
 /// A dataset owns its points and exposes them by [`PointId`]. Construction
 /// validates that all coordinates are finite so that downstream distance
 /// computations and index invariants never have to deal with NaN.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// ## Mutation and versioning
+///
+/// Datasets were originally immutable; the streaming engine (`dpc-stream`)
+/// needs an append/evict workflow, so two mutators exist:
+///
+/// * [`push`](Dataset::push) appends a point at the end (its id is the old
+///   length), and
+/// * [`swap_remove`](Dataset::swap_remove) removes a point by moving the
+///   *last* point into its slot — O(1), but it renames the last point's id.
+///
+/// Every successful mutation bumps the dataset's
+/// [`version`](Dataset::version), a monotonically increasing epoch counter.
+/// Indices and other derived structures can record the version they were
+/// built against and detect staleness instead of silently answering queries
+/// over a dataset that has moved on.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     points: Vec<Point>,
     /// Structure-of-arrays mirror of `points`: all x coordinates, then all y
@@ -104,6 +120,18 @@ pub struct Dataset {
     xs: Vec<f64>,
     ys: Vec<f64>,
     bbox: BoundingBox,
+    /// Mutation epoch: 0 at construction, +1 per successful push/swap_remove.
+    version: u64,
+}
+
+impl PartialEq for Dataset {
+    /// Two datasets are equal when they hold the same points in the same
+    /// order; the mutation [`version`](Dataset::version) is deliberately
+    /// ignored (a dataset that had a point pushed and swap-removed again is
+    /// equal to one that never mutated).
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl Dataset {
@@ -132,6 +160,7 @@ impl Dataset {
             xs,
             ys,
             bbox,
+            version: 0,
         })
     }
 
@@ -202,6 +231,75 @@ impl Dataset {
     #[inline]
     pub fn coord_slices(&self) -> (&[f64], &[f64]) {
         (&self.xs, &self.ys)
+    }
+
+    /// Mutation epoch of the dataset: 0 at construction, incremented by
+    /// every successful [`push`](Dataset::push) /
+    /// [`swap_remove`](Dataset::swap_remove).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Appends a point, returning its id (the previous length).
+    ///
+    /// The interleaved array, both structure-of-arrays mirrors and the
+    /// bounding box stay in sync, and the [`version`](Dataset::version) is
+    /// bumped. Returns [`DpcError::InvalidPoint`] for non-finite coordinates
+    /// (the dataset is left untouched).
+    pub fn push(&mut self, p: Point) -> Result<PointId> {
+        if !p.is_finite() {
+            return Err(DpcError::InvalidPoint {
+                id: self.points.len(),
+                x: p.x,
+                y: p.y,
+            });
+        }
+        let id = self.points.len();
+        self.points.push(p);
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.bbox = self.bbox.extended(p);
+        self.version += 1;
+        Ok(id)
+    }
+
+    /// Removes the point with the given id by moving the *last* point into
+    /// its slot.
+    ///
+    /// Returns the id the moved point previously had (`Some(old_len - 1)`),
+    /// or `None` when the removed point was the last one and nothing moved.
+    /// Callers that hold ids for the moved point must rename it to `id`; the
+    /// [`HandleMap` of `dpc-stream`] exists to do exactly that bookkeeping.
+    ///
+    /// The bounding box stays tight and the [`version`](Dataset::version) is
+    /// bumped. Cost: O(1) unless the removed point lay on the bounding box
+    /// (then the box is rescanned in O(n) — a strictly interior point cannot
+    /// change a tight box, so the streaming hot path usually skips the
+    /// rescan).
+    ///
+    /// [`HandleMap` of `dpc-stream`]: Dataset#mutation-and-versioning
+    pub fn swap_remove(&mut self, id: PointId) -> Result<Option<PointId>> {
+        let n = self.points.len();
+        if id >= n {
+            return Err(DpcError::invalid_parameter(
+                "id",
+                format!("swap_remove: point id {id} is out of range (n = {n})"),
+            ));
+        }
+        let removed = self.points[id];
+        self.points.swap_remove(id);
+        self.xs.swap_remove(id);
+        self.ys.swap_remove(id);
+        let on_boundary = removed.x <= self.bbox.min_x()
+            || removed.x >= self.bbox.max_x()
+            || removed.y <= self.bbox.min_y()
+            || removed.y >= self.bbox.max_y();
+        if on_boundary {
+            self.bbox = BoundingBox::from_points(&self.points);
+        }
+        self.version += 1;
+        Ok(if id == n - 1 { None } else { Some(n - 1) })
     }
 
     /// Euclidean distance between two points of the dataset.
@@ -359,6 +457,124 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
         assert_eq!(d.bbox_diameter(), 0.0);
+    }
+
+    /// The SoA mirrors and the interleaved array must describe the same
+    /// points after any mutation.
+    fn assert_soa_in_sync(d: &Dataset) {
+        assert_eq!(d.xs().len(), d.len());
+        assert_eq!(d.ys().len(), d.len());
+        for (id, p) in d.iter() {
+            assert_eq!(p.x, d.xs()[id], "xs out of sync at {id}");
+            assert_eq!(p.y, d.ys()[id], "ys out of sync at {id}");
+            assert!(d.bounding_box().contains(p), "bbox misses point {id}");
+        }
+    }
+
+    #[test]
+    fn push_appends_and_keeps_soa_in_sync() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 2.0)]);
+        assert_eq!(d.version(), 0);
+        let id = d.push(Point::new(-3.0, 7.0)).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.point(2), Point::new(-3.0, 7.0));
+        assert_eq!(d.version(), 1);
+        assert_soa_in_sync(&d);
+        // The bounding box grew to cover the new point.
+        assert_eq!(d.bounding_box().min_x(), -3.0);
+        assert_eq!(d.bounding_box().max_y(), 7.0);
+    }
+
+    #[test]
+    fn push_rejects_non_finite_and_leaves_dataset_untouched() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0)]);
+        assert!(d.push(Point::new(f64::NAN, 0.0)).is_err());
+        assert!(d.push(Point::new(0.0, f64::INFINITY)).is_err());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.version(), 0);
+        assert_soa_in_sync(&d);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_point_into_hole() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let moved = d.swap_remove(1).unwrap();
+        assert_eq!(moved, Some(3));
+        assert_eq!(d.len(), 3);
+        // Point 3 now lives at id 1.
+        assert_eq!(d.point(1), Point::new(3.0, 3.0));
+        assert_eq!(d.point(0), Point::new(0.0, 0.0));
+        assert_eq!(d.point(2), Point::new(2.0, 2.0));
+        assert_eq!(d.version(), 1);
+        assert_soa_in_sync(&d);
+    }
+
+    #[test]
+    fn swap_remove_of_last_point_moves_nothing() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(d.swap_remove(1).unwrap(), None);
+        assert_eq!(d.len(), 1);
+        assert_soa_in_sync(&d);
+        assert_eq!(d.swap_remove(0).unwrap(), None);
+        assert!(d.is_empty());
+        assert_eq!(d.version(), 2);
+    }
+
+    #[test]
+    fn swap_remove_keeps_bounding_box_tight() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0), (100.0, 100.0), (1.0, 1.0)]);
+        // Removing the extreme point must shrink the box.
+        d.swap_remove(1).unwrap();
+        let bb = d.bounding_box();
+        assert_eq!(bb.max_x(), 1.0);
+        assert_eq!(bb.max_y(), 1.0);
+        assert_soa_in_sync(&d);
+    }
+
+    #[test]
+    fn swap_remove_of_interior_point_keeps_the_box() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0), (5.0, 5.0), (10.0, 10.0), (2.0, 9.0)]);
+        let before = d.bounding_box();
+        // (5, 5) is strictly inside: the tight box cannot change (and the
+        // fast path skips the rescan entirely).
+        d.swap_remove(1).unwrap();
+        assert_eq!(d.bounding_box(), before);
+        assert_eq!(d.bounding_box(), BoundingBox::from_points(d.points()));
+        assert_soa_in_sync(&d);
+    }
+
+    #[test]
+    fn swap_remove_rejects_out_of_range_ids() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0)]);
+        assert!(d.swap_remove(1).is_err());
+        assert!(d.swap_remove(usize::MAX).is_err());
+        assert_eq!(d.version(), 0);
+        let mut empty = Dataset::new(vec![]);
+        assert!(empty.swap_remove(0).is_err());
+    }
+
+    #[test]
+    fn push_after_swap_remove_reuses_dense_ids() {
+        let mut d = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        d.swap_remove(0).unwrap(); // point 2 takes id 0
+        let id = d.push(Point::new(9.0, 9.0)).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(d.point(0), Point::new(2.0, 2.0));
+        assert_eq!(d.point(1), Point::new(1.0, 1.0));
+        assert_eq!(d.point(2), Point::new(9.0, 9.0));
+        assert_eq!(d.version(), 2);
+        assert_soa_in_sync(&d);
+    }
+
+    #[test]
+    fn version_is_ignored_by_equality() {
+        let mut a = Dataset::from_coords(vec![(0.0, 0.0)]);
+        let b = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 1.0)]);
+        a.push(Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(a.version(), 1);
+        assert_eq!(b.version(), 0);
+        assert_eq!(a, b);
     }
 
     #[test]

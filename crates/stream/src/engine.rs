@@ -1,0 +1,780 @@
+//! The streaming DPC engine: [`StreamingDpc`].
+//!
+//! ## How the affected-set maintenance works
+//!
+//! Let `dc` be the cut-off distance and consider inserting (or deleting) a
+//! point `x`:
+//!
+//! * **ρ** — by definition `ρ(p)` counts points strictly within `dc` of `p`,
+//!   so only the points of the *affected set* `A = {p : dist(p, x) < dc}`
+//!   change, each by exactly ±1; `A` is found with the index's own ε-range
+//!   query ([`UpdatableIndex::eps_neighbors`]). ρ maintenance is therefore
+//!   exact and O(|A|) after the range query.
+//! * **δ/µ** — `δ(p)` is the lexicographic `(distance, id)` minimum over the
+//!   points *denser* than `p`. An update splits the window into:
+//!   - the **invalidation set** `F`, whose denser set may have *lost*
+//!     members so the old minimum is no longer trustworthy: `A ∪ {x}` (their
+//!     own ρ — and hence rank — changed), points whose µ was deleted or sits
+//!     in `A`, the point renamed by the swap-remove, and the old/new global
+//!     peaks (the peak's δ is the max-distance sentinel, which moves with
+//!     every update). Every point of `F` is recomputed from scratch.
+//!   - everyone else, whose denser set can only have *gained* members; the
+//!     stored `(δ, µ)` is still a valid minimum and the candidate entrants
+//!     (the inserted point, neighbours whose ρ rose, the renamed point) are
+//!     folded in by a cheap min-pass.
+//!
+//!   When `|F|` exceeds [`StreamParams::max_affected_fraction`] of the
+//!   window, the engine falls back to recomputing δ/µ for every point (the
+//!   documented fallback — still cheaper than a rebuild because the index
+//!   and ρ are maintained, not reconstructed).
+//!
+//! Peak selection and assignment are then re-run on the maintained `(ρ, δ,
+//! µ)` — they are `O(n log n)` and order-of-magnitude cheaper than the
+//! queries they consume — and the label diff against the previous epoch is
+//! emitted as a [`ClusterDelta`].
+//!
+//! The correctness anchor (enforced by the `incremental_vs_batch` property
+//! suite) is: after **every** update, the engine's `(ρ, δ, µ, labels)` are
+//! bit-identical to a cold batch run over the surviving points, for every
+//! [`UpdatableIndex`] implementation, at every thread count.
+
+use std::collections::BTreeMap;
+
+use dpc_core::{
+    assign_clusters, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError, DpcParams,
+    Point, PointId, Result, Rho, UpdatableIndex,
+};
+
+use crate::handle::{Handle, HandleMap};
+use crate::maintenance::{candidate_pass, recompute_all, recompute_targets};
+use crate::report::{ClusterDelta, LabelChange};
+
+/// Parameters of a streaming run: the batch DPC parameters plus the
+/// incremental-maintenance knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamParams {
+    /// The clustering parameters (`dc`, centre selection, tie-break,
+    /// assignment options, execution policy). The execution policy is used
+    /// for the parallel maintenance passes as well as the seeding batch
+    /// queries.
+    pub dpc: DpcParams,
+    /// When the invalidation set of one update exceeds this fraction of the
+    /// window, fall back to recomputing δ/µ for every point instead of
+    /// repairing incrementally. 1.0 (or anything ≥ 1.0) effectively disables
+    /// the fallback; 0.0 forces it on every update (useful for testing).
+    pub max_affected_fraction: f64,
+}
+
+impl StreamParams {
+    /// Streaming parameters with the given cut-off and defaults for
+    /// everything else (fallback threshold 0.25).
+    pub fn new(dc: f64) -> Self {
+        StreamParams {
+            dpc: DpcParams::new(dc),
+            max_affected_fraction: 0.25,
+        }
+    }
+
+    /// Replaces the embedded batch parameters.
+    pub fn with_dpc(mut self, dpc: DpcParams) -> Self {
+        self.dpc = dpc;
+        self
+    }
+
+    /// Sets the fallback threshold.
+    pub fn with_max_affected_fraction(mut self, fraction: f64) -> Self {
+        self.max_affected_fraction = fraction;
+        self
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        self.dpc.validate()?;
+        if !(self.max_affected_fraction.is_finite() && self.max_affected_fraction >= 0.0) {
+            return Err(DpcError::invalid_parameter(
+                "max_affected_fraction",
+                format!(
+                    "must be a finite non-negative fraction, got {}",
+                    self.max_affected_fraction
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative counters describing how much incremental work the engine did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Clustering epochs emitted (one per `insert`/`remove`/`advance`).
+    pub epochs: u64,
+    /// Individual point updates applied (an `advance` counts each insert and
+    /// eviction separately).
+    pub updates: u64,
+    /// Updates repaired incrementally (candidate pass + bounded recompute).
+    pub incremental_updates: u64,
+    /// Updates that fell back to a full δ/µ recomputation.
+    pub fallback_updates: u64,
+    /// Sum over updates of the affected-set size |A| (ε-neighbourhood).
+    pub affected_points: u64,
+    /// Sum over updates of the invalidation-set size |F| (points fully
+    /// recomputed when on the incremental path).
+    pub invalidated_points: u64,
+}
+
+/// An online Density Peak Clustering engine over a mutable window of points.
+///
+/// See the [module docs](self) for the maintenance algorithm. Typical use:
+///
+/// ```
+/// use dpc_core::naive_reference::NaiveReferenceIndex;
+/// use dpc_core::{CenterSelection, Dataset, Point};
+/// use dpc_stream::{StreamParams, StreamingDpc};
+///
+/// let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (5.1, 5.0)]);
+/// let index = NaiveReferenceIndex::build(&seed);
+/// let params = StreamParams::new(0.5)
+///     .with_dpc(dpc_core::DpcParams::new(0.5)
+///         .with_centers(CenterSelection::TopKGamma { k: 2 }));
+/// let mut engine = StreamingDpc::new(index, params).unwrap();
+/// assert_eq!(engine.clustering().num_clusters(), 2);
+///
+/// // Points arrive and expire without ever rebuilding the index.
+/// let (handle, delta) = engine.insert(Point::new(0.05, 0.05)).unwrap();
+/// assert_eq!(delta.insertions(), 1);
+/// let delta = engine.remove(handle).unwrap();
+/// assert_eq!(delta.evictions(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDpc<I: UpdatableIndex> {
+    index: I,
+    params: StreamParams,
+    rho: Vec<Rho>,
+    deltas: DeltaResult,
+    handles: HandleMap,
+    /// Dense id of the global peak (`None` for an empty window).
+    peak: Option<PointId>,
+    clustering: Clustering,
+    /// Stable view of the previous epoch: point handle → centre handle.
+    assignment: BTreeMap<Handle, Handle>,
+    epoch: u64,
+    stats: StreamStats,
+}
+
+impl<I: UpdatableIndex> StreamingDpc<I> {
+    /// Seeds the engine with an index (and the dataset it owns), running one
+    /// batch ρ/δ query plus an initial clustering epoch.
+    ///
+    /// Errors when the parameters are invalid, when the index's tie-break
+    /// rule disagrees with the parameters, when the index is approximate
+    /// (incremental maintenance needs exact δ/µ), or when the initial centre
+    /// selection fails.
+    pub fn new(index: I, params: StreamParams) -> Result<Self> {
+        params.validate()?;
+        if index.tie_break() != params.dpc.tie_break {
+            return Err(DpcError::invalid_parameter(
+                "tie_break",
+                "the index and the stream parameters must agree on the density tie-break rule",
+            ));
+        }
+        if !index.is_exact() {
+            return Err(DpcError::invalid_parameter(
+                "index",
+                "streaming maintenance requires an exact index (approximate \
+                 δ clipping cannot be repaired incrementally)",
+            ));
+        }
+        let n = index.len();
+        let (rho, deltas) = if n == 0 {
+            (Vec::new(), DeltaResult::unset(0))
+        } else {
+            index.rho_delta_with_policy(params.dpc.dc, params.dpc.exec)?
+        };
+        let peak = DensityOrder::with_tie_break(&rho, params.dpc.tie_break).global_peak();
+        let mut engine = StreamingDpc {
+            index,
+            params,
+            rho,
+            deltas,
+            handles: HandleMap::with_dense_len(n),
+            peak,
+            clustering: Clustering::new(vec![], vec![], vec![]),
+            assignment: BTreeMap::new(),
+            epoch: 0,
+            stats: StreamStats::default(),
+        };
+        // The seeding pass is epoch 0, not a streamed delta.
+        engine.recluster()?;
+        engine.epoch = 0;
+        engine.stats.epochs = 0;
+        Ok(engine)
+    }
+
+    /// Number of points currently in the window.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.len() == 0
+    }
+
+    /// The current clustering epoch (0 right after seeding).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying index (and through it the current dataset).
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The streaming parameters.
+    pub fn params(&self) -> &StreamParams {
+        &self.params
+    }
+
+    /// Maintained local densities, indexed by dense [`PointId`].
+    pub fn rho(&self) -> &[Rho] {
+        &self.rho
+    }
+
+    /// Maintained δ/µ, indexed by dense [`PointId`].
+    pub fn deltas(&self) -> &DeltaResult {
+        &self.deltas
+    }
+
+    /// The clustering of the current epoch.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// The stable handle of the point at dense id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn handle_at(&self, id: PointId) -> Handle {
+        self.handles.handle_at(id)
+    }
+
+    /// The dense id currently behind a handle (`None` once evicted).
+    pub fn dense_of(&self, handle: Handle) -> Option<PointId> {
+        self.handles.dense_of(handle)
+    }
+
+    /// The coordinates behind a handle (`None` once evicted).
+    pub fn point_of(&self, handle: Handle) -> Option<Point> {
+        self.dense_of(handle)
+            .map(|id| self.index.dataset().point(id))
+    }
+
+    /// The oldest live handle (the next sliding-window eviction victim).
+    pub fn oldest(&self) -> Option<Handle> {
+        self.handles.oldest()
+    }
+
+    /// All live handles in ascending (arrival) order.
+    pub fn live_handles(&self) -> impl Iterator<Item = Handle> + '_ {
+        self.handles.live()
+    }
+
+    /// Inserts a point, maintains ρ/δ/µ, re-clusters, and reports what
+    /// changed.
+    ///
+    /// # Errors and partial progress
+    ///
+    /// The window mutation and the density maintenance happen *before* the
+    /// clustering stage, so an error from centre selection or assignment
+    /// (possible with non-adaptive rules like
+    /// [`TopKGamma`](dpc_core::CenterSelection::TopKGamma) when `k` exceeds
+    /// the window, or a `Threshold` no point satisfies) leaves the point
+    /// **inserted** and ρ/δ/µ exact — only [`clustering`](Self::clustering)
+    /// still describes the previous epoch. The new point's handle is then
+    /// reachable via [`live_handles`](Self::live_handles) (it is the
+    /// largest). Do not retry the mutation after such an error; fix the
+    /// selection rule instead (the adaptive default,
+    /// [`GammaGap`](dpc_core::CenterSelection::GammaGap), cannot fail on a
+    /// non-empty window).
+    pub fn insert(&mut self, p: Point) -> Result<(Handle, ClusterDelta)> {
+        let handle = self.apply_insert(p)?;
+        let delta = self.recluster()?;
+        Ok((handle, delta))
+    }
+
+    /// Evicts a point by handle, maintains ρ/δ/µ, re-clusters, and reports
+    /// what changed.
+    ///
+    /// # Errors and partial progress
+    ///
+    /// Same contract as [`insert`](Self::insert): if the clustering stage
+    /// fails, the point **has been evicted** and the density state is exact;
+    /// only the stored clustering is stale. Do not retry the eviction.
+    pub fn remove(&mut self, handle: Handle) -> Result<ClusterDelta> {
+        self.apply_remove(handle)?;
+        self.recluster()
+    }
+
+    /// Slides the window: evicts the `evict_count` oldest points (clamped to
+    /// the window size), inserts `batch_in`, then runs **one** clustering
+    /// epoch covering the whole batch. Returns the handles of the inserted
+    /// points and the epoch's delta.
+    ///
+    /// # Errors and partial progress
+    ///
+    /// Same contract as [`insert`](Self::insert): updates already applied
+    /// when an error surfaces stay applied (density state exact, clustering
+    /// stale). An error from the eviction/insertion loop itself can only be
+    /// an invalid point (NaN/∞ coordinates), reported before that point is
+    /// applied.
+    pub fn advance(
+        &mut self,
+        batch_in: &[Point],
+        evict_count: usize,
+    ) -> Result<(Vec<Handle>, ClusterDelta)> {
+        for _ in 0..evict_count.min(self.len()) {
+            let oldest = self.handles.oldest().expect("window is non-empty");
+            self.apply_remove(oldest)?;
+        }
+        let mut inserted = Vec::with_capacity(batch_in.len());
+        for &p in batch_in {
+            inserted.push(self.apply_insert(p)?);
+        }
+        let delta = self.recluster()?;
+        Ok((inserted, delta))
+    }
+
+    /// Whether an invalidation set of `invalidated` points (out of `n`)
+    /// triggers the full-recompute fallback.
+    fn needs_fallback(&self, invalidated: usize, n: usize) -> bool {
+        invalidated as f64 > self.params.max_affected_fraction * n as f64
+    }
+
+    /// The shared δ/µ repair epilogue of [`apply_insert`](Self::apply_insert)
+    /// and [`apply_remove`](Self::apply_remove): counts the update, decides
+    /// between the incremental path (candidate min-fold for everyone outside
+    /// the invalidation set + full recompute inside it) and the
+    /// full-recompute fallback, and runs the chosen passes. `invalidated`
+    /// and `candidates` hold post-update dense ids; duplicates are fine.
+    fn repair_deltas(&mut self, mut invalidated: Vec<PointId>, candidates: &[PointId]) {
+        invalidated.sort_unstable();
+        invalidated.dedup();
+        let n = self.rho.len();
+        let order = DensityOrder::with_tie_break(&self.rho, self.params.dpc.tie_break);
+        let dataset = self.index.dataset();
+        self.stats.updates += 1;
+        if self.needs_fallback(invalidated.len(), n) {
+            self.stats.fallback_updates += 1;
+            recompute_all(dataset, &order, &mut self.deltas, self.params.dpc.exec);
+        } else {
+            self.stats.incremental_updates += 1;
+            self.stats.invalidated_points += invalidated.len() as u64;
+            let mut skip = vec![false; n];
+            for &f in &invalidated {
+                skip[f] = true;
+            }
+            candidate_pass(
+                dataset,
+                &order,
+                candidates,
+                &skip,
+                &mut self.deltas,
+                self.params.dpc.exec,
+            );
+            recompute_targets(
+                dataset,
+                &order,
+                &invalidated,
+                &mut self.deltas,
+                self.params.dpc.exec,
+            );
+        }
+    }
+
+    /// ρ/δ/µ maintenance for one insertion. Does not re-cluster.
+    fn apply_insert(&mut self, p: Point) -> Result<Handle> {
+        let dc = self.params.dpc.dc;
+        let tie = self.params.dpc.tie_break;
+        // Affected set first (the point is not indexed yet, so `affected`
+        // holds exactly the *other* points within dc — which is also ρ(x)).
+        let affected = self.index.eps_neighbors(p, dc)?;
+        let x = self.index.insert(p)?;
+        let handle = self.handles.push();
+        debug_assert_eq!(self.handles.len(), self.index.len());
+
+        let old_peak = self.peak;
+        for &q in &affected {
+            self.rho[q] += 1;
+        }
+        self.rho.push(affected.len() as Rho);
+        self.deltas.delta.push(f64::INFINITY);
+        self.deltas.mu.push(None);
+
+        let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
+
+        // Invalidation set: the affected points and x (their rank changed),
+        // plus the old and new global peaks (the sentinel δ of the peak is
+        // the max distance to any point, which moves with every insert).
+        let mut invalidated: Vec<PointId> = affected.clone();
+        invalidated.push(x);
+        invalidated.extend(old_peak);
+        invalidated.extend(new_peak);
+
+        self.stats.affected_points += affected.len() as u64;
+        // Candidate entrants for everyone outside the invalidation set: x
+        // itself and the neighbours whose ρ just rose.
+        let mut candidates = affected;
+        candidates.push(x);
+        self.repair_deltas(invalidated, &candidates);
+        self.peak = new_peak;
+        Ok(handle)
+    }
+
+    /// ρ/δ/µ maintenance for one eviction. Does not re-cluster.
+    fn apply_remove(&mut self, handle: Handle) -> Result<()> {
+        let r = self.handles.dense_of(handle).ok_or_else(|| {
+            DpcError::invalid_parameter(
+                "handle",
+                format!("point {handle} is not (or no longer) in the window"),
+            )
+        })?;
+        let dc = self.params.dpc.dc;
+        let tie = self.params.dpc.tie_break;
+        let n = self.index.len();
+        let last = n - 1;
+        let removed_pt = self.index.dataset().point(r);
+
+        // Affected set under the *old* ids, excluding the removed point
+        // itself (its distance 0 always passes the strict < dc test).
+        let affected_old = self.index.eps_neighbors(removed_pt, dc)?;
+        let moved = self.index.remove(r)?;
+        debug_assert_eq!(moved, if r == last { None } else { Some(last) });
+        self.handles.swap_remove(r);
+
+        // Mirror the swap-remove in every per-point array; entries still
+        // *contain* old ids, fixed below.
+        self.rho.swap_remove(r);
+        self.deltas.delta.swap_remove(r);
+        self.deltas.mu.swap_remove(r);
+
+        // Rename the affected ids into the post-swap id space and apply the
+        // ρ decrements.
+        let affected: Vec<PointId> = affected_old
+            .iter()
+            .filter(|&&q| q != r)
+            .map(|&q| if q == last { r } else { q })
+            .collect();
+        for &q in &affected {
+            self.rho[q] -= 1;
+        }
+        let n = n - 1;
+
+        let old_peak = match self.peak {
+            Some(pk) if pk == r => None, // the peak itself was evicted
+            Some(pk) if pk == last => Some(r),
+            other => other,
+        };
+        if n == 0 {
+            self.peak = None;
+            self.stats.updates += 1;
+            self.stats.incremental_updates += 1;
+            return Ok(());
+        }
+
+        // Scan µ once: entries pointing at the removed point lost their
+        // dependent neighbour (full recompute); entries pointing at the
+        // moved point are renamed. Entries whose µ sits in the affected set
+        // are also invalidated — their µ's rank dropped, so it may no longer
+        // be denser than them.
+        let mut in_affected = vec![false; n];
+        for &q in &affected {
+            in_affected[q] = true;
+        }
+        let mut invalidated: Vec<PointId> = Vec::new();
+        for p in 0..n {
+            match self.deltas.mu[p] {
+                Some(q) if q == r => invalidated.push(p),
+                Some(q) if moved == Some(q) => {
+                    self.deltas.mu[p] = Some(r);
+                    if in_affected[r] {
+                        invalidated.push(p);
+                    }
+                }
+                Some(q) if q < n && in_affected[q] => invalidated.push(p),
+                _ => {}
+            }
+        }
+        invalidated.extend_from_slice(&affected);
+        if moved.is_some() {
+            // The renamed point's own rank rose (smaller id wins density
+            // ties), so its denser set may have shrunk.
+            invalidated.push(r);
+        }
+        invalidated.extend(old_peak);
+
+        let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
+        invalidated.extend(new_peak);
+
+        self.stats.affected_points += affected.len() as u64;
+        // The only possible entrant for points outside the invalidation set
+        // is the renamed point: with its new, smaller id it wins density
+        // ties it previously lost.
+        let candidates: Vec<PointId> = if moved.is_some() { vec![r] } else { vec![] };
+        self.repair_deltas(invalidated, &candidates);
+        self.peak = new_peak;
+        Ok(())
+    }
+
+    /// Re-runs centre selection + assignment on the maintained `(ρ, δ, µ)`
+    /// and diffs the stable labelling against the previous epoch.
+    ///
+    /// On error (e.g. a centre-selection rule that no point satisfies this
+    /// epoch) the density state remains exact, but the stored clustering
+    /// still describes the previous epoch.
+    fn recluster(&mut self) -> Result<ClusterDelta> {
+        let n = self.len();
+        let (clustering, new_assignment) = if n == 0 {
+            (Clustering::new(vec![], vec![], vec![]), BTreeMap::new())
+        } else {
+            let graph = DecisionGraph::new(self.rho.clone(), &self.deltas)?;
+            let centers = graph.select_centers(&self.params.dpc.centers)?;
+            let order = DensityOrder::with_tie_break(&self.rho, self.params.dpc.tie_break);
+            let clustering = assign_clusters(
+                self.index.dataset(),
+                &order,
+                &self.deltas,
+                &centers,
+                self.params.dpc.dc,
+                &self.params.dpc.assignment,
+            )?;
+            let mut assignment = BTreeMap::new();
+            for p in 0..n {
+                let center = clustering.centers()[clustering.label(p)];
+                assignment.insert(self.handles.handle_at(p), self.handles.handle_at(center));
+            }
+            (clustering, assignment)
+        };
+
+        self.epoch += 1;
+        self.stats.epochs += 1;
+        let delta = diff_assignments(self.epoch, &self.assignment, &new_assignment);
+        self.assignment = new_assignment;
+        self.clustering = clustering;
+        Ok(delta)
+    }
+}
+
+/// Diffs two stable (point handle → centre handle) assignments.
+fn diff_assignments(
+    epoch: u64,
+    old: &BTreeMap<Handle, Handle>,
+    new: &BTreeMap<Handle, Handle>,
+) -> ClusterDelta {
+    let old_centers: std::collections::BTreeSet<Handle> = old.values().copied().collect();
+    let new_centers: std::collections::BTreeSet<Handle> = new.values().copied().collect();
+    let births = new_centers.difference(&old_centers).copied().collect();
+    let deaths = old_centers.difference(&new_centers).copied().collect();
+
+    let mut changed = Vec::new();
+    // Both maps iterate in ascending handle order; a classic merge collects
+    // every handle present in either.
+    let mut old_iter = old.iter().peekable();
+    let mut new_iter = new.iter().peekable();
+    loop {
+        match (old_iter.peek(), new_iter.peek()) {
+            (Some(&(&ho, &co)), Some(&(&hn, &cn))) => {
+                if ho < hn {
+                    changed.push(LabelChange {
+                        handle: ho,
+                        old: Some(co),
+                        new: None,
+                    });
+                    old_iter.next();
+                } else if hn < ho {
+                    changed.push(LabelChange {
+                        handle: hn,
+                        old: None,
+                        new: Some(cn),
+                    });
+                    new_iter.next();
+                } else {
+                    if co != cn {
+                        changed.push(LabelChange {
+                            handle: ho,
+                            old: Some(co),
+                            new: Some(cn),
+                        });
+                    }
+                    old_iter.next();
+                    new_iter.next();
+                }
+            }
+            (Some(&(&ho, &co)), None) => {
+                changed.push(LabelChange {
+                    handle: ho,
+                    old: Some(co),
+                    new: None,
+                });
+                old_iter.next();
+            }
+            (None, Some(&(&hn, &cn))) => {
+                changed.push(LabelChange {
+                    handle: hn,
+                    old: None,
+                    new: Some(cn),
+                });
+                new_iter.next();
+            }
+            (None, None) => break,
+        }
+    }
+
+    ClusterDelta {
+        epoch,
+        num_clusters: new_centers.len(),
+        births,
+        deaths,
+        changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::naive_reference::NaiveReferenceIndex;
+    use dpc_core::{CenterSelection, Dataset, DpcIndex};
+
+    fn two_blob_engine() -> StreamingDpc<NaiveReferenceIndex> {
+        let seed = Dataset::from_coords(vec![
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (5.0, 5.0),
+            (5.1, 5.0),
+            (5.0, 5.1),
+        ]);
+        let params = StreamParams::new(0.5)
+            .with_dpc(DpcParams::new(0.5).with_centers(CenterSelection::TopKGamma { k: 2 }));
+        StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap()
+    }
+
+    #[test]
+    fn seeding_matches_the_batch_pipeline() {
+        let engine = two_blob_engine();
+        assert_eq!(engine.len(), 6);
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.clustering().num_clusters(), 2);
+        assert_eq!(engine.clustering().label(0), engine.clustering().label(1));
+        assert_ne!(engine.clustering().label(0), engine.clustering().label(3));
+    }
+
+    #[test]
+    fn insert_emits_a_delta_with_the_new_point() {
+        let mut engine = two_blob_engine();
+        let (h, delta) = engine.insert(Point::new(0.05, 0.05)).unwrap();
+        assert_eq!(engine.len(), 7);
+        assert_eq!(delta.insertions(), 1);
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(engine.point_of(h), Some(Point::new(0.05, 0.05)));
+        // The new point joined the origin blob.
+        let id = engine.dense_of(h).unwrap();
+        assert_eq!(engine.clustering().label(id), engine.clustering().label(0));
+    }
+
+    #[test]
+    fn remove_emits_a_delta_and_invalidates_the_handle() {
+        let mut engine = two_blob_engine();
+        let victim = engine.handle_at(1);
+        let delta = engine.remove(victim).unwrap();
+        assert_eq!(engine.len(), 5);
+        assert_eq!(delta.evictions(), 1);
+        assert_eq!(engine.dense_of(victim), None);
+        assert!(engine.remove(victim).is_err());
+    }
+
+    #[test]
+    fn advance_slides_the_window_in_one_epoch() {
+        let mut engine = two_blob_engine();
+        let (hs, delta) = engine
+            .advance(&[Point::new(5.05, 5.05), Point::new(0.05, 0.0)], 2)
+            .unwrap();
+        assert_eq!(hs.len(), 2);
+        assert_eq!(engine.len(), 6);
+        assert_eq!(delta.insertions(), 2);
+        assert_eq!(delta.evictions(), 2);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.stats().updates, 4);
+    }
+
+    #[test]
+    fn draining_the_window_to_empty_and_refilling_works() {
+        // The automatic γ-gap selection adapts to any window size; a fixed
+        // top-k would (correctly) error once fewer than k points remain.
+        let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (5.1, 5.0)]);
+        let mut engine =
+            StreamingDpc::new(NaiveReferenceIndex::build(&seed), StreamParams::new(0.5)).unwrap();
+        while let Some(h) = engine.oldest() {
+            engine.remove(h).unwrap();
+        }
+        assert!(engine.is_empty());
+        assert_eq!(engine.clustering().num_clusters(), 0);
+        let (_, delta) = engine.insert(Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(delta.births.len(), 1);
+        assert_eq!(engine.clustering().num_clusters(), 1);
+    }
+
+    #[test]
+    fn forced_fallback_still_produces_exact_state() {
+        let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (5.1, 5.0)]);
+        let params = StreamParams::new(0.5)
+            .with_dpc(DpcParams::new(0.5).with_centers(CenterSelection::TopKGamma { k: 2 }))
+            .with_max_affected_fraction(0.0);
+        let mut engine = StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap();
+        engine.insert(Point::new(0.05, 0.0)).unwrap();
+        engine.remove(engine.handle_at(0)).unwrap();
+        assert_eq!(engine.stats().fallback_updates, 2);
+        assert_eq!(engine.stats().incremental_updates, 0);
+        // Exactness: compare against a cold batch run.
+        let batch = NaiveReferenceIndex::build(engine.index().dataset());
+        let (rho, deltas) = batch.rho_delta(0.5).unwrap();
+        assert_eq!(engine.rho(), &rho[..]);
+        assert_eq!(engine.deltas(), &deltas);
+    }
+
+    #[test]
+    fn mismatched_tie_break_is_rejected() {
+        let seed = Dataset::from_coords(vec![(0.0, 0.0)]);
+        let index =
+            NaiveReferenceIndex::build_with_tie_break(&seed, dpc_core::TieBreak::LargerIdDenser);
+        assert!(StreamingDpc::new(index, StreamParams::new(0.5)).is_err());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let seed = Dataset::from_coords(vec![(0.0, 0.0)]);
+        let index = NaiveReferenceIndex::build(&seed);
+        assert!(StreamingDpc::new(index.clone(), StreamParams::new(-1.0)).is_err());
+        assert!(StreamingDpc::new(
+            index,
+            StreamParams::new(1.0).with_max_affected_fraction(f64::NAN)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_over_updates() {
+        let mut engine = two_blob_engine();
+        engine.insert(Point::new(0.05, 0.0)).unwrap();
+        engine.insert(Point::new(5.05, 5.0)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.epochs, 2);
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.incremental_updates + stats.fallback_updates, 2);
+        assert!(stats.affected_points >= 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! # dpc-stream
+//!
+//! **Streaming Density Peak Clustering**: an online engine that keeps an
+//! exact DPC clustering over a mutable window of points — inserts, evictions
+//! and sliding-window advances — without ever rebuilding the index or
+//! re-running the full ρ/δ queries.
+//!
+//! The batch pipeline of this workspace computes, for every point, the local
+//! density `ρ` (neighbours within `dc`) and the dependent distance `δ`
+//! (distance to the nearest denser point), then selects peaks and assigns
+//! clusters. The paper's indexes make those queries fast *once*; this crate
+//! makes them cheap *per update* by exploiting the same locality the indexes
+//! use for pruning:
+//!
+//! * inserting or deleting a point `x` changes `ρ` only for the points
+//!   within `dc` of `x` — found with the index's own ε-range query
+//!   ([`dpc_core::UpdatableIndex::eps_neighbors`]) and adjusted by ±1;
+//! * `δ`/`µ` need full recomputation only for a bounded *invalidation set*
+//!   (points whose own rank changed, whose dependent neighbour was touched,
+//!   and the global peak); every other point folds the few candidate
+//!   entrants into its existing minimum with one distance comparison each.
+//!
+//! The result is **bit-identical** to a cold batch run over the surviving
+//! points after every update — that is not an aspiration but the invariant
+//! enforced by this crate's property suite, for every updatable index, at
+//! multiple thread counts (the maintenance passes run on the chunked
+//! parallel executor of [`dpc_core::exec`]).
+//!
+//! ```
+//! use dpc_core::naive_reference::NaiveReferenceIndex;
+//! use dpc_core::{Dataset, Point};
+//! use dpc_stream::{StreamParams, StreamingDpc};
+//!
+//! let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.1), (4.0, 4.0), (4.1, 4.1)]);
+//! let index = NaiveReferenceIndex::build(&seed);
+//! let mut engine = StreamingDpc::new(index, StreamParams::new(0.5)).unwrap();
+//!
+//! // Slide the window: two check-ins arrive, the two oldest expire.
+//! let (handles, delta) = engine
+//!     .advance(&[Point::new(4.05, 4.0), Point::new(0.05, 0.0)], 2)
+//!     .unwrap();
+//! assert_eq!(handles.len(), 2);
+//! assert_eq!(delta.insertions(), 2);
+//! assert_eq!(delta.evictions(), 2);
+//! ```
+//!
+//! See [`engine`] for the maintenance algorithm, [`handle`] for the stable
+//! point handles that survive the dataset's swap-remove id churn, and
+//! [`report`] for the per-epoch [`ClusterDelta`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod handle;
+pub mod maintenance;
+pub mod report;
+
+pub use engine::{StreamParams, StreamStats, StreamingDpc};
+pub use handle::{Handle, HandleMap};
+pub use report::{ClusterDelta, LabelChange};

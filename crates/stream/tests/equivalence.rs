@@ -1,0 +1,226 @@
+//! The correctness anchor of the streaming engine: after **every** prefix of
+//! a random insert/delete sequence, the incremental state `(ρ, δ, µ, labels,
+//! centres)` must be **bit-identical** to a cold batch run (fresh index of
+//! the same kind + full pipeline) over the surviving points — for every
+//! [`UpdatableIndex`] implementation, at threads 1 and 4, on both the
+//! incremental path and the full-recompute fallback.
+//!
+//! Points are drawn from a coarse integer lattice so that coincident points
+//! and exact ρ/δ/γ ties — the cases where only a consistent tie-break rule
+//! keeps incremental and batch in agreement — occur constantly rather than
+//! never.
+
+use dpc_baseline::LeanDpc;
+use dpc_core::naive_reference::NaiveReferenceIndex;
+use dpc_core::{CenterSelection, Dataset, DpcIndex, DpcParams, DpcPipeline, Point, UpdatableIndex};
+use dpc_stream::{StreamParams, StreamingDpc};
+use dpc_tree_index::GridIndex;
+use proptest::prelude::*;
+
+/// One streamed operation: `insert` chooses between insert and remove (a
+/// remove on an empty window becomes an insert), `(ix, iy)` are lattice
+/// coordinates of the inserted point, `sel` picks the eviction victim among
+/// the live handles.
+type RawOp = (bool, u32, u32, u64);
+
+fn lattice_point(ix: u32, iy: u32) -> Point {
+    Point::new(ix as f64 * 0.5, iy as f64 * 0.5)
+}
+
+fn seed_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..10, 0u32..10), 0..16)
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<RawOp>> {
+    prop::collection::vec((any::<bool>(), 0u32..10, 0u32..10, 0u64..10_000), 1..18)
+}
+
+/// Replays `ops` through a [`StreamingDpc`] over `build`'s index kind and
+/// checks bit-identity against a cold batch run after every single step.
+fn check_equivalence<I, F>(
+    build: F,
+    seed: &[(u32, u32)],
+    ops: &[RawOp],
+    threads: usize,
+    max_affected_fraction: f64,
+) -> Result<(), TestCaseError>
+where
+    I: UpdatableIndex,
+    F: Fn(&Dataset) -> I,
+{
+    let dc = 0.8;
+    let dpc = DpcParams::new(dc)
+        .with_centers(CenterSelection::GammaGap { max_centers: 8 })
+        .with_threads(threads);
+    let params = StreamParams::new(dc)
+        .with_dpc(dpc.clone())
+        .with_max_affected_fraction(max_affected_fraction);
+    let seed_points: Vec<Point> = seed.iter().map(|&(x, y)| lattice_point(x, y)).collect();
+    let mut engine = StreamingDpc::new(build(&Dataset::new(seed_points)), params)
+        .map_err(|e| TestCaseError::fail(format!("seeding failed: {e}")))?;
+
+    for (step, &(insert, ix, iy, sel)) in ops.iter().enumerate() {
+        if insert || engine.is_empty() {
+            engine
+                .insert(lattice_point(ix, iy))
+                .map_err(|e| TestCaseError::fail(format!("step {step}: insert failed: {e}")))?;
+        } else {
+            let live: Vec<_> = engine.live_handles().collect();
+            let victim = live[sel as usize % live.len()];
+            engine
+                .remove(victim)
+                .map_err(|e| TestCaseError::fail(format!("step {step}: remove failed: {e}")))?;
+        }
+
+        if engine.is_empty() {
+            prop_assert_eq!(engine.clustering().num_clusters(), 0);
+            continue;
+        }
+        let batch_index = build(engine.index().dataset());
+        let run = DpcPipeline::new(dpc.clone())
+            .run(&batch_index)
+            .map_err(|e| TestCaseError::fail(format!("step {step}: batch run failed: {e}")))?;
+        prop_assert_eq!(engine.rho(), &run.rho[..], "rho diverged at step {}", step);
+        prop_assert_eq!(
+            &engine.deltas().delta,
+            &run.deltas.delta,
+            "delta diverged at step {} (must be bit-identical)",
+            step
+        );
+        prop_assert_eq!(
+            &engine.deltas().mu,
+            &run.deltas.mu,
+            "mu diverged at step {}",
+            step
+        );
+        prop_assert_eq!(
+            engine.clustering().centers(),
+            run.clustering.centers(),
+            "centres diverged at step {}",
+            step
+        );
+        prop_assert_eq!(
+            engine.clustering().labels(),
+            run.clustering.labels(),
+            "labels diverged at step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental path (default fallback threshold), sequential and 4-way
+    /// parallel, for all three updatable index kinds.
+    #[test]
+    fn incremental_matches_batch_for_every_index_and_thread_count(
+        seed in seed_strategy(),
+        ops in ops_strategy()
+    ) {
+        for &threads in &[1usize, 4] {
+            check_equivalence(NaiveReferenceIndex::build, &seed, &ops, threads, 0.25)?;
+            check_equivalence(LeanDpc::build, &seed, &ops, threads, 0.25)?;
+            check_equivalence(GridIndex::build, &seed, &ops, threads, 0.25)?;
+        }
+    }
+
+    /// The fallback threshold must not change results, only work: with the
+    /// fallback forced on every update (fraction 0) and fully disabled
+    /// (fraction 1) the state must be identical to batch all the same.
+    #[test]
+    fn fallback_extremes_match_batch(
+        seed in seed_strategy(),
+        ops in ops_strategy()
+    ) {
+        check_equivalence(GridIndex::build, &seed, &ops, 1, 0.0)?;
+        check_equivalence(LeanDpc::build, &seed, &ops, 1, 0.0)?;
+        check_equivalence(GridIndex::build, &seed, &ops, 1, 1.0)?;
+        check_equivalence(LeanDpc::build, &seed, &ops, 1, 1.0)?;
+    }
+
+    /// Sliding-window `advance` (batched eviction + insertion in one epoch)
+    /// also lands on batch-identical state at every epoch.
+    #[test]
+    fn advance_matches_batch(
+        seed in seed_strategy(),
+        ops in ops_strategy(),
+        batch_size in 1usize..4
+    ) {
+        let dc = 0.8;
+        let dpc = DpcParams::new(dc)
+            .with_centers(CenterSelection::GammaGap { max_centers: 8 })
+            .with_threads(4);
+        let params = StreamParams::new(dc).with_dpc(dpc.clone());
+        let seed_points: Vec<Point> = seed.iter().map(|&(x, y)| lattice_point(x, y)).collect();
+        let mut engine = StreamingDpc::new(
+            GridIndex::build(&Dataset::new(seed_points)),
+            params,
+        )
+        .map_err(|e| TestCaseError::fail(format!("seeding failed: {e}")))?;
+
+        for (chunk_idx, chunk) in ops.chunks(batch_size).enumerate() {
+            let batch: Vec<Point> = chunk
+                .iter()
+                .map(|&(_, ix, iy, _)| lattice_point(ix, iy))
+                .collect();
+            // Evict as many as we insert once the window is warm.
+            let evict = if engine.len() > 8 { batch.len() } else { 0 };
+            let (handles, _) = engine
+                .advance(&batch, evict)
+                .map_err(|e| TestCaseError::fail(format!("advance failed: {e}")))?;
+            prop_assert_eq!(handles.len(), batch.len());
+
+            let batch_index = GridIndex::build(engine.index().dataset());
+            let run = DpcPipeline::new(dpc.clone())
+                .run(&batch_index)
+                .map_err(|e| TestCaseError::fail(format!("batch run failed: {e}")))?;
+            prop_assert_eq!(engine.rho(), &run.rho[..], "rho @ chunk {}", chunk_idx);
+            prop_assert_eq!(&engine.deltas().delta, &run.deltas.delta);
+            prop_assert_eq!(&engine.deltas().mu, &run.deltas.mu);
+            prop_assert_eq!(engine.clustering().labels(), run.clustering.labels());
+        }
+    }
+
+    /// The stable handle ↔ dense id mapping stays consistent through any
+    /// operation sequence: every live handle resolves to a dense id that
+    /// resolves back, and coordinates follow the handle, not the id.
+    #[test]
+    fn handles_stay_consistent(seed in seed_strategy(), ops in ops_strategy()) {
+        let seed_points: Vec<Point> = seed.iter().map(|&(x, y)| lattice_point(x, y)).collect();
+        let mut engine = StreamingDpc::new(
+            NaiveReferenceIndex::build(&Dataset::new(seed_points)),
+            StreamParams::new(0.8),
+        )
+        .map_err(|e| TestCaseError::fail(format!("seeding failed: {e}")))?;
+        let mut expected: Vec<(dpc_stream::Handle, Point)> = engine
+            .live_handles()
+            .map(|h| (h, engine.point_of(h).unwrap()))
+            .collect();
+
+        for &(insert, ix, iy, sel) in &ops {
+            if insert || engine.is_empty() {
+                let p = lattice_point(ix, iy);
+                let (h, _) = engine
+                    .insert(p)
+                    .map_err(|e| TestCaseError::fail(format!("insert failed: {e}")))?;
+                expected.push((h, p));
+            } else {
+                let live: Vec<_> = engine.live_handles().collect();
+                let victim = live[sel as usize % live.len()];
+                engine
+                    .remove(victim)
+                    .map_err(|e| TestCaseError::fail(format!("remove failed: {e}")))?;
+                expected.retain(|&(h, _)| h != victim);
+            }
+            prop_assert_eq!(engine.len(), expected.len());
+            for &(h, p) in &expected {
+                let dense = engine.dense_of(h);
+                prop_assert!(dense.is_some(), "live handle {} lost its id", h);
+                prop_assert_eq!(engine.point_of(h), Some(p), "handle {} moved", h);
+                prop_assert_eq!(engine.handle_at(dense.unwrap()), h);
+            }
+        }
+    }
+}

@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, PointId,
-    Result, Rho, TieBreak, Timer,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Point,
+    PointId, Result, Rho, TieBreak, Timer, UpdatableIndex,
 };
 
 use crate::common::{NodeId, SpatialPartition};
@@ -48,15 +48,31 @@ impl Default for GridConfig {
 }
 
 /// The uniform grid index.
+///
+/// Besides the batch queries of [`DpcIndex`], the grid supports online
+/// updates ([`UpdatableIndex`]): a point insert/delete touches exactly one
+/// cell (found in O(1) through the key map), which makes the grid the
+/// natural index for the streaming engine in `dpc-stream`. The grid geometry
+/// (origin and cell size) is frozen at build time; points inserted outside
+/// the original bounding box simply land in new cells with negative or
+/// larger keys. After deletions, cell bounding boxes are *conservative*
+/// (they may be larger than tight) — query results are unaffected, only
+/// pruning is marginally weaker.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     dataset: Dataset,
-    /// Tight bounding box of each non-empty cell (index 0 is the root).
+    /// Bounding box of each cell (index 0 is the root). Tight after
+    /// construction and insertion, conservative after removals.
     boxes: Vec<BoundingBox>,
-    /// Point ids of each non-empty cell (index 0, the root, stays empty).
+    /// Point ids of each cell (index 0, the root, stays empty).
     members: Vec<Vec<u32>>,
-    /// Children of the root: ids 1..=cells.
+    /// Children of the root: ids 1..num_nodes. Cells emptied by removals
+    /// stay listed (with a zero point count).
     root_children: Vec<NodeId>,
+    /// Cell key (integer grid coordinates relative to `origin`) → node id.
+    cell_of: HashMap<(i64, i64), NodeId>,
+    /// Anchor of the cell key computation, frozen at build time.
+    origin: (f64, f64),
     cell_size: f64,
     config: GridConfig,
     construction_time: Duration,
@@ -87,7 +103,7 @@ impl GridIndex {
         let timer = Timer::start();
         let n = dataset.len();
         let bb = dataset.bounding_box();
-        let cell_size = config.cell_size.unwrap_or_else(|| {
+        let mut cell_size = config.cell_size.unwrap_or_else(|| {
             // Aim for ~target_points_per_cell points per cell on average,
             // assuming a uniform spread over the bounding box.
             let cells = (n as f64 / config.target_points_per_cell as f64).max(1.0);
@@ -95,12 +111,26 @@ impl GridIndex {
             let extent = bb.width().max(bb.height()).max(f64::MIN_POSITIVE);
             extent / per_axis
         });
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            // Empty dataset: the bounding box is the inverted EMPTY box and
+            // the auto formula degenerates. Any positive size works — the
+            // grid has no cells yet and later inserts key off `origin`.
+            cell_size = 1.0;
+        }
+        // Freeze the key anchor; an empty dataset anchors at the origin so
+        // the grid stays updatable.
+        let origin = if bb.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (bb.min_x(), bb.min_y())
+        };
 
         let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
         for (id, p) in dataset.iter() {
-            let cx = ((p.x - bb.min_x()) / cell_size).floor() as i64;
-            let cy = ((p.y - bb.min_y()) / cell_size).floor() as i64;
-            cells.entry((cx, cy)).or_default().push(id as u32);
+            cells
+                .entry(cell_key(p, origin, cell_size))
+                .or_default()
+                .push(id as u32);
         }
         // Deterministic node order regardless of hash iteration order.
         let mut keys: Vec<(i64, i64)> = cells.keys().copied().collect();
@@ -108,11 +138,13 @@ impl GridIndex {
 
         let mut boxes = vec![bb];
         let mut members: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut cell_of = HashMap::with_capacity(keys.len());
         for key in keys {
             let ids = cells.remove(&key).expect("cell key must exist");
             let tight = ids.iter().fold(BoundingBox::EMPTY, |acc, &id| {
                 acc.extended(dataset.point(id as PointId))
             });
+            cell_of.insert(key, boxes.len());
             boxes.push(tight);
             members.push(ids);
         }
@@ -123,6 +155,8 @@ impl GridIndex {
             boxes,
             members,
             root_children,
+            cell_of,
+            origin,
             cell_size,
             config: *config,
             construction_time: timer.elapsed(),
@@ -134,7 +168,20 @@ impl GridIndex {
         self.cell_size
     }
 
-    /// Number of non-empty cells.
+    /// The integer cell key of a location.
+    fn key_of(&self, p: Point) -> (i64, i64) {
+        cell_key(p, self.origin, self.cell_size)
+    }
+
+    /// The node id of the cell holding `p`'s location, if that cell exists.
+    fn cell_node(&self, p: Point) -> Option<NodeId> {
+        self.cell_of.get(&self.key_of(p)).copied()
+    }
+
+    /// Number of materialised cells. Every cell was non-empty when created
+    /// (at build time or by an insert), but cells whose points were all
+    /// removed stay listed with a zero point count, so after deletions this
+    /// is an upper bound on the number of occupied cells.
     pub fn cell_count(&self) -> usize {
         self.root_children.len()
     }
@@ -187,6 +234,127 @@ impl GridIndex {
             config,
             policy,
         ))
+    }
+}
+
+/// Integer grid coordinates of a point relative to `origin`. The f64→i64
+/// cast saturates, so degenerate geometries (e.g. a subnormal cell size)
+/// deterministically collapse far-away points into boundary cells instead of
+/// overflowing.
+fn cell_key(p: Point, origin: (f64, f64), cell_size: f64) -> (i64, i64) {
+    (
+        ((p.x - origin.0) / cell_size).floor() as i64,
+        ((p.y - origin.1) / cell_size).floor() as i64,
+    )
+}
+
+impl UpdatableIndex for GridIndex {
+    fn insert(&mut self, p: Point) -> Result<PointId> {
+        let id = self.dataset.push(p)?;
+        match self.cell_node(p) {
+            Some(node) => {
+                self.members[node].push(id as u32);
+                self.boxes[node] = self.boxes[node].extended(p);
+            }
+            None => {
+                let node = self.boxes.len();
+                self.cell_of.insert(self.key_of(p), node);
+                self.boxes.push(BoundingBox::from_point(p));
+                self.members.push(vec![id as u32]);
+                self.root_children.push(node);
+            }
+        }
+        // The root box must keep covering every point (inserts may fall
+        // outside the build-time bounding box).
+        self.boxes[0] = self.boxes[0].extended(p);
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: PointId) -> Result<Option<PointId>> {
+        let n = self.dataset.len();
+        if id >= n {
+            return Err(dpc_core::DpcError::invalid_parameter(
+                "id",
+                format!("GridIndex::remove: point id {id} is out of range (n = {n})"),
+            ));
+        }
+        let removed_pt = self.dataset.point(id);
+        let moved_pt = self.dataset.point(n - 1);
+        let moved = self.dataset.swap_remove(id)?;
+
+        let node = self
+            .cell_node(removed_pt)
+            .expect("GridIndex: removed point must have a cell");
+        let pos = self.members[node]
+            .iter()
+            .position(|&q| q as PointId == id)
+            .expect("GridIndex: removed point must be listed in its cell");
+        self.members[node].swap_remove(pos);
+
+        if let Some(m) = moved {
+            // The dataset renamed its last point to `id`; mirror that in the
+            // moved point's cell.
+            let mnode = self
+                .cell_node(moved_pt)
+                .expect("GridIndex: moved point must have a cell");
+            let mpos = self.members[mnode]
+                .iter()
+                .position(|&q| q as PointId == m)
+                .expect("GridIndex: moved point must be listed in its cell");
+            self.members[mnode][mpos] = id as u32;
+        }
+        // Cell and root boxes are left as-is: conservative (possibly larger
+        // than tight) boxes only weaken pruning, never correctness.
+        Ok(moved)
+    }
+
+    fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>> {
+        validate_dc(eps)?;
+        let mut out = Vec::new();
+        if self.dataset.is_empty() {
+            return Ok(out);
+        }
+        let eps2 = eps * eps;
+        // The rectangle bounds are computed in rounded f64 arithmetic:
+        // fl(center - eps) can round *up* across a cell boundary and
+        // fl(center + eps) can round *down*, either of which would exclude
+        // the cell of a point strictly within eps. Widening by one cell on
+        // every side makes the rectangle a guaranteed superset; the exact
+        // strict `< eps²` test below keeps the result tight.
+        let (kx0, ky0) = self.key_of(Point::new(center.x - eps, center.y - eps));
+        let (kx1, ky1) = self.key_of(Point::new(center.x + eps, center.y + eps));
+        let (kx0, ky0) = (kx0.saturating_sub(1), ky0.saturating_sub(1));
+        let (kx1, ky1) = (kx1.saturating_add(1), ky1.saturating_add(1));
+        let scan_cell = |node: NodeId, out: &mut Vec<PointId>| {
+            for &q in &self.members[node] {
+                let q = q as PointId;
+                if self.dataset.point(q).distance_squared(&center) < eps2 {
+                    out.push(q);
+                }
+            }
+        };
+        // Enumerate the key rectangle when it is small; a huge eps relative
+        // to the cell size would make that rectangle astronomically large,
+        // in which case walking the existing cells is cheaper.
+        let span = ((kx1 as i128 - kx0 as i128 + 1) as u128)
+            .saturating_mul((ky1 as i128 - ky0 as i128 + 1) as u128);
+        if span <= self.cell_of.len() as u128 {
+            for kx in kx0..=kx1 {
+                for ky in ky0..=ky1 {
+                    if let Some(&node) = self.cell_of.get(&(kx, ky)) {
+                        scan_cell(node, &mut out);
+                    }
+                }
+            }
+        } else {
+            for (&(kx, ky), &node) in &self.cell_of {
+                if (kx0..=kx1).contains(&kx) && (ky0..=ky1).contains(&ky) {
+                    scan_cell(node, &mut out);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
     }
 }
 
@@ -266,7 +434,9 @@ impl DpcIndex for GridIndex {
             .map(|m| m.capacity() * std::mem::size_of::<u32>())
             .sum();
         let boxes = self.boxes.capacity() * std::mem::size_of::<BoundingBox>();
-        cells + boxes + self.dataset.memory_bytes()
+        let keys = self.cell_of.len()
+            * (std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<NodeId>());
+        cells + boxes + keys + self.dataset.memory_bytes()
     }
 
     fn stats(&self) -> IndexStats {
@@ -362,6 +532,81 @@ mod tests {
         let grid = GridIndex::build(&Dataset::new(vec![]));
         assert_eq!(grid.root(), None);
         assert!(grid.rho(1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn updates_match_a_fresh_build_and_the_baseline() {
+        let data = checkins(200, &CheckinConfig::gowalla(), 23).into_dataset();
+        let mut grid = GridIndex::build(&data);
+        // Mixed workload: inserts inside and far outside the build-time
+        // bounding box (new cells, root box growth), removals in the middle
+        // (rename path) and at the end (no rename).
+        let bb = data.bounding_box();
+        grid.insert(dpc_core::Point::new(bb.max_x() + 5.0, bb.max_y() + 5.0))
+            .unwrap();
+        grid.insert(dpc_core::Point::new(bb.min_x() - 3.0, bb.min_y()))
+            .unwrap();
+        let inside = data.point(7);
+        grid.insert(inside).unwrap();
+        assert_eq!(grid.remove(3).unwrap(), Some(grid.len()));
+        assert_eq!(grid.remove(grid.len() - 1).unwrap(), None);
+        check_partition_invariants(&grid, grid.dataset());
+        for dc in [0.05, 0.4, 20.0] {
+            assert_matches_baseline(grid.dataset(), &grid, dc);
+            let fresh = GridIndex::build(grid.dataset());
+            let (r1, d1) = grid.rho_delta(dc).unwrap();
+            let (r2, d2) = fresh.rho_delta(dc).unwrap();
+            assert_eq!(r1, r2, "rho vs fresh build at dc = {dc}");
+            assert_eq!(d1, d2, "delta vs fresh build at dc = {dc}");
+        }
+    }
+
+    #[test]
+    fn grid_grown_from_empty_matches_baseline() {
+        let mut grid = GridIndex::build(&Dataset::new(vec![]));
+        let pts = s1(41, 0.02).into_dataset();
+        for (_, p) in pts.iter() {
+            grid.insert(p).unwrap();
+        }
+        check_partition_invariants(&grid, grid.dataset());
+        assert_matches_baseline(grid.dataset(), &grid, 40_000.0);
+        // Drain back down to empty.
+        while grid.len() > 1 {
+            grid.remove(grid.len() / 2).unwrap();
+        }
+        assert_matches_baseline(grid.dataset(), &grid, 40_000.0);
+        grid.remove(0).unwrap();
+        assert!(grid.rho(1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eps_neighbors_matches_linear_scan() {
+        let data = checkins(300, &CheckinConfig::gowalla(), 5).into_dataset();
+        let grid = GridIndex::build(&data);
+        for (center, eps) in [
+            (data.point(17), 0.2),
+            (data.point(100), 1.5),
+            (dpc_core::Point::new(0.0, 0.0), 0.7),
+            // eps much larger than the dataset: exercises the cell-walk path.
+            (data.point(0), 1.0e6),
+        ] {
+            let got = grid.eps_neighbors(center, eps).unwrap();
+            let expected: Vec<usize> = data
+                .iter()
+                .filter(|(_, p)| p.distance_squared(&center) < eps * eps)
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(got, expected, "eps = {eps}");
+        }
+        assert!(grid.eps_neighbors(data.point(0), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn remove_rejects_out_of_range_ids() {
+        let mut grid = GridIndex::build(&s1(43, 0.01).into_dataset());
+        let n = grid.len();
+        assert!(grid.remove(n).is_err());
+        assert_eq!(grid.len(), n);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Streaming scenario: tracking activity hotspots over a *live* stream of
+//! location check-ins with a sliding window.
+//!
+//! ```text
+//! cargo run --release --example streaming_checkins
+//! ```
+//!
+//! Where `checkin_hotspots` clusters one static snapshot for several `dc`
+//! values, this example feeds the same kind of skewed check-in data through
+//! the incremental engine of `dpc-stream`: check-ins arrive in batches, the
+//! oldest expire, and the clustering is maintained — never recomputed from
+//! scratch — with cluster births and deaths reported per epoch.
+
+use density_peaks::datasets::generators::{checkins, CheckinConfig};
+use density_peaks::prelude::*;
+use density_peaks::stream::StreamParams;
+
+fn main() {
+    const WINDOW: usize = 2_000;
+    const BATCH: usize = 250;
+    const EPOCHS: usize = 12;
+    let dc = 0.1;
+
+    // One long, seeded check-in trace; the window slides across it.
+    let trace = checkins(WINDOW + BATCH * EPOCHS, &CheckinConfig::gowalla(), 2026).into_dataset();
+    let points = trace.points();
+    println!(
+        "check-in trace: {} events over a {:.0}°×{:.0}° region; window {WINDOW}, batch {BATCH}\n",
+        trace.len(),
+        trace.bounding_box().width(),
+        trace.bounding_box().height()
+    );
+
+    // Seed the engine with the first window. The updatable grid gives O(1)
+    // cell updates plus the ε-queries the maintenance needs.
+    let seed = Dataset::new(points[..WINDOW].to_vec());
+    // Check-in data is dominated by a few huge hotspots, which makes the
+    // automatic γ-gap heuristic collapse everything into one cluster; track
+    // the top-8 γ peaks instead so hotspot churn is visible.
+    let params = StreamParams::new(dc)
+        .with_dpc(DpcParams::new(dc).with_centers(CenterSelection::TopKGamma { k: 8 }));
+    let mut engine =
+        StreamingDpc::new(GridIndex::build(&seed), params).expect("seeding must succeed");
+    println!(
+        "seeded {} check-ins: {} hotspots\n",
+        engine.len(),
+        engine.clustering().num_clusters()
+    );
+
+    for chunk in points[WINDOW..].chunks(BATCH) {
+        let (_, delta) = engine
+            .advance(chunk, chunk.len())
+            .expect("advance must succeed");
+        println!("{}", delta.summary());
+        for &h in &delta.births {
+            if let Some(p) = engine.point_of(h) {
+                println!("           new hotspot {h} near ({:.2}, {:.2})", p.x, p.y);
+            }
+        }
+        for &h in &delta.deaths {
+            println!("           hotspot {h} dissolved");
+        }
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\n{} updates across {} epochs: {} incremental, {} fallback; \
+         mean affected set {:.1} points",
+        stats.updates,
+        stats.epochs,
+        stats.incremental_updates,
+        stats.fallback_updates,
+        stats.affected_points as f64 / (stats.updates as f64).max(1.0)
+    );
+    println!(
+        "the window never rebuilt its index — every epoch repaired only the \
+         points an update actually touched (see BENCH_stream.json for throughput)."
+    );
+}

@@ -14,6 +14,9 @@
 //!   with the approximate RN-List option;
 //! * [`tree_index`] — Quadtree, STR R-tree, k-d tree and uniform grid with
 //!   the paper's density/distance pruning;
+//! * [`stream`] — the streaming engine: incremental inserts/deletes with
+//!   affected-set ρ/δ maintenance over any
+//!   [`UpdatableIndex`](core::UpdatableIndex);
 //! * [`datasets`] — seeded generators reproducing the paper's six evaluation
 //!   datasets, plus CSV I/O;
 //! * [`metrics`] — pair-counting Precision/Recall/F1, ARI, NMI and result
@@ -45,6 +48,7 @@ pub use dpc_core as core;
 pub use dpc_datasets as datasets;
 pub use dpc_list_index as list_index;
 pub use dpc_metrics as metrics;
+pub use dpc_stream as stream;
 pub use dpc_tree_index as tree_index;
 
 /// The most commonly used items, re-exported for `use density_peaks::prelude::*`.
@@ -52,11 +56,12 @@ pub mod prelude {
     pub use dpc_baseline::{LeanDpc, MatrixDpc, ParallelDpc};
     pub use dpc_core::{
         cluster_with_index, estimate_dc, CenterSelection, Clustering, Dataset, DcEstimation,
-        DpcIndex, DpcParams, DpcPipeline, Point, TieBreak,
+        DpcIndex, DpcParams, DpcPipeline, Point, TieBreak, UpdatableIndex,
     };
     pub use dpc_datasets::{DatasetKind, DatasetSpec};
     pub use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
     pub use dpc_metrics::{adjusted_rand_index, pair_counting_scores_for};
+    pub use dpc_stream::{ClusterDelta, StreamParams, StreamingDpc};
     pub use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
 }
 
