@@ -3,17 +3,19 @@
 //! the `BENCH_stream.json` snapshot.
 //!
 //! ```text
-//! bench_stream [--windows 1000,4000] [--updates N] [--dc F] [--seed S]
-//!              [--threads N] [--out FILE | --no-out]
+//! bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000]
+//!              [--updates N] [--dc F] [--seed S] [--threads N]
+//!              [--out FILE | --no-out]
 //! ```
 //!
-//! The committed snapshot at the repository root is produced with the
-//! defaults (`--out BENCH_stream.json`); CI runs a tiny smoke invocation so
-//! the benchmark cannot rot.
+//! `--engine` is an alias of `--engines`; both take a comma-separated list
+//! of updatable index families. The committed snapshot at the repository
+//! root is produced with the defaults (`--out BENCH_stream.json`); CI runs
+//! tiny smoke invocations so the benchmark cannot rot.
 
 use std::path::PathBuf;
 
-use dpc_bench::stream_throughput::{run, StreamBenchOptions};
+use dpc_bench::stream_throughput::{run, StreamBenchOptions, StreamEngine};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,8 +24,8 @@ fn main() {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: bench_stream [--windows 1000,4000] [--updates N] [--dc F] \
-                 [--seed S] [--threads N] [--out FILE | --no-out]"
+                "usage: bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000] \
+                 [--updates N] [--dc F] [--seed S] [--threads N] [--out FILE | --no-out]"
             );
             std::process::exit(2);
         }
@@ -49,6 +51,16 @@ fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>)
     while let Some(arg) = iter.next() {
         let mut value_of = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
+            "--engines" | "--engine" => {
+                let list = value_of("--engines")?;
+                options.engines = list
+                    .split(',')
+                    .map(StreamEngine::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.engines.is_empty() {
+                    return Err("--engines needs a comma-separated list of engines".into());
+                }
+            }
             "--windows" => {
                 let list = value_of("--windows")?;
                 options.windows = list

@@ -1,11 +1,16 @@
 //! The streaming-throughput benchmark behind `BENCH_stream.json`.
 //!
 //! Measures sliding-window updates/second of the incremental engine
-//! (`dpc-stream` over an updatable grid index) against the only alternative
-//! a batch pipeline offers: rebuilding the index and re-running the full
+//! (`dpc-stream` over an updatable index) against the only alternative a
+//! batch pipeline offers: rebuilding the index and re-running the full
 //! ρ/δ/select/assign pipeline after every update. Both modes process the
 //! *same* update sequence over the same data and must land on the same
 //! clustering — asserted at the end of every sweep cell.
+//!
+//! Since every updatable index family can now drive the streaming engine,
+//! the sweep covers one incremental/rebuild pair per engine
+//! ([`StreamEngine`]): the uniform grid, the k-d tree (tombstone + partial
+//! rebuild) and the R-tree (forced reinsertion + bbox shrinking).
 //!
 //! The committed `BENCH_stream.json` at the repository root is produced by
 //! the `bench_stream` binary; CI runs a tiny smoke invocation so the
@@ -13,18 +18,60 @@
 
 use std::time::Duration;
 
-use dpc_core::{CenterSelection, Dataset, DpcIndex, DpcParams, DpcPipeline, Point};
+use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, Point, UpdatableIndex};
 use dpc_datasets::generators::{checkins, CheckinConfig};
 use dpc_stream::{StreamParams, StreamingDpc};
-use dpc_tree_index::GridIndex;
+use dpc_tree_index::{GridIndex, KdTree, RTree};
 
-/// What to measure: window sizes, updates per cell, cut-off, seed, threads.
+/// The updatable index families the streaming benchmark can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEngine {
+    /// Uniform grid (O(1) cell updates; the PR 3 baseline engine).
+    Grid,
+    /// k-d tree with tombstone + partial-rebuild maintenance.
+    KdTree,
+    /// R-tree with R*-style forced reinsertion and bbox shrinking.
+    RTree,
+}
+
+impl StreamEngine {
+    /// Every engine, in sweep order.
+    pub const ALL: [StreamEngine; 3] = [
+        StreamEngine::Grid,
+        StreamEngine::KdTree,
+        StreamEngine::RTree,
+    ];
+
+    /// The engine's stable name (CLI value and JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamEngine::Grid => "grid",
+            StreamEngine::KdTree => "kdtree",
+            StreamEngine::RTree => "rtree",
+        }
+    }
+
+    /// Parses a CLI engine name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "grid" => Ok(StreamEngine::Grid),
+            "kdtree" | "kd" => Ok(StreamEngine::KdTree),
+            "rtree" => Ok(StreamEngine::RTree),
+            other => Err(format!("unknown engine {other:?} (grid, kdtree, rtree)")),
+        }
+    }
+}
+
+/// What to measure: engines, window sizes, updates per cell, cut-off, seed,
+/// threads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamBenchOptions {
+    /// Index families to sweep.
+    pub engines: Vec<StreamEngine>,
     /// Window sizes to sweep (number of live points).
     pub windows: Vec<usize>,
     /// Sliding-window updates (one eviction + one insertion each) measured
-    /// per window size.
+    /// per sweep cell.
     pub updates: usize,
     /// Cut-off distance of the maintained clustering.
     pub dc: f64,
@@ -37,6 +84,7 @@ pub struct StreamBenchOptions {
 impl Default for StreamBenchOptions {
     fn default() -> Self {
         StreamBenchOptions {
+            engines: StreamEngine::ALL.to_vec(),
             windows: vec![1_000, 4_000],
             updates: 1_000,
             dc: 0.1,
@@ -46,9 +94,11 @@ impl Default for StreamBenchOptions {
     }
 }
 
-/// One measured mode of one window size.
+/// One measured mode of one sweep cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamMeasurement {
+    /// Engine this row belongs to.
+    pub engine: &'static str,
     /// Window size this row belongs to.
     pub window: usize,
     /// `"incremental"` (the streaming engine) or `"rebuild"` (index rebuild
@@ -73,7 +123,8 @@ pub struct StreamBenchReport {
     pub options: StreamBenchOptions,
     /// CPUs the machine exposes.
     pub cpus: usize,
-    /// Two rows (incremental, rebuild) per window size, in sweep order.
+    /// Two rows (incremental, rebuild) per engine per window size, in sweep
+    /// order.
     pub measurements: Vec<StreamMeasurement>,
 }
 
@@ -83,15 +134,16 @@ fn params(options: &StreamBenchOptions) -> DpcParams {
         .with_threads(options.threads)
 }
 
-/// Runs the sweep: for every window size, streams the same check-in
-/// sequence through the incremental engine and through rebuild-from-scratch,
-/// and records both throughputs.
+/// Runs the sweep: for every window size and engine, streams the same
+/// check-in sequence through the incremental engine and through
+/// rebuild-from-scratch, and records both throughputs.
 ///
 /// # Panics
-/// Panics if the options are degenerate (no windows, zero updates) or if the
-/// two modes disagree on the final clustering — the benchmark doubles as an
-/// end-to-end consistency check.
+/// Panics if the options are degenerate (no engines, no windows, zero
+/// updates) or if the two modes disagree on the final clustering — the
+/// benchmark doubles as an end-to-end consistency check.
 pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
+    assert!(!options.engines.is_empty(), "need at least one engine");
     assert!(!options.windows.is_empty(), "need at least one window size");
     assert!(options.updates > 0, "need at least one update");
     let cpus = std::thread::available_parallelism()
@@ -101,73 +153,19 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
     for &window in &options.windows {
         let total_points = window + options.updates;
         let data = checkins(total_points, &CheckinConfig::gowalla(), options.seed).into_dataset();
-        let points = data.points();
-        let seed_window = Dataset::new(points[..window].to_vec());
-        let arriving = &points[window..];
-
-        // Incremental: one engine, advance(1 in, 1 out) per update.
-        let stream_params = StreamParams::new(options.dc).with_dpc(params(options));
-        let mut engine = StreamingDpc::new(GridIndex::build(&seed_window), stream_params)
-            .expect("seeding the streaming engine must succeed");
-        let timer = dpc_core::Timer::start();
-        for &p in arriving {
-            engine
-                .advance(&[p], 1)
-                .expect("incremental update must succeed");
+        for &engine in &options.engines {
+            let (inc, reb) = match engine {
+                StreamEngine::Grid => {
+                    measure_engine(engine, GridIndex::build, options, window, &data)
+                }
+                StreamEngine::KdTree => {
+                    measure_engine(engine, KdTree::build, options, window, &data)
+                }
+                StreamEngine::RTree => measure_engine(engine, RTree::build, options, window, &data),
+            };
+            measurements.push(inc);
+            measurements.push(reb);
         }
-        let inc_total = timer.elapsed();
-        measurements.push(measurement(
-            window,
-            "incremental",
-            options.updates,
-            inc_total,
-            engine.stats().fallback_updates,
-        ));
-
-        // Rebuild-from-scratch: same sliding window, but every update pays
-        // for a fresh index plus the full batch pipeline.
-        let pipeline = DpcPipeline::new(params(options));
-        let mut live: Vec<Point> = points[..window].to_vec();
-        let timer = dpc_core::Timer::start();
-        let mut last_run = None;
-        for &p in arriving {
-            // Mirror the engine's eviction of the oldest point so both
-            // modes maintain identical windows (as point sets).
-            live.remove(0);
-            live.push(p);
-            let dataset = Dataset::new(live.clone());
-            let index = GridIndex::build(&dataset);
-            last_run = Some(pipeline.run(&index).expect("rebuild pipeline must succeed"));
-        }
-        let rebuild_total = timer.elapsed();
-        measurements.push(measurement(
-            window,
-            "rebuild",
-            options.updates,
-            rebuild_total,
-            0,
-        ));
-
-        let _ = last_run.expect("at least one rebuild ran");
-        // Consistency: the engine's final state must be bit-identical to a
-        // cold batch run over its own surviving dataset (the same invariant
-        // the dpc-stream property suite enforces step by step). The rebuild
-        // rows above are purely a timing baseline — their dataset has a
-        // different point order, so exact ρ-tie break-offs may legitimately
-        // differ from the engine's window.
-        let check = pipeline
-            .run(&GridIndex::build(engine.index().dataset()))
-            .expect("consistency check must succeed");
-        assert_eq!(
-            engine.rho(),
-            &check.rho[..],
-            "incremental rho diverged from batch at window {window}"
-        );
-        assert_eq!(
-            engine.clustering().labels(),
-            check.clustering.labels(),
-            "incremental labels diverged from batch at window {window}"
-        );
     }
     StreamBenchReport {
         options: options.clone(),
@@ -176,7 +174,87 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
     }
 }
 
+/// Measures the incremental/rebuild pair of one engine on one window size.
+fn measure_engine<I, F>(
+    engine: StreamEngine,
+    build: F,
+    options: &StreamBenchOptions,
+    window: usize,
+    data: &Dataset,
+) -> (StreamMeasurement, StreamMeasurement)
+where
+    I: UpdatableIndex,
+    F: Fn(&Dataset) -> I,
+{
+    let points = data.points();
+    let seed_window = Dataset::new(points[..window].to_vec());
+    let arriving = &points[window..];
+
+    // Incremental: one engine, advance(1 in, 1 out) per update.
+    let stream_params = StreamParams::new(options.dc).with_dpc(params(options));
+    let mut stream = StreamingDpc::new(build(&seed_window), stream_params)
+        .expect("seeding the streaming engine must succeed");
+    let timer = dpc_core::Timer::start();
+    for &p in arriving {
+        stream
+            .advance(&[p], 1)
+            .expect("incremental update must succeed");
+    }
+    let inc_total = timer.elapsed();
+    let inc = measurement(
+        engine,
+        window,
+        "incremental",
+        options.updates,
+        inc_total,
+        stream.stats().fallback_updates,
+    );
+
+    // Rebuild-from-scratch: same sliding window, but every update pays for a
+    // fresh index plus the full batch pipeline.
+    let pipeline = DpcPipeline::new(params(options));
+    let mut live: Vec<Point> = points[..window].to_vec();
+    let timer = dpc_core::Timer::start();
+    let mut last_run = None;
+    for &p in arriving {
+        // Mirror the engine's eviction of the oldest point so both modes
+        // maintain identical windows (as point sets).
+        live.remove(0);
+        live.push(p);
+        let dataset = Dataset::new(live.clone());
+        let index = build(&dataset);
+        last_run = Some(pipeline.run(&index).expect("rebuild pipeline must succeed"));
+    }
+    let rebuild_total = timer.elapsed();
+    let reb = measurement(engine, window, "rebuild", options.updates, rebuild_total, 0);
+
+    let _ = last_run.expect("at least one rebuild ran");
+    // Consistency: the engine's final state must be bit-identical to a cold
+    // batch run over its own surviving dataset (the same invariant the
+    // dpc-stream property suite enforces step by step). The rebuild rows
+    // above are purely a timing baseline — their dataset has a different
+    // point order, so exact ρ-tie break-offs may legitimately differ from
+    // the engine's window.
+    let check = pipeline
+        .run(&build(stream.index().dataset()))
+        .expect("consistency check must succeed");
+    assert_eq!(
+        stream.rho(),
+        &check.rho[..],
+        "incremental rho diverged from batch ({} @ window {window})",
+        engine.name()
+    );
+    assert_eq!(
+        stream.clustering().labels(),
+        check.clustering.labels(),
+        "incremental labels diverged from batch ({} @ window {window})",
+        engine.name()
+    );
+    (inc, reb)
+}
+
 fn measurement(
+    engine: StreamEngine,
     window: usize,
     mode: &'static str,
     updates: usize,
@@ -185,6 +263,7 @@ fn measurement(
 ) -> StreamMeasurement {
     let per_update = total / updates.max(1) as u32;
     StreamMeasurement {
+        engine: engine.name(),
         window,
         mode,
         updates,
@@ -196,13 +275,13 @@ fn measurement(
 }
 
 impl StreamBenchReport {
-    /// Speedup of incremental over rebuild for one window size, if both rows
-    /// exist.
-    pub fn speedup(&self, window: usize) -> Option<f64> {
+    /// Speedup of incremental over rebuild for one engine and window size,
+    /// if both rows exist.
+    pub fn speedup(&self, engine: StreamEngine, window: usize) -> Option<f64> {
         let row = |mode: &str| {
             self.measurements
                 .iter()
-                .find(|m| m.window == window && m.mode == mode)
+                .find(|m| m.engine == engine.name() && m.window == window && m.mode == mode)
         };
         match (row("incremental"), row("rebuild")) {
             (Some(inc), Some(reb)) => Some(inc.updates_per_sec / reb.updates_per_sec.max(1e-9)),
@@ -219,8 +298,9 @@ impl StreamBenchReport {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{ \"window\": {}, \"mode\": \"{}\", \"updates\": {}, \
+                "    {{ \"engine\": \"{}\", \"window\": {}, \"mode\": \"{}\", \"updates\": {}, \
                  \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \"fallbacks\": {} }}",
+                m.engine,
                 m.window,
                 m.mode,
                 m.updates,
@@ -230,11 +310,20 @@ impl StreamBenchReport {
             ));
         }
         let largest = self.options.windows.iter().copied().max().unwrap_or(0);
+        let speedups: Vec<String> = self
+            .options
+            .engines
+            .iter()
+            .filter_map(|&e| {
+                self.speedup(e, largest)
+                    .map(|s| format!("{} {:.1}x", e.name(), s))
+            })
+            .collect();
         let note = format!(
-            "incremental = dpc-stream affected-set maintenance over an updatable grid; \
-             rebuild = fresh grid + full batch pipeline per update; speedup at the \
-             largest window ({largest}) is {:.1}x",
-            self.speedup(largest).unwrap_or(f64::NAN)
+            "incremental = dpc-stream affected-set maintenance over an updatable index; \
+             rebuild = fresh index + full batch pipeline per update; speedups at the \
+             largest window ({largest}): {}",
+            speedups.join(", ")
         );
         format!(
             "{{\n  \"benchmark\": \"stream_throughput\",\n  \"dataset\": \"gowalla-checkins\",\n  \
@@ -257,11 +346,12 @@ impl StreamBenchReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "streaming throughput @ {} updates, dc = {}, {} thread(s), {} cpu(s)\n\
-             {:<8} {:<12} {:>16} {:>14} {:>10}\n",
+             {:<8} {:<8} {:<12} {:>16} {:>14} {:>10}\n",
             self.options.updates,
             self.options.dc,
             self.options.threads,
             self.cpus,
+            "engine",
             "window",
             "mode",
             "per update (us)",
@@ -270,7 +360,8 @@ impl StreamBenchReport {
         );
         for m in &self.measurements {
             out.push_str(&format!(
-                "{:<8} {:<12} {:>16.1} {:>14.1} {:>10}\n",
+                "{:<8} {:<8} {:<12} {:>16.1} {:>14.1} {:>10}\n",
+                m.engine,
                 m.window,
                 m.mode,
                 m.per_update.as_secs_f64() * 1e6,
@@ -279,8 +370,13 @@ impl StreamBenchReport {
             ));
         }
         for &w in &self.options.windows {
-            if let Some(s) = self.speedup(w) {
-                out.push_str(&format!("window {w}: incremental is {s:.1}x rebuild\n"));
+            for &e in &self.options.engines {
+                if let Some(s) = self.speedup(e, w) {
+                    out.push_str(&format!(
+                        "{} @ window {w}: incremental is {s:.1}x rebuild\n",
+                        e.name()
+                    ));
+                }
             }
         }
         out
@@ -293,6 +389,7 @@ mod tests {
 
     fn tiny_options() -> StreamBenchOptions {
         StreamBenchOptions {
+            engines: vec![StreamEngine::Grid],
             windows: vec![150],
             updates: 40,
             dc: 0.3,
@@ -308,7 +405,34 @@ mod tests {
         assert_eq!(report.measurements[0].mode, "incremental");
         assert_eq!(report.measurements[1].mode, "rebuild");
         assert!(report.measurements.iter().all(|m| m.updates == 40));
-        assert!(report.speedup(150).unwrap() > 0.0);
+        assert!(report.speedup(StreamEngine::Grid, 150).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn tree_engines_sweep_and_stay_consistent() {
+        let report = run(&StreamBenchOptions {
+            engines: vec![StreamEngine::KdTree, StreamEngine::RTree],
+            ..tiny_options()
+        });
+        // Two rows per engine; the in-benchmark assertion already checked
+        // incremental == batch for each engine.
+        assert_eq!(report.measurements.len(), 4);
+        for e in [StreamEngine::KdTree, StreamEngine::RTree] {
+            assert!(report.speedup(e, 150).unwrap() > 0.0);
+            assert!(report
+                .measurements
+                .iter()
+                .any(|m| m.engine == e.name() && m.mode == "rebuild"));
+        }
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in StreamEngine::ALL {
+            assert_eq!(StreamEngine::parse(e.name()).unwrap(), e);
+        }
+        assert_eq!(StreamEngine::parse("kd").unwrap(), StreamEngine::KdTree);
+        assert!(StreamEngine::parse("ball-tree").is_err());
     }
 
     #[test]
@@ -319,6 +443,7 @@ mod tests {
             "\"benchmark\": \"stream_throughput\"",
             "\"updates\": 40",
             "\"machine\"",
+            "\"engine\": \"grid\"",
             "\"mode\": \"incremental\"",
             "\"mode\": \"rebuild\"",
             "\"updates_per_sec\"",
@@ -335,6 +460,15 @@ mod tests {
     fn zero_updates_panics() {
         run(&StreamBenchOptions {
             updates: 0,
+            ..tiny_options()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn no_engines_panics() {
+        run(&StreamBenchOptions {
+            engines: vec![],
             ..tiny_options()
         });
     }

@@ -142,10 +142,13 @@ pub fn knn_cluster(args: &ParsedArgs) -> Result<String, String> {
 /// The first `--window` points seed the engine; every subsequent batch of
 /// `--batch` points slides the window (evicting the same number of oldest
 /// points), and each epoch's births/deaths/relabel counts are printed.
+/// `--engine` picks the updatable index family maintaining the window
+/// (`--index` is accepted as an alias).
 pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     args.reject_unknown(&[
         "input",
         "dc",
+        "engine",
         "index",
         "window",
         "batch",
@@ -156,7 +159,10 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     ])?;
     let data = load_points(args.require("input")?)?;
     let dc: f64 = args.require_parsed("dc")?;
-    let index_name = args.get("index").unwrap_or("grid");
+    let index_name = args
+        .get("engine")
+        .or_else(|| args.get("index"))
+        .unwrap_or("grid");
     let window: usize = args.get_or("window", 1_000)?;
     let batch: usize = args.get_or("batch", 100)?;
     let threads: usize = args.get_or("threads", 1)?;
@@ -195,6 +201,22 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             quiet,
             &mut lines,
         )?,
+        "kdtree" | "kd" => replay(
+            StreamingDpc::new(KdTree::build(&seed), params).map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            quiet,
+            &mut lines,
+        )?,
+        "rtree" => replay(
+            StreamingDpc::new(RTree::build(&seed), params).map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            quiet,
+            &mut lines,
+        )?,
         "naive" | "lean" => replay(
             StreamingDpc::new(LeanDpc::build(&seed), params).map_err(|e| e.to_string())?,
             &points[warm..],
@@ -203,7 +225,11 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             quiet,
             &mut lines,
         )?,
-        other => return Err(format!("unknown streaming index {other:?} (grid or naive)")),
+        other => {
+            return Err(format!(
+                "unknown streaming engine {other:?} (grid, kdtree, rtree, or naive)"
+            ))
+        }
     };
     let seed_time = seed_timer.elapsed().saturating_sub(elapsed);
 
@@ -614,25 +640,27 @@ mod tests {
         assert!(out.contains("epoch"), "{out}");
         assert!(out.contains("updates/s"), "{out}");
 
-        // The naive engine must report the same epochs (quiet mode only
-        // prints the trailer).
-        let out = run(args(&[
-            "stream",
-            "--input",
-            points.to_str().unwrap(),
-            "--dc",
-            "0.5",
-            "--index",
-            "naive",
-            "--window",
-            "200",
-            "--batch",
-            "50",
-            "--quiet",
-        ]))
-        .unwrap();
-        assert!(!out.contains("epoch "), "{out}");
-        assert!(out.contains("incremental"), "{out}");
+        // Every other engine must replay the same stream; `--engine` is the
+        // documented spelling, `--index` stays as an alias.
+        for engine in ["naive", "kdtree", "rtree"] {
+            let out = run(args(&[
+                "stream",
+                "--input",
+                points.to_str().unwrap(),
+                "--dc",
+                "0.5",
+                "--engine",
+                engine,
+                "--window",
+                "200",
+                "--batch",
+                "50",
+                "--quiet",
+            ]))
+            .unwrap();
+            assert!(!out.contains("epoch "), "{engine}: {out}");
+            assert!(out.contains("incremental"), "{engine}: {out}");
+        }
 
         // Bad invocations.
         assert!(run(args(&[
@@ -641,8 +669,8 @@ mod tests {
             points.to_str().unwrap(),
             "--dc",
             "0.5",
-            "--index",
-            "rtree"
+            "--engine",
+            "ball-tree"
         ]))
         .is_err());
         assert!(run(args(&[

@@ -57,7 +57,7 @@ USAGE:
   dpc knn-cluster --input points.csv --k N
                   [--centers top:K|auto[:MAX]] [--output labels.csv]
   dpc stream      --input points.csv --dc F
-                  [--index grid|naive] [--window N] [--batch N] [--threads N]
+                  [--engine grid|kdtree|rtree|naive] [--window N] [--batch N] [--threads N]
                   [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
                   [--max-epochs N] [--quiet]
   dpc help

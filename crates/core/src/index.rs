@@ -215,6 +215,30 @@ pub trait UpdatableIndex: DpcIndex {
     /// its distance to its own location is 0). `eps` is validated like a
     /// cut-off distance ([`validate_dc`]).
     fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>>;
+
+    /// Counters describing the amortised structural maintenance the index
+    /// has performed so far (subtree rebuilds, forced reinsertions, node
+    /// merges, …).
+    ///
+    /// Indexes that keep themselves healthy through occasional restructuring
+    /// expose their triggers here so the test harness can assert they
+    /// actually fire under adversarial workloads (a rebuild threshold that
+    /// never trips is dead code, and a rebuild bug should fail as a counter
+    /// assertion, not as a distant label diff). Indexes with no amortised
+    /// maintenance return an empty list.
+    fn maintenance_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    /// Checks the index's internal structural invariants (bounding-box
+    /// containment, subtree counts, id bookkeeping), panicking with a
+    /// descriptive message on the first violation.
+    ///
+    /// This is a test/debug hook: the generic streaming equivalence harness
+    /// calls it after every mutation so a broken rebuild fails loudly at the
+    /// step that corrupted the structure. The default does nothing (the
+    /// brute-force baselines have no structure to check).
+    fn check_invariants(&self) {}
 }
 
 /// Brute-force ε-range scan over the structure-of-arrays coordinate slices:

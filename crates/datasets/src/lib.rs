@@ -26,6 +26,7 @@ pub mod ground_truth;
 pub mod io;
 pub mod registry;
 pub mod rng;
+pub mod testsupport;
 
 pub use generators::{
     birch, checkins, grid_clusters, query, range, s1, two_moons, uniform, CheckinConfig,

@@ -1,0 +1,175 @@
+//! Deterministic point-set generators shared by the workspace's test suites.
+//!
+//! Before this module existed, every test file rolled its own point
+//! distributions — the tree-index property tests drew uniform coordinates,
+//! the streaming equivalence suite used a coarse integer lattice, and the
+//! index unit tests sampled the paper-shaped generators — so "the k-d tree
+//! is tested on skewed data" and "the streaming engine is tested on skewed
+//! data" quietly meant different things. All suites now draw from the four
+//! distributions here, each chosen to stress a different structural failure
+//! mode:
+//!
+//! * [`TestDistribution::Uniform`] — no structure; the baseline case.
+//! * [`TestDistribution::Clustered`] — Gaussian blobs; stresses density
+//!   pruning and centre selection.
+//! * [`TestDistribution::Skewed`] — power-law hotspots; stresses indexes
+//!   whose partitioning assumes uniformity (the paper's core argument for
+//!   hierarchical indexes over grids).
+//! * [`TestDistribution::Collinear`] — lattice points on a line; produces
+//!   zero-area bounding boxes, duplicate coordinates and mass ties, the
+//!   degenerate geometry that breaks naive median splits and area-based
+//!   R-tree heuristics.
+//!
+//! Everything is seeded [`SplitMix64`], so a failing case reproduces from
+//! its seed alone. The [`lattice_point`] helper is the streaming suite's
+//! coarse grid: coincident points and exact ρ/δ/γ ties — the cases where
+//! only a consistent tie-break keeps incremental and batch in agreement —
+//! occur constantly rather than never.
+
+use dpc_core::{Dataset, Point};
+
+use crate::rng::SplitMix64;
+
+/// The point distributions shared by the test suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestDistribution {
+    /// Uniform over `[-500, 500]²`.
+    Uniform,
+    /// `max(1, n/20)` Gaussian blobs with σ = 25 on uniform centres.
+    Clustered,
+    /// Eight power-law-weighted hotspots of sharply varying spread.
+    Skewed,
+    /// Lattice points on a noisy line (duplicates and zero-height boxes).
+    Collinear,
+}
+
+/// All four distributions, for suites that sweep them.
+pub const ALL_DISTRIBUTIONS: [TestDistribution; 4] = [
+    TestDistribution::Uniform,
+    TestDistribution::Clustered,
+    TestDistribution::Skewed,
+    TestDistribution::Collinear,
+];
+
+/// `n` points drawn from `dist`, fully determined by `seed`.
+pub fn test_points(dist: TestDistribution, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SplitMix64::new(seed ^ 0xD157_0000);
+    let mut out = Vec::with_capacity(n);
+    match dist {
+        TestDistribution::Uniform => {
+            for _ in 0..n {
+                out.push(Point::new(
+                    rng.uniform(-500.0, 500.0),
+                    rng.uniform(-500.0, 500.0),
+                ));
+            }
+        }
+        TestDistribution::Clustered => {
+            let k = (n / 20).max(1);
+            let centers: Vec<Point> = (0..k)
+                .map(|_| Point::new(rng.uniform(-400.0, 400.0), rng.uniform(-400.0, 400.0)))
+                .collect();
+            for _ in 0..n {
+                let c = centers[rng.uniform_usize(k)];
+                out.push(Point::new(
+                    rng.normal_with(c.x, 25.0),
+                    rng.normal_with(c.y, 25.0),
+                ));
+            }
+        }
+        TestDistribution::Skewed => {
+            let hotspots = 8;
+            let w = SplitMix64::zipf_total_weight(hotspots, 1.2);
+            let centers: Vec<Point> = (0..hotspots)
+                .map(|_| Point::new(rng.uniform(-450.0, 450.0), rng.uniform(-450.0, 450.0)))
+                .collect();
+            for _ in 0..n {
+                let h = rng.zipf(hotspots, 1.2, w);
+                // The busiest hotspot is also the tightest: density varies by
+                // orders of magnitude across the domain.
+                let sigma = 2.0 * (1 << h.min(8)) as f64;
+                let c = centers[h];
+                out.push(Point::new(
+                    rng.normal_with(c.x, sigma),
+                    rng.normal_with(c.y, sigma),
+                ));
+            }
+        }
+        TestDistribution::Collinear => {
+            for _ in 0..n {
+                // Integer parameter on a line: duplicates are common, the
+                // y-extent of any subset is 0 or near-0.
+                let t = rng.uniform_usize(n.max(2)) as f64;
+                out.push(Point::new(t * 3.0 - 500.0, t * 0.5));
+            }
+        }
+    }
+    out
+}
+
+/// [`test_points`] packed into a [`Dataset`].
+pub fn test_dataset(dist: TestDistribution, n: usize, seed: u64) -> Dataset {
+    Dataset::new(test_points(dist, n, seed))
+}
+
+/// The streaming suite's coarse lattice: half-unit spacing, so a `dc` under
+/// 1.0 spans a couple of cells and coincident points are routine.
+pub fn lattice_point(ix: u32, iy: u32) -> Point {
+    Point::new(ix as f64 * 0.5, iy as f64 * 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_sized() {
+        for dist in ALL_DISTRIBUTIONS {
+            let a = test_points(dist, 100, 7);
+            let b = test_points(dist, 100, 7);
+            assert_eq!(a.len(), 100);
+            assert_eq!(a, b, "{dist:?} not deterministic");
+            let c = test_points(dist, 100, 8);
+            assert_ne!(a, c, "{dist:?} ignores its seed");
+            assert!(a.iter().all(|p| p.is_finite()), "{dist:?} non-finite point");
+        }
+    }
+
+    #[test]
+    fn collinear_points_have_duplicates_and_lie_on_a_line() {
+        let pts = test_points(TestDistribution::Collinear, 200, 3);
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0;
+        for p in &pts {
+            if !seen.insert((p.x.to_bits(), p.y.to_bits())) {
+                dups += 1;
+            }
+        }
+        assert!(dups > 0, "no duplicates in the collinear distribution");
+        for p in &pts {
+            // y = (x + 500) / 6.
+            assert!((p.y - (p.x + 500.0) / 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_concentrates_mass() {
+        let pts = test_points(TestDistribution::Skewed, 400, 11);
+        let data = Dataset::new(pts);
+        let bb = data.bounding_box();
+        // A tight busiest hotspot means many points share a small region:
+        // count neighbours of the densest point within 1% of the diameter.
+        let r = bb.diagonal() * 0.01;
+        let best = (0..data.len())
+            .map(|p| (0..data.len()).filter(|&q| data.distance(p, q) < r).count())
+            .max()
+            .unwrap();
+        assert!(best > 40, "no dense hotspot: best = {best}");
+    }
+
+    #[test]
+    fn lattice_is_coarse() {
+        assert_eq!(lattice_point(0, 0), Point::new(0.0, 0.0));
+        assert_eq!(lattice_point(3, 1), Point::new(1.5, 0.5));
+    }
+}

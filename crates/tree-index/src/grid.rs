@@ -16,7 +16,7 @@ use dpc_core::{
     PointId, Result, Rho, TieBreak, Timer, UpdatableIndex,
 };
 
-use crate::common::{NodeId, SpatialPartition};
+use crate::common::{check_partition_invariants, NodeId, SpatialPartition};
 use crate::query::{
     delta_query_with_policy, rho_query_with_policy, subtree_max_density, DeltaQueryConfig,
     QueryStats,
@@ -202,6 +202,25 @@ impl GridIndex {
         Ok(rho_query_with_policy(self, &self.dataset, dc, policy))
     }
 
+    /// Checks the grid's structural bookkeeping: the generic partition
+    /// invariants plus the cell-key map (every listed point keys to the cell
+    /// listing it).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on the first violation.
+    pub fn check_structure(&self) {
+        check_partition_invariants(self, &self.dataset);
+        for (&key, &node) in &self.cell_of {
+            for &q in &self.members[node] {
+                assert_eq!(
+                    self.key_of(self.dataset.point(q as PointId)),
+                    key,
+                    "point {q} is listed in cell {key:?} but keys elsewhere"
+                );
+            }
+        }
+    }
+
     /// δ-query with an explicit pruning configuration, reporting traversal
     /// statistics.
     pub fn delta_with_config(
@@ -355,6 +374,10 @@ impl UpdatableIndex for GridIndex {
         }
         out.sort_unstable();
         Ok(out)
+    }
+
+    fn check_invariants(&self) {
+        self.check_structure();
     }
 }
 

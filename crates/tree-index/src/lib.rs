@@ -43,5 +43,5 @@ pub use common::{NodeId, SpatialPartition};
 pub use grid::{GridConfig, GridIndex};
 pub use kdtree::{KdTree, KdTreeConfig};
 pub use quadtree::{Quadtree, QuadtreeConfig};
-pub use query::{DeltaQueryConfig, QueryStats};
+pub use query::{eps_query, DeltaQueryConfig, QueryStats};
 pub use rtree::{RTree, RTreeConfig};

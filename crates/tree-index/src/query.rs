@@ -33,7 +33,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dpc_core::{exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, PointId, Rho};
+use dpc_core::{exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, Point, PointId, Rho};
 
 use crate::common::{NodeId, SpatialPartition};
 
@@ -206,6 +206,48 @@ pub fn rho_one<T: SpatialPartition + ?Sized>(
     }
     // `count` includes p itself (distance 0 < dc always holds for dc > 0).
     (count.saturating_sub(1)) as Rho
+}
+
+/// Ids of all points strictly within `eps` of `center`, ascending — the
+/// ε-range query behind [`dpc_core::UpdatableIndex::eps_neighbors`], written
+/// once against [`SpatialPartition`] so every tree index answers it through
+/// its own structure.
+///
+/// The traversal mirrors the ρ-query's pruning (skip nodes entirely outside
+/// the query circle, sqrt-free comparisons against `eps²`) but must visit
+/// every surviving leaf to collect ids, so there is no fully-contained
+/// shortcut. Nodes with a zero point count (emptied by deletions but not yet
+/// compacted) are skipped outright, which is what keeps deleted points
+/// invisible regardless of how conservative the node's stale bounding box is.
+pub fn eps_query<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    center: Point,
+    eps: f64,
+) -> Vec<PointId> {
+    let mut out = Vec::new();
+    let Some(root) = tree.root() else {
+        return out;
+    };
+    let pts = dataset.points();
+    let eps2 = eps * eps;
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if tree.point_count(node) == 0 || tree.bbox(node).min_dist_squared(center) >= eps2 {
+            continue;
+        }
+        if tree.is_leaf(node) {
+            for &q in tree.points(node) {
+                if pts[q as usize].distance_squared(&center) < eps2 {
+                    out.push(q as PointId);
+                }
+            }
+        } else {
+            stack.extend_from_slice(tree.children(node));
+        }
+    }
+    out.sort_unstable();
+    out
 }
 
 /// Computes, for every node, the maximum density of any point stored in its
@@ -516,6 +558,21 @@ mod tests {
                 .max()
                 .unwrap_or(0);
             assert_eq!(got, expected, "node {node}");
+        }
+    }
+
+    #[test]
+    fn eps_query_matches_linear_scan() {
+        let data = s1(29, 0.05).into_dataset(); // 250 points
+        let part = FlatPartition::strips(&data, 130_000.0);
+        for (center, eps) in [
+            (data.point(3), 40_000.0),
+            (data.point(100), 250_000.0),
+            (dpc_core::Point::new(0.0, 0.0), 90_000.0),
+        ] {
+            let got = eps_query(&part, &data, center, eps);
+            let expected = dpc_core::index::eps_neighbors_scan(&data, center, eps).unwrap();
+            assert_eq!(got, expected, "eps = {eps}");
         }
     }
 

@@ -1,4 +1,11 @@
 //! Test-only helpers shared by the modules of this crate.
+//!
+//! This module holds *structural* fixtures only (a trivially-correct
+//! [`SpatialPartition`] to test the generic query code and the invariant
+//! checker against). Point-set generators live in
+//! [`dpc_datasets::testsupport`], the shared test-support module every suite
+//! in the workspace draws its distributions from — don't grow local ones
+//! here.
 
 use dpc_core::{BoundingBox, Dataset};
 

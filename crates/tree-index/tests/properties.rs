@@ -1,8 +1,15 @@
 //! Property-based tests of the tree-based index structures: structural
 //! invariants and query correctness on arbitrary point sets and parameters.
+//!
+//! Point sets are drawn from the shared distributions of
+//! [`dpc_datasets::testsupport`] (uniform, clustered, skewed, collinear), so
+//! this suite and the streaming equivalence suite stress the indexes with
+//! the same geometry.
 
 use dpc_baseline::LeanDpc;
-use dpc_core::{Dataset, DensityOrder, DpcIndex};
+use dpc_core::index::eps_neighbors_scan;
+use dpc_core::{Dataset, DensityOrder, DpcIndex, UpdatableIndex};
+use dpc_datasets::testsupport::{test_points, TestDistribution, ALL_DISTRIBUTIONS};
 use dpc_tree_index::common::check_partition_invariants;
 use dpc_tree_index::query::{rho_query, subtree_max_density};
 use dpc_tree_index::{
@@ -11,8 +18,24 @@ use dpc_tree_index::{
 };
 use proptest::prelude::*;
 
+fn distribution_strategy() -> impl Strategy<Value = TestDistribution> {
+    prop_oneof![
+        Just(TestDistribution::Uniform),
+        Just(TestDistribution::Clustered),
+        Just(TestDistribution::Skewed),
+        Just(TestDistribution::Collinear),
+    ]
+}
+
+/// Point sets from the shared test distributions; shrinks over size and
+/// seed, which is what reproduces a failure.
 fn coords_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((-500.0f64..500.0, -500.0f64..500.0), 1..60)
+    (distribution_strategy(), 1usize..60, any::<u64>()).prop_map(|(dist, n, seed)| {
+        test_points(dist, n, seed)
+            .into_iter()
+            .map(|p| (p.x, p.y))
+            .collect()
+    })
 }
 
 proptest! {
@@ -163,6 +186,58 @@ proptest! {
         }
     }
 
+    /// The updatable tree indexes stay structurally sound and query-exact
+    /// through arbitrary insert/remove interleavings, on every shared
+    /// distribution: after each mutation the structural invariants hold and
+    /// the ε-query sees exactly the live points (no tombstone leaks).
+    #[test]
+    fn updatable_trees_survive_random_update_sequences(
+        dist in distribution_strategy(),
+        n in 2usize..40,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<bool>(), 0usize..1000, any::<u64>()), 1..30)
+    ) {
+        let initial = Dataset::new(test_points(dist, n, seed));
+        let mut kd = KdTree::with_config(
+            &initial,
+            &KdTreeConfig { leaf_capacity: 4, ..Default::default() },
+        );
+        let mut rt = RTree::with_config(
+            &initial,
+            &RTreeConfig { node_capacity: 4, ..Default::default() },
+        );
+        for &(insert, sel, pseed) in &ops {
+            if insert || kd.len() == 0 {
+                let p = test_points(dist, 1, pseed)[0];
+                let a = UpdatableIndex::insert(&mut kd, p).unwrap();
+                let b = UpdatableIndex::insert(&mut rt, p).unwrap();
+                prop_assert_eq!(a, b);
+            } else {
+                let victim = sel % kd.len();
+                let a = kd.remove(victim).unwrap();
+                let b = rt.remove(victim).unwrap();
+                prop_assert_eq!(a, b);
+            }
+            kd.check_invariants();
+            rt.check_invariants();
+            if kd.len() > 0 {
+                let center = kd.dataset().point(sel % kd.len());
+                let expected = eps_neighbors_scan(kd.dataset(), center, 50.0).unwrap();
+                prop_assert_eq!(&kd.eps_neighbors(center, 50.0).unwrap(), &expected);
+                prop_assert_eq!(&rt.eps_neighbors(center, 50.0).unwrap(), &expected);
+            }
+        }
+        if kd.len() > 0 {
+            let baseline = LeanDpc::build(kd.dataset());
+            let (ref_rho, ref_delta) = baseline.rho_delta(40.0).unwrap();
+            for tree in [&kd as &dyn DpcIndex, &rt] {
+                let (rho, delta) = tree.rho_delta(40.0).unwrap();
+                prop_assert_eq!(&rho, &ref_rho, "{} rho after updates", tree.name());
+                prop_assert_eq!(&delta.mu, &ref_delta.mu, "{} mu after updates", tree.name());
+            }
+        }
+    }
+
     #[test]
     fn node_counts_are_consistent_with_memory_accounting(coords in coords_strategy()) {
         let data = Dataset::from_coords(coords);
@@ -180,5 +255,20 @@ proptest! {
             prop_assert!(rtree.num_nodes() >= 1);
             prop_assert!(rtree.height() >= 1);
         }
+    }
+}
+
+/// Every index family passes the structural invariants on every shared
+/// distribution — in particular the collinear one, whose zero-area boxes and
+/// duplicate coordinates are the classic way to break median splits and
+/// area-based R-tree heuristics.
+#[test]
+fn all_indexes_handle_every_shared_distribution() {
+    for dist in ALL_DISTRIBUTIONS {
+        let data = Dataset::new(test_points(dist, 150, 42));
+        check_partition_invariants(&Quadtree::build(&data), &data);
+        KdTree::build(&data).check_structure();
+        RTree::build(&data).check_structure();
+        GridIndex::build(&data).check_structure();
     }
 }
