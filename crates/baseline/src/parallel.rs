@@ -4,7 +4,8 @@
 //! useful reference point: it shows how far brute force can be pushed by
 //! parallelism alone before the index structures still win asymptotically.
 //! The chunked work partitioning lives in [`dpc_core::exec`] and the
-//! per-point kernels in [`crate::brute`] (both shared with [`LeanDpc`](crate::LeanDpc)),
+//! per-point kernels in the crate-private `brute` module (both shared with
+//! [`LeanDpc`](crate::LeanDpc)),
 //! so this type is little more than a stored thread count. Each query
 //! remains `Θ(n²)` total work, streamed over the dataset's
 //! structure-of-arrays coordinate slices so the inner loops vectorise.

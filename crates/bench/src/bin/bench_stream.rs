@@ -4,14 +4,17 @@
 //!
 //! ```text
 //! bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000]
-//!              [--updates N] [--dc F] [--seed S] [--threads N]
-//!              [--out FILE | --no-out]
+//!              [--batches 1,64] [--updates N] [--dc F] [--seed S]
+//!              [--threads N] [--out FILE | --no-out]
 //! ```
 //!
 //! `--engine` is an alias of `--engines`; both take a comma-separated list
-//! of updatable index families. The committed snapshot at the repository
-//! root is produced with the defaults (`--out BENCH_stream.json`); CI runs
-//! tiny smoke invocations so the benchmark cannot rot.
+//! of updatable index families. `--batches` (alias `--batch`) sweeps the
+//! epoch batch size: 1 is per-update maintenance, larger values amortise
+//! the ρ/δ repairs and the clustering over whole epochs. The committed
+//! snapshot at the repository root is produced with the defaults
+//! (`--out BENCH_stream.json`); CI runs tiny smoke invocations so the
+//! benchmark cannot rot.
 
 use std::path::PathBuf;
 
@@ -25,7 +28,8 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000] \
-                 [--updates N] [--dc F] [--seed S] [--threads N] [--out FILE | --no-out]"
+                 [--batches 1,64] [--updates N] [--dc F] [--seed S] [--threads N] \
+                 [--out FILE | --no-out]"
             );
             std::process::exit(2);
         }
@@ -70,6 +74,17 @@ fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>)
                     .map_err(|_| format!("invalid --windows list {list:?}"))?;
                 if options.windows.is_empty() || options.windows.contains(&0) {
                     return Err("--windows needs a comma-separated list of positive sizes".into());
+                }
+            }
+            "--batches" | "--batch" => {
+                let list = value_of("--batches")?;
+                options.batches = list
+                    .split(',')
+                    .map(|b| b.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("invalid --batches list {list:?}"))?;
+                if options.batches.is_empty() || options.batches.contains(&0) {
+                    return Err("--batches needs a comma-separated list of positive sizes".into());
                 }
             }
             "--updates" => {

@@ -1,8 +1,7 @@
 //! One module per table/figure of the paper's evaluation, plus the pruning
 //! ablation. Every experiment is a pure function from an
-//! [`ExperimentConfig`](crate::ExperimentConfig) to a list of
-//! [`ResultTable`](dpc_metrics::ResultTable)s; the binaries only print and
-//! persist.
+//! [`ExperimentConfig`] to a list of [`ResultTable`]s; the binaries only
+//! print and persist.
 
 pub mod ablation_pruning;
 pub mod fig01_dc_sensitivity;

@@ -3,14 +3,20 @@
 //! Measures sliding-window updates/second of the incremental engine
 //! (`dpc-stream` over an updatable index) against the only alternative a
 //! batch pipeline offers: rebuilding the index and re-running the full
-//! ρ/δ/select/assign pipeline after every update. Both modes process the
-//! *same* update sequence over the same data and must land on the same
-//! clustering — asserted at the end of every sweep cell.
+//! ρ/δ/select/assign pipeline once per epoch. Both modes process the *same*
+//! update sequence over the same data and must land on the same clustering —
+//! asserted at the end of every sweep cell.
 //!
 //! Since every updatable index family can now drive the streaming engine,
 //! the sweep covers one incremental/rebuild pair per engine
 //! ([`StreamEngine`]): the uniform grid, the k-d tree (tombstone + partial
 //! rebuild) and the R-tree (forced reinsertion + bbox shrinking).
+//!
+//! The sweep also covers **epoch batch sizes** ([`StreamBenchOptions::
+//! batches`]): batch 1 is classic per-update maintenance (one ε-repair, one
+//! δ-repair and one clustering per slid point), larger batches amortise all
+//! three over the whole epoch — the per-epoch vs per-update cost gap is the
+//! headline number of `BENCH_stream.json`.
 //!
 //! The committed `BENCH_stream.json` at the repository root is produced by
 //! the `bench_stream` binary; CI runs a tiny smoke invocation so the
@@ -62,14 +68,19 @@ impl StreamEngine {
     }
 }
 
-/// What to measure: engines, window sizes, updates per cell, cut-off, seed,
-/// threads.
+/// What to measure: engines, window sizes, epoch batch sizes, updates per
+/// cell, cut-off, seed, threads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamBenchOptions {
     /// Index families to sweep.
     pub engines: Vec<StreamEngine>,
     /// Window sizes to sweep (number of live points).
     pub windows: Vec<usize>,
+    /// Epoch batch sizes to sweep: each epoch slides `batch` points in and
+    /// the same number of oldest points out. Batch 1 is per-update
+    /// maintenance; larger batches amortise the ρ/δ repairs and the
+    /// clustering over the whole epoch.
+    pub batches: Vec<usize>,
     /// Sliding-window updates (one eviction + one insertion each) measured
     /// per sweep cell.
     pub updates: usize,
@@ -86,6 +97,7 @@ impl Default for StreamBenchOptions {
         StreamBenchOptions {
             engines: StreamEngine::ALL.to_vec(),
             windows: vec![1_000, 4_000],
+            batches: vec![1, 64],
             updates: 1_000,
             dc: 0.1,
             seed: 42,
@@ -101,14 +113,17 @@ pub struct StreamMeasurement {
     pub engine: &'static str,
     /// Window size this row belongs to.
     pub window: usize,
+    /// Epoch batch size this row belongs to.
+    pub batch: usize,
     /// `"incremental"` (the streaming engine) or `"rebuild"` (index rebuild
-    /// + full batch pipeline per update).
+    /// + full batch pipeline per epoch).
     pub mode: &'static str,
     /// Updates processed.
     pub updates: usize,
     /// Total wall-clock time for all updates.
     pub total: Duration,
-    /// Mean time per update.
+    /// Mean time per update (a batch of `b` slides counts as `2 b` point
+    /// mutations but `b` updates, matching the per-update rows).
     pub per_update: Duration,
     /// Updates per second.
     pub updates_per_sec: f64,
@@ -123,8 +138,8 @@ pub struct StreamBenchReport {
     pub options: StreamBenchOptions,
     /// CPUs the machine exposes.
     pub cpus: usize,
-    /// Two rows (incremental, rebuild) per engine per window size, in sweep
-    /// order.
+    /// Two rows (incremental, rebuild) per engine per window size per batch
+    /// size, in sweep order.
     pub measurements: Vec<StreamMeasurement>,
 }
 
@@ -134,18 +149,30 @@ fn params(options: &StreamBenchOptions) -> DpcParams {
         .with_threads(options.threads)
 }
 
-/// Runs the sweep: for every window size and engine, streams the same
-/// check-in sequence through the incremental engine and through
+/// Runs the sweep: for every window size, engine and batch size, streams the
+/// same check-in sequence through the incremental engine and through
 /// rebuild-from-scratch, and records both throughputs.
 ///
 /// # Panics
-/// Panics if the options are degenerate (no engines, no windows, zero
-/// updates) or if the two modes disagree on the final clustering — the
-/// benchmark doubles as an end-to-end consistency check.
+/// Panics if the options are degenerate (no engines, no windows, no batch
+/// sizes, zero updates or a zero batch) or if the two modes disagree on the
+/// final clustering — the benchmark doubles as an end-to-end consistency
+/// check.
 pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
     assert!(!options.engines.is_empty(), "need at least one engine");
     assert!(!options.windows.is_empty(), "need at least one window size");
+    assert!(
+        !options.batches.is_empty() && !options.batches.contains(&0),
+        "need at least one positive batch size"
+    );
     assert!(options.updates > 0, "need at least one update");
+    let max_batch = options.batches.iter().copied().max().unwrap_or(0);
+    let min_window = options.windows.iter().copied().min().unwrap_or(0);
+    assert!(
+        max_batch <= min_window,
+        "epoch batch size {max_batch} exceeds the smallest window {min_window}: \
+         a sliding epoch cannot evict more points than the window holds"
+    );
     let cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -154,17 +181,21 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
         let total_points = window + options.updates;
         let data = checkins(total_points, &CheckinConfig::gowalla(), options.seed).into_dataset();
         for &engine in &options.engines {
-            let (inc, reb) = match engine {
-                StreamEngine::Grid => {
-                    measure_engine(engine, GridIndex::build, options, window, &data)
-                }
-                StreamEngine::KdTree => {
-                    measure_engine(engine, KdTree::build, options, window, &data)
-                }
-                StreamEngine::RTree => measure_engine(engine, RTree::build, options, window, &data),
-            };
-            measurements.push(inc);
-            measurements.push(reb);
+            for &batch in &options.batches {
+                let (inc, reb) = match engine {
+                    StreamEngine::Grid => {
+                        measure_engine(engine, GridIndex::build, options, window, batch, &data)
+                    }
+                    StreamEngine::KdTree => {
+                        measure_engine(engine, KdTree::build, options, window, batch, &data)
+                    }
+                    StreamEngine::RTree => {
+                        measure_engine(engine, RTree::build, options, window, batch, &data)
+                    }
+                };
+                measurements.push(inc);
+                measurements.push(reb);
+            }
         }
     }
     StreamBenchReport {
@@ -174,12 +205,14 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
     }
 }
 
-/// Measures the incremental/rebuild pair of one engine on one window size.
+/// Measures the incremental/rebuild pair of one engine on one window size at
+/// one epoch batch size.
 fn measure_engine<I, F>(
     engine: StreamEngine,
     build: F,
     options: &StreamBenchOptions,
     window: usize,
+    batch: usize,
     data: &Dataset,
 ) -> (StreamMeasurement, StreamMeasurement)
 where
@@ -190,48 +223,57 @@ where
     let seed_window = Dataset::new(points[..window].to_vec());
     let arriving = &points[window..];
 
-    // Incremental: one engine, advance(1 in, 1 out) per update.
+    // Incremental: one engine, one advance (batch in, batch out) per epoch.
     let stream_params = StreamParams::new(options.dc).with_dpc(params(options));
     let mut stream = StreamingDpc::new(build(&seed_window), stream_params)
         .expect("seeding the streaming engine must succeed");
     let timer = dpc_core::Timer::start();
-    for &p in arriving {
+    for chunk in arriving.chunks(batch) {
         stream
-            .advance(&[p], 1)
+            .advance(chunk, chunk.len())
             .expect("incremental update must succeed");
     }
     let inc_total = timer.elapsed();
     let inc = measurement(
         engine,
         window,
+        batch,
         "incremental",
         options.updates,
         inc_total,
-        stream.stats().fallback_updates,
+        stream.stats().fallback_epochs,
     );
 
-    // Rebuild-from-scratch: same sliding window, but every update pays for a
+    // Rebuild-from-scratch: same sliding window, but every epoch pays for a
     // fresh index plus the full batch pipeline.
     let pipeline = DpcPipeline::new(params(options));
     let mut live: Vec<Point> = points[..window].to_vec();
     let timer = dpc_core::Timer::start();
     let mut last_run = None;
-    for &p in arriving {
-        // Mirror the engine's eviction of the oldest point so both modes
+    for chunk in arriving.chunks(batch) {
+        // Mirror the engine's eviction of the oldest points so both modes
         // maintain identical windows (as point sets).
-        live.remove(0);
-        live.push(p);
+        live.drain(..chunk.len());
+        live.extend_from_slice(chunk);
         let dataset = Dataset::new(live.clone());
         let index = build(&dataset);
         last_run = Some(pipeline.run(&index).expect("rebuild pipeline must succeed"));
     }
     let rebuild_total = timer.elapsed();
-    let reb = measurement(engine, window, "rebuild", options.updates, rebuild_total, 0);
+    let reb = measurement(
+        engine,
+        window,
+        batch,
+        "rebuild",
+        options.updates,
+        rebuild_total,
+        0,
+    );
 
     let _ = last_run.expect("at least one rebuild ran");
     // Consistency: the engine's final state must be bit-identical to a cold
     // batch run over its own surviving dataset (the same invariant the
-    // dpc-stream property suite enforces step by step). The rebuild rows
+    // dpc-stream property suite enforces epoch by epoch). The rebuild rows
     // above are purely a timing baseline — their dataset has a different
     // point order, so exact ρ-tie break-offs may legitimately differ from
     // the engine's window.
@@ -241,21 +283,23 @@ where
     assert_eq!(
         stream.rho(),
         &check.rho[..],
-        "incremental rho diverged from batch ({} @ window {window})",
+        "incremental rho diverged from batch ({} @ window {window}, batch {batch})",
         engine.name()
     );
     assert_eq!(
         stream.clustering().labels(),
         check.clustering.labels(),
-        "incremental labels diverged from batch ({} @ window {window})",
+        "incremental labels diverged from batch ({} @ window {window}, batch {batch})",
         engine.name()
     );
     (inc, reb)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measurement(
     engine: StreamEngine,
     window: usize,
+    batch: usize,
     mode: &'static str,
     updates: usize,
     total: Duration,
@@ -265,6 +309,7 @@ fn measurement(
     StreamMeasurement {
         engine: engine.name(),
         window,
+        batch,
         mode,
         updates,
         total,
@@ -275,16 +320,42 @@ fn measurement(
 }
 
 impl StreamBenchReport {
-    /// Speedup of incremental over rebuild for one engine and window size,
-    /// if both rows exist.
-    pub fn speedup(&self, engine: StreamEngine, window: usize) -> Option<f64> {
-        let row = |mode: &str| {
-            self.measurements
-                .iter()
-                .find(|m| m.engine == engine.name() && m.window == window && m.mode == mode)
-        };
-        match (row("incremental"), row("rebuild")) {
+    /// The row of one (engine, window, batch, mode) cell, if measured.
+    fn row(
+        &self,
+        engine: StreamEngine,
+        window: usize,
+        batch: usize,
+        mode: &str,
+    ) -> Option<&StreamMeasurement> {
+        self.measurements.iter().find(|m| {
+            m.engine == engine.name() && m.window == window && m.batch == batch && m.mode == mode
+        })
+    }
+
+    /// Speedup of incremental over rebuild for one engine, window size and
+    /// batch size, if both rows exist.
+    pub fn speedup(&self, engine: StreamEngine, window: usize, batch: usize) -> Option<f64> {
+        match (
+            self.row(engine, window, batch, "incremental"),
+            self.row(engine, window, batch, "rebuild"),
+        ) {
             (Some(inc), Some(reb)) => Some(inc.updates_per_sec / reb.updates_per_sec.max(1e-9)),
+            _ => None,
+        }
+    }
+
+    /// Speedup of batched epochs over per-update maintenance: incremental
+    /// throughput at `batch` divided by incremental throughput at batch 1,
+    /// for one engine and window size. `None` unless both cells were swept.
+    pub fn batch_speedup(&self, engine: StreamEngine, window: usize, batch: usize) -> Option<f64> {
+        match (
+            self.row(engine, window, batch, "incremental"),
+            self.row(engine, window, 1, "incremental"),
+        ) {
+            (Some(batched), Some(per_update)) => {
+                Some(batched.updates_per_sec / per_update.updates_per_sec.max(1e-9))
+            }
             _ => None,
         }
     }
@@ -298,10 +369,12 @@ impl StreamBenchReport {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{ \"engine\": \"{}\", \"window\": {}, \"mode\": \"{}\", \"updates\": {}, \
-                 \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \"fallbacks\": {} }}",
+                "    {{ \"engine\": \"{}\", \"window\": {}, \"batch\": {}, \"mode\": \"{}\", \
+                 \"updates\": {}, \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \
+                 \"fallbacks\": {} }}",
                 m.engine,
                 m.window,
+                m.batch,
                 m.mode,
                 m.updates,
                 m.per_update.as_secs_f64() * 1e6,
@@ -310,21 +383,38 @@ impl StreamBenchReport {
             ));
         }
         let largest = self.options.windows.iter().copied().max().unwrap_or(0);
+        let largest_batch = self.options.batches.iter().copied().max().unwrap_or(1);
         let speedups: Vec<String> = self
             .options
             .engines
             .iter()
             .filter_map(|&e| {
-                self.speedup(e, largest)
+                self.speedup(e, largest, largest_batch)
                     .map(|s| format!("{} {:.1}x", e.name(), s))
             })
             .collect();
-        let note = format!(
-            "incremental = dpc-stream affected-set maintenance over an updatable index; \
-             rebuild = fresh index + full batch pipeline per update; speedups at the \
-             largest window ({largest}): {}",
+        let batch_speedups: Vec<String> = self
+            .options
+            .engines
+            .iter()
+            .filter_map(|&e| {
+                self.batch_speedup(e, largest, largest_batch)
+                    .map(|s| format!("{} {:.1}x", e.name(), s))
+            })
+            .collect();
+        let mut note = format!(
+            "incremental = dpc-stream epoch-batched affected-set maintenance over an updatable \
+             index; rebuild = fresh index + full batch pipeline per epoch; speedups vs rebuild \
+             at the largest window ({largest}) and batch ({largest_batch}): {}",
             speedups.join(", ")
         );
+        if largest_batch > 1 && !batch_speedups.is_empty() {
+            note.push_str(&format!(
+                "; batched epochs (batch {largest_batch}) vs per-update maintenance (batch 1), \
+                 incremental mode at window {largest}: {}",
+                batch_speedups.join(", ")
+            ));
+        }
         format!(
             "{{\n  \"benchmark\": \"stream_throughput\",\n  \"dataset\": \"gowalla-checkins\",\n  \
              \"updates\": {},\n  \"dc\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \
@@ -346,13 +436,14 @@ impl StreamBenchReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "streaming throughput @ {} updates, dc = {}, {} thread(s), {} cpu(s)\n\
-             {:<8} {:<8} {:<12} {:>16} {:>14} {:>10}\n",
+             {:<8} {:<8} {:<7} {:<12} {:>16} {:>14} {:>10}\n",
             self.options.updates,
             self.options.dc,
             self.options.threads,
             self.cpus,
             "engine",
             "window",
+            "batch",
             "mode",
             "per update (us)",
             "updates/sec",
@@ -360,9 +451,10 @@ impl StreamBenchReport {
         );
         for m in &self.measurements {
             out.push_str(&format!(
-                "{:<8} {:<8} {:<12} {:>16.1} {:>14.1} {:>10}\n",
+                "{:<8} {:<8} {:<7} {:<12} {:>16.1} {:>14.1} {:>10}\n",
                 m.engine,
                 m.window,
+                m.batch,
                 m.mode,
                 m.per_update.as_secs_f64() * 1e6,
                 m.updates_per_sec,
@@ -370,12 +462,23 @@ impl StreamBenchReport {
             ));
         }
         for &w in &self.options.windows {
-            for &e in &self.options.engines {
-                if let Some(s) = self.speedup(e, w) {
-                    out.push_str(&format!(
-                        "{} @ window {w}: incremental is {s:.1}x rebuild\n",
-                        e.name()
-                    ));
+            for &b in &self.options.batches {
+                for &e in &self.options.engines {
+                    if let Some(s) = self.speedup(e, w, b) {
+                        out.push_str(&format!(
+                            "{} @ window {w}, batch {b}: incremental is {s:.1}x rebuild\n",
+                            e.name()
+                        ));
+                    }
+                    if b > 1 {
+                        if let Some(s) = self.batch_speedup(e, w, b) {
+                            out.push_str(&format!(
+                                "{} @ window {w}: batch {b} epochs are {s:.1}x per-update \
+                                 maintenance\n",
+                                e.name()
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -391,6 +494,7 @@ mod tests {
         StreamBenchOptions {
             engines: vec![StreamEngine::Grid],
             windows: vec![150],
+            batches: vec![1],
             updates: 40,
             dc: 0.3,
             seed: 7,
@@ -405,20 +509,39 @@ mod tests {
         assert_eq!(report.measurements[0].mode, "incremental");
         assert_eq!(report.measurements[1].mode, "rebuild");
         assert!(report.measurements.iter().all(|m| m.updates == 40));
-        assert!(report.speedup(StreamEngine::Grid, 150).unwrap() > 0.0);
+        assert!(report.speedup(StreamEngine::Grid, 150, 1).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batch_sweep_produces_rows_per_batch_size_and_batch_speedup() {
+        let report = run(&StreamBenchOptions {
+            batches: vec![1, 8],
+            ..tiny_options()
+        });
+        // Two modes × two batch sizes.
+        assert_eq!(report.measurements.len(), 4);
+        assert!(report
+            .measurements
+            .iter()
+            .any(|m| m.batch == 8 && m.mode == "incremental"));
+        assert!(report.batch_speedup(StreamEngine::Grid, 150, 8).unwrap() > 0.0);
+        // Batch 1 vs itself is exactly 1.
+        assert_eq!(report.batch_speedup(StreamEngine::Grid, 150, 1), Some(1.0));
     }
 
     #[test]
     fn tree_engines_sweep_and_stay_consistent() {
         let report = run(&StreamBenchOptions {
             engines: vec![StreamEngine::KdTree, StreamEngine::RTree],
+            batches: vec![1, 8],
             ..tiny_options()
         });
-        // Two rows per engine; the in-benchmark assertion already checked
-        // incremental == batch for each engine.
-        assert_eq!(report.measurements.len(), 4);
+        // Two rows per engine per batch size; the in-benchmark assertion
+        // already checked incremental == batch for each cell.
+        assert_eq!(report.measurements.len(), 8);
         for e in [StreamEngine::KdTree, StreamEngine::RTree] {
-            assert!(report.speedup(e, 150).unwrap() > 0.0);
+            assert!(report.speedup(e, 150, 1).unwrap() > 0.0);
+            assert!(report.speedup(e, 150, 8).unwrap() > 0.0);
             assert!(report
                 .measurements
                 .iter()
@@ -444,6 +567,7 @@ mod tests {
             "\"updates\": 40",
             "\"machine\"",
             "\"engine\": \"grid\"",
+            "\"batch\": 1",
             "\"mode\": \"incremental\"",
             "\"mode\": \"rebuild\"",
             "\"updates_per_sec\"",
@@ -470,6 +594,26 @@ mod tests {
         run(&StreamBenchOptions {
             engines: vec![],
             ..tiny_options()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive batch size")]
+    fn zero_batch_panics() {
+        run(&StreamBenchOptions {
+            batches: vec![0],
+            ..tiny_options()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the smallest window")]
+    fn batch_larger_than_window_panics_with_a_clear_message() {
+        // Without the up-front check this used to die mid-sweep in the
+        // rebuild baseline's `live.drain(..batch)` with a slice error.
+        run(&StreamBenchOptions {
+            batches: vec![1, 512],
+            ..tiny_options() // window 150
         });
     }
 }

@@ -217,7 +217,19 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             quiet,
             &mut lines,
         )?,
-        "naive" | "lean" => replay(
+        "naive" => replay(
+            StreamingDpc::new(
+                dpc_core::naive_reference::NaiveReferenceIndex::build(&seed),
+                params,
+            )
+            .map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            quiet,
+            &mut lines,
+        )?,
+        "lean" => replay(
             StreamingDpc::new(LeanDpc::build(&seed), params).map_err(|e| e.to_string())?,
             &points[warm..],
             batch,
@@ -227,7 +239,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         )?,
         other => {
             return Err(format!(
-                "unknown streaming engine {other:?} (grid, kdtree, rtree, or naive)"
+                "unknown streaming engine {other:?} (grid, kdtree, rtree, naive, or lean)"
             ))
         }
     };
@@ -239,21 +251,23 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     }
     // `stats.updates` counts evictions and insertions separately (a slid
     // point is 2 point-updates); say so, since bench_stream's rows count
-    // one-in-one-out slides and would otherwise look 2x slower.
+    // one-in-one-out slides and would otherwise look 2x slower. The δ/µ
+    // repair is paid per *epoch* (one `--batch`-sized advance), so the
+    // incremental/fallback split and the affected union are per epoch.
     let _ = write!(
         out,
         "applied {} point updates (each eviction or insertion) over a window \
          of {} in {:.1} ms ({:.0} point updates/s, seeding took {:.1} ms): \
-         {} epochs, {} incremental, {} fallback, mean affected set {:.1}",
+         {} epochs ({} incremental, {} fallback), mean affected union {:.1}",
         stats.updates,
         warm,
         elapsed.as_secs_f64() * 1e3,
         stats.updates as f64 / elapsed.as_secs_f64().max(1e-9),
         seed_time.as_secs_f64() * 1e3,
         stats.epochs,
-        stats.incremental_updates,
-        stats.fallback_updates,
-        stats.affected_points as f64 / (stats.updates as f64).max(1.0)
+        stats.incremental_epochs,
+        stats.fallback_epochs,
+        stats.affected_points as f64 / (stats.epochs as f64).max(1.0)
     );
     Ok(out)
 }

@@ -80,7 +80,7 @@ pub use delta::{DeltaResult, DensityOrder, TieBreak};
 pub use density::{DensityEstimate, Rho};
 pub use error::{DpcError, Result};
 pub use exec::ExecPolicy;
-pub use index::{DpcIndex, IndexStats, UpdatableIndex};
+pub use index::{BatchOp, DpcIndex, IndexStats, UpdatableIndex};
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
 pub use params::DpcParams;
 pub use pipeline::{cluster_with_index, DpcPipeline, DpcRun};

@@ -1,7 +1,7 @@
 //! A k-nearest-neighbour density variant of DPC (extension).
 //!
 //! The paper's related work (Wang & Song, *Automatic clustering via outward
-//! statistical testing on density metrics*, TKDE 2016 — reference [27])
+//! statistical testing on density metrics*, TKDE 2016 — reference \[27\])
 //! replaces the cut-off-distance density with a kNN-based density: dense
 //! points have their k nearest neighbours very close. This removes the `dc`
 //! parameter entirely (only `k` remains) and is a natural extension of the

@@ -1,56 +1,77 @@
 //! The streaming DPC engine: [`StreamingDpc`].
 //!
-//! ## How the affected-set maintenance works
+//! ## The epoch-batched maintenance pipeline
 //!
-//! Let `dc` be the cut-off distance and consider inserting (or deleting) a
-//! point `x`:
+//! Every mutation of the window — a single [`insert`](StreamingDpc::insert),
+//! a single [`remove`](StreamingDpc::remove), a sliding-window
+//! [`advance`](StreamingDpc::advance), or an arbitrary
+//! [`EpochPlan`] — runs through one pipeline,
+//! [`commit`](StreamingDpc::commit), which pays the expensive maintenance
+//! **once per epoch** rather than once per update:
 //!
-//! * **ρ** — by definition `ρ(p)` counts points strictly within `dc` of `p`,
-//!   so only the points of the *affected set* `A = {p : dist(p, x) < dc}`
-//!   change, each by exactly ±1; `A` is found with the index's own ε-range
-//!   query ([`UpdatableIndex::eps_neighbors`]). ρ maintenance is therefore
-//!   exact and O(|A|) after the range query.
-//! * **δ/µ** — `δ(p)` is the lexicographic `(distance, id)` minimum over the
-//!   points *denser* than `p`. An update splits the window into:
-//!   - the **invalidation set** `F`, whose denser set may have *lost*
-//!     members so the old minimum is no longer trustworthy: `A ∪ {x}` (their
-//!     own ρ — and hence rank — changed), points whose µ was deleted or sits
-//!     in `A`, the point renamed by the swap-remove, and the old/new global
-//!     peaks (the peak's δ is the max-distance sentinel, which moves with
-//!     every update). Every point of `F` is recomputed from scratch.
-//!   - everyone else, whose denser set can only have *gained* members; the
-//!     stored `(δ, µ)` is still a valid minimum and the candidate entrants
-//!     (the inserted point, neighbours whose ρ rose, the renamed point) are
-//!     folded in by a cheap min-pass.
+//! 1. **Validate** the whole batch up front (finite coordinates, live
+//!    handles, no duplicates) so a rejected plan leaves the engine untouched.
+//! 2. **Mutate the index** in one [`UpdatableIndex::apply_batch`] call —
+//!    ops execute in submission order with the exact per-update id semantics
+//!    (inserts append, removals swap-remove), but the index may defer its
+//!    internal amortised triggers (k-d scapegoat rebuilds, R-tree forced
+//!    reinsertion) to the end of the batch. The engine mirrors every op in
+//!    its handle map and per-point arrays, tracking the provenance of each
+//!    final slot (survivor of old id `o` / inserted this epoch).
+//! 3. **Repair ρ** with one ε-query per *net* mutation, all against the
+//!    final index: each expired pre-epoch location decrements the surviving
+//!    neighbours it used to count, each surviving insert gets a fresh count
+//!    and increments its surviving neighbours. A visited bitmap deduplicates
+//!    the touched survivors into the epoch's **affected union** `U`. Points
+//!    both inserted and expired within the batch are *ephemeral* and
+//!    contribute nothing.
+//! 4. **Repair δ/µ once**: the invalidation set `F` — the union `U`, the
+//!    inserted points, survivors renamed to a smaller id by a swap-remove,
+//!    points whose µ expired, was renamed, or sits in `U` (found by a single
+//!    µ scan that also renames surviving µ ids), and the old and new global
+//!    peaks — is
+//!    recomputed from scratch; everyone else min-folds the candidate
+//!    entrants (`U` ∪ inserted ∪ renamed). When `|F|` exceeds
+//!    [`StreamParams::max_affected_fraction`] of the window the engine falls
+//!    back to one full δ/µ recomputation for the epoch.
+//! 5. **Re-cluster once** (centre selection + assignment on the maintained
+//!    `(ρ, δ, µ)`) and emit one [`ClusterDelta`] for the whole batch.
 //!
-//!   When `|F|` exceeds [`StreamParams::max_affected_fraction`] of the
-//!   window, the engine falls back to recomputing δ/µ for every point (the
-//!   documented fallback — still cheaper than a rebuild because the index
-//!   and ρ are maintained, not reconstructed).
+//! Why each piece of `F` is sufficient, and why everyone else only needs the
+//! candidate fold, is derived step by step in `docs/STREAMING.md`.
 //!
-//! Peak selection and assignment are then re-run on the maintained `(ρ, δ,
-//! µ)` — they are `O(n log n)` and order-of-magnitude cheaper than the
-//! queries they consume — and the label diff against the previous epoch is
-//! emitted as a [`ClusterDelta`].
-//!
-//! The correctness anchor (enforced by the `incremental_vs_batch` property
-//! suite) is: after **every** update, the engine's `(ρ, δ, µ, labels)` are
-//! bit-identical to a cold batch run over the surviving points, for every
+//! The correctness anchor (enforced by the equivalence property suite at
+//! batch sizes 1, 7 and 64) is: after **every** epoch, the engine's `(ρ, δ,
+//! µ, labels, centres)` are bit-identical both to a per-update replay of the
+//! same ops and to a cold batch run over the surviving points, for every
 //! [`UpdatableIndex`] implementation, at every thread count.
 
 use std::collections::BTreeMap;
 
 use dpc_core::{
-    assign_clusters, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError, DpcParams,
-    Point, PointId, Result, Rho, UpdatableIndex,
+    assign_clusters, BatchOp, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError,
+    DpcParams, Point, PointId, Result, Rho, UpdatableIndex,
 };
 
+use crate::epoch::{EpochPlan, PlanOp};
 use crate::handle::{Handle, HandleMap};
 use crate::maintenance::{candidate_pass, recompute_all, recompute_targets};
 use crate::report::{ClusterDelta, LabelChange};
 
 /// Parameters of a streaming run: the batch DPC parameters plus the
 /// incremental-maintenance knobs.
+///
+/// ```
+/// use dpc_stream::StreamParams;
+///
+/// let params = StreamParams::new(0.5).with_max_affected_fraction(0.4);
+/// assert_eq!(params.dpc.dc, 0.5);
+/// assert!(params.validate().is_ok());
+/// assert!(StreamParams::new(0.5)
+///     .with_max_affected_fraction(f64::NAN)
+///     .validate()
+///     .is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamParams {
     /// The clustering parameters (`dc`, centre selection, tie-break,
@@ -58,10 +79,10 @@ pub struct StreamParams {
     /// for the parallel maintenance passes as well as the seeding batch
     /// queries.
     pub dpc: DpcParams,
-    /// When the invalidation set of one update exceeds this fraction of the
-    /// window, fall back to recomputing δ/µ for every point instead of
-    /// repairing incrementally. 1.0 (or anything ≥ 1.0) effectively disables
-    /// the fallback; 0.0 forces it on every update (useful for testing).
+    /// When an epoch's invalidation set exceeds this fraction of the window,
+    /// fall back to recomputing δ/µ for every point instead of repairing
+    /// incrementally. 1.0 (or anything ≥ 1.0) effectively disables the
+    /// fallback; 0.0 forces it on every epoch (useful for testing).
     pub max_affected_fraction: f64,
 }
 
@@ -104,27 +125,59 @@ impl StreamParams {
 }
 
 /// Cumulative counters describing how much incremental work the engine did.
+///
+/// An *epoch* is one clustering step (one `insert`, `remove`, `advance` or
+/// committed [`EpochPlan`]); an *update* is one point mutation inside it.
+///
+/// ```
+/// use dpc_core::naive_reference::NaiveReferenceIndex;
+/// use dpc_core::{Dataset, Point};
+/// use dpc_stream::{StreamParams, StreamingDpc};
+///
+/// let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (4.0, 4.0), (4.1, 4.0)]);
+/// let mut engine =
+///     StreamingDpc::new(NaiveReferenceIndex::build(&seed), StreamParams::new(0.5)).unwrap();
+/// // One advance = one epoch, however many points it slides.
+/// engine.advance(&[Point::new(0.05, 0.0), Point::new(4.05, 4.0)], 2).unwrap();
+/// let stats = engine.stats();
+/// assert_eq!(stats.epochs, 1);
+/// assert_eq!(stats.updates, 4); // 2 evictions + 2 insertions
+/// assert_eq!(stats.incremental_epochs + stats.fallback_epochs, 1);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
-    /// Clustering epochs emitted (one per `insert`/`remove`/`advance`).
+    /// Clustering epochs emitted (committed plans; an empty plan is not an
+    /// epoch). The seeding pass is epoch 0 and is not counted.
     pub epochs: u64,
-    /// Individual point updates applied (an `advance` counts each insert and
-    /// eviction separately).
+    /// Individual point updates applied (an `advance` counts each insertion
+    /// and eviction separately; an ephemeral point counts both its insert
+    /// and its expiry).
     pub updates: u64,
-    /// Updates repaired incrementally (candidate pass + bounded recompute).
-    pub incremental_updates: u64,
-    /// Updates that fell back to a full δ/µ recomputation.
-    pub fallback_updates: u64,
-    /// Sum over updates of the affected-set size |A| (ε-neighbourhood).
+    /// Epochs repaired incrementally (candidate fold + bounded recompute).
+    pub incremental_epochs: u64,
+    /// Epochs that fell back to a full δ/µ recomputation.
+    pub fallback_epochs: u64,
+    /// Sum over epochs of the affected-union size |U| (distinct surviving
+    /// points whose ρ was touched by the epoch's ε-neighbourhoods).
     pub affected_points: u64,
-    /// Sum over updates of the invalidation-set size |F| (points fully
+    /// Sum over epochs of the invalidation-set size |F| (points fully
     /// recomputed when on the incremental path).
     pub invalidated_points: u64,
 }
 
+/// Provenance of a dense slot while an epoch is being applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Survivor: held pre-epoch dense id `o`.
+    Old(PointId),
+    /// Inserted by this epoch (payload: the plan's insert ordinal).
+    New(usize),
+}
+
 /// An online Density Peak Clustering engine over a mutable window of points.
 ///
-/// See the [module docs](self) for the maintenance algorithm. Typical use:
+/// See the [module docs](self) for the maintenance pipeline and
+/// `docs/STREAMING.md` for the full internals contract. Typical use:
 ///
 /// ```
 /// use dpc_core::naive_reference::NaiveReferenceIndex;
@@ -144,6 +197,31 @@ pub struct StreamStats {
 /// assert_eq!(delta.insertions(), 1);
 /// let delta = engine.remove(handle).unwrap();
 /// assert_eq!(delta.evictions(), 1);
+/// ```
+///
+/// The sliding-window loop most stream consumers want — batches arrive, the
+/// same number of oldest points expire, one clustering epoch per batch:
+///
+/// ```
+/// use dpc_core::naive_reference::NaiveReferenceIndex;
+/// use dpc_core::{Dataset, Point};
+/// use dpc_stream::{StreamParams, StreamingDpc};
+///
+/// let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.1), (4.0, 4.0), (4.1, 4.1)]);
+/// let mut engine =
+///     StreamingDpc::new(NaiveReferenceIndex::build(&seed), StreamParams::new(0.5)).unwrap();
+/// let arrivals = vec![
+///     vec![Point::new(4.05, 4.0), Point::new(0.05, 0.0)],
+///     vec![Point::new(0.0, 0.05), Point::new(4.0, 4.05)],
+/// ];
+/// for batch in &arrivals {
+///     let (handles, delta) = engine.advance(batch, batch.len()).unwrap();
+///     assert_eq!(handles.len(), 2);
+///     assert_eq!(delta.insertions(), 2);
+///     assert_eq!(delta.evictions(), 2);
+/// }
+/// assert_eq!(engine.len(), 4); // the window size never drifted
+/// assert_eq!(engine.epoch(), 2); // one epoch per batch, not per point
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingDpc<I: UpdatableIndex> {
@@ -225,6 +303,29 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         self.epoch
     }
 
+    /// The mutation version of the underlying dataset: monotonically
+    /// increasing, bumped by every applied point mutation and by nothing
+    /// else — committing an empty [`EpochPlan`] (or `advance(&[], 0)`)
+    /// leaves it unchanged.
+    ///
+    /// ```
+    /// use dpc_core::naive_reference::NaiveReferenceIndex;
+    /// use dpc_core::{Dataset, Point};
+    /// use dpc_stream::{StreamParams, StreamingDpc};
+    ///
+    /// let seed = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 1.0)]);
+    /// let mut engine =
+    ///     StreamingDpc::new(NaiveReferenceIndex::build(&seed), StreamParams::new(0.5)).unwrap();
+    /// let v0 = engine.version();
+    /// engine.advance(&[], 0).unwrap(); // empty epoch: a no-op
+    /// assert_eq!(engine.version(), v0);
+    /// engine.insert(Point::new(2.0, 2.0)).unwrap();
+    /// assert!(engine.version() > v0);
+    /// ```
+    pub fn version(&self) -> u64 {
+        self.index.dataset().version()
+    }
+
     /// The underlying index (and through it the current dataset).
     pub fn index(&self) -> &I {
         &self.index
@@ -284,8 +385,8 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         self.handles.live()
     }
 
-    /// Inserts a point, maintains ρ/δ/µ, re-clusters, and reports what
-    /// changed.
+    /// Inserts a point — an epoch of one update. Maintains ρ/δ/µ,
+    /// re-clusters, and reports what changed.
     ///
     /// # Errors and partial progress
     ///
@@ -302,13 +403,14 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
     /// [`GammaGap`](dpc_core::CenterSelection::GammaGap), cannot fail on a
     /// non-empty window).
     pub fn insert(&mut self, p: Point) -> Result<(Handle, ClusterDelta)> {
-        let handle = self.apply_insert(p)?;
-        let delta = self.recluster()?;
-        Ok((handle, delta))
+        let mut plan = EpochPlan::new();
+        plan.insert(p);
+        let (handles, delta) = self.commit(&plan)?;
+        Ok((handles[0], delta))
     }
 
-    /// Evicts a point by handle, maintains ρ/δ/µ, re-clusters, and reports
-    /// what changed.
+    /// Evicts a point by handle — an epoch of one update. Maintains ρ/δ/µ,
+    /// re-clusters, and reports what changed.
     ///
     /// # Errors and partial progress
     ///
@@ -316,8 +418,10 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
     /// fails, the point **has been evicted** and the density state is exact;
     /// only the stored clustering is stale. Do not retry the eviction.
     pub fn remove(&mut self, handle: Handle) -> Result<ClusterDelta> {
-        self.apply_remove(handle)?;
-        self.recluster()
+        let mut plan = EpochPlan::new();
+        plan.remove(handle);
+        let (_, delta) = self.commit(&plan)?;
+        Ok(delta)
     }
 
     /// Slides the window: evicts the `evict_count` oldest points (clamped to
@@ -325,63 +429,237 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
     /// epoch covering the whole batch. Returns the handles of the inserted
     /// points and the epoch's delta.
     ///
+    /// An empty advance (`batch_in` empty, `evict_count` 0) is a complete
+    /// no-op: no epoch is counted, [`version`](Self::version) is unchanged,
+    /// and the returned delta is empty.
+    ///
     /// # Errors and partial progress
     ///
-    /// Same contract as [`insert`](Self::insert): updates already applied
-    /// when an error surfaces stay applied (density state exact, clustering
-    /// stale). An error from the eviction/insertion loop itself can only be
-    /// an invalid point (NaN/∞ coordinates), reported before that point is
-    /// applied.
+    /// The batch is validated before anything is applied, so an invalid
+    /// point (NaN/∞ coordinates) rejects the whole advance with the window
+    /// untouched. If the *clustering* stage fails, the contract of
+    /// [`insert`](Self::insert) applies: every update has been applied and
+    /// ρ/δ/µ are exact, only the stored clustering is stale.
     pub fn advance(
         &mut self,
         batch_in: &[Point],
         evict_count: usize,
     ) -> Result<(Vec<Handle>, ClusterDelta)> {
-        for _ in 0..evict_count.min(self.len()) {
-            let oldest = self.handles.oldest().expect("window is non-empty");
-            self.apply_remove(oldest)?;
+        let mut plan = EpochPlan::new();
+        for victim in self.handles.live().take(evict_count.min(self.len())) {
+            plan.remove(victim);
         }
-        let mut inserted = Vec::with_capacity(batch_in.len());
         for &p in batch_in {
-            inserted.push(self.apply_insert(p)?);
+            plan.insert(p);
         }
-        let delta = self.recluster()?;
-        Ok((inserted, delta))
+        self.commit(&plan)
     }
 
-    /// Whether an invalidation set of `invalidated` points (out of `n`)
-    /// triggers the full-recompute fallback.
-    fn needs_fallback(&self, invalidated: usize, n: usize) -> bool {
-        invalidated as f64 > self.params.max_affected_fraction * n as f64
-    }
+    /// Applies a whole [`EpochPlan`] as **one** clustering epoch — the
+    /// engine's single maintenance pipeline (see the [module docs](self);
+    /// `insert`, `remove` and `advance` are thin wrappers over it).
+    ///
+    /// Returns one [`Handle`] per planned insert, in plan order (handles of
+    /// ephemeral points — inserted and expired by the same plan — are
+    /// already dead), and the epoch's [`ClusterDelta`]. Committing an empty
+    /// plan is a no-op: no mutation, no epoch, an empty delta.
+    ///
+    /// # Errors and partial progress
+    ///
+    /// The plan is validated *before* any mutation (finite coordinates, live
+    /// un-duplicated handles, tokens belonging to this plan), so a rejected
+    /// plan leaves the engine untouched. After validation the only failable
+    /// stage is clustering; see [`insert`](Self::insert) for that contract.
+    pub fn commit(&mut self, plan: &EpochPlan) -> Result<(Vec<Handle>, ClusterDelta)> {
+        if plan.is_empty() {
+            let delta = ClusterDelta {
+                epoch: self.epoch,
+                num_clusters: self.clustering.num_clusters(),
+                births: Vec::new(),
+                deaths: Vec::new(),
+                changed: Vec::new(),
+            };
+            return Ok((Vec::new(), delta));
+        }
+        self.validate_plan(plan)?;
 
-    /// The shared δ/µ repair epilogue of [`apply_insert`](Self::apply_insert)
-    /// and [`apply_remove`](Self::apply_remove): counts the update, decides
-    /// between the incremental path (candidate min-fold for everyone outside
-    /// the invalidation set + full recompute inside it) and the
-    /// full-recompute fallback, and runs the chosen passes. `invalidated`
-    /// and `candidates` hold post-update dense ids; duplicates are fine.
-    fn repair_deltas(&mut self, mut invalidated: Vec<PointId>, candidates: &[PointId]) {
+        // Phase 1 — translate the plan into resolved-id index ops, mirroring
+        // every op in the handle map and the per-point arrays so handle → id
+        // resolution tracks the mid-batch state. `owner` records, for each
+        // dense slot, whether it holds a survivor (and its pre-epoch id) or
+        // a point inserted this epoch.
+        let n_old = self.rho.len();
+        let mut owner: Vec<Origin> = (0..n_old).map(Origin::Old).collect();
+        let mut batch_ops: Vec<BatchOp> = Vec::with_capacity(plan.ops.len());
+        let mut planned_handles: Vec<Handle> = Vec::with_capacity(plan.insert_count());
+        let mut removed_old_locs: Vec<Point> = Vec::new();
+        for op in &plan.ops {
+            let handle = match *op {
+                PlanOp::Insert(p, _) => {
+                    batch_ops.push(BatchOp::Insert(p));
+                    planned_handles.push(self.handles.push());
+                    owner.push(Origin::New(planned_handles.len() - 1));
+                    self.rho.push(0);
+                    self.deltas.delta.push(f64::INFINITY);
+                    self.deltas.mu.push(None);
+                    continue;
+                }
+                PlanOp::Remove(h) => h,
+                PlanOp::RemovePlanned(k) => planned_handles[k],
+            };
+            let id = self
+                .handles
+                .dense_of(handle)
+                .expect("validated: handle is live at this op");
+            if let Origin::Old(old_id) = owner[id] {
+                // The dataset is still unmutated here, so the pre-epoch id
+                // addresses the expiring coordinates.
+                removed_old_locs.push(self.index.dataset().point(old_id));
+            }
+            batch_ops.push(BatchOp::Remove(id));
+            self.handles.swap_remove(id);
+            owner.swap_remove(id);
+            self.rho.swap_remove(id);
+            self.deltas.delta.swap_remove(id);
+            self.deltas.mu.swap_remove(id);
+        }
+
+        // Phase 2 — one index call for the whole epoch; amortised triggers
+        // (scapegoat rebuilds, forced reinsertion) fire at most once here.
+        // Validation guarantees the ops themselves cannot fail.
+        self.index.apply_batch(&batch_ops)?;
+        debug_assert_eq!(self.index.len(), self.rho.len());
+        debug_assert_eq!(self.handles.len(), self.rho.len());
+        self.stats.updates += batch_ops.len() as u64;
+
+        let n = self.rho.len();
+        if n == 0 {
+            self.peak = None;
+            self.stats.incremental_epochs += 1;
+            let delta = self.recluster()?;
+            return Ok((planned_handles, delta));
+        }
+
+        // Phase 3 — ρ repair against the final index. `final_of_old` maps a
+        // pre-epoch id to its final slot (None = expired); `visited` is the
+        // dedup bitmap building the affected union U.
+        let dc = self.params.dpc.dc;
+        let mut inserted_final: Vec<PointId> = Vec::new();
+        let mut final_of_old: Vec<Option<PointId>> = vec![None; n_old];
+        for (i, origin) in owner.iter().enumerate() {
+            match *origin {
+                Origin::Old(o) => final_of_old[o] = Some(i),
+                Origin::New(_) => inserted_final.push(i),
+            }
+        }
+        let mut visited = vec![false; n];
+        let mut union: Vec<PointId> = Vec::new();
+        let touch = |q: PointId, visited: &mut Vec<bool>, union: &mut Vec<PointId>| {
+            if !visited[q] {
+                visited[q] = true;
+                union.push(q);
+            }
+        };
+        // Each expired pre-epoch location stops contributing to the ρ of the
+        // survivors around it. Inserted points are skipped: their ρ is
+        // counted fresh below, against the final window.
+        for &loc in &removed_old_locs {
+            for q in self.index.eps_neighbors(loc, dc)? {
+                if matches!(owner[q], Origin::Old(_)) {
+                    self.rho[q] -= 1;
+                    touch(q, &mut visited, &mut union);
+                }
+            }
+        }
+        // Each surviving insert counts its final neighbourhood (the ε-query
+        // includes the point itself at distance 0) and raises the ρ of the
+        // survivors in it; inserted neighbours are covered by their own
+        // fresh counts.
+        for &x in &inserted_final {
+            let neighborhood = self
+                .index
+                .eps_neighbors(self.index.dataset().point(x), dc)?;
+            self.rho[x] = (neighborhood.len() - 1) as Rho;
+            for q in neighborhood {
+                if matches!(owner[q], Origin::Old(_)) {
+                    self.rho[q] += 1;
+                    touch(q, &mut visited, &mut union);
+                }
+            }
+        }
+        self.stats.affected_points += union.len() as u64;
+
+        // Phase 4 — build the invalidation set F and the candidate entrants,
+        // then repair δ/µ once for the whole epoch.
+        let tie = self.params.dpc.tie_break;
+        let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
+        let old_peak = self.peak.and_then(|pk| final_of_old[pk]);
+
+        let mut invalidated: Vec<PointId> = union.clone();
+        invalidated.extend_from_slice(&inserted_final);
+        let mut renamed: Vec<PointId> = Vec::new();
+        for (o, slot) in final_of_old.iter().enumerate() {
+            if let Some(i) = *slot {
+                if i != o {
+                    // A swap-remove renamed this survivor to a smaller id,
+                    // which moves its position in the density order (either
+                    // direction, depending on the tie-break rule): its own
+                    // denser set may have shrunk (recompute) and it may
+                    // enter other points' minima (candidate).
+                    renamed.push(i);
+                }
+            }
+        }
+        invalidated.extend_from_slice(&renamed);
+        // One µ scan: rename surviving µ ids into the final id space,
+        // invalidate points whose µ expired or whose µ's rank may have
+        // changed — because its ρ was touched (`visited`), or because the
+        // swap-remove renamed it (`m != mu_old`): under `LargerIdDenser` a
+        // smaller id *lowers* the µ's tie rank, so it can fall out of the
+        // dependent's denser set without any ρ change.
+        for (p, origin) in owner.iter().enumerate() {
+            if matches!(origin, Origin::New(_)) {
+                continue; // placeholder µ; already invalidated above
+            }
+            if let Some(mu_old) = self.deltas.mu[p] {
+                match final_of_old[mu_old] {
+                    None => {
+                        self.deltas.mu[p] = None;
+                        invalidated.push(p);
+                    }
+                    Some(m) => {
+                        self.deltas.mu[p] = Some(m);
+                        if visited[m] || m != mu_old {
+                            invalidated.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        invalidated.extend(old_peak);
+        invalidated.extend(new_peak);
         invalidated.sort_unstable();
         invalidated.dedup();
-        let n = self.rho.len();
-        let order = DensityOrder::with_tie_break(&self.rho, self.params.dpc.tie_break);
+
+        let order = DensityOrder::with_tie_break(&self.rho, tie);
         let dataset = self.index.dataset();
-        self.stats.updates += 1;
         if self.needs_fallback(invalidated.len(), n) {
-            self.stats.fallback_updates += 1;
+            self.stats.fallback_epochs += 1;
             recompute_all(dataset, &order, &mut self.deltas, self.params.dpc.exec);
         } else {
-            self.stats.incremental_updates += 1;
+            self.stats.incremental_epochs += 1;
             self.stats.invalidated_points += invalidated.len() as u64;
             let mut skip = vec![false; n];
             for &f in &invalidated {
                 skip[f] = true;
             }
+            let mut candidates = union;
+            candidates.extend_from_slice(&inserted_final);
+            candidates.extend_from_slice(&renamed);
             candidate_pass(
                 dataset,
                 &order,
-                candidates,
+                &candidates,
                 &skip,
                 &mut self.deltas,
                 self.params.dpc.exec,
@@ -394,140 +672,73 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                 self.params.dpc.exec,
             );
         }
-    }
-
-    /// ρ/δ/µ maintenance for one insertion. Does not re-cluster.
-    fn apply_insert(&mut self, p: Point) -> Result<Handle> {
-        let dc = self.params.dpc.dc;
-        let tie = self.params.dpc.tie_break;
-        // Affected set first (the point is not indexed yet, so `affected`
-        // holds exactly the *other* points within dc — which is also ρ(x)).
-        let affected = self.index.eps_neighbors(p, dc)?;
-        let x = self.index.insert(p)?;
-        let handle = self.handles.push();
-        debug_assert_eq!(self.handles.len(), self.index.len());
-
-        let old_peak = self.peak;
-        for &q in &affected {
-            self.rho[q] += 1;
-        }
-        self.rho.push(affected.len() as Rho);
-        self.deltas.delta.push(f64::INFINITY);
-        self.deltas.mu.push(None);
-
-        let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
-
-        // Invalidation set: the affected points and x (their rank changed),
-        // plus the old and new global peaks (the sentinel δ of the peak is
-        // the max distance to any point, which moves with every insert).
-        let mut invalidated: Vec<PointId> = affected.clone();
-        invalidated.push(x);
-        invalidated.extend(old_peak);
-        invalidated.extend(new_peak);
-
-        self.stats.affected_points += affected.len() as u64;
-        // Candidate entrants for everyone outside the invalidation set: x
-        // itself and the neighbours whose ρ just rose.
-        let mut candidates = affected;
-        candidates.push(x);
-        self.repair_deltas(invalidated, &candidates);
         self.peak = new_peak;
-        Ok(handle)
+
+        // Phase 5 — one clustering epoch for the whole batch.
+        let delta = self.recluster()?;
+        Ok((planned_handles, delta))
     }
 
-    /// ρ/δ/µ maintenance for one eviction. Does not re-cluster.
-    fn apply_remove(&mut self, handle: Handle) -> Result<()> {
-        let r = self.handles.dense_of(handle).ok_or_else(|| {
-            DpcError::invalid_parameter(
-                "handle",
-                format!("point {handle} is not (or no longer) in the window"),
-            )
-        })?;
-        let dc = self.params.dpc.dc;
-        let tie = self.params.dpc.tie_break;
-        let n = self.index.len();
-        let last = n - 1;
-        let removed_pt = self.index.dataset().point(r);
-
-        // Affected set under the *old* ids, excluding the removed point
-        // itself (its distance 0 always passes the strict < dc test).
-        let affected_old = self.index.eps_neighbors(removed_pt, dc)?;
-        let moved = self.index.remove(r)?;
-        debug_assert_eq!(moved, if r == last { None } else { Some(last) });
-        self.handles.swap_remove(r);
-
-        // Mirror the swap-remove in every per-point array; entries still
-        // *contain* old ids, fixed below.
-        self.rho.swap_remove(r);
-        self.deltas.delta.swap_remove(r);
-        self.deltas.mu.swap_remove(r);
-
-        // Rename the affected ids into the post-swap id space and apply the
-        // ρ decrements.
-        let affected: Vec<PointId> = affected_old
-            .iter()
-            .filter(|&&q| q != r)
-            .map(|&q| if q == last { r } else { q })
-            .collect();
-        for &q in &affected {
-            self.rho[q] -= 1;
-        }
-        let n = n - 1;
-
-        let old_peak = match self.peak {
-            Some(pk) if pk == r => None, // the peak itself was evicted
-            Some(pk) if pk == last => Some(r),
-            other => other,
-        };
-        if n == 0 {
-            self.peak = None;
-            self.stats.updates += 1;
-            self.stats.incremental_updates += 1;
-            return Ok(());
-        }
-
-        // Scan µ once: entries pointing at the removed point lost their
-        // dependent neighbour (full recompute); entries pointing at the
-        // moved point are renamed. Entries whose µ sits in the affected set
-        // are also invalidated — their µ's rank dropped, so it may no longer
-        // be denser than them.
-        let mut in_affected = vec![false; n];
-        for &q in &affected {
-            in_affected[q] = true;
-        }
-        let mut invalidated: Vec<PointId> = Vec::new();
-        for p in 0..n {
-            match self.deltas.mu[p] {
-                Some(q) if q == r => invalidated.push(p),
-                Some(q) if moved == Some(q) => {
-                    self.deltas.mu[p] = Some(r);
-                    if in_affected[r] {
-                        invalidated.push(p);
+    /// Rejects a plan that could fail mid-application: non-finite insert
+    /// coordinates, dead/duplicated handles, or tokens from another plan.
+    /// Runs before any mutation, so a rejected plan changes nothing.
+    fn validate_plan(&self, plan: &EpochPlan) -> Result<()> {
+        let mut removed: std::collections::HashSet<Handle> = std::collections::HashSet::new();
+        let mut inserts_seen = 0usize;
+        let mut planned_removed = vec![false; plan.insert_count()];
+        for (k, op) in plan.ops.iter().enumerate() {
+            match *op {
+                PlanOp::Insert(p, _) => {
+                    if !(p.x.is_finite() && p.y.is_finite()) {
+                        return Err(DpcError::InvalidPoint {
+                            id: k,
+                            x: p.x,
+                            y: p.y,
+                        });
+                    }
+                    inserts_seen += 1;
+                }
+                PlanOp::Remove(handle) => {
+                    if self.handles.dense_of(handle).is_none() {
+                        return Err(DpcError::invalid_parameter(
+                            "handle",
+                            format!("point {handle} is not (or no longer) in the window"),
+                        ));
+                    }
+                    if !removed.insert(handle) {
+                        return Err(DpcError::invalid_parameter(
+                            "handle",
+                            format!("point {handle} is removed twice by the same plan"),
+                        ));
                     }
                 }
-                Some(q) if q < n && in_affected[q] => invalidated.push(p),
-                _ => {}
+                PlanOp::RemovePlanned(i) => {
+                    if i >= inserts_seen {
+                        return Err(DpcError::invalid_parameter(
+                            "token",
+                            format!(
+                                "planned-insert token {i} does not name an earlier \
+                                 insert of this plan (did it come from another plan?)"
+                            ),
+                        ));
+                    }
+                    if planned_removed[i] {
+                        return Err(DpcError::invalid_parameter(
+                            "token",
+                            format!("planned insert {i} is removed twice by the same plan"),
+                        ));
+                    }
+                    planned_removed[i] = true;
+                }
             }
         }
-        invalidated.extend_from_slice(&affected);
-        if moved.is_some() {
-            // The renamed point's own rank rose (smaller id wins density
-            // ties), so its denser set may have shrunk.
-            invalidated.push(r);
-        }
-        invalidated.extend(old_peak);
-
-        let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
-        invalidated.extend(new_peak);
-
-        self.stats.affected_points += affected.len() as u64;
-        // The only possible entrant for points outside the invalidation set
-        // is the renamed point: with its new, smaller id it wins density
-        // ties it previously lost.
-        let candidates: Vec<PointId> = if moved.is_some() { vec![r] } else { vec![] };
-        self.repair_deltas(invalidated, &candidates);
-        self.peak = new_peak;
         Ok(())
+    }
+
+    /// Whether an invalidation set of `invalidated` points (out of `n`)
+    /// triggers the full-recompute fallback.
+    fn needs_fallback(&self, invalidated: usize, n: usize) -> bool {
+        invalidated as f64 > self.params.max_affected_fraction * n as f64
     }
 
     /// Re-runs centre selection + assignment on the maintained `(ρ, δ, µ)`
@@ -663,6 +874,15 @@ mod tests {
         StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap()
     }
 
+    /// The engine's density state must equal a cold batch run over its own
+    /// surviving dataset.
+    fn assert_matches_cold_batch(engine: &StreamingDpc<NaiveReferenceIndex>) {
+        let batch = NaiveReferenceIndex::build(engine.index().dataset());
+        let (rho, deltas) = batch.rho_delta(engine.params().dpc.dc).unwrap();
+        assert_eq!(engine.rho(), &rho[..]);
+        assert_eq!(engine.deltas(), &deltas);
+    }
+
     #[test]
     fn seeding_matches_the_batch_pipeline() {
         let engine = two_blob_engine();
@@ -709,6 +929,97 @@ mod tests {
         assert_eq!(delta.evictions(), 2);
         assert_eq!(engine.epoch(), 1);
         assert_eq!(engine.stats().updates, 4);
+        assert_eq!(engine.stats().epochs, 1);
+        assert_matches_cold_batch(&engine);
+    }
+
+    #[test]
+    fn empty_advance_is_a_complete_noop() {
+        let mut engine = two_blob_engine();
+        let before_version = engine.version();
+        let before_stats = engine.stats();
+        let (hs, delta) = engine.advance(&[], 0).unwrap();
+        assert!(hs.is_empty());
+        assert!(delta.is_empty());
+        assert_eq!(delta.epoch, 0);
+        assert_eq!(delta.num_clusters, 2);
+        assert_eq!(engine.version(), before_version);
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.stats(), before_stats);
+    }
+
+    #[test]
+    fn commit_applies_interleaved_ops_in_submission_order() {
+        let mut engine = two_blob_engine();
+        let oldest = engine.oldest().unwrap();
+        let mut plan = EpochPlan::new();
+        let kept = plan.insert(Point::new(0.05, 0.0));
+        plan.remove(oldest);
+        let (handles, delta) = engine.commit(&plan).unwrap();
+        assert_eq!(engine.len(), 6);
+        assert_eq!(delta.insertions(), 1);
+        assert_eq!(delta.evictions(), 1);
+        assert_eq!(engine.dense_of(oldest), None);
+        assert!(engine.dense_of(handles[kept.0]).is_some());
+        assert_matches_cold_batch(&engine);
+    }
+
+    #[test]
+    fn ephemeral_point_leaves_no_trace() {
+        let mut engine = two_blob_engine();
+        let before: Vec<Point> = engine.index().dataset().points().to_vec();
+        let before_rho = engine.rho().to_vec();
+        let mut plan = EpochPlan::new();
+        // Inserted on top of the origin blob, expired within the same epoch:
+        // the committed state must be as if it never existed.
+        let flash = plan.insert(Point::new(0.05, 0.05));
+        plan.remove_planned(flash);
+        let (handles, delta) = engine.commit(&plan).unwrap();
+        assert_eq!(engine.dense_of(handles[0]), None);
+        assert_eq!(engine.index().dataset().points(), &before[..]);
+        assert_eq!(engine.rho(), &before_rho[..]);
+        assert_eq!(delta.insertions(), 0);
+        assert_eq!(delta.evictions(), 0);
+        assert_eq!(engine.stats().updates, 2); // but both mutations count
+        assert_matches_cold_batch(&engine);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_before_any_mutation() {
+        let mut engine = two_blob_engine();
+        let v0 = engine.version();
+        let oldest = engine.oldest().unwrap();
+
+        // A non-finite point anywhere in the batch rejects the whole plan.
+        let mut plan = EpochPlan::new();
+        plan.insert(Point::new(1.0, 1.0));
+        plan.insert(Point::new(f64::NAN, 0.0));
+        assert!(engine.commit(&plan).is_err());
+
+        // Removing the same handle twice.
+        let mut plan = EpochPlan::new();
+        plan.remove(oldest);
+        plan.remove(oldest);
+        assert!(engine.commit(&plan).is_err());
+
+        // A token from another plan.
+        let mut other = EpochPlan::new();
+        let foreign = other.insert(Point::new(1.0, 1.0));
+        let mut plan = EpochPlan::new();
+        plan.remove_planned(foreign);
+        assert!(engine.commit(&plan).is_err());
+
+        // Removing the same planned insert twice.
+        let mut plan = EpochPlan::new();
+        let t = plan.insert(Point::new(1.0, 1.0));
+        plan.remove_planned(t);
+        plan.remove_planned(t);
+        assert!(engine.commit(&plan).is_err());
+
+        // Nothing was applied by any of the rejected plans.
+        assert_eq!(engine.version(), v0);
+        assert_eq!(engine.len(), 6);
+        assert_eq!(engine.epoch(), 0);
     }
 
     #[test]
@@ -729,6 +1040,18 @@ mod tests {
     }
 
     #[test]
+    fn draining_in_one_epoch_works() {
+        let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (5.1, 5.0)]);
+        let mut engine =
+            StreamingDpc::new(NaiveReferenceIndex::build(&seed), StreamParams::new(0.5)).unwrap();
+        let (_, delta) = engine.advance(&[], 4).unwrap();
+        assert!(engine.is_empty());
+        assert_eq!(delta.evictions(), 4);
+        assert_eq!(engine.clustering().num_clusters(), 0);
+        assert_eq!(engine.stats().epochs, 1);
+    }
+
+    #[test]
     fn forced_fallback_still_produces_exact_state() {
         let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (5.1, 5.0)]);
         let params = StreamParams::new(0.5)
@@ -737,13 +1060,9 @@ mod tests {
         let mut engine = StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap();
         engine.insert(Point::new(0.05, 0.0)).unwrap();
         engine.remove(engine.handle_at(0)).unwrap();
-        assert_eq!(engine.stats().fallback_updates, 2);
-        assert_eq!(engine.stats().incremental_updates, 0);
-        // Exactness: compare against a cold batch run.
-        let batch = NaiveReferenceIndex::build(engine.index().dataset());
-        let (rho, deltas) = batch.rho_delta(0.5).unwrap();
-        assert_eq!(engine.rho(), &rho[..]);
-        assert_eq!(engine.deltas(), &deltas);
+        assert_eq!(engine.stats().fallback_epochs, 2);
+        assert_eq!(engine.stats().incremental_epochs, 0);
+        assert_matches_cold_batch(&engine);
     }
 
     #[test]
@@ -767,14 +1086,14 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate_over_updates() {
+    fn stats_accumulate_over_epochs() {
         let mut engine = two_blob_engine();
         engine.insert(Point::new(0.05, 0.0)).unwrap();
         engine.insert(Point::new(5.05, 5.0)).unwrap();
         let stats = engine.stats();
         assert_eq!(stats.epochs, 2);
         assert_eq!(stats.updates, 2);
-        assert_eq!(stats.incremental_updates + stats.fallback_updates, 2);
+        assert_eq!(stats.incremental_epochs + stats.fallback_epochs, 2);
         assert!(stats.affected_points >= 2);
     }
 }

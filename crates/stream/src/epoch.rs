@@ -1,0 +1,168 @@
+//! The epoch batch accumulator: [`EpochPlan`].
+//!
+//! An *epoch* is one clustering step of the streaming engine. The per-update
+//! entry points ([`StreamingDpc::insert`](crate::StreamingDpc::insert),
+//! [`StreamingDpc::remove`](crate::StreamingDpc::remove)) run an epoch of one
+//! mutation each; an `EpochPlan` collects an arbitrary mix of inserts and
+//! removals so the engine can pay the expensive maintenance — the union
+//! ε-neighbourhood ρ repair, the δ/µ invalidation repair, centre selection
+//! and assignment — **once for the whole batch** (see
+//! [`StreamingDpc::commit`](crate::StreamingDpc::commit) and
+//! `docs/STREAMING.md` for the pipeline).
+//!
+//! Ops execute in submission order, and the committed state is bit-identical
+//! to applying the same ops one at a time — batching changes the cost, never
+//! the result. A point inserted by the plan can also be removed by the same
+//! plan ([`EpochPlan::remove_planned`]): it is *ephemeral* — it exists for
+//! the ops between its insert and its removal, contributes nothing to the
+//! epoch's final state, and its handle is already dead when `commit`
+//! returns.
+//!
+//! ```
+//! use dpc_core::naive_reference::NaiveReferenceIndex;
+//! use dpc_core::{Dataset, Point};
+//! use dpc_stream::{EpochPlan, StreamParams, StreamingDpc};
+//!
+//! let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0)]);
+//! let mut engine =
+//!     StreamingDpc::new(NaiveReferenceIndex::build(&seed), StreamParams::new(0.5)).unwrap();
+//!
+//! let mut plan = EpochPlan::new();
+//! plan.insert(Point::new(5.1, 5.0)); // a point joining the far blob
+//! plan.remove(engine.oldest().unwrap()); // expire the oldest point
+//! let flash = plan.insert(Point::new(9.0, 9.0)); // inserted ...
+//! plan.remove_planned(flash); // ... and expired within the same epoch
+//!
+//! let (handles, delta) = engine.commit(&plan).unwrap();
+//! assert_eq!(handles.len(), 2); // one handle per planned insert
+//! assert_eq!(engine.point_of(handles[0]), Some(Point::new(5.1, 5.0))); // survived
+//! assert_eq!(engine.dense_of(handles[1]), None); // ephemeral: already gone
+//! assert_eq!(delta.epoch, 1); // the whole plan was one clustering epoch
+//! ```
+
+use dpc_core::Point;
+
+use crate::handle::Handle;
+
+/// A token for a point inserted by an [`EpochPlan`], usable to expire that
+/// point within the same plan ([`EpochPlan::remove_planned`]) before its
+/// [`Handle`] exists.
+///
+/// Tokens are only meaningful for the plan that issued them; committing a
+/// plan holding a foreign token is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedInsert(pub(crate) usize);
+
+impl PlannedInsert {
+    /// The insert's position among the plan's inserts (0-based) — also the
+    /// index of its [`Handle`] in the vector
+    /// [`commit`](crate::StreamingDpc::commit) returns.
+    pub fn ordinal(&self) -> usize {
+        self.0
+    }
+}
+
+/// One queued mutation of a plan, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PlanOp {
+    /// Insert this point; the payload is its insert ordinal (0-based count of
+    /// earlier inserts in the same plan), used to pair it with its handle.
+    Insert(Point, usize),
+    /// Expire a point that predates the plan, addressed by its stable handle.
+    Remove(Handle),
+    /// Expire the plan's own `n`-th planned insert (an *ephemeral* point).
+    RemovePlanned(usize),
+}
+
+/// An ordered batch of inserts and expiries to be applied as **one**
+/// clustering epoch by [`StreamingDpc::commit`](crate::StreamingDpc::commit).
+///
+/// See the [module docs](self) for semantics and a worked example. Plans are
+/// plain data: building one performs no validation and touches no engine —
+/// all checking happens up front in `commit`, *before* any mutation, so a
+/// rejected plan leaves the engine untouched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochPlan {
+    pub(crate) ops: Vec<PlanOp>,
+    /// Number of `Insert` ops queued so far (the next insert ordinal).
+    inserts: usize,
+}
+
+impl EpochPlan {
+    /// An empty plan. Committing it is a no-op (no epoch, no version bump).
+    pub fn new() -> Self {
+        EpochPlan::default()
+    }
+
+    /// Queues a point insertion and returns its token.
+    pub fn insert(&mut self, p: Point) -> PlannedInsert {
+        let token = PlannedInsert(self.inserts);
+        self.ops.push(PlanOp::Insert(p, self.inserts));
+        self.inserts += 1;
+        token
+    }
+
+    /// Queues the expiry of a pre-existing point by handle.
+    ///
+    /// The handle must be live when the plan is committed and may appear at
+    /// most once per plan; `commit` rejects the whole plan otherwise.
+    pub fn remove(&mut self, handle: Handle) {
+        self.ops.push(PlanOp::Remove(handle));
+    }
+
+    /// Queues the expiry of a point inserted *by this plan* — the point is
+    /// ephemeral: visible to ops between its insert and this removal, absent
+    /// from the committed epoch.
+    pub fn remove_planned(&mut self, token: PlannedInsert) {
+        self.ops.push(PlanOp::RemovePlanned(token.0));
+    }
+
+    /// Number of queued ops (inserts and removals).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no op is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of queued inserts (and therefore of handles `commit` returns).
+    pub fn insert_count(&self) -> usize {
+        self.inserts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_records_ops_in_submission_order() {
+        let mut plan = EpochPlan::new();
+        let a = plan.insert(Point::new(1.0, 2.0));
+        plan.remove(Handle(7));
+        let b = plan.insert(Point::new(3.0, 4.0));
+        plan.remove_planned(a);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.insert_count(), 2);
+        assert_ne!(a, b);
+        assert_eq!(
+            plan.ops,
+            vec![
+                PlanOp::Insert(Point::new(1.0, 2.0), 0),
+                PlanOp::Remove(Handle(7)),
+                PlanOp::Insert(Point::new(3.0, 4.0), 1),
+                PlanOp::RemovePlanned(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = EpochPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.insert_count(), 0);
+    }
+}

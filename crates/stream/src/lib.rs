@@ -9,22 +9,27 @@
 //! density `ρ` (neighbours within `dc`) and the dependent distance `δ`
 //! (distance to the nearest denser point), then selects peaks and assigns
 //! clusters. The paper's indexes make those queries fast *once*; this crate
-//! makes them cheap *per update* by exploiting the same locality the indexes
+//! makes them cheap *per epoch* by exploiting the same locality the indexes
 //! use for pruning:
 //!
-//! * inserting or deleting a point `x` changes `ρ` only for the points
-//!   within `dc` of `x` — found with the index's own ε-range query
-//!   ([`dpc_core::UpdatableIndex::eps_neighbors`]) and adjusted by ±1;
+//! * an epoch of inserts and expiries changes `ρ` only inside the **union**
+//!   of the mutations' ε-neighbourhoods — each neighbourhood found with the
+//!   index's own range query
+//!   ([`dpc_core::UpdatableIndex::eps_neighbors`]), deduplicated through a
+//!   visited bitmap, and adjusted by ±1 per mutation;
 //! * `δ`/`µ` need full recomputation only for a bounded *invalidation set*
 //!   (points whose own rank changed, whose dependent neighbour was touched,
-//!   and the global peak); every other point folds the few candidate
-//!   entrants into its existing minimum with one distance comparison each.
+//!   and the global peak), repaired **once per epoch**; every other point
+//!   folds the few candidate entrants into its existing minimum with one
+//!   distance comparison each.
 //!
-//! The result is **bit-identical** to a cold batch run over the surviving
-//! points after every update — that is not an aspiration but the invariant
-//! enforced by this crate's property suite, for every updatable index, at
-//! multiple thread counts (the maintenance passes run on the chunked
-//! parallel executor of [`dpc_core::exec`]).
+//! Batching is a cost model, never a semantics change: committing a batch is
+//! **bit-identical** to applying its updates one at a time, and both are
+//! bit-identical to a cold batch run over the surviving points — that is not
+//! an aspiration but the invariant enforced by this crate's property suite,
+//! for every updatable index, at batch sizes {1, 7, 64}, at multiple thread
+//! counts (the maintenance passes run on the chunked parallel executor of
+//! [`dpc_core::exec`]).
 //!
 //! ```
 //! use dpc_core::naive_reference::NaiveReferenceIndex;
@@ -35,7 +40,8 @@
 //! let index = NaiveReferenceIndex::build(&seed);
 //! let mut engine = StreamingDpc::new(index, StreamParams::new(0.5)).unwrap();
 //!
-//! // Slide the window: two check-ins arrive, the two oldest expire.
+//! // Slide the window: two check-ins arrive, the two oldest expire — one
+//! // epoch, one ρ repair pass, one δ repair pass, one clustering.
 //! let (handles, delta) = engine
 //!     .advance(&[Point::new(4.05, 4.0), Point::new(0.05, 0.0)], 2)
 //!     .unwrap();
@@ -44,18 +50,23 @@
 //! assert_eq!(delta.evictions(), 2);
 //! ```
 //!
-//! See [`engine`] for the maintenance algorithm, [`handle`] for the stable
-//! point handles that survive the dataset's swap-remove id churn, and
-//! [`report`] for the per-epoch [`ClusterDelta`].
+//! See [`engine`] for the epoch pipeline, [`epoch`] for the [`EpochPlan`]
+//! batch accumulator, [`handle`] for the stable point handles that survive
+//! the dataset's swap-remove id churn, and [`report`] for the per-epoch
+//! [`ClusterDelta`]. The full internals contract — affected sets, the δ
+//! invalidation taxonomy, swap-remove semantics, a worked epoch example —
+//! lives in `docs/STREAMING.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod epoch;
 pub mod handle;
 pub mod maintenance;
 pub mod report;
 
 pub use engine::{StreamParams, StreamStats, StreamingDpc};
+pub use epoch::{EpochPlan, PlannedInsert};
 pub use handle::{Handle, HandleMap};
 pub use report::{ClusterDelta, LabelChange};

@@ -33,7 +33,7 @@
 use dpc_baseline::LeanDpc;
 use dpc_core::index::eps_neighbors_scan;
 use dpc_core::naive_reference::NaiveReferenceIndex;
-use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, Point, UpdatableIndex};
+use dpc_core::{CenterSelection, Dataset, DpcIndex, DpcParams, DpcPipeline, Point, UpdatableIndex};
 use dpc_datasets::rng::SplitMix64;
 use dpc_datasets::testsupport::{lattice_point, test_points, TestDistribution};
 use dpc_stream::{StreamParams, StreamingDpc};
@@ -244,7 +244,14 @@ where
 }
 
 /// Sliding-window `advance` (batched eviction + insertion in one epoch) for
-/// one index family: batch-identical state at every epoch.
+/// one index family. After **every epoch** the batched engine must be
+/// bit-identical to two independent oracles:
+///
+/// * a **per-update replay** — a second engine applying the same evictions
+///   and insertions one `remove`/`insert` epoch at a time (the pre-batching
+///   maintenance path), and
+/// * a **cold batch run** — a fresh index of the same kind + the full
+///   pipeline over the surviving points.
 fn check_advance<I, F>(
     label: &str,
     build: F,
@@ -261,33 +268,70 @@ where
         .with_centers(CenterSelection::GammaGap { max_centers: 8 })
         .with_threads(4);
     let params = StreamParams::new(dc).with_dpc(dpc.clone());
-    let mut engine = StreamingDpc::new(build(&Dataset::new(seed_points.to_vec())), params)
+    let mut batched = StreamingDpc::new(build(&Dataset::new(seed_points.to_vec())), params.clone())
         .map_err(|e| TestCaseError::fail(format!("[{label}] seeding failed: {e}")))?;
+    let mut replay = StreamingDpc::new(build(&Dataset::new(seed_points.to_vec())), params)
+        .map_err(|e| TestCaseError::fail(format!("[{label}] replay seeding failed: {e}")))?;
 
     for (chunk_idx, chunk) in ops.chunks(batch_size).enumerate() {
         let batch: Vec<Point> = chunk.iter().map(|op| op.point).collect();
         // Evict as many as we insert once the window is warm.
-        let evict = if engine.len() > 8 { batch.len() } else { 0 };
-        let (handles, _) = engine
+        let evict = if batched.len() > 8 { batch.len() } else { 0 };
+        let (handles, _) = batched
             .advance(&batch, evict)
             .map_err(|e| TestCaseError::fail(format!("[{label}] advance failed: {e}")))?;
         prop_assert_eq!(handles.len(), batch.len());
-        engine.index().check_invariants();
+        batched.index().check_invariants();
 
-        let batch_index = build(engine.index().dataset());
+        // Oracle 1: per-update replay of the identical epoch — evictions
+        // first (oldest each time, like `advance`), then the insertions.
+        for _ in 0..evict.min(replay.len()) {
+            let oldest = replay.oldest().expect("replay window is non-empty");
+            replay.remove(oldest).map_err(|e| {
+                TestCaseError::fail(format!("[{label}] per-update remove failed: {e}"))
+            })?;
+        }
+        for &p in &batch {
+            replay.insert(p).map_err(|e| {
+                TestCaseError::fail(format!("[{label}] per-update insert failed: {e}"))
+            })?;
+        }
+        prop_assert_eq!(
+            batched.rho(),
+            replay.rho(),
+            "[{}] batched rho diverged from per-update replay @ chunk {}",
+            label,
+            chunk_idx
+        );
+        prop_assert_eq!(
+            &batched.deltas().delta,
+            &replay.deltas().delta,
+            "[{}] batched delta diverged from per-update replay @ chunk {}",
+            label,
+            chunk_idx
+        );
+        prop_assert_eq!(&batched.deltas().mu, &replay.deltas().mu);
+        prop_assert_eq!(
+            batched.clustering().centers(),
+            replay.clustering().centers()
+        );
+        prop_assert_eq!(batched.clustering().labels(), replay.clustering().labels());
+
+        // Oracle 2: cold batch run over the surviving points.
+        let batch_index = build(batched.index().dataset());
         let run = DpcPipeline::new(dpc.clone())
             .run(&batch_index)
             .map_err(|e| TestCaseError::fail(format!("[{label}] batch run failed: {e}")))?;
         prop_assert_eq!(
-            engine.rho(),
+            batched.rho(),
             &run.rho[..],
             "[{}] rho @ chunk {}",
             label,
             chunk_idx
         );
-        prop_assert_eq!(&engine.deltas().delta, &run.deltas.delta);
-        prop_assert_eq!(&engine.deltas().mu, &run.deltas.mu);
-        prop_assert_eq!(engine.clustering().labels(), run.clustering.labels());
+        prop_assert_eq!(&batched.deltas().delta, &run.deltas.delta);
+        prop_assert_eq!(&batched.deltas().mu, &run.deltas.mu);
+        prop_assert_eq!(batched.clustering().labels(), run.clustering.labels());
     }
     Ok(())
 }
@@ -394,18 +438,22 @@ proptest! {
     }
 
     /// Sliding-window `advance` (batched eviction + insertion in one epoch)
-    /// also lands on batch-identical state at every epoch, for every index.
+    /// lands on state bit-identical to both a per-update replay and a cold
+    /// batch run at every epoch, for every index, at the documented batch
+    /// sizes {1, 7, 64} (1 = per-update epochs, 7 = several epochs per
+    /// sequence, 64 = the whole sequence as one epoch).
     #[test]
-    fn advance_matches_batch(
+    fn advance_matches_per_update_replay_and_batch(
         seed in seed_strategy(),
-        ops in ops_strategy(),
-        batch_size in 1usize..4
+        ops in ops_strategy()
     ) {
         let seed_points = lattice_seed(&seed);
         let ops = lattice_ops(&ops);
-        for_each_updatable_index!(|name, build| {
-            check_advance(name, build, &seed_points, &ops, batch_size)?;
-        });
+        for &batch_size in &[1usize, 7, 64] {
+            for_each_updatable_index!(|name, build| {
+                check_advance(name, build, &seed_points, &ops, batch_size)?;
+            });
+        }
     }
 
     /// Deletion-heavy adversarial scenario: delete 90% of the window, then
@@ -488,6 +536,212 @@ proptest! {
             }
         }
     }
+}
+
+/// Asserts one engine's maintained state is bit-identical to a cold batch
+/// run (fresh index of the same kind + full pipeline) over its dataset.
+fn assert_cold_batch<I, F>(label: &str, build: &F, engine: &StreamingDpc<I>, dpc: &DpcParams)
+where
+    I: UpdatableIndex,
+    F: Fn(&Dataset) -> I,
+{
+    let run = DpcPipeline::new(dpc.clone())
+        .run(&build(engine.index().dataset()))
+        .expect("cold batch run must succeed");
+    assert_eq!(engine.rho(), &run.rho[..], "[{label}] rho");
+    assert_eq!(&engine.deltas().delta, &run.deltas.delta, "[{label}] delta");
+    assert_eq!(&engine.deltas().mu, &run.deltas.mu, "[{label}] mu");
+    assert_eq!(
+        engine.clustering().centers(),
+        run.clustering.centers(),
+        "[{label}] centres"
+    );
+    assert_eq!(
+        engine.clustering().labels(),
+        run.clustering.labels(),
+        "[{label}] labels"
+    );
+}
+
+/// Large epochs: a 150-op clustered workload at batch 64 (several dozen
+/// mutations per epoch) for every engine, checked against the per-update
+/// replay and the cold batch run at every epoch. The proptest above covers
+/// the same batch sizes on short sequences; this pins genuinely large
+/// epochs, where the union/invalidation machinery and the trees' deferred
+/// triggers actually amortise.
+#[test]
+fn large_epochs_match_per_update_replay_across_engines() {
+    let seed_points = test_points(TestDistribution::Clustered, 40, 99);
+    let mut rng = SplitMix64::new(77);
+    let extra = test_points(TestDistribution::Clustered, 150, 100);
+    let ops: Vec<Op> = extra
+        .into_iter()
+        .map(|p| Op {
+            insert: true,
+            point: p,
+            sel: rng.next_u64(),
+        })
+        .collect();
+    for_each_updatable_index!(|name, build| {
+        check_advance(name, build, &seed_points, &ops, 64).unwrap();
+    });
+}
+
+/// Epoch edge case: a batch that deletes the current global peak (whose δ is
+/// the max-distance sentinel and whose removal re-anchors every point's
+/// candidate peak) together with further mutations, for every engine.
+#[test]
+fn batch_deleting_the_global_peak_matches_batch() {
+    let dc = 60.0;
+    let dpc = DpcParams::new(dc).with_centers(CenterSelection::GammaGap { max_centers: 8 });
+    for_each_updatable_index!(|name, build| {
+        let seed = Dataset::new(test_points(TestDistribution::Clustered, 30, 5));
+        let params = StreamParams::new(dc).with_dpc(dpc.clone());
+        let mut engine = StreamingDpc::new(build(&seed), params).unwrap();
+        let peak =
+            dpc_core::DensityOrder::with_tie_break(engine.rho(), engine.params().dpc.tie_break)
+                .global_peak()
+                .expect("non-empty window has a peak");
+        let peak_handle = engine.handle_at(peak);
+
+        let mut plan = dpc_stream::EpochPlan::new();
+        plan.remove(peak_handle);
+        for p in test_points(TestDistribution::Clustered, 3, 6) {
+            plan.insert(p);
+        }
+        let (handles, delta) = engine.commit(&plan).unwrap();
+        assert_eq!(handles.len(), 3, "[{name}]");
+        assert_eq!(delta.evictions(), 1, "[{name}]");
+        assert_eq!(engine.dense_of(peak_handle), None, "[{name}]");
+        engine.index().check_invariants();
+        assert_cold_batch(name, &build, &engine, &dpc);
+    });
+}
+
+/// Epoch edge case: points inserted and expired within the same batch
+/// (ephemeral points) interleaved with surviving mutations, for every
+/// engine. The committed state must be as if the ephemeral points never
+/// existed — and bit-identical to the cold batch run.
+#[test]
+fn ephemeral_points_in_a_plan_match_batch() {
+    let dc = 60.0;
+    let dpc = DpcParams::new(dc).with_centers(CenterSelection::GammaGap { max_centers: 8 });
+    for_each_updatable_index!(|name, build| {
+        let seed = Dataset::new(test_points(TestDistribution::Clustered, 20, 11));
+        let params = StreamParams::new(dc).with_dpc(dpc.clone());
+        let mut engine = StreamingDpc::new(build(&seed), params).unwrap();
+        let oldest = engine.oldest().unwrap();
+
+        let mut plan = dpc_stream::EpochPlan::new();
+        let keep = plan.insert(test_points(TestDistribution::Clustered, 1, 12)[0]);
+        let flash = plan.insert(test_points(TestDistribution::Skewed, 1, 13)[0]);
+        plan.remove(oldest); // a real eviction between the ephemeral's ops
+        plan.remove_planned(flash);
+        let (handles, delta) = engine.commit(&plan).unwrap();
+
+        assert_eq!(engine.len(), 20, "[{name}]"); // +2 -1 -1
+        assert!(
+            engine.dense_of(handles[keep.ordinal()]).is_some(),
+            "[{name}]"
+        );
+        assert_eq!(delta.insertions(), 1, "[{name}]"); // the ephemeral is invisible
+        assert_eq!(delta.evictions(), 1, "[{name}]");
+        engine.index().check_invariants();
+        assert_cold_batch(name, &build, &engine, &dpc);
+    });
+}
+
+/// Regression (caught in review): under `TieBreak::LargerIdDenser` a
+/// swap-remove rename *lowers* the renamed point's tie rank, so a stored µ
+/// can fall out of its dependent's denser set without any ρ change — the
+/// µ scan must invalidate on the rename itself, not only on `visited[µ]`.
+/// Replays tie-heavy lattice sequences (per-update and batched) under the
+/// non-default tie-break and demands cold-batch bit-identity every epoch.
+#[test]
+fn larger_id_denser_tie_break_matches_batch() {
+    let dc = 0.8;
+    let dpc = DpcParams::new(dc)
+        .with_centers(CenterSelection::GammaGap { max_centers: 8 })
+        .with_tie_break(dpc_core::TieBreak::LargerIdDenser);
+    let build = |data: &Dataset| {
+        NaiveReferenceIndex::build_with_tie_break(data, dpc_core::TieBreak::LargerIdDenser)
+    };
+    let mut rng = SplitMix64::new(4242);
+    for trial in 0..20 {
+        let seed_points: Vec<Point> = (0..12)
+            .map(|_| lattice_point((rng.next_u64() % 5) as u32, (rng.next_u64() % 5) as u32))
+            .collect();
+        let params = StreamParams::new(dc).with_dpc(dpc.clone());
+        let mut engine = StreamingDpc::new(build(&Dataset::new(seed_points)), params).unwrap();
+        for step in 0..25 {
+            if rng.next_u64().is_multiple_of(2) && engine.len() > 2 {
+                let live: Vec<_> = engine.live_handles().collect();
+                let victim = live[(rng.next_u64() as usize) % live.len()];
+                engine.remove(victim).unwrap();
+            } else {
+                let p = lattice_point((rng.next_u64() % 5) as u32, (rng.next_u64() % 5) as u32);
+                engine.insert(p).unwrap();
+            }
+            let run = DpcPipeline::new(dpc.clone())
+                .run(&build(engine.index().dataset()))
+                .unwrap();
+            assert_eq!(engine.rho(), &run.rho[..], "trial {trial} step {step}: rho");
+            assert_eq!(
+                &engine.deltas().delta,
+                &run.deltas.delta,
+                "trial {trial} step {step}: delta"
+            );
+            assert_eq!(
+                &engine.deltas().mu,
+                &run.deltas.mu,
+                "trial {trial} step {step}: mu"
+            );
+        }
+        // One batched epoch over the same window kind, same oracle.
+        let batch: Vec<Point> = (0..6)
+            .map(|_| lattice_point((rng.next_u64() % 5) as u32, (rng.next_u64() % 5) as u32))
+            .collect();
+        engine.advance(&batch, 4).unwrap();
+        assert_cold_batch("naive/larger-id", &build, &engine, &dpc);
+    }
+}
+
+/// The trees' amortised triggers are *deferred* inside a batched epoch: the
+/// R-tree's forced-reinsertion round is shared by the whole batch (at most
+/// one per epoch — later overflows split), and the k-d tree settles its
+/// scapegoat/dead-fraction violations in one end-of-batch sweep (which must
+/// still fire under a workload that overflows its tiny leaves).
+#[test]
+fn deferred_triggers_fire_once_per_epoch() {
+    let dc = 120.0;
+    let dpc = DpcParams::new(dc).with_centers(CenterSelection::GammaGap { max_centers: 8 });
+    let arrivals = test_points(TestDistribution::Clustered, 60, 21);
+
+    let seed = Dataset::new(test_points(TestDistribution::Clustered, 10, 20));
+    let params = StreamParams::new(dc).with_dpc(dpc.clone());
+    let mut kd_engine = StreamingDpc::new(kd_build(&seed), params.clone()).unwrap();
+    kd_engine.advance(&arrivals, 0).unwrap();
+    kd_engine.index().check_invariants();
+    let kd = kd_engine.index().maintenance_counters();
+    assert!(
+        counter(&kd, "subtree_rebuilds") + counter(&kd, "full_rebuilds") >= 1,
+        "k-d deferred sweep never rebuilt after a 60-insert epoch: {kd:?}"
+    );
+    assert_cold_batch("kdtree", &kd_build, &kd_engine, &dpc);
+
+    let mut rt_engine = StreamingDpc::new(rt_build(&seed), params).unwrap();
+    rt_engine.advance(&arrivals, 0).unwrap();
+    rt_engine.index().check_invariants();
+    let rt = rt_engine.index().maintenance_counters();
+    assert!(
+        counter(&rt, "forced_reinserts") <= 1,
+        "R-tree spent more than one reinsertion round in a single epoch: {rt:?}"
+    );
+    assert!(
+        counter(&rt, "node_splits") >= 1,
+        "60 inserts into 3-entry nodes must split: {rt:?}"
+    );
+    assert_cold_batch("rtree", &rt_build, &rt_engine, &dpc);
 }
 
 /// Emits one wall-clock line per engine for a fixed replay. CI runs this

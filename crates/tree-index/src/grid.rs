@@ -1,6 +1,6 @@
 //! A uniform grid index (extension; related-work style ablation).
 //!
-//! The related work the paper cites ([22], [24]) accelerates DPC with grid
+//! The related work the paper cites (\[22\], \[24\]) accelerates DPC with grid
 //! structures. This module provides a flat uniform grid exposed as a
 //! two-level [`SpatialPartition`] (a root whose children are the non-empty
 //! cells), so the same pruned query algorithms apply. It serves as an

@@ -117,6 +117,10 @@ pub struct KdTree {
     subtree_rebuilds: u64,
     /// Whole-tree rebuilds (dead-fraction trigger, or a scapegoat at root).
     full_rebuilds: u64,
+    /// True while an `apply_batch` epoch is in flight: the per-update
+    /// scapegoat and dead-fraction triggers are deferred to one
+    /// [`Self::run_deferred_maintenance`] pass at the end of the batch.
+    in_batch: bool,
     config: KdTreeConfig,
     construction_time: Duration,
 }
@@ -157,6 +161,7 @@ impl KdTree {
             removed_since_rebuild: 0,
             subtree_rebuilds: 0,
             full_rebuilds: 0,
+            in_batch: false,
             config: *config,
             construction_time: Duration::ZERO,
         };
@@ -375,6 +380,45 @@ impl KdTree {
         }
     }
 
+    /// The end-of-batch maintenance pass of
+    /// [`UpdatableIndex::apply_batch`]: runs the amortised triggers **once
+    /// per epoch** instead of once per update.
+    ///
+    /// The dead-fraction check comes first — one full rebuild settles every
+    /// deferred violation at once. Otherwise a single top-down sweep
+    /// rebuilds each highest overweight node (a rebuilt subtree is balanced,
+    /// so the sweep does not descend into it); this is the batch analogue of
+    /// the per-insert scapegoat pass. The sweep only runs when the batch
+    /// inserted something (`inserted`): removals cannot create overweight
+    /// nodes, and the sweep's node ids would be the only cost of a pure
+    /// eviction epoch. Subtrees small enough to hold no violation
+    /// (`count ≤ leaf_capacity`) are skipped.
+    fn run_deferred_maintenance(&mut self, inserted: bool) {
+        let Some(root) = self.root else { return };
+        if self.removed_since_rebuild as f64
+            > self.config.rebuild_dead_fraction * self.dataset.len() as f64
+        {
+            self.rebuild_subtree(root);
+            return;
+        }
+        if !inserted {
+            return;
+        }
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if self.is_overweight(node) {
+                self.rebuild_subtree(node);
+                continue;
+            }
+            if self.nodes[node].count <= self.config.leaf_capacity {
+                continue; // nothing below can overflow or be imbalanced
+            }
+            if let NodeKind::Internal { children, .. } = &self.nodes[node].kind {
+                stack.extend_from_slice(children);
+            }
+        }
+    }
+
     /// Checks the tree's structural bookkeeping: the generic partition
     /// invariants plus the update-path state (`leaf_of` agreement, parent
     /// links, live counts vs dataset size).
@@ -551,6 +595,12 @@ impl UpdatableIndex for KdTree {
 
         // Scapegoat pass: rebuild the *highest* overweight node on the
         // insertion path, so one rebuild fixes every violation beneath it.
+        // Inside an apply_batch epoch the pass is deferred: overflowing
+        // leaves stay correct (queries scan them regardless of size) and one
+        // end-of-batch sweep settles every violation at once.
+        if self.in_batch {
+            return Ok(id);
+        }
         let mut scapegoat = None;
         let mut cur = node;
         loop {
@@ -622,13 +672,40 @@ impl UpdatableIndex for KdTree {
             return Ok(moved);
         }
         self.removed_since_rebuild += 1;
-        if self.removed_since_rebuild as f64
-            > self.config.rebuild_dead_fraction * self.dataset.len() as f64
+        if !self.in_batch
+            && self.removed_since_rebuild as f64
+                > self.config.rebuild_dead_fraction * self.dataset.len() as f64
         {
             let root = self.root.expect("non-empty tree has a root");
             self.rebuild_subtree(root);
         }
         Ok(moved)
+    }
+
+    fn apply_batch(&mut self, ops: &[dpc_core::BatchOp]) -> Result<()> {
+        // A single-op batch is exactly a per-update mutation: take the
+        // per-update path (O(log n) insertion-path scapegoat walk) rather
+        // than paying the end-of-batch whole-tree sweep for one op.
+        if let [op] = ops {
+            return match *op {
+                dpc_core::BatchOp::Insert(p) => self.insert(p).map(drop),
+                dpc_core::BatchOp::Remove(id) => self.remove(id).map(drop),
+            };
+        }
+        self.in_batch = true;
+        let mut inserted = false;
+        let result = ops.iter().try_for_each(|op| match *op {
+            dpc_core::BatchOp::Insert(p) => {
+                inserted = true;
+                self.insert(p).map(drop)
+            }
+            dpc_core::BatchOp::Remove(id) => self.remove(id).map(drop),
+        });
+        self.in_batch = false;
+        // Even a failed batch leaves its applied prefix in place, so the
+        // deferred triggers must still run to keep the tree healthy.
+        self.run_deferred_maintenance(inserted);
+        result
     }
 
     fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>> {

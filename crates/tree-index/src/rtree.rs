@@ -110,6 +110,11 @@ pub struct RTree {
     /// Nodes dissolved by underflow handling (leaves below the minimum
     /// fill, emptied ancestors, collapsed roots).
     nodes_dissolved: u64,
+    /// `None` outside an `apply_batch` epoch (every insert gets its own
+    /// forced-reinsertion round); `Some(available)` while one is in flight —
+    /// the whole batch shares a single round, so reinsertion fires at most
+    /// once per epoch and later overflows split directly.
+    batch_reinsert: Option<bool>,
     config: RTreeConfig,
     construction_time: Duration,
 }
@@ -150,6 +155,7 @@ impl RTree {
             forced_reinserts: 0,
             node_splits: 0,
             nodes_dissolved: 0,
+            batch_reinsert: None,
             config: *config,
             construction_time: Duration::ZERO,
         };
@@ -452,6 +458,11 @@ impl RTree {
         let k = (self.config.node_capacity as f64 * self.config.reinsert_fraction).ceil() as usize;
         if may_reinsert && self.root != Some(leaf) && k > 0 {
             self.forced_reinserts += 1;
+            // Inside an apply_batch epoch the round is shared by the whole
+            // batch: spend it.
+            if let Some(available) = self.batch_reinsert.as_mut() {
+                *available = false;
+            }
             // Evict the k entries farthest from the node centre — exactly
             // the strays that inflate the box.
             let center = self.nodes[leaf].bbox.center();
@@ -864,8 +875,29 @@ impl UpdatableIndex for RTree {
     fn insert(&mut self, p: Point) -> Result<PointId> {
         let id = self.dataset.push(p)?;
         self.leaf_of.push(0); // placeholder, set by insert_entry
-        self.insert_entry(id as u32, true);
+                              // Outside a batch every insert gets its own forced-reinsertion
+                              // round; inside one, the batch's shared round gates it.
+        let may_reinsert = self.batch_reinsert.unwrap_or(true);
+        self.insert_entry(id as u32, may_reinsert);
         Ok(id)
+    }
+
+    fn apply_batch(&mut self, ops: &[dpc_core::BatchOp]) -> Result<()> {
+        // A single-op batch is exactly a per-update mutation; skip the
+        // shared-round bookkeeping (one op gets one round either way).
+        if let [op] = ops {
+            return match *op {
+                dpc_core::BatchOp::Insert(p) => self.insert(p).map(drop),
+                dpc_core::BatchOp::Remove(id) => self.remove(id).map(drop),
+            };
+        }
+        self.batch_reinsert = Some(true);
+        let result = ops.iter().try_for_each(|op| match *op {
+            dpc_core::BatchOp::Insert(p) => self.insert(p).map(drop),
+            dpc_core::BatchOp::Remove(id) => self.remove(id).map(drop),
+        });
+        self.batch_reinsert = None;
+        result
     }
 
     fn remove(&mut self, id: PointId) -> Result<Option<PointId>> {

@@ -64,16 +64,17 @@ fn main() {
 
     let stats = engine.stats();
     println!(
-        "\n{} updates across {} epochs: {} incremental, {} fallback; \
-         mean affected set {:.1} points",
+        "\n{} updates across {} epochs ({} incremental, {} fallback); \
+         mean affected union {:.1} points per epoch",
         stats.updates,
         stats.epochs,
-        stats.incremental_updates,
-        stats.fallback_updates,
-        stats.affected_points as f64 / (stats.updates as f64).max(1.0)
+        stats.incremental_epochs,
+        stats.fallback_epochs,
+        stats.affected_points as f64 / (stats.epochs as f64).max(1.0)
     );
     println!(
-        "the window never rebuilt its index — every epoch repaired only the \
-         points an update actually touched (see BENCH_stream.json for throughput)."
+        "the window never rebuilt its index — every epoch ran one batched \
+         repair over the union of its ε-neighbourhoods (see BENCH_stream.json \
+         for per-epoch vs per-update throughput)."
     );
 }

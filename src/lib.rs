@@ -14,8 +14,8 @@
 //!   with the approximate RN-List option;
 //! * [`tree_index`] — Quadtree, STR R-tree, k-d tree and uniform grid with
 //!   the paper's density/distance pruning;
-//! * [`stream`] — the streaming engine: incremental inserts/deletes with
-//!   affected-set ρ/δ maintenance over any
+//! * [`stream`] — the streaming engine: epoch-batched inserts/expiries with
+//!   affected-union ρ/δ maintenance over any
 //!   [`UpdatableIndex`](core::UpdatableIndex);
 //! * [`datasets`] — seeded generators reproducing the paper's six evaluation
 //!   datasets, plus CSV I/O;
@@ -61,7 +61,7 @@ pub mod prelude {
     pub use dpc_datasets::{DatasetKind, DatasetSpec};
     pub use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
     pub use dpc_metrics::{adjusted_rand_index, pair_counting_scores_for};
-    pub use dpc_stream::{ClusterDelta, StreamParams, StreamingDpc};
+    pub use dpc_stream::{ClusterDelta, EpochPlan, StreamParams, StreamingDpc};
     pub use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
 }
 
