@@ -4,21 +4,25 @@
 //!
 //! ```text
 //! bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000]
-//!              [--batches 1,64] [--updates N] [--dc F] [--seed S]
-//!              [--threads N] [--out FILE | --no-out]
+//!              [--batches 1,64] [--policy incremental,rebuild,adaptive]
+//!              [--updates N] [--dc F] [--seed S] [--threads N]
+//!              [--out FILE | --no-out]
 //! ```
 //!
 //! `--engine` is an alias of `--engines`; both take a comma-separated list
 //! of updatable index families. `--batches` (alias `--batch`) sweeps the
 //! epoch batch size: 1 is per-update maintenance, larger values amortise
-//! the ρ/δ repairs and the clustering over whole epochs. The committed
+//! the ρ/δ repairs and the clustering over whole epochs. `--policy` (alias
+//! `--modes`) restricts which maintenance strategies are timed per cell —
+//! by default all three run, so the snapshot shows the adaptive commit
+//! policy next to both fixed strategies it chooses between. The committed
 //! snapshot at the repository root is produced with the defaults
 //! (`--out BENCH_stream.json`); CI runs tiny smoke invocations so the
 //! benchmark cannot rot.
 
 use std::path::PathBuf;
 
-use dpc_bench::stream_throughput::{run, StreamBenchOptions, StreamEngine};
+use dpc_bench::stream_throughput::{run, StreamBenchOptions, StreamEngine, StreamMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,8 +32,8 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000] \
-                 [--batches 1,64] [--updates N] [--dc F] [--seed S] [--threads N] \
-                 [--out FILE | --no-out]"
+                 [--batches 1,64] [--policy incremental,rebuild,adaptive] [--updates N] \
+                 [--dc F] [--seed S] [--threads N] [--out FILE | --no-out]"
             );
             std::process::exit(2);
         }
@@ -74,6 +78,16 @@ fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>)
                     .map_err(|_| format!("invalid --windows list {list:?}"))?;
                 if options.windows.is_empty() || options.windows.contains(&0) {
                     return Err("--windows needs a comma-separated list of positive sizes".into());
+                }
+            }
+            "--policy" | "--modes" => {
+                let list = value_of("--policy")?;
+                options.modes = list
+                    .split(',')
+                    .map(StreamMode::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.modes.is_empty() {
+                    return Err("--policy needs a comma-separated list of modes".into());
                 }
             }
             "--batches" | "--batch" => {

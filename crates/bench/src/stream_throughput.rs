@@ -1,16 +1,19 @@
 //! The streaming-throughput benchmark behind `BENCH_stream.json`.
 //!
-//! Measures sliding-window updates/second of the incremental engine
-//! (`dpc-stream` over an updatable index) against the only alternative a
-//! batch pipeline offers: rebuilding the index and re-running the full
-//! ρ/δ/select/assign pipeline once per epoch. Both modes process the *same*
-//! update sequence over the same data and must land on the same clustering —
-//! asserted at the end of every sweep cell.
+//! Measures sliding-window updates/second of the streaming engine under its
+//! three commit policies ([`StreamMode`]): affected-set **incremental**
+//! maintenance, per-epoch bulk **rebuild** (`rebuild_from` + one batch
+//! ρ/δ/select/assign pass), and the **adaptive** policy that picks between
+//! those two strategies per epoch from a calibrated cost model. All modes
+//! run the same engine over the same update sequence — identical windows,
+//! handles and per-epoch deltas, only the maintenance strategy differs — and
+//! must land on the same clustering, asserted against a cold batch run at
+//! the end of every sweep cell.
 //!
 //! Since every updatable index family can now drive the streaming engine,
-//! the sweep covers one incremental/rebuild pair per engine
-//! ([`StreamEngine`]): the uniform grid, the k-d tree (tombstone + partial
-//! rebuild) and the R-tree (forced reinsertion + bbox shrinking).
+//! the sweep covers one row per mode per engine ([`StreamEngine`]): the
+//! uniform grid, the k-d tree (tombstone + partial rebuild) and the R-tree
+//! (forced reinsertion + bbox shrinking).
 //!
 //! The sweep also covers **epoch batch sizes** ([`StreamBenchOptions::
 //! batches`]): batch 1 is classic per-update maintenance (one ε-repair, one
@@ -24,9 +27,9 @@
 
 use std::time::Duration;
 
-use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, Point, UpdatableIndex};
+use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, UpdatableIndex};
 use dpc_datasets::generators::{checkins, CheckinConfig};
-use dpc_stream::{StreamParams, StreamingDpc};
+use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
 use dpc_tree_index::{GridIndex, KdTree, RTree};
 
 /// The updatable index families the streaming benchmark can drive.
@@ -68,12 +71,62 @@ impl StreamEngine {
     }
 }
 
-/// What to measure: engines, window sizes, epoch batch sizes, updates per
-/// cell, cut-off, seed, threads.
+/// The maintenance strategies the benchmark can time per sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// The engine pinned to affected-set maintenance
+    /// (`CommitPolicy::AlwaysIncremental`).
+    Incremental,
+    /// The engine pinned to `CommitPolicy::AlwaysRebuild`: a bulk index
+    /// rebuild plus the full batch ρ/δ/select/assign pass every epoch.
+    Rebuild,
+    /// The engine under `CommitPolicy::Adaptive`: per epoch it predicts
+    /// whether affected-set maintenance or a bulk rebuild is cheaper and
+    /// commits on the winner.
+    Adaptive,
+}
+
+impl StreamMode {
+    /// Every mode, in sweep order.
+    pub const ALL: [StreamMode; 3] = [
+        StreamMode::Incremental,
+        StreamMode::Rebuild,
+        StreamMode::Adaptive,
+    ];
+
+    /// The mode's stable name (CLI value and JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamMode::Incremental => "incremental",
+            StreamMode::Rebuild => "rebuild",
+            StreamMode::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a CLI mode name (the same spellings `dpc stream --policy`
+    /// accepts).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "incremental" | "inc" => Ok(StreamMode::Incremental),
+            "rebuild" => Ok(StreamMode::Rebuild),
+            "adaptive" | "auto" => Ok(StreamMode::Adaptive),
+            other => Err(format!(
+                "unknown mode {other:?} (incremental, rebuild, adaptive)"
+            )),
+        }
+    }
+}
+
+/// What to measure: engines, modes, window sizes, epoch batch sizes, updates
+/// per cell, cut-off, seed, threads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamBenchOptions {
     /// Index families to sweep.
     pub engines: Vec<StreamEngine>,
+    /// Maintenance strategies to time per cell. The default sweeps all
+    /// three, so the snapshot shows the adaptive policy next to both fixed
+    /// strategies it chooses between.
+    pub modes: Vec<StreamMode>,
     /// Window sizes to sweep (number of live points).
     pub windows: Vec<usize>,
     /// Epoch batch sizes to sweep: each epoch slides `batch` points in and
@@ -96,6 +149,7 @@ impl Default for StreamBenchOptions {
     fn default() -> Self {
         StreamBenchOptions {
             engines: StreamEngine::ALL.to_vec(),
+            modes: StreamMode::ALL.to_vec(),
             windows: vec![1_000, 4_000],
             batches: vec![1, 64],
             updates: 1_000,
@@ -115,8 +169,9 @@ pub struct StreamMeasurement {
     pub window: usize,
     /// Epoch batch size this row belongs to.
     pub batch: usize,
-    /// `"incremental"` (the streaming engine) or `"rebuild"` (index rebuild
-    /// + full batch pipeline per epoch).
+    /// `"incremental"` (affected-set maintenance), `"rebuild"` (bulk index
+    /// rebuild + full batch pipeline per epoch) or `"adaptive"` (the cost
+    /// model choosing between the two per epoch).
     pub mode: &'static str,
     /// Updates processed.
     pub updates: usize,
@@ -127,8 +182,11 @@ pub struct StreamMeasurement {
     pub per_update: Duration,
     /// Updates per second.
     pub updates_per_sec: f64,
-    /// Fallback epochs taken (incremental mode only; 0 for rebuild).
+    /// Fallback epochs taken (streaming modes only; 0 for rebuild).
     pub fallbacks: u64,
+    /// Bulk-rebuild epochs taken: every epoch for rebuild mode, the
+    /// cost-model-chosen subset for adaptive, 0 for incremental.
+    pub rebuilds: u64,
 }
 
 /// The whole benchmark result.
@@ -138,8 +196,8 @@ pub struct StreamBenchReport {
     pub options: StreamBenchOptions,
     /// CPUs the machine exposes.
     pub cpus: usize,
-    /// Two rows (incremental, rebuild) per engine per window size per batch
-    /// size, in sweep order.
+    /// One row per swept mode per engine per window size per batch size, in
+    /// sweep order.
     pub measurements: Vec<StreamMeasurement>,
 }
 
@@ -150,16 +208,17 @@ fn params(options: &StreamBenchOptions) -> DpcParams {
 }
 
 /// Runs the sweep: for every window size, engine and batch size, streams the
-/// same check-in sequence through the incremental engine and through
-/// rebuild-from-scratch, and records both throughputs.
+/// same check-in sequence through every requested maintenance mode and
+/// records each throughput.
 ///
 /// # Panics
-/// Panics if the options are degenerate (no engines, no windows, no batch
-/// sizes, zero updates or a zero batch) or if the two modes disagree on the
-/// final clustering — the benchmark doubles as an end-to-end consistency
+/// Panics if the options are degenerate (no engines, no modes, no windows,
+/// no batch sizes, zero updates or a zero batch) or if the modes disagree on
+/// the final clustering — the benchmark doubles as an end-to-end consistency
 /// check.
 pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
     assert!(!options.engines.is_empty(), "need at least one engine");
+    assert!(!options.modes.is_empty(), "need at least one mode");
     assert!(!options.windows.is_empty(), "need at least one window size");
     assert!(
         !options.batches.is_empty() && !options.batches.contains(&0),
@@ -182,7 +241,7 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
         let data = checkins(total_points, &CheckinConfig::gowalla(), options.seed).into_dataset();
         for &engine in &options.engines {
             for &batch in &options.batches {
-                let (inc, reb) = match engine {
+                let cell = match engine {
                     StreamEngine::Grid => {
                         measure_engine(engine, GridIndex::build, options, window, batch, &data)
                     }
@@ -193,8 +252,7 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
                         measure_engine(engine, RTree::build, options, window, batch, &data)
                     }
                 };
-                measurements.push(inc);
-                measurements.push(reb);
+                measurements.extend(cell);
             }
         }
     }
@@ -205,8 +263,8 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
     }
 }
 
-/// Measures the incremental/rebuild pair of one engine on one window size at
-/// one epoch batch size.
+/// Measures every requested mode of one engine on one window size at one
+/// epoch batch size.
 fn measure_engine<I, F>(
     engine: StreamEngine,
     build: F,
@@ -214,7 +272,7 @@ fn measure_engine<I, F>(
     window: usize,
     batch: usize,
     data: &Dataset,
-) -> (StreamMeasurement, StreamMeasurement)
+) -> Vec<StreamMeasurement>
 where
     I: UpdatableIndex,
     F: Fn(&Dataset) -> I,
@@ -222,77 +280,63 @@ where
     let points = data.points();
     let seed_window = Dataset::new(points[..window].to_vec());
     let arriving = &points[window..];
-
-    // Incremental: one engine, one advance (batch in, batch out) per epoch.
-    let stream_params = StreamParams::new(options.dc).with_dpc(params(options));
-    let mut stream = StreamingDpc::new(build(&seed_window), stream_params)
-        .expect("seeding the streaming engine must succeed");
-    let timer = dpc_core::Timer::start();
-    for chunk in arriving.chunks(batch) {
-        stream
-            .advance(chunk, chunk.len())
-            .expect("incremental update must succeed");
-    }
-    let inc_total = timer.elapsed();
-    let inc = measurement(
-        engine,
-        window,
-        batch,
-        "incremental",
-        options.updates,
-        inc_total,
-        stream.stats().fallback_epochs,
-    );
-
-    // Rebuild-from-scratch: same sliding window, but every epoch pays for a
-    // fresh index plus the full batch pipeline.
     let pipeline = DpcPipeline::new(params(options));
-    let mut live: Vec<Point> = points[..window].to_vec();
-    let timer = dpc_core::Timer::start();
-    let mut last_run = None;
-    for chunk in arriving.chunks(batch) {
-        // Mirror the engine's eviction of the oldest points so both modes
-        // maintain identical windows (as point sets).
-        live.drain(..chunk.len());
-        live.extend_from_slice(chunk);
-        let dataset = Dataset::new(live.clone());
-        let index = build(&dataset);
-        last_run = Some(pipeline.run(&index).expect("rebuild pipeline must succeed"));
+    let mut rows = Vec::with_capacity(options.modes.len());
+    for &mode in &options.modes {
+        // One engine per mode, one advance (batch in, batch out) per epoch;
+        // only the commit policy differs, so the rows are directly
+        // comparable — every mode pays the same handle/delta bookkeeping.
+        let policy = match mode {
+            StreamMode::Incremental => CommitPolicy::AlwaysIncremental,
+            StreamMode::Rebuild => CommitPolicy::AlwaysRebuild,
+            StreamMode::Adaptive => CommitPolicy::Adaptive,
+        };
+        let stream_params = StreamParams::new(options.dc)
+            .with_dpc(params(options))
+            .with_policy(policy);
+        let mut stream = StreamingDpc::new(build(&seed_window), stream_params)
+            .expect("seeding the streaming engine must succeed");
+        let timer = dpc_core::Timer::start();
+        for chunk in arriving.chunks(batch) {
+            stream
+                .advance(chunk, chunk.len())
+                .expect("streaming update must succeed");
+        }
+        let total = timer.elapsed();
+        // Consistency: the engine's final state must be bit-identical to a
+        // cold batch run over its own surviving dataset (the same invariant
+        // the dpc-stream property suite enforces epoch by epoch) — on every
+        // policy.
+        let check = pipeline
+            .run(&build(stream.index().dataset()))
+            .expect("consistency check must succeed");
+        assert_eq!(
+            stream.rho(),
+            &check.rho[..],
+            "{} rho diverged from batch ({} @ window {window}, batch {batch})",
+            mode.name(),
+            engine.name()
+        );
+        assert_eq!(
+            stream.clustering().labels(),
+            check.clustering.labels(),
+            "{} labels diverged from batch ({} @ window {window}, batch {batch})",
+            mode.name(),
+            engine.name()
+        );
+        let stats = stream.stats();
+        rows.push(measurement(
+            engine,
+            window,
+            batch,
+            mode,
+            options.updates,
+            total,
+            stats.fallback_epochs,
+            stats.rebuild_epochs,
+        ));
     }
-    let rebuild_total = timer.elapsed();
-    let reb = measurement(
-        engine,
-        window,
-        batch,
-        "rebuild",
-        options.updates,
-        rebuild_total,
-        0,
-    );
-
-    let _ = last_run.expect("at least one rebuild ran");
-    // Consistency: the engine's final state must be bit-identical to a cold
-    // batch run over its own surviving dataset (the same invariant the
-    // dpc-stream property suite enforces epoch by epoch). The rebuild rows
-    // above are purely a timing baseline — their dataset has a different
-    // point order, so exact ρ-tie break-offs may legitimately differ from
-    // the engine's window.
-    let check = pipeline
-        .run(&build(stream.index().dataset()))
-        .expect("consistency check must succeed");
-    assert_eq!(
-        stream.rho(),
-        &check.rho[..],
-        "incremental rho diverged from batch ({} @ window {window}, batch {batch})",
-        engine.name()
-    );
-    assert_eq!(
-        stream.clustering().labels(),
-        check.clustering.labels(),
-        "incremental labels diverged from batch ({} @ window {window}, batch {batch})",
-        engine.name()
-    );
-    (inc, reb)
+    rows
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -300,22 +344,24 @@ fn measurement(
     engine: StreamEngine,
     window: usize,
     batch: usize,
-    mode: &'static str,
+    mode: StreamMode,
     updates: usize,
     total: Duration,
     fallbacks: u64,
+    rebuilds: u64,
 ) -> StreamMeasurement {
     let per_update = total / updates.max(1) as u32;
     StreamMeasurement {
         engine: engine.name(),
         window,
         batch,
-        mode,
+        mode: mode.name(),
         updates,
         total,
         per_update,
         updates_per_sec: updates as f64 / total.as_secs_f64().max(1e-9),
         fallbacks,
+        rebuilds,
     }
 }
 
@@ -360,6 +406,42 @@ impl StreamBenchReport {
         }
     }
 
+    /// Throughput of the adaptive policy relative to the **better** of the
+    /// two fixed modes for one cell: 1.0 means the adaptive policy matched
+    /// the best fixed strategy exactly, values below 1.0 are its overhead.
+    /// `None` unless the adaptive row and at least one fixed row exist.
+    pub fn adaptive_vs_best(
+        &self,
+        engine: StreamEngine,
+        window: usize,
+        batch: usize,
+    ) -> Option<f64> {
+        let adaptive = self.row(engine, window, batch, "adaptive")?;
+        let best = ["incremental", "rebuild"]
+            .iter()
+            .filter_map(|mode| self.row(engine, window, batch, mode))
+            .map(|m| m.updates_per_sec)
+            .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a.max(s))))?;
+        Some(adaptive.updates_per_sec / best.max(1e-9))
+    }
+
+    /// The worst [`Self::adaptive_vs_best`] ratio across every swept cell —
+    /// the headline "how much does choosing adaptively cost at most" number.
+    /// `None` if no cell has both an adaptive row and a fixed-mode row.
+    pub fn worst_adaptive_ratio(&self) -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for &w in &self.options.windows {
+            for &b in &self.options.batches {
+                for &e in &self.options.engines {
+                    if let Some(r) = self.adaptive_vs_best(e, w, b) {
+                        worst = Some(worst.map_or(r, |x: f64| x.min(r)));
+                    }
+                }
+            }
+        }
+        worst
+    }
+
     /// Renders the report as the `BENCH_stream.json` snapshot (no external
     /// JSON dependency).
     pub fn to_json(&self) -> String {
@@ -371,7 +453,7 @@ impl StreamBenchReport {
             rows.push_str(&format!(
                 "    {{ \"engine\": \"{}\", \"window\": {}, \"batch\": {}, \"mode\": \"{}\", \
                  \"updates\": {}, \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \
-                 \"fallbacks\": {} }}",
+                 \"fallbacks\": {}, \"rebuilds\": {} }}",
                 m.engine,
                 m.window,
                 m.batch,
@@ -379,7 +461,8 @@ impl StreamBenchReport {
                 m.updates,
                 m.per_update.as_secs_f64() * 1e6,
                 m.updates_per_sec,
-                m.fallbacks
+                m.fallbacks,
+                m.rebuilds
             ));
         }
         let largest = self.options.windows.iter().copied().max().unwrap_or(0);
@@ -404,8 +487,9 @@ impl StreamBenchReport {
             .collect();
         let mut note = format!(
             "incremental = dpc-stream epoch-batched affected-set maintenance over an updatable \
-             index; rebuild = fresh index + full batch pipeline per epoch; speedups vs rebuild \
-             at the largest window ({largest}) and batch ({largest_batch}): {}",
+             index; rebuild = the same engine pinned to a bulk index rebuild + full batch \
+             pipeline per epoch; speedups vs rebuild at the largest window ({largest}) and \
+             batch ({largest_batch}): {}",
             speedups.join(", ")
         );
         if largest_batch > 1 && !batch_speedups.is_empty() {
@@ -413,6 +497,12 @@ impl StreamBenchReport {
                 "; batched epochs (batch {largest_batch}) vs per-update maintenance (batch 1), \
                  incremental mode at window {largest}: {}",
                 batch_speedups.join(", ")
+            ));
+        }
+        if let Some(worst) = self.worst_adaptive_ratio() {
+            note.push_str(&format!(
+                "; adaptive = cost-model-driven per-epoch choice between the two, throughput vs \
+                 the better fixed mode per cell, worst cell: {worst:.2}x"
             ));
         }
         format!(
@@ -436,7 +526,7 @@ impl StreamBenchReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "streaming throughput @ {} updates, dc = {}, {} thread(s), {} cpu(s)\n\
-             {:<8} {:<8} {:<7} {:<12} {:>16} {:>14} {:>10}\n",
+             {:<8} {:<8} {:<7} {:<12} {:>16} {:>14} {:>10} {:>9}\n",
             self.options.updates,
             self.options.dc,
             self.options.threads,
@@ -447,18 +537,20 @@ impl StreamBenchReport {
             "mode",
             "per update (us)",
             "updates/sec",
-            "fallbacks"
+            "fallbacks",
+            "rebuilds"
         );
         for m in &self.measurements {
             out.push_str(&format!(
-                "{:<8} {:<8} {:<7} {:<12} {:>16.1} {:>14.1} {:>10}\n",
+                "{:<8} {:<8} {:<7} {:<12} {:>16.1} {:>14.1} {:>10} {:>9}\n",
                 m.engine,
                 m.window,
                 m.batch,
                 m.mode,
                 m.per_update.as_secs_f64() * 1e6,
                 m.updates_per_sec,
-                m.fallbacks
+                m.fallbacks,
+                m.rebuilds
             ));
         }
         for &w in &self.options.windows {
@@ -479,8 +571,20 @@ impl StreamBenchReport {
                             ));
                         }
                     }
+                    if let Some(s) = self.adaptive_vs_best(e, w, b) {
+                        out.push_str(&format!(
+                            "{} @ window {w}, batch {b}: adaptive runs at {s:.2}x the better \
+                             fixed mode\n",
+                            e.name()
+                        ));
+                    }
                 }
             }
+        }
+        if let Some(worst) = self.worst_adaptive_ratio() {
+            out.push_str(&format!(
+                "adaptive vs the better fixed mode, worst cell: {worst:.2}x\n"
+            ));
         }
         out
     }
@@ -493,6 +597,7 @@ mod tests {
     fn tiny_options() -> StreamBenchOptions {
         StreamBenchOptions {
             engines: vec![StreamEngine::Grid],
+            modes: StreamMode::ALL.to_vec(),
             windows: vec![150],
             batches: vec![1],
             updates: 40,
@@ -503,13 +608,36 @@ mod tests {
     }
 
     #[test]
-    fn sweep_produces_both_modes_per_window() {
+    fn sweep_produces_all_modes_per_window() {
         let report = run(&tiny_options());
-        assert_eq!(report.measurements.len(), 2);
+        assert_eq!(report.measurements.len(), 3);
         assert_eq!(report.measurements[0].mode, "incremental");
         assert_eq!(report.measurements[1].mode, "rebuild");
+        assert_eq!(report.measurements[2].mode, "adaptive");
         assert!(report.measurements.iter().all(|m| m.updates == 40));
         assert!(report.speedup(StreamEngine::Grid, 150, 1).unwrap() > 0.0);
+        assert!(report.adaptive_vs_best(StreamEngine::Grid, 150, 1).unwrap() > 0.0);
+        assert_eq!(
+            report.worst_adaptive_ratio(),
+            report.adaptive_vs_best(StreamEngine::Grid, 150, 1)
+        );
+        // The rebuild baseline rebuilds on every one of the 40 epochs; the
+        // incremental row never does.
+        assert_eq!(report.measurements[1].rebuilds, 40);
+        assert_eq!(report.measurements[0].rebuilds, 0);
+    }
+
+    #[test]
+    fn single_mode_sweep_measures_only_that_mode() {
+        let report = run(&StreamBenchOptions {
+            modes: vec![StreamMode::Adaptive],
+            ..tiny_options()
+        });
+        assert_eq!(report.measurements.len(), 1);
+        assert_eq!(report.measurements[0].mode, "adaptive");
+        // No fixed-mode rows to compare against.
+        assert_eq!(report.adaptive_vs_best(StreamEngine::Grid, 150, 1), None);
+        assert_eq!(report.worst_adaptive_ratio(), None);
     }
 
     #[test]
@@ -518,12 +646,12 @@ mod tests {
             batches: vec![1, 8],
             ..tiny_options()
         });
-        // Two modes × two batch sizes.
-        assert_eq!(report.measurements.len(), 4);
+        // Three modes × two batch sizes.
+        assert_eq!(report.measurements.len(), 6);
         assert!(report
             .measurements
             .iter()
-            .any(|m| m.batch == 8 && m.mode == "incremental"));
+            .any(|m| m.batch == 8 && m.mode == "adaptive"));
         assert!(report.batch_speedup(StreamEngine::Grid, 150, 8).unwrap() > 0.0);
         // Batch 1 vs itself is exactly 1.
         assert_eq!(report.batch_speedup(StreamEngine::Grid, 150, 1), Some(1.0));
@@ -536,12 +664,13 @@ mod tests {
             batches: vec![1, 8],
             ..tiny_options()
         });
-        // Two rows per engine per batch size; the in-benchmark assertion
-        // already checked incremental == batch for each cell.
-        assert_eq!(report.measurements.len(), 8);
+        // Three rows per engine per batch size; the in-benchmark assertion
+        // already checked incremental == adaptive == batch for each cell.
+        assert_eq!(report.measurements.len(), 12);
         for e in [StreamEngine::KdTree, StreamEngine::RTree] {
             assert!(report.speedup(e, 150, 1).unwrap() > 0.0);
             assert!(report.speedup(e, 150, 8).unwrap() > 0.0);
+            assert!(report.adaptive_vs_best(e, 150, 8).unwrap() > 0.0);
             assert!(report
                 .measurements
                 .iter()
@@ -559,6 +688,16 @@ mod tests {
     }
 
     #[test]
+    fn mode_names_round_trip() {
+        for m in StreamMode::ALL {
+            assert_eq!(StreamMode::parse(m.name()).unwrap(), m);
+        }
+        assert_eq!(StreamMode::parse("inc").unwrap(), StreamMode::Incremental);
+        assert_eq!(StreamMode::parse("auto").unwrap(), StreamMode::Adaptive);
+        assert!(StreamMode::parse("oracle").is_err());
+    }
+
+    #[test]
     fn json_snapshot_has_the_expected_fields() {
         let report = run(&tiny_options());
         let json = report.to_json();
@@ -570,13 +709,17 @@ mod tests {
             "\"batch\": 1",
             "\"mode\": \"incremental\"",
             "\"mode\": \"rebuild\"",
+            "\"mode\": \"adaptive\"",
             "\"updates_per_sec\"",
+            "\"rebuilds\"",
+            "worst cell",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(report.render().contains("incremental"));
+        assert!(report.render().contains("adaptive"));
     }
 
     #[test]
@@ -593,6 +736,15 @@ mod tests {
     fn no_engines_panics() {
         run(&StreamBenchOptions {
             engines: vec![],
+            ..tiny_options()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mode")]
+    fn no_modes_panics() {
+        run(&StreamBenchOptions {
+            modes: vec![],
             ..tiny_options()
         });
     }

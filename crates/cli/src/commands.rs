@@ -9,7 +9,7 @@ use dpc_core::{
 };
 use dpc_datasets::{read_points_csv, write_labels_csv, write_points_csv, DatasetKind};
 use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
-use dpc_stream::{StreamParams, StreamingDpc};
+use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
 use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
 
 use crate::args::ParsedArgs;
@@ -143,7 +143,10 @@ pub fn knn_cluster(args: &ParsedArgs) -> Result<String, String> {
 /// `--batch` points slides the window (evicting the same number of oldest
 /// points), and each epoch's births/deaths/relabel counts are printed.
 /// `--engine` picks the updatable index family maintaining the window
-/// (`--index` is accepted as an alias).
+/// (`--index` is accepted as an alias). `--policy` picks the commit
+/// strategy: `incremental` (always affected-set maintenance, the default),
+/// `rebuild` (always bulk-rebuild the index and re-run the batch pipeline)
+/// or `adaptive` (a calibrated cost model chooses per epoch).
 pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     args.reject_unknown(&[
         "input",
@@ -155,6 +158,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         "threads",
         "centers",
         "max-epochs",
+        "policy",
         "quiet",
     ])?;
     let data = load_points(args.require("input")?)?;
@@ -168,6 +172,8 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     let threads: usize = args.get_or("threads", 1)?;
     let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
     let max_epochs: usize = args.get_or("max-epochs", usize::MAX)?;
+    let policy = CommitPolicy::parse(args.get("policy").unwrap_or("incremental"))
+        .map_err(|e| e.to_string())?;
     let quiet = args.has_switch("quiet");
     if window == 0 || batch == 0 {
         return Err("--window and --batch must be positive".into());
@@ -182,11 +188,13 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     let points = data.points();
     let warm = window.min(points.len());
     let seed = Dataset::new(points[..warm].to_vec());
-    let params = StreamParams::new(dc).with_dpc(
-        DpcParams::new(dc)
-            .with_centers(selection)
-            .with_threads(threads),
-    );
+    let params = StreamParams::new(dc)
+        .with_dpc(
+            DpcParams::new(dc)
+                .with_centers(selection)
+                .with_threads(threads),
+        )
+        .with_policy(policy);
     let mut lines = Vec::new();
     let seed_timer = dpc_core::Timer::start();
     // The engine is seeded inside the call arguments, before `replay` starts
@@ -258,7 +266,8 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         out,
         "applied {} point updates (each eviction or insertion) over a window \
          of {} in {:.1} ms ({:.0} point updates/s, seeding took {:.1} ms): \
-         {} epochs ({} incremental, {} fallback), mean affected union {:.1}",
+         {} epochs ({} incremental, {} fallback, {} rebuild), \
+         mean affected union {:.1}, commit policy {}",
         stats.updates,
         warm,
         elapsed.as_secs_f64() * 1e3,
@@ -267,8 +276,17 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         stats.epochs,
         stats.incremental_epochs,
         stats.fallback_epochs,
-        stats.affected_points as f64 / (stats.epochs as f64).max(1.0)
+        stats.rebuild_epochs,
+        stats.affected_points as f64 / (stats.epochs as f64).max(1.0),
+        policy.name()
     );
+    if policy == CommitPolicy::Adaptive {
+        let _ = write!(
+            out,
+            " (cost model predicted {} us across epochs, observed {} us)",
+            stats.predicted_cost_micros, stats.observed_cost_micros
+        );
+    }
     Ok(out)
 }
 
@@ -296,7 +314,10 @@ fn replay<I: UpdatableIndex>(
             .advance(chunk, chunk.len())
             .map_err(|e| e.to_string())?;
         if !quiet {
-            lines.push(delta.summary());
+            // Tag each epoch with the maintenance path the commit policy
+            // actually took (incremental / fallback / rebuild).
+            let mode = engine.stats().last_epoch_mode.map_or("?", |m| m.name());
+            lines.push(format!("{} [{mode}]", delta.summary()));
         }
     }
     Ok((engine.stats(), timer.elapsed()))
@@ -653,6 +674,13 @@ mod tests {
         assert!(out.contains("seeded window of 200 points"), "{out}");
         assert!(out.contains("epoch"), "{out}");
         assert!(out.contains("updates/s"), "{out}");
+        // Every epoch line is tagged with the maintenance path taken, and
+        // the exit summary names the commit policy.
+        assert!(
+            out.contains("[incremental]") || out.contains("[fallback]"),
+            "{out}"
+        );
+        assert!(out.contains("commit policy incremental"), "{out}");
 
         // Every other engine must replay the same stream; `--engine` is the
         // documented spelling, `--index` stays as an alias.
@@ -676,6 +704,42 @@ mod tests {
             assert!(out.contains("incremental"), "{engine}: {out}");
         }
 
+        // The commit policy is selectable: rebuild commits every epoch via
+        // the bulk path, adaptive lets the cost model choose and reports
+        // its predicted-vs-observed totals.
+        let out = run(args(&[
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--policy",
+            "rebuild",
+        ]))
+        .unwrap();
+        assert!(out.contains("[rebuild]"), "{out}");
+        assert!(out.contains("commit policy rebuild"), "{out}");
+        let out = run(args(&[
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--policy",
+            "adaptive",
+        ]))
+        .unwrap();
+        assert!(out.contains("commit policy adaptive"), "{out}");
+        assert!(out.contains("cost model predicted"), "{out}");
+
         // Bad invocations.
         assert!(run(args(&[
             "stream",
@@ -685,6 +749,16 @@ mod tests {
             "0.5",
             "--engine",
             "ball-tree"
+        ]))
+        .is_err());
+        assert!(run(args(&[
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--policy",
+            "sometimes"
         ]))
         .is_err());
         assert!(run(args(&[

@@ -59,7 +59,7 @@ USAGE:
   dpc stream      --input points.csv --dc F
                   [--engine grid|kdtree|rtree|naive] [--window N] [--batch N] [--threads N]
                   [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
-                  [--max-epochs N] [--quiet]
+                  [--policy incremental|rebuild|adaptive] [--max-epochs N] [--quiet]
   dpc help
 
 Datasets are the paper's six evaluation datasets, regenerated synthetically
@@ -67,7 +67,9 @@ at `--scale` times their original size. Clustering reads any CSV of `x,y`
 rows (extra columns ignored) and writes `x,y,label` rows; halo points get an
 empty label when --halo is set. `stream` replays the CSV as a point stream:
 the first --window rows seed an incremental engine, every following batch
-slides the window, and per-epoch cluster births/deaths are printed."
+slides the window, and per-epoch cluster births/deaths are printed; --policy
+picks the commit strategy (adaptive = a calibrated cost model chooses
+incremental maintenance or a bulk rebuild per epoch)."
         .to_string()
 }
 

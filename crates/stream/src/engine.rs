@@ -40,6 +40,14 @@
 //! Why each piece of `F` is sufficient, and why everyone else only needs the
 //! candidate fold, is derived step by step in `docs/STREAMING.md`.
 //!
+//! Steps 2–4 are the **incremental** path. A [`CommitPolicy`] on
+//! [`StreamParams`] can route an epoch through the **rebuild** path instead
+//! — one bulk [`UpdatableIndex::rebuild_from`] of the epoch's final window
+//! feeding the batch ρ/δ pipeline — either always, or per epoch via the
+//! calibrated cost model of [`CommitPolicy::Adaptive`] (see the
+//! [`policy`](crate::policy) module). Both paths commit bit-identical
+//! state; the policy only decides which one pays less wall-clock.
+//!
 //! The correctness anchor (enforced by the equivalence property suite at
 //! batch sizes 1, 7 and 64) is: after **every** epoch, the engine's `(ρ, δ,
 //! µ, labels, centres)` are bit-identical both to a per-update replay of the
@@ -47,6 +55,7 @@
 //! [`UpdatableIndex`] implementation, at every thread count.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use dpc_core::{
     assign_clusters, BatchOp, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError,
@@ -55,7 +64,8 @@ use dpc_core::{
 
 use crate::epoch::{EpochPlan, PlanOp};
 use crate::handle::{Handle, HandleMap};
-use crate::maintenance::{candidate_pass, recompute_all, recompute_targets};
+use crate::maintenance::{candidate_pass, delta_point, recompute_all, recompute_targets};
+use crate::policy::{CommitPolicy, CostModel, EpochMode, Prediction};
 use crate::report::{ClusterDelta, LabelChange};
 
 /// Parameters of a streaming run: the batch DPC parameters plus the
@@ -84,15 +94,32 @@ pub struct StreamParams {
     /// incrementally. 1.0 (or anything ≥ 1.0) effectively disables the
     /// fallback; 0.0 forces it on every epoch (useful for testing).
     pub max_affected_fraction: f64,
+    /// How [`commit`](StreamingDpc::commit) maintains the clustering each
+    /// epoch: always incrementally (the default), always by bulk rebuild, or
+    /// adaptively via the calibrated [`CostModel`].
+    pub policy: CommitPolicy,
+    /// EWMA smoothing factor α ∈ (0, 1] for the adaptive cost model's
+    /// online rate updates (`new = α·sample + (1-α)·old`). 1.0 keeps only
+    /// the latest epoch; small values average over many. Default 0.3.
+    pub ewma_alpha: f64,
+    /// Multiplier applied to the *predicted* rebuild cost before comparing
+    /// paths. Values above 1.0 make the adaptive policy reluctant to
+    /// rebuild, below 1.0 eager. Default 1.0 (unbiased). Must be positive
+    /// and finite.
+    pub rebuild_bias: f64,
 }
 
 impl StreamParams {
     /// Streaming parameters with the given cut-off and defaults for
-    /// everything else (fallback threshold 0.25).
+    /// everything else (fallback threshold 0.25, incremental policy,
+    /// EWMA α 0.3, unbiased rebuild cost).
     pub fn new(dc: f64) -> Self {
         StreamParams {
             dpc: DpcParams::new(dc),
             max_affected_fraction: 0.25,
+            policy: CommitPolicy::default(),
+            ewma_alpha: 0.3,
+            rebuild_bias: 1.0,
         }
     }
 
@@ -108,6 +135,24 @@ impl StreamParams {
         self
     }
 
+    /// Sets the commit policy.
+    pub fn with_policy(mut self, policy: CommitPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor of the adaptive cost model.
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Sets the rebuild cost bias of the adaptive policy.
+    pub fn with_rebuild_bias(mut self, bias: f64) -> Self {
+        self.rebuild_bias = bias;
+        self
+    }
+
     /// Validates the parameters.
     pub fn validate(&self) -> Result<()> {
         self.dpc.validate()?;
@@ -117,6 +162,26 @@ impl StreamParams {
                 format!(
                     "must be a finite non-negative fraction, got {}",
                     self.max_affected_fraction
+                ),
+            ));
+        }
+        if !(self.ewma_alpha.is_finite() && self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(DpcError::invalid_parameter(
+                "ewma_alpha",
+                format!(
+                    "EWMA smoothing factor must be a positive finite number \
+                     (valid range: 0 < alpha <= 1), got {}",
+                    self.ewma_alpha
+                ),
+            ));
+        }
+        if !(self.rebuild_bias.is_finite() && self.rebuild_bias > 0.0) {
+            return Err(DpcError::invalid_parameter(
+                "rebuild_bias",
+                format!(
+                    "rebuild cost bias must be a positive finite number \
+                     (valid range: bias > 0), got {}",
+                    self.rebuild_bias
                 ),
             ));
         }
@@ -157,12 +222,28 @@ pub struct StreamStats {
     pub incremental_epochs: u64,
     /// Epochs that fell back to a full δ/µ recomputation.
     pub fallback_epochs: u64,
+    /// Epochs committed by bulk index rebuild + batch ρ/δ queries (the
+    /// `AlwaysRebuild` policy, or the adaptive policy predicting a rebuild
+    /// win). Every epoch lands in exactly one of the three counters.
+    pub rebuild_epochs: u64,
     /// Sum over epochs of the affected-union size |U| (distinct surviving
     /// points whose ρ was touched by the epoch's ε-neighbourhoods).
     pub affected_points: u64,
     /// Sum over epochs of the invalidation-set size |F| (points fully
     /// recomputed when on the incremental path).
     pub invalidated_points: u64,
+    /// Wall-clock µs the *last* epoch spent in density maintenance (plan
+    /// application through δ/µ repair or rebuild; excludes re-clustering).
+    pub last_epoch_micros: u64,
+    /// What the last committed epoch did (`None` before the first epoch).
+    pub last_epoch_mode: Option<EpochMode>,
+    /// Sum over *adaptive* epochs of the cost model's predicted cost of the
+    /// chosen path, in µs. Compare with
+    /// [`observed_cost_micros`](Self::observed_cost_micros) to judge the
+    /// model's calibration; both stay 0 under the fixed policies.
+    pub predicted_cost_micros: u64,
+    /// Sum over *adaptive* epochs of the observed maintenance cost, in µs.
+    pub observed_cost_micros: u64,
 }
 
 /// Provenance of a dense slot while an epoch is being applied.
@@ -172,6 +253,52 @@ enum Origin {
     Old(PointId),
     /// Inserted by this epoch (payload: the plan's insert ordinal).
     New(usize),
+}
+
+/// Reusable per-epoch working memory of [`StreamingDpc::commit`]. Every
+/// buffer is cleared (not shrunk) at the start of the phase that fills it,
+/// so a steady-state stream commits epochs without allocating.
+#[derive(Debug, Clone, Default)]
+struct CommitScratch {
+    /// Provenance of each dense slot while the plan is applied.
+    owner: Vec<Origin>,
+    /// The plan translated to resolved-id index ops.
+    batch_ops: Vec<BatchOp>,
+    /// Pre-epoch coordinates of every expired survivor.
+    removed_old_locs: Vec<Point>,
+    /// Final dense ids of the points inserted this epoch.
+    inserted_final: Vec<PointId>,
+    /// Pre-epoch id → final id (`None` = expired).
+    final_of_old: Vec<Option<PointId>>,
+    /// Dedup bitmap behind the affected union U.
+    visited: Vec<bool>,
+    /// The affected union U (distinct survivors whose ρ changed).
+    union: Vec<PointId>,
+    /// The invalidation set F (recompute targets).
+    invalidated: Vec<PointId>,
+    /// Survivors renamed to a smaller id by a swap-remove.
+    renamed: Vec<PointId>,
+    /// Membership bitmap of F for the candidate fold.
+    skip: Vec<bool>,
+    /// Candidate entrants (U ∪ inserted ∪ renamed) for the min-fold.
+    candidates: Vec<PointId>,
+}
+
+/// How many brute-force δ probes the seeding calibration times to estimate
+/// the incremental path's per-point cost.
+const CALIBRATION_PROBES: usize = 32;
+
+/// What one committed (non-empty, non-emptying) epoch's maintenance did,
+/// handed from the chosen branch back to [`StreamingDpc::commit`] for
+/// timing, stats and model updates.
+struct EpochOutcome {
+    /// One handle per planned insert, in plan order.
+    planned_handles: Vec<Handle>,
+    /// Which path the epoch actually took.
+    mode: EpochMode,
+    /// |F| on the incremental/fallback path (0 for a rebuild, which never
+    /// materialises an invalidation set).
+    invalidated: usize,
 }
 
 /// An online Density Peak Clustering engine over a mutable window of points.
@@ -237,6 +364,14 @@ pub struct StreamingDpc<I: UpdatableIndex> {
     assignment: BTreeMap<Handle, Handle>,
     epoch: u64,
     stats: StreamStats,
+    /// Calibrated cost model behind [`CommitPolicy::Adaptive`] — seeded in
+    /// [`new`](Self::new), updated online from every epoch's timing
+    /// regardless of policy (so flipping to `Adaptive` mid-stream starts
+    /// from live estimates).
+    model: CostModel,
+    /// Reusable per-epoch working memory (taken out for the duration of a
+    /// commit, put back afterwards).
+    scratch: CommitScratch,
 }
 
 impl<I: UpdatableIndex> StreamingDpc<I> {
@@ -263,12 +398,38 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             ));
         }
         let n = index.len();
+        // One-shot calibration: the seeding batch query is exactly what a
+        // rebuild epoch pays per window point, and a handful of brute-force
+        // δ probes (the incremental repair kernel) measure the incremental
+        // path's per-point cost. Both are timed here regardless of policy —
+        // the probes cost O(CALIBRATION_PROBES · n), less than the seeding
+        // query itself — so [`set_policy`](Self::set_policy) can flip to
+        // `Adaptive` mid-stream and find a live model.
+        let seeding = Instant::now();
         let (rho, deltas) = if n == 0 {
             (Vec::new(), DeltaResult::unset(0))
         } else {
             index.rho_delta_with_policy(params.dpc.dc, params.dpc.exec)?
         };
-        let peak = DensityOrder::with_tie_break(&rho, params.dpc.tie_break).global_peak();
+        let rebuild_us = seeding.elapsed().as_micros() as f64 / n.max(1) as f64;
+        let order = DensityOrder::with_tie_break(&rho, params.dpc.tie_break);
+        let peak = order.global_peak();
+        let inc_us = if n == 0 {
+            0.0
+        } else {
+            // Stride-spread sample so the probe sees the whole window, not
+            // one dense corner of it.
+            let probes = CALIBRATION_PROBES.min(n);
+            let stride = n / probes;
+            let probing = Instant::now();
+            for k in 0..probes {
+                std::hint::black_box(delta_point(index.dataset(), &order, k * stride));
+            }
+            probing.elapsed().as_micros() as f64 / probes as f64
+        };
+        // An update invalidates its ε-neighbourhood plus itself: mean ρ + 1.
+        let union_prior = rho.iter().map(|&r| r as f64).sum::<f64>() / n.max(1) as f64 + 1.0;
+        let model = CostModel::seeded(rebuild_us, inc_us, union_prior, params.ewma_alpha);
         let mut engine = StreamingDpc {
             index,
             params,
@@ -280,6 +441,8 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             assignment: BTreeMap::new(),
             epoch: 0,
             stats: StreamStats::default(),
+            model,
+            scratch: CommitScratch::default(),
         };
         // The seeding pass is epoch 0, not a streamed delta.
         engine.recluster()?;
@@ -354,6 +517,21 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
     /// Cumulative maintenance counters.
     pub fn stats(&self) -> StreamStats {
         self.stats
+    }
+
+    /// The calibrated cost model driving [`CommitPolicy::Adaptive`].
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Switches the commit policy mid-stream, effective from the next
+    /// committed epoch. A policy switch never changes results — every path
+    /// is bit-identical to the cold batch oracle — only which maintenance
+    /// path future epochs take. The cost model keeps learning from epoch
+    /// timings under every policy, so a flip to [`CommitPolicy::Adaptive`]
+    /// starts from live estimates rather than the seeding calibration.
+    pub fn set_policy(&mut self, policy: CommitPolicy) {
+        self.params.policy = policy;
     }
 
     /// The stable handle of the point at dense id `id`.
@@ -483,22 +661,99 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         }
         self.validate_plan(plan)?;
 
-        // Phase 1 — translate the plan into resolved-id index ops, mirroring
-        // every op in the handle map and the per-point arrays so handle → id
-        // resolution tracks the mid-batch state. `owner` records, for each
-        // dense slot, whether it holds a survivor (and its pre-epoch id) or
-        // a point inserted this epoch.
+        // Choose the maintenance path *before* any mutation, from the plan
+        // shape alone (validation already guarantees every removal names a
+        // distinct live point, so the final window size is exact). An epoch
+        // that empties the window always takes the — then trivial —
+        // incremental path: there is nothing to rebuild.
+        let updates = plan.ops.len();
+        let insert_count = plan.insert_count();
+        let n_final = (self.rho.len() + insert_count).saturating_sub(updates - insert_count);
+        let prediction: Option<Prediction> = match self.params.policy {
+            CommitPolicy::Adaptive => Some(self.model.predict(
+                updates,
+                n_final,
+                self.params.max_affected_fraction,
+                self.params.rebuild_bias,
+            )),
+            _ => None,
+        };
+        let rebuild = n_final > 0
+            && match self.params.policy {
+                CommitPolicy::AlwaysIncremental => false,
+                CommitPolicy::AlwaysRebuild => true,
+                CommitPolicy::Adaptive => prediction.expect("adaptive: just computed").rebuild_wins,
+            };
+
+        // The scratch buffers move out for the duration of the epoch so the
+        // branch can borrow them field-by-field alongside `self`; they are
+        // put back (grown, never shrunk) whatever the outcome.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let started = Instant::now();
+        let outcome = if rebuild {
+            self.commit_rebuild(plan, &mut scratch)
+        } else {
+            self.commit_incremental(plan, &mut scratch)
+        };
+        self.scratch = scratch;
+        let outcome = outcome?;
+        let micros = started.elapsed().as_micros() as f64;
+
+        let n = self.rho.len();
+        match outcome.mode {
+            EpochMode::Incremental => {
+                self.stats.incremental_epochs += 1;
+                self.stats.invalidated_points += outcome.invalidated as u64;
+            }
+            EpochMode::Fallback => self.stats.fallback_epochs += 1,
+            EpochMode::Rebuild => self.stats.rebuild_epochs += 1,
+        }
+        // The model learns from every epoch's timing regardless of policy
+        // (an emptied window teaches nothing and is skipped).
+        if n > 0 {
+            match outcome.mode {
+                EpochMode::Incremental => {
+                    self.model
+                        .observe_incremental(outcome.invalidated, updates, micros)
+                }
+                EpochMode::Fallback => {
+                    self.model
+                        .observe_fallback(n, outcome.invalidated, updates, micros)
+                }
+                EpochMode::Rebuild => self.model.observe_rebuild(n, micros),
+            }
+        }
+        self.stats.last_epoch_micros = micros as u64;
+        self.stats.last_epoch_mode = Some(outcome.mode);
+        if let Some(p) = prediction {
+            self.stats.predicted_cost_micros += p.chosen_us() as u64;
+            self.stats.observed_cost_micros += micros as u64;
+        }
+
+        // Phase 5 — one clustering epoch for the whole batch.
+        let delta = self.recluster()?;
+        Ok((outcome.planned_handles, delta))
+    }
+
+    /// Phase 1 — translates the plan into resolved-id index ops, mirroring
+    /// every op in the handle map and the per-point arrays so handle → id
+    /// resolution tracks the mid-batch state. `scratch.owner` records, for
+    /// each dense slot, whether it holds a survivor (and its pre-epoch id)
+    /// or a point inserted this epoch. The dataset itself is not mutated
+    /// yet; both maintenance branches start from here.
+    fn apply_plan(&mut self, plan: &EpochPlan, scratch: &mut CommitScratch) -> Vec<Handle> {
         let n_old = self.rho.len();
-        let mut owner: Vec<Origin> = (0..n_old).map(Origin::Old).collect();
-        let mut batch_ops: Vec<BatchOp> = Vec::with_capacity(plan.ops.len());
+        scratch.owner.clear();
+        scratch.owner.extend((0..n_old).map(Origin::Old));
+        scratch.batch_ops.clear();
+        scratch.removed_old_locs.clear();
         let mut planned_handles: Vec<Handle> = Vec::with_capacity(plan.insert_count());
-        let mut removed_old_locs: Vec<Point> = Vec::new();
         for op in &plan.ops {
             let handle = match *op {
                 PlanOp::Insert(p, _) => {
-                    batch_ops.push(BatchOp::Insert(p));
+                    scratch.batch_ops.push(BatchOp::Insert(p));
                     planned_handles.push(self.handles.push());
-                    owner.push(Origin::New(planned_handles.len() - 1));
+                    scratch.owner.push(Origin::New(planned_handles.len() - 1));
                     self.rho.push(0);
                     self.deltas.delta.push(f64::INFINITY);
                     self.deltas.mu.push(None);
@@ -511,49 +766,69 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                 .handles
                 .dense_of(handle)
                 .expect("validated: handle is live at this op");
-            if let Origin::Old(old_id) = owner[id] {
+            if let Origin::Old(old_id) = scratch.owner[id] {
                 // The dataset is still unmutated here, so the pre-epoch id
                 // addresses the expiring coordinates.
-                removed_old_locs.push(self.index.dataset().point(old_id));
+                scratch
+                    .removed_old_locs
+                    .push(self.index.dataset().point(old_id));
             }
-            batch_ops.push(BatchOp::Remove(id));
+            scratch.batch_ops.push(BatchOp::Remove(id));
             self.handles.swap_remove(id);
-            owner.swap_remove(id);
+            scratch.owner.swap_remove(id);
             self.rho.swap_remove(id);
             self.deltas.delta.swap_remove(id);
             self.deltas.mu.swap_remove(id);
         }
+        planned_handles
+    }
+
+    /// The incremental maintenance branch: phases 2–4 of the pipeline
+    /// (batch index mutation, ρ repair, bounded δ/µ repair with its
+    /// fallback). Re-clustering and all stats/model bookkeeping happen in
+    /// [`commit`](Self::commit).
+    fn commit_incremental(
+        &mut self,
+        plan: &EpochPlan,
+        scratch: &mut CommitScratch,
+    ) -> Result<EpochOutcome> {
+        let n_old = self.rho.len();
+        let planned_handles = self.apply_plan(plan, scratch);
 
         // Phase 2 — one index call for the whole epoch; amortised triggers
         // (scapegoat rebuilds, forced reinsertion) fire at most once here.
         // Validation guarantees the ops themselves cannot fail.
-        self.index.apply_batch(&batch_ops)?;
+        self.index.apply_batch(&scratch.batch_ops)?;
         debug_assert_eq!(self.index.len(), self.rho.len());
         debug_assert_eq!(self.handles.len(), self.rho.len());
-        self.stats.updates += batch_ops.len() as u64;
+        self.stats.updates += scratch.batch_ops.len() as u64;
 
         let n = self.rho.len();
         if n == 0 {
             self.peak = None;
-            self.stats.incremental_epochs += 1;
-            let delta = self.recluster()?;
-            return Ok((planned_handles, delta));
+            return Ok(EpochOutcome {
+                planned_handles,
+                mode: EpochMode::Incremental,
+                invalidated: 0,
+            });
         }
 
         // Phase 3 — ρ repair against the final index. `final_of_old` maps a
         // pre-epoch id to its final slot (None = expired); `visited` is the
         // dedup bitmap building the affected union U.
         let dc = self.params.dpc.dc;
-        let mut inserted_final: Vec<PointId> = Vec::new();
-        let mut final_of_old: Vec<Option<PointId>> = vec![None; n_old];
-        for (i, origin) in owner.iter().enumerate() {
+        scratch.inserted_final.clear();
+        scratch.final_of_old.clear();
+        scratch.final_of_old.resize(n_old, None);
+        for (i, origin) in scratch.owner.iter().enumerate() {
             match *origin {
-                Origin::Old(o) => final_of_old[o] = Some(i),
-                Origin::New(_) => inserted_final.push(i),
+                Origin::Old(o) => scratch.final_of_old[o] = Some(i),
+                Origin::New(_) => scratch.inserted_final.push(i),
             }
         }
-        let mut visited = vec![false; n];
-        let mut union: Vec<PointId> = Vec::new();
+        scratch.visited.clear();
+        scratch.visited.resize(n, false);
+        scratch.union.clear();
         let touch = |q: PointId, visited: &mut Vec<bool>, union: &mut Vec<PointId>| {
             if !visited[q] {
                 visited[q] = true;
@@ -563,11 +838,11 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         // Each expired pre-epoch location stops contributing to the ρ of the
         // survivors around it. Inserted points are skipped: their ρ is
         // counted fresh below, against the final window.
-        for &loc in &removed_old_locs {
+        for &loc in &scratch.removed_old_locs {
             for q in self.index.eps_neighbors(loc, dc)? {
-                if matches!(owner[q], Origin::Old(_)) {
+                if matches!(scratch.owner[q], Origin::Old(_)) {
                     self.rho[q] -= 1;
-                    touch(q, &mut visited, &mut union);
+                    touch(q, &mut scratch.visited, &mut scratch.union);
                 }
             }
         }
@@ -575,30 +850,33 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         // includes the point itself at distance 0) and raises the ρ of the
         // survivors in it; inserted neighbours are covered by their own
         // fresh counts.
-        for &x in &inserted_final {
+        for &x in &scratch.inserted_final {
             let neighborhood = self
                 .index
                 .eps_neighbors(self.index.dataset().point(x), dc)?;
             self.rho[x] = (neighborhood.len() - 1) as Rho;
             for q in neighborhood {
-                if matches!(owner[q], Origin::Old(_)) {
+                if matches!(scratch.owner[q], Origin::Old(_)) {
                     self.rho[q] += 1;
-                    touch(q, &mut visited, &mut union);
+                    touch(q, &mut scratch.visited, &mut scratch.union);
                 }
             }
         }
-        self.stats.affected_points += union.len() as u64;
+        self.stats.affected_points += scratch.union.len() as u64;
 
         // Phase 4 — build the invalidation set F and the candidate entrants,
         // then repair δ/µ once for the whole epoch.
         let tie = self.params.dpc.tie_break;
         let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
-        let old_peak = self.peak.and_then(|pk| final_of_old[pk]);
+        let old_peak = self.peak.and_then(|pk| scratch.final_of_old[pk]);
 
-        let mut invalidated: Vec<PointId> = union.clone();
-        invalidated.extend_from_slice(&inserted_final);
-        let mut renamed: Vec<PointId> = Vec::new();
-        for (o, slot) in final_of_old.iter().enumerate() {
+        scratch.invalidated.clear();
+        scratch.invalidated.extend_from_slice(&scratch.union);
+        scratch
+            .invalidated
+            .extend_from_slice(&scratch.inserted_final);
+        scratch.renamed.clear();
+        for (o, slot) in scratch.final_of_old.iter().enumerate() {
             if let Some(i) = *slot {
                 if i != o {
                     // A swap-remove renamed this survivor to a smaller id,
@@ -606,77 +884,131 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                     // direction, depending on the tie-break rule): its own
                     // denser set may have shrunk (recompute) and it may
                     // enter other points' minima (candidate).
-                    renamed.push(i);
+                    scratch.renamed.push(i);
                 }
             }
         }
-        invalidated.extend_from_slice(&renamed);
+        scratch.invalidated.extend_from_slice(&scratch.renamed);
         // One µ scan: rename surviving µ ids into the final id space,
         // invalidate points whose µ expired or whose µ's rank may have
         // changed — because its ρ was touched (`visited`), or because the
         // swap-remove renamed it (`m != mu_old`): under `LargerIdDenser` a
         // smaller id *lowers* the µ's tie rank, so it can fall out of the
         // dependent's denser set without any ρ change.
-        for (p, origin) in owner.iter().enumerate() {
+        for (p, origin) in scratch.owner.iter().enumerate() {
             if matches!(origin, Origin::New(_)) {
                 continue; // placeholder µ; already invalidated above
             }
             if let Some(mu_old) = self.deltas.mu[p] {
-                match final_of_old[mu_old] {
+                match scratch.final_of_old[mu_old] {
                     None => {
                         self.deltas.mu[p] = None;
-                        invalidated.push(p);
+                        scratch.invalidated.push(p);
                     }
                     Some(m) => {
                         self.deltas.mu[p] = Some(m);
-                        if visited[m] || m != mu_old {
-                            invalidated.push(p);
+                        if scratch.visited[m] || m != mu_old {
+                            scratch.invalidated.push(p);
                         }
                     }
                 }
             }
         }
-        invalidated.extend(old_peak);
-        invalidated.extend(new_peak);
-        invalidated.sort_unstable();
-        invalidated.dedup();
+        scratch.invalidated.extend(old_peak);
+        scratch.invalidated.extend(new_peak);
+        scratch.invalidated.sort_unstable();
+        scratch.invalidated.dedup();
 
         let order = DensityOrder::with_tie_break(&self.rho, tie);
         let dataset = self.index.dataset();
-        if self.needs_fallback(invalidated.len(), n) {
-            self.stats.fallback_epochs += 1;
+        let mode = if self.needs_fallback(scratch.invalidated.len(), n) {
             recompute_all(dataset, &order, &mut self.deltas, self.params.dpc.exec);
+            EpochMode::Fallback
         } else {
-            self.stats.incremental_epochs += 1;
-            self.stats.invalidated_points += invalidated.len() as u64;
-            let mut skip = vec![false; n];
-            for &f in &invalidated {
-                skip[f] = true;
+            scratch.skip.clear();
+            scratch.skip.resize(n, false);
+            for &f in &scratch.invalidated {
+                scratch.skip[f] = true;
             }
-            let mut candidates = union;
-            candidates.extend_from_slice(&inserted_final);
-            candidates.extend_from_slice(&renamed);
+            scratch.candidates.clear();
+            scratch.candidates.extend_from_slice(&scratch.union);
+            scratch
+                .candidates
+                .extend_from_slice(&scratch.inserted_final);
+            scratch.candidates.extend_from_slice(&scratch.renamed);
             candidate_pass(
                 dataset,
                 &order,
-                &candidates,
-                &skip,
+                &scratch.candidates,
+                &scratch.skip,
                 &mut self.deltas,
                 self.params.dpc.exec,
             );
             recompute_targets(
                 dataset,
                 &order,
-                &invalidated,
+                &scratch.invalidated,
                 &mut self.deltas,
                 self.params.dpc.exec,
             );
-        }
+            EpochMode::Incremental
+        };
         self.peak = new_peak;
+        Ok(EpochOutcome {
+            planned_handles,
+            mode,
+            invalidated: scratch.invalidated.len(),
+        })
+    }
 
-        // Phase 5 — one clustering epoch for the whole batch.
-        let delta = self.recluster()?;
-        Ok((planned_handles, delta))
+    /// The rebuild maintenance branch: materialises the epoch's final
+    /// window with the exact per-update id and version semantics of the
+    /// incremental path, bulk-loads it into the index
+    /// ([`UpdatableIndex::rebuild_from`]) and re-runs the batch ρ/δ
+    /// pipeline — bit-identical to the cold oracle because an exact index's
+    /// batch queries are. Never called for an epoch that empties the
+    /// window.
+    fn commit_rebuild(
+        &mut self,
+        plan: &EpochPlan,
+        scratch: &mut CommitScratch,
+    ) -> Result<EpochOutcome> {
+        let planned_handles = self.apply_plan(plan, scratch);
+
+        // Phase 2′ — replay the resolved ops on a copy of the dataset
+        // (inserts append, removals swap-remove, one version bump each —
+        // exactly what `apply_batch` would do to the index's own dataset),
+        // then hand the final window to the index in one bulk load.
+        let mut dataset = self.index.dataset().clone();
+        for op in &scratch.batch_ops {
+            match *op {
+                BatchOp::Insert(p) => {
+                    dataset.push(p)?;
+                }
+                BatchOp::Remove(id) => {
+                    dataset.swap_remove(id)?;
+                }
+            }
+        }
+        self.index.rebuild_from(dataset)?;
+        debug_assert_eq!(self.index.len(), self.rho.len());
+        debug_assert_eq!(self.handles.len(), self.rho.len());
+        self.stats.updates += scratch.batch_ops.len() as u64;
+
+        // Phases 3′+4′ — fresh batch ρ/δ/µ over the rebuilt index and a
+        // fresh global peak; nothing to repair.
+        let (rho, deltas) = self
+            .index
+            .rho_delta_with_policy(self.params.dpc.dc, self.params.dpc.exec)?;
+        self.rho = rho;
+        self.deltas = deltas;
+        self.peak =
+            DensityOrder::with_tie_break(&self.rho, self.params.dpc.tie_break).global_peak();
+        Ok(EpochOutcome {
+            planned_handles,
+            mode: EpochMode::Rebuild,
+            invalidated: 0,
+        })
     }
 
     /// Rejects a plan that could fail mid-application: non-finite insert
@@ -1083,6 +1415,139 @@ mod tests {
             StreamParams::new(1.0).with_max_affected_fraction(f64::NAN)
         )
         .is_err());
+    }
+
+    #[test]
+    fn non_finite_policy_knobs_are_rejected_with_value_and_range() {
+        for alpha in [f64::NAN, f64::INFINITY, 0.0, -0.3, 1.5] {
+            let err = StreamParams::new(0.5)
+                .with_ewma_alpha(alpha)
+                .validate()
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(&format!("got {alpha}")), "{err}");
+            assert!(err.contains("0 < alpha <= 1"), "{err}");
+        }
+        for bias in [f64::NAN, f64::NEG_INFINITY, 0.0, -2.0] {
+            let err = StreamParams::new(0.5)
+                .with_rebuild_bias(bias)
+                .validate()
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(&format!("got {bias}")), "{err}");
+            assert!(err.contains("bias > 0"), "{err}");
+        }
+        // The boundary values themselves are valid.
+        assert!(StreamParams::new(0.5)
+            .with_ewma_alpha(1.0)
+            .validate()
+            .is_ok());
+        assert!(StreamParams::new(0.5)
+            .with_rebuild_bias(0.5)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn rebuild_policy_commits_identical_state() {
+        let seed = Dataset::from_coords(vec![
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (5.0, 5.0),
+            (5.1, 5.0),
+            (5.0, 5.1),
+        ]);
+        let params = StreamParams::new(0.5)
+            .with_dpc(DpcParams::new(0.5).with_centers(CenterSelection::TopKGamma { k: 2 }));
+        let mut inc = StreamingDpc::new(NaiveReferenceIndex::build(&seed), params.clone()).unwrap();
+        let mut reb = StreamingDpc::new(
+            NaiveReferenceIndex::build(&seed),
+            params.with_policy(CommitPolicy::AlwaysRebuild),
+        )
+        .unwrap();
+        let batches = [
+            vec![Point::new(0.05, 0.05), Point::new(5.05, 5.05)],
+            vec![Point::new(0.02, 0.0), Point::new(5.02, 5.0)],
+        ];
+        for batch in &batches {
+            inc.advance(batch, batch.len()).unwrap();
+            reb.advance(batch, batch.len()).unwrap();
+            assert_eq!(inc.rho(), reb.rho());
+            assert_eq!(inc.deltas(), reb.deltas());
+            assert_eq!(inc.version(), reb.version());
+            assert_eq!(
+                inc.index().dataset().points(),
+                reb.index().dataset().points()
+            );
+            assert_matches_cold_batch(&reb);
+        }
+        assert_eq!(reb.stats().rebuild_epochs, 2);
+        assert_eq!(reb.stats().incremental_epochs, 0);
+        assert_eq!(reb.stats().fallback_epochs, 0);
+        assert_eq!(reb.stats().last_epoch_mode, Some(crate::EpochMode::Rebuild));
+        assert_eq!(inc.stats().rebuild_epochs, 0);
+    }
+
+    #[test]
+    fn emptying_epoch_under_rebuild_policy_takes_the_trivial_path() {
+        let seed = Dataset::from_coords(vec![(0.0, 0.0), (0.1, 0.0)]);
+        let params = StreamParams::new(0.5).with_policy(CommitPolicy::AlwaysRebuild);
+        let mut engine = StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap();
+        let (_, delta) = engine.advance(&[], 2).unwrap();
+        assert!(engine.is_empty());
+        assert_eq!(delta.evictions(), 2);
+        assert_eq!(engine.stats().rebuild_epochs, 0);
+        assert_eq!(engine.stats().incremental_epochs, 1);
+        // Refilling rebuilds again.
+        engine.insert(Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(engine.stats().rebuild_epochs, 1);
+        assert_matches_cold_batch(&engine);
+    }
+
+    #[test]
+    fn set_policy_flips_the_path_without_changing_state() {
+        let mut engine = two_blob_engine();
+        engine.insert(Point::new(0.05, 0.0)).unwrap();
+        assert_eq!(engine.stats().rebuild_epochs, 0);
+        engine.set_policy(CommitPolicy::AlwaysRebuild);
+        engine.insert(Point::new(5.05, 5.0)).unwrap();
+        assert_eq!(engine.stats().rebuild_epochs, 1);
+        engine.set_policy(CommitPolicy::AlwaysIncremental);
+        engine.insert(Point::new(0.0, 0.05)).unwrap();
+        assert_eq!(engine.stats().rebuild_epochs, 1);
+        assert_eq!(engine.params().policy, CommitPolicy::AlwaysIncremental);
+        assert_matches_cold_batch(&engine);
+    }
+
+    #[test]
+    fn adaptive_policy_records_predictions_and_stays_exact() {
+        let seed = Dataset::from_coords(vec![
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (5.0, 5.0),
+            (5.1, 5.0),
+            (5.0, 5.1),
+        ]);
+        let params = StreamParams::new(0.5)
+            .with_dpc(DpcParams::new(0.5).with_centers(CenterSelection::TopKGamma { k: 2 }))
+            .with_policy(CommitPolicy::Adaptive);
+        let mut engine = StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap();
+        for i in 0..4 {
+            let x = 0.01 * (i + 1) as f64;
+            engine
+                .advance(&[Point::new(x, 0.0), Point::new(5.0 + x, 5.0)], 2)
+                .unwrap();
+            assert_matches_cold_batch(&engine);
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.incremental_epochs + stats.fallback_epochs + stats.rebuild_epochs,
+            4
+        );
+        assert!(stats.last_epoch_mode.is_some());
+        assert!(engine.cost_model().union_per_update() >= 1.0);
     }
 
     #[test]

@@ -50,12 +50,20 @@
 //! assert_eq!(delta.evictions(), 2);
 //! ```
 //!
+//! Incremental repair is not always the cheapest way to commit an epoch:
+//! large batches invalidate most of the window, where one bulk index
+//! rebuild plus the batch queries wins. The [`CommitPolicy`] on
+//! [`StreamParams`] picks the maintenance path per epoch — always
+//! incremental (default), always rebuild, or adaptively via a calibrated
+//! cost model ([`policy`]) — without ever changing results.
+//!
 //! See [`engine`] for the epoch pipeline, [`epoch`] for the [`EpochPlan`]
 //! batch accumulator, [`handle`] for the stable point handles that survive
-//! the dataset's swap-remove id churn, and [`report`] for the per-epoch
-//! [`ClusterDelta`]. The full internals contract — affected sets, the δ
-//! invalidation taxonomy, swap-remove semantics, a worked epoch example —
-//! lives in `docs/STREAMING.md` at the repository root.
+//! the dataset's swap-remove id churn, [`policy`] for the commit policy and
+//! cost model, and [`report`] for the per-epoch [`ClusterDelta`]. The full
+//! internals contract — affected sets, the δ invalidation taxonomy,
+//! swap-remove semantics, a worked epoch example — lives in
+//! `docs/STREAMING.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,9 +72,11 @@ pub mod engine;
 pub mod epoch;
 pub mod handle;
 pub mod maintenance;
+pub mod policy;
 pub mod report;
 
 pub use engine::{StreamParams, StreamStats, StreamingDpc};
 pub use epoch::{EpochPlan, PlannedInsert};
 pub use handle::{Handle, HandleMap};
+pub use policy::{CommitPolicy, CostModel, EpochMode, Prediction};
 pub use report::{ClusterDelta, LabelChange};

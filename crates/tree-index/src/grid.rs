@@ -327,6 +327,16 @@ impl UpdatableIndex for GridIndex {
         Ok(moved)
     }
 
+    fn rebuild_from(&mut self, dataset: Dataset) -> Result<()> {
+        // Bulk load: re-derive the cell partition for the new window in one
+        // build (re-picking the cell size for its bounding box and density)
+        // instead of paying per-point cell maintenance. The adopted dataset
+        // keeps the caller's id order and version history.
+        let config = self.config;
+        *self = GridIndex::with_config(&dataset, &config);
+        Ok(())
+    }
+
     fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>> {
         validate_dc(eps)?;
         let mut out = Vec::new();
@@ -497,6 +507,25 @@ mod tests {
         check_partition_invariants(&grid, &data);
         assert!(grid.cell_count() > 1);
         assert_eq!(grid.height(), 2);
+    }
+
+    #[test]
+    fn rebuild_from_bulk_loads_the_new_window() {
+        let mut grid = GridIndex::build(&s1(17, 0.03).into_dataset());
+        // A replacement window with real version history: pushes and a
+        // swap-remove on top of a copy of the current dataset, exactly what
+        // the streaming engine's rebuild path materialises.
+        let mut window = grid.dataset().clone();
+        for (_, p) in s1(18, 0.03).into_dataset().iter().take(20) {
+            window.push(p).unwrap();
+        }
+        window.swap_remove(3).unwrap();
+        let version = window.version();
+        grid.rebuild_from(window.clone()).unwrap();
+        check_partition_invariants(&grid, &window);
+        assert_eq!(grid.dataset().points(), window.points());
+        assert_eq!(grid.dataset().version(), version);
+        assert_matches_baseline(&window, &grid, 40_000.0);
     }
 
     #[test]
