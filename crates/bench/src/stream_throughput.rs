@@ -25,10 +25,12 @@
 //! the `bench_stream` binary; CI runs a tiny smoke invocation so the
 //! benchmark cannot rot.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, UpdatableIndex};
 use dpc_datasets::generators::{checkins, CheckinConfig};
+use dpc_obs::{MetricsRecorder, MetricsSnapshot, SharedRecorder};
 use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
 use dpc_tree_index::{GridIndex, KdTree, RTree};
 
@@ -160,6 +162,46 @@ impl Default for StreamBenchOptions {
     }
 }
 
+/// Total time spent in each maintenance phase over one measured run, in
+/// microseconds, read back from the engine's [`MetricsRecorder`] span
+/// histograms (`stream.phase.*_us`). Phases a mode never runs stay 0 — the
+/// rebuild rows have no ρ/δ repair, the incremental rows no batch query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseMicros {
+    /// Plan validation (`stream.phase.validate`).
+    pub validate: u64,
+    /// Index mutation: applying the epoch's insertions/evictions
+    /// (`stream.phase.apply`).
+    pub apply: u64,
+    /// Affected-set ρ repair (`stream.phase.rho_repair`).
+    pub rho_repair: u64,
+    /// δ/µ repair over the invalidation set (`stream.phase.delta_repair`).
+    pub delta_repair: u64,
+    /// Full-window batch ρ/δ query on the rebuild path
+    /// (`stream.phase.batch_query`).
+    pub batch_query: u64,
+    /// Re-running centre selection + assignment (`stream.phase.recluster`).
+    pub recluster: u64,
+}
+
+impl PhaseMicros {
+    /// Reads the six per-phase sums out of a metrics snapshot.
+    fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        let sum = |phase: &str| {
+            snap.histogram(&format!("stream.phase.{phase}_us"))
+                .map_or(0, |h| h.sum())
+        };
+        PhaseMicros {
+            validate: sum("validate"),
+            apply: sum("apply"),
+            rho_repair: sum("rho_repair"),
+            delta_repair: sum("delta_repair"),
+            batch_query: sum("batch_query"),
+            recluster: sum("recluster"),
+        }
+    }
+}
+
 /// One measured mode of one sweep cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamMeasurement {
@@ -187,6 +229,8 @@ pub struct StreamMeasurement {
     /// Bulk-rebuild epochs taken: every epoch for rebuild mode, the
     /// cost-model-chosen subset for adaptive, 0 for incremental.
     pub rebuilds: u64,
+    /// Where the maintenance time went, phase by phase.
+    pub phases: PhaseMicros,
 }
 
 /// The whole benchmark result.
@@ -296,6 +340,11 @@ where
             .with_policy(policy);
         let mut stream = StreamingDpc::new(build(&seed_window), stream_params)
             .expect("seeding the streaming engine must succeed");
+        // Attach a metrics recorder so the row can report where the
+        // maintenance time went. The recorder is a handful of atomic adds
+        // per epoch — noise next to the repair work it measures.
+        let metrics = Arc::new(MetricsRecorder::new());
+        stream.set_recorder(Arc::clone(&metrics) as SharedRecorder);
         let timer = dpc_core::Timer::start();
         for chunk in arriving.chunks(batch) {
             stream
@@ -334,6 +383,7 @@ where
             total,
             stats.fallback_epochs,
             stats.rebuild_epochs,
+            PhaseMicros::from_snapshot(&metrics.snapshot()),
         ));
     }
     rows
@@ -349,6 +399,7 @@ fn measurement(
     total: Duration,
     fallbacks: u64,
     rebuilds: u64,
+    phases: PhaseMicros,
 ) -> StreamMeasurement {
     let per_update = total / updates.max(1) as u32;
     StreamMeasurement {
@@ -362,6 +413,7 @@ fn measurement(
         updates_per_sec: updates as f64 / total.as_secs_f64().max(1e-9),
         fallbacks,
         rebuilds,
+        phases,
     }
 }
 
@@ -453,7 +505,9 @@ impl StreamBenchReport {
             rows.push_str(&format!(
                 "    {{ \"engine\": \"{}\", \"window\": {}, \"batch\": {}, \"mode\": \"{}\", \
                  \"updates\": {}, \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \
-                 \"fallbacks\": {}, \"rebuilds\": {} }}",
+                 \"fallbacks\": {}, \"rebuilds\": {}, \"phase_us\": {{ \"validate\": {}, \
+                 \"apply\": {}, \"rho_repair\": {}, \"delta_repair\": {}, \"batch_query\": {}, \
+                 \"recluster\": {} }} }}",
                 m.engine,
                 m.window,
                 m.batch,
@@ -462,7 +516,13 @@ impl StreamBenchReport {
                 m.per_update.as_secs_f64() * 1e6,
                 m.updates_per_sec,
                 m.fallbacks,
-                m.rebuilds
+                m.rebuilds,
+                m.phases.validate,
+                m.phases.apply,
+                m.phases.rho_repair,
+                m.phases.delta_repair,
+                m.phases.batch_query,
+                m.phases.recluster
             ));
         }
         let largest = self.options.windows.iter().copied().max().unwrap_or(0);
@@ -552,6 +612,12 @@ impl StreamBenchReport {
                 m.fallbacks,
                 m.rebuilds
             ));
+            let p = &m.phases;
+            out.push_str(&format!(
+                "         phases (us): validate {}, apply {}, rho {}, delta {}, \
+                 batch-query {}, recluster {}\n",
+                p.validate, p.apply, p.rho_repair, p.delta_repair, p.batch_query, p.recluster
+            ));
         }
         for &w in &self.options.windows {
             for &b in &self.options.batches {
@@ -625,6 +691,12 @@ mod tests {
         // incremental row never does.
         assert_eq!(report.measurements[1].rebuilds, 40);
         assert_eq!(report.measurements[0].rebuilds, 0);
+        // Per-phase breakdowns reflect the path each mode takes: the bulk
+        // path pays the full-window batch query, the affected-set path
+        // never does (and vice versa for the ρ repair).
+        assert!(report.measurements[1].phases.batch_query > 0);
+        assert_eq!(report.measurements[1].phases.rho_repair, 0);
+        assert_eq!(report.measurements[0].phases.batch_query, 0);
     }
 
     #[test]
@@ -712,6 +784,8 @@ mod tests {
             "\"mode\": \"adaptive\"",
             "\"updates_per_sec\"",
             "\"rebuilds\"",
+            "\"phase_us\"",
+            "\"batch_query\"",
             "worst cell",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

@@ -2,6 +2,7 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use dpc_baseline::LeanDpc;
 use dpc_core::{
@@ -9,6 +10,7 @@ use dpc_core::{
 };
 use dpc_datasets::{read_points_csv, write_labels_csv, write_points_csv, DatasetKind};
 use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
+use dpc_obs::{Fanout, MetricsRecorder, SharedRecorder, TraceSink};
 use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
 use dpc_tree_index::{GridIndex, KdTree, Quadtree, RTree};
 
@@ -147,6 +149,12 @@ pub fn knn_cluster(args: &ParsedArgs) -> Result<String, String> {
 /// strategy: `incremental` (always affected-set maintenance, the default),
 /// `rebuild` (always bulk-rebuild the index and re-run the batch pipeline)
 /// or `adaptive` (a calibrated cost model chooses per epoch).
+///
+/// Observability: `--json` switches the per-epoch lines and the exit
+/// summary to one JSON object per line, `--metrics` attaches a
+/// [`MetricsRecorder`] and prints its snapshot table after the replay, and
+/// `--trace-out PATH` attaches a [`TraceSink`] and writes a Chrome
+/// trace-event file (loadable in Perfetto / `chrome://tracing`).
 pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     args.reject_unknown(&[
         "input",
@@ -160,6 +168,9 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         "max-epochs",
         "policy",
         "quiet",
+        "json",
+        "metrics",
+        "trace-out",
     ])?;
     let data = load_points(args.require("input")?)?;
     let dc: f64 = args.require_parsed("dc")?;
@@ -175,6 +186,24 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     let policy = CommitPolicy::parse(args.get("policy").unwrap_or("incremental"))
         .map_err(|e| e.to_string())?;
     let quiet = args.has_switch("quiet");
+    let json = args.has_switch("json");
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    // Recorders are pure side channels: attach only what was asked for, so
+    // the default invocation keeps the guaranteed-zero-overhead no-op path.
+    let metrics = args
+        .has_switch("metrics")
+        .then(|| Arc::new(MetricsRecorder::new()));
+    let trace = trace_out.is_some().then(|| Arc::new(TraceSink::new()));
+    let recorder: Option<SharedRecorder> = match (&metrics, &trace) {
+        (None, None) => None,
+        (Some(m), None) => Some(Arc::clone(m) as SharedRecorder),
+        (None, Some(t)) => Some(Arc::clone(t) as SharedRecorder),
+        (Some(m), Some(t)) => Some(Arc::new(
+            Fanout::new()
+                .with(Arc::clone(m) as SharedRecorder)
+                .with(Arc::clone(t) as SharedRecorder),
+        )),
+    };
     if window == 0 || batch == 0 {
         return Err("--window and --batch must be positive".into());
     }
@@ -196,6 +225,11 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         )
         .with_policy(policy);
     let mut lines = Vec::new();
+    let opts = ReplayOpts {
+        quiet,
+        json,
+        recorder,
+    };
     let seed_timer = dpc_core::Timer::start();
     // The engine is seeded inside the call arguments, before `replay` starts
     // its own timer — so the reported updates/s covers only the streamed
@@ -206,7 +240,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             &points[warm..],
             batch,
             max_epochs,
-            quiet,
+            &opts,
             &mut lines,
         )?,
         "kdtree" | "kd" => replay(
@@ -214,7 +248,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             &points[warm..],
             batch,
             max_epochs,
-            quiet,
+            &opts,
             &mut lines,
         )?,
         "rtree" => replay(
@@ -222,7 +256,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             &points[warm..],
             batch,
             max_epochs,
-            quiet,
+            &opts,
             &mut lines,
         )?,
         "naive" => replay(
@@ -234,7 +268,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             &points[warm..],
             batch,
             max_epochs,
-            quiet,
+            &opts,
             &mut lines,
         )?,
         "lean" => replay(
@@ -242,7 +276,7 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             &points[warm..],
             batch,
             max_epochs,
-            quiet,
+            &opts,
             &mut lines,
         )?,
         other => {
@@ -262,32 +296,79 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     // one-in-one-out slides and would otherwise look 2x slower. The δ/µ
     // repair is paid per *epoch* (one `--batch`-sized advance), so the
     // incremental/fallback split and the affected union are per epoch.
-    let _ = write!(
-        out,
-        "applied {} point updates (each eviction or insertion) over a window \
-         of {} in {:.1} ms ({:.0} point updates/s, seeding took {:.1} ms): \
-         {} epochs ({} incremental, {} fallback, {} rebuild), \
-         mean affected union {:.1}, commit policy {}",
-        stats.updates,
-        warm,
-        elapsed.as_secs_f64() * 1e3,
-        stats.updates as f64 / elapsed.as_secs_f64().max(1e-9),
-        seed_time.as_secs_f64() * 1e3,
-        stats.epochs,
-        stats.incremental_epochs,
-        stats.fallback_epochs,
-        stats.rebuild_epochs,
-        stats.affected_points as f64 / (stats.epochs as f64).max(1.0),
-        policy.name()
-    );
-    if policy == CommitPolicy::Adaptive {
+    if json {
         let _ = write!(
             out,
-            " (cost model predicted {} us across epochs, observed {} us)",
-            stats.predicted_cost_micros, stats.observed_cost_micros
+            "{{\"event\":\"summary\",\"updates\":{},\"window\":{warm},\
+             \"elapsed_ms\":{:.3},\"seed_ms\":{:.3},\"epochs\":{},\
+             \"incremental\":{},\"fallback\":{},\"rebuild\":{},\
+             \"mean_affected\":{:.3},\"policy\":\"{}\",\
+             \"predicted_cost_us\":{},\"observed_cost_us\":{}}}",
+            stats.updates,
+            elapsed.as_secs_f64() * 1e3,
+            seed_time.as_secs_f64() * 1e3,
+            stats.epochs,
+            stats.incremental_epochs,
+            stats.fallback_epochs,
+            stats.rebuild_epochs,
+            stats.affected_points as f64 / (stats.epochs as f64).max(1.0),
+            policy.name(),
+            stats.predicted_cost_micros,
+            stats.observed_cost_micros
         );
+    } else {
+        let _ = write!(
+            out,
+            "applied {} point updates (each eviction or insertion) over a window \
+             of {} in {:.1} ms ({:.0} point updates/s, seeding took {:.1} ms): \
+             {} epochs ({} incremental, {} fallback, {} rebuild), \
+             mean affected union {:.1}, commit policy {}",
+            stats.updates,
+            warm,
+            elapsed.as_secs_f64() * 1e3,
+            stats.updates as f64 / elapsed.as_secs_f64().max(1e-9),
+            seed_time.as_secs_f64() * 1e3,
+            stats.epochs,
+            stats.incremental_epochs,
+            stats.fallback_epochs,
+            stats.rebuild_epochs,
+            stats.affected_points as f64 / (stats.epochs as f64).max(1.0),
+            policy.name()
+        );
+        if policy == CommitPolicy::Adaptive {
+            let _ = write!(
+                out,
+                " (cost model predicted {} us across epochs, observed {} us)",
+                stats.predicted_cost_micros, stats.observed_cost_micros
+            );
+        }
+    }
+    if let Some(metrics) = &metrics {
+        out.push('\n');
+        out.push_str(&metrics.snapshot().render());
+    }
+    if let (Some(trace), Some(path)) = (&trace, &trace_out) {
+        std::fs::write(path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+        if !json {
+            let _ = write!(
+                out,
+                "\nwrote Chrome trace ({} events) to {}",
+                trace.events().len(),
+                path.display()
+            );
+        }
     }
     Ok(out)
+}
+
+/// Per-epoch reporting options and the optional recorder for [`replay`].
+struct ReplayOpts {
+    /// Suppress per-epoch lines entirely.
+    quiet: bool,
+    /// Emit per-epoch lines as JSON objects instead of human-readable text.
+    json: bool,
+    /// Recorder to attach to the engine before replaying, if any.
+    recorder: Option<SharedRecorder>,
 }
 
 /// Drives one engine over the remaining points and collects epoch summaries.
@@ -298,10 +379,21 @@ fn replay<I: UpdatableIndex>(
     rest: &[dpc_core::Point],
     batch: usize,
     max_epochs: usize,
-    quiet: bool,
+    opts: &ReplayOpts,
     lines: &mut Vec<String>,
 ) -> Result<(dpc_stream::StreamStats, std::time::Duration), String> {
-    if !quiet {
+    if let Some(rec) = &opts.recorder {
+        engine.set_recorder(Arc::clone(rec));
+    }
+    if opts.quiet {
+        // No per-epoch lines at all.
+    } else if opts.json {
+        lines.push(format!(
+            "{{\"event\":\"seed\",\"window\":{},\"clusters\":{}}}",
+            engine.len(),
+            engine.clustering().num_clusters()
+        ));
+    } else {
         lines.push(format!(
             "seeded window of {} points: {} clusters",
             engine.len(),
@@ -313,10 +405,28 @@ fn replay<I: UpdatableIndex>(
         let (_, delta) = engine
             .advance(chunk, chunk.len())
             .map_err(|e| e.to_string())?;
-        if !quiet {
-            // Tag each epoch with the maintenance path the commit policy
-            // actually took (incremental / fallback / rebuild).
-            let mode = engine.stats().last_epoch_mode.map_or("?", |m| m.name());
+        if opts.quiet {
+            continue;
+        }
+        // Tag each epoch with the maintenance path the commit policy
+        // actually took (incremental / fallback / rebuild).
+        let mode = engine.stats().last_epoch_mode.map_or("?", |m| m.name());
+        if opts.json {
+            lines.push(format!(
+                "{{\"event\":\"epoch\",\"epoch\":{},\"clusters\":{},\
+                 \"births\":{},\"deaths\":{},\"insertions\":{},\
+                 \"evictions\":{},\"relabelled\":{},\"mode\":\"{mode}\",\
+                 \"maintenance_us\":{}}}",
+                delta.epoch,
+                delta.num_clusters,
+                delta.births.len(),
+                delta.deaths.len(),
+                delta.insertions(),
+                delta.evictions(),
+                delta.relabelled(),
+                engine.stats().last_epoch_micros
+            ));
+        } else {
             lines.push(format!("{} [{mode}]", delta.summary()));
         }
     }
@@ -771,6 +881,94 @@ mod tests {
             "0"
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_observability_flags_emit_json_metrics_and_a_chrome_trace() {
+        let dir = temp_dir();
+        let points = dir.join("obs-points.csv");
+        run(args(&[
+            "generate",
+            "--dataset",
+            "gowalla",
+            "--scale",
+            "0.0005",
+            "--seed",
+            "7",
+            "--output",
+            points.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base = [
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--policy",
+            "adaptive",
+        ];
+
+        // --json: every line is one JSON object; the per-epoch objects carry
+        // the maintenance mode and per-epoch cost, the last is the summary.
+        let mut json_args = base.to_vec();
+        json_args.push("--json");
+        let out = run(args(&json_args)).unwrap();
+        for line in out.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "non-JSON line in --json output: {line}"
+            );
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(out.starts_with("{\"event\":\"seed\""), "{out}");
+        assert!(out.contains("\"event\":\"epoch\""), "{out}");
+        assert!(out.contains("\"maintenance_us\":"), "{out}");
+        assert!(out.contains("\"mode\":"), "{out}");
+        assert!(
+            out.lines()
+                .last()
+                .unwrap()
+                .starts_with("{\"event\":\"summary\""),
+            "{out}"
+        );
+        assert!(out.contains("\"policy\":\"adaptive\""), "{out}");
+
+        // --metrics: the snapshot table follows the summary and holds the
+        // streaming counters and per-phase histograms.
+        let mut metrics_args = base.to_vec();
+        metrics_args.extend(["--quiet", "--metrics"]);
+        let out = run(args(&metrics_args)).unwrap();
+        assert!(out.contains("stream.epochs"), "{out}");
+        assert!(out.contains("stream.phase.validate_us"), "{out}");
+        assert!(out.contains("stream.policy.decision.events"), "{out}");
+
+        // --trace-out: a valid Chrome trace-event file with epoch spans and
+        // policy decision instants.
+        let trace_path = dir.join("trace.json");
+        let mut trace_args = base.to_vec();
+        trace_args.extend(["--quiet", "--trace-out", trace_path.to_str().unwrap()]);
+        let out = run(args(&trace_args)).unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        for required in [
+            "\"name\":\"stream.epoch\"",
+            "\"name\":\"stream.phase.validate\"",
+            "\"name\":\"stream.policy.decision\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"i\"",
+            "\"ts\":",
+            "\"pid\":",
+        ] {
+            assert!(trace.contains(required), "trace missing {required}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

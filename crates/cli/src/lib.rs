@@ -60,6 +60,7 @@ USAGE:
                   [--engine grid|kdtree|rtree|naive] [--window N] [--batch N] [--threads N]
                   [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
                   [--policy incremental|rebuild|adaptive] [--max-epochs N] [--quiet]
+                  [--json] [--metrics] [--trace-out trace.json]
   dpc help
 
 Datasets are the paper's six evaluation datasets, regenerated synthetically
@@ -69,7 +70,10 @@ empty label when --halo is set. `stream` replays the CSV as a point stream:
 the first --window rows seed an incremental engine, every following batch
 slides the window, and per-epoch cluster births/deaths are printed; --policy
 picks the commit strategy (adaptive = a calibrated cost model chooses
-incremental maintenance or a bulk rebuild per epoch)."
+incremental maintenance or a bulk rebuild per epoch). --json emits one JSON
+object per epoch instead of text, --metrics prints a metrics table after the
+replay, and --trace-out writes a Chrome trace-event file of the per-epoch
+phase spans (open in Perfetto or chrome://tracing)."
         .to_string()
 }
 

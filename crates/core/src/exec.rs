@@ -18,6 +18,9 @@
 //! `ParallelDpc`, the neighbour-list builder and every index's parallel
 //! query all go through these two functions.
 
+use dpc_obs::Recorder;
+use std::time::Instant;
+
 /// How per-point query work is partitioned across worker threads.
 ///
 /// The default is [`Sequential`](ExecPolicy::Sequential): the paper's
@@ -185,9 +188,155 @@ where
     .expect("query worker thread panicked")
 }
 
+/// Like [`fill_slice`], but reports one `label` span and one `<label>.items`
+/// histogram sample per worker chunk to `rec`, so a trace shows every
+/// worker's lane and a metrics snapshot shows chunk-size balance.
+///
+/// With a disabled recorder this is exactly [`fill_slice`] — no clock reads,
+/// no allocation.
+pub fn fill_slice_recorded<T, S, M, B>(
+    out: &mut [T],
+    policy: ExecPolicy,
+    rec: &dyn Recorder,
+    label: &str,
+    make_scratch: M,
+    body: B,
+) -> Vec<S>
+where
+    T: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    B: Fn(usize, &mut S) -> T + Sync,
+{
+    if !rec.enabled() {
+        return fill_slice(out, policy, make_scratch, body);
+    }
+    let items_label = format!("{label}.items");
+    let n = out.len();
+    let workers = policy.workers(n);
+    if workers <= 1 {
+        let started = Instant::now();
+        let mut scratch = make_scratch();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = body(i, &mut scratch);
+        }
+        rec.record(&items_label, n as u64);
+        rec.span(label, started, started.elapsed());
+        return vec![scratch];
+    }
+    let chunk = chunk_len(n, workers);
+    let body = &body;
+    let make_scratch = &make_scratch;
+    let items_label = items_label.as_str();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(chunk_idx, out_chunk)| {
+                let start = chunk_idx * chunk;
+                scope.spawn(move |_| {
+                    let started = Instant::now();
+                    let items = out_chunk.len() as u64;
+                    let mut scratch = make_scratch();
+                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = body(start + offset, &mut scratch);
+                    }
+                    rec.record(items_label, items);
+                    rec.span(label, started, started.elapsed());
+                    scratch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker thread panicked"))
+            .collect()
+    })
+    .expect("query worker thread panicked")
+}
+
+/// Like [`fill_slice_pair`], but reports one `label` span and one
+/// `<label>.items` histogram sample per worker chunk to `rec`.
+///
+/// With a disabled recorder this is exactly [`fill_slice_pair`].
+///
+/// # Panics
+/// Panics if `a` and `b` have different lengths.
+pub fn fill_slice_pair_recorded<A, B, S, M, F>(
+    a: &mut [A],
+    b: &mut [B],
+    policy: ExecPolicy,
+    rec: &dyn Recorder,
+    label: &str,
+    make_scratch: M,
+    body: F,
+) -> Vec<S>
+where
+    A: Send,
+    B: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut A, &mut B, &mut S) + Sync,
+{
+    if !rec.enabled() {
+        return fill_slice_pair(a, b, policy, make_scratch, body);
+    }
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "fill_slice_pair: output slices must have the same length"
+    );
+    let items_label = format!("{label}.items");
+    let n = a.len();
+    let workers = policy.workers(n);
+    if workers <= 1 {
+        let started = Instant::now();
+        let mut scratch = make_scratch();
+        for (i, (slot_a, slot_b)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            body(i, slot_a, slot_b, &mut scratch);
+        }
+        rec.record(&items_label, n as u64);
+        rec.span(label, started, started.elapsed());
+        return vec![scratch];
+    }
+    let chunk = chunk_len(n, workers);
+    let body = &body;
+    let make_scratch = &make_scratch;
+    let items_label = items_label.as_str();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .enumerate()
+            .map(|(chunk_idx, (a_chunk, b_chunk))| {
+                let start = chunk_idx * chunk;
+                scope.spawn(move |_| {
+                    let started = Instant::now();
+                    let items = a_chunk.len() as u64;
+                    let mut scratch = make_scratch();
+                    for (offset, (slot_a, slot_b)) in
+                        a_chunk.iter_mut().zip(b_chunk.iter_mut()).enumerate()
+                    {
+                        body(start + offset, slot_a, slot_b, &mut scratch);
+                    }
+                    rec.record(items_label, items);
+                    rec.span(label, started, started.elapsed());
+                    scratch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker thread panicked"))
+            .collect()
+    })
+    .expect("query worker thread panicked")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpc_obs::MetricsRecorder;
 
     #[test]
     fn from_threads_maps_zero_and_one_to_sequential() {
@@ -283,6 +432,67 @@ mod tests {
         assert_eq!(scratches, vec![5, 5]);
         // Items within a chunk saw the same scratch growing 1..=5.
         assert_eq!(out, vec![1, 2, 3, 4, 5, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recorded_fill_matches_plain_fill_and_reports_chunks() {
+        let expected: Vec<u64> = (0..41u64).map(|i| i * 3).collect();
+        let metrics = MetricsRecorder::new();
+        let mut out = vec![0u64; 41];
+        fill_slice_recorded(
+            &mut out,
+            ExecPolicy::Threads(4),
+            &metrics,
+            "exec.test",
+            || (),
+            |i, ()| (i as u64) * 3,
+        );
+        assert_eq!(out, expected);
+        let snap = metrics.snapshot();
+        // 4 workers → 4 chunk spans and 4 item samples covering all 41 items.
+        let spans = snap.histogram("exec.test_us").expect("chunk spans");
+        assert_eq!(spans.count(), 4);
+        let items = snap.histogram("exec.test.items").expect("chunk items");
+        assert_eq!(items.sum(), 41);
+    }
+
+    #[test]
+    fn recorded_fill_with_noop_recorder_is_plain_fill() {
+        let noop = dpc_obs::noop();
+        let mut out = vec![0u32; 7];
+        let scratches = fill_slice_recorded(
+            &mut out,
+            ExecPolicy::Sequential,
+            &*noop,
+            "x",
+            || (),
+            |i, ()| i as u32,
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(scratches.len(), 1);
+    }
+
+    #[test]
+    fn recorded_pair_fills_both_outputs_and_reports() {
+        let metrics = MetricsRecorder::new();
+        let mut a = vec![0usize; 10];
+        let mut b = vec![0i64; 10];
+        fill_slice_pair_recorded(
+            &mut a,
+            &mut b,
+            ExecPolicy::Threads(2),
+            &metrics,
+            "exec.pair",
+            || (),
+            |i, slot_a, slot_b, ()| {
+                *slot_a = i;
+                *slot_b = i as i64 * 2;
+            },
+        );
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i));
+        assert!(b.iter().enumerate().all(|(i, &v)| v == i as i64 * 2));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histogram("exec.pair.items").map(|h| h.sum()), Some(10));
     }
 
     #[test]

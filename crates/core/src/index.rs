@@ -148,6 +148,24 @@ pub trait DpcIndex {
         Ok((rho, delta))
     }
 
+    /// Runs both queries under an explicit [`ExecPolicy`], reporting query
+    /// telemetry (per-worker chunk timings, traversal statistics) to `rec`.
+    ///
+    /// The default ignores the recorder and delegates to
+    /// [`rho_delta_with_policy`](DpcIndex::rho_delta_with_policy); indices
+    /// wired into the `dpc-obs` layer override this. The results must be
+    /// bit-identical regardless of the recorder — observability is never a
+    /// semantic change.
+    fn rho_delta_observed(
+        &self,
+        dc: f64,
+        policy: ExecPolicy,
+        rec: &dyn dpc_obs::Recorder,
+    ) -> Result<(Vec<Rho>, DeltaResult)> {
+        let _ = rec;
+        self.rho_delta_with_policy(dc, policy)
+    }
+
     /// Analytic heap footprint of the index in bytes.
     fn memory_bytes(&self) -> usize;
 

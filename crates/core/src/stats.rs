@@ -6,39 +6,11 @@
 //! paper reports index sizes (Table 3, Figure 9) and keeps the numbers
 //! reproducible across platforms and allocators.
 
-use std::time::{Duration, Instant};
-
-/// A simple wall-clock timer.
-///
-/// ```
-/// use dpc_core::Timer;
-/// let t = Timer::start();
-/// let _work: u64 = (0..1000u64).sum();
-/// assert!(t.elapsed() >= std::time::Duration::ZERO);
-/// ```
-#[derive(Debug, Clone, Copy)]
-pub struct Timer {
-    start: Instant,
-}
-
-impl Timer {
-    /// Starts the timer now.
-    pub fn start() -> Self {
-        Timer {
-            start: Instant::now(),
-        }
-    }
-
-    /// Time elapsed since the timer was started.
-    pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
-    }
-
-    /// Elapsed time in fractional seconds.
-    pub fn elapsed_secs(&self) -> f64 {
-        self.elapsed().as_secs_f64()
-    }
-}
+// The wall-clock timer and duration formatter used to live here; they are
+// now shared workspace-wide from `dpc-obs` and re-exported so existing
+// `dpc_core::Timer` / `dpc_core::stats::format_duration` call sites keep
+// working.
+pub use dpc_obs::{format_duration, Timer};
 
 /// Heap bytes held by a `Vec<T>` (capacity-based, excluding `T`'s own heap).
 pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
@@ -128,21 +100,10 @@ pub fn format_bytes(bytes: usize) -> String {
     }
 }
 
-/// Formats a duration with a resolution adapted to its magnitude.
-pub fn format_duration(d: Duration) -> String {
-    let secs = d.as_secs_f64();
-    if secs >= 1.0 {
-        format!("{secs:.3} s")
-    } else if secs >= 1e-3 {
-        format!("{:.3} ms", secs * 1e3)
-    } else {
-        format!("{:.1} µs", secs * 1e6)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn timer_measures_nonnegative_time() {

@@ -3,45 +3,17 @@
 //! Criterion handles the statistically careful micro-benchmarks; the harness
 //! binaries that regenerate the paper's tables only need a robust point
 //! estimate per configuration, which is what [`measure_median`] provides.
+//!
+//! The implementations moved to `dpc-obs` (the shared observability crate)
+//! and are re-exported here so existing `dpc_metrics::timing` call sites keep
+//! working.
 
-use std::time::Duration;
-
-use dpc_core::Timer;
-
-/// Runs `f` once and returns its wall-clock time together with its result.
-pub fn measure_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
-    let timer = Timer::start();
-    let value = f();
-    (timer.elapsed(), value)
-}
-
-/// Runs `f` `repetitions` times and returns the median wall-clock time and
-/// the result of the last run.
-///
-/// # Panics
-/// Panics if `repetitions` is 0.
-pub fn measure_median<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
-    assert!(
-        repetitions > 0,
-        "measure_median: need at least one repetition"
-    );
-    let mut times = Vec::with_capacity(repetitions);
-    let mut last = None;
-    for _ in 0..repetitions {
-        let (t, value) = measure_once(&mut f);
-        times.push(t);
-        last = Some(value);
-    }
-    times.sort_unstable();
-    (
-        times[times.len() / 2],
-        last.expect("at least one repetition ran"),
-    )
-}
+pub use dpc_obs::{measure_median, measure_once};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn measure_once_returns_value_and_time() {

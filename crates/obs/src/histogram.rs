@@ -1,0 +1,223 @@
+//! A mergeable log-bucketed histogram for `u64` samples.
+
+/// Number of buckets: one for the value `0`, plus one per bit length
+/// (1 through 64).
+pub(crate) const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds only the value `0`; bucket `k` (for `k >= 1`) holds
+/// values whose bit length is `k`, i.e. the range `[2^(k-1), 2^k - 1]`.
+/// `u64::MAX` lands in bucket 64. Alongside the buckets the histogram tracks
+/// exact `count`, `sum` (saturating), `min` and `max`, so means stay precise
+/// even though per-bucket resolution is a power of two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[lo, hi]` range of values covered by bucket `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= 65`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index {index} out of range");
+        if index == 0 {
+            (0, 0)
+        } else if index == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (index - 1), (1 << index) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` ranges, lowest first.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Histogram::bucket_range(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn zero_lands_in_its_own_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 0, 1)]);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.mean(), Some(0.0));
+    }
+
+    #[test]
+    fn u64_max_lands_in_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(h.nonzero_buckets(), vec![(1 << 63, u64::MAX, 1)]);
+        assert_eq!(h.max(), Some(u64::MAX));
+        // A second MAX sample saturates the sum instead of wrapping.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn bucket_boundaries_split_at_powers_of_two() {
+        // Each power of two opens a new bucket; the value just below it
+        // closes the previous one.
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(Histogram::bucket_index(lo), k, "lo of bucket {k}");
+            assert_eq!(Histogram::bucket_index(hi), k, "hi of bucket {k}");
+            if k >= 2 {
+                assert_eq!(Histogram::bucket_index(lo - 1), k - 1);
+            }
+            assert_eq!(Histogram::bucket_range(k), (lo, hi));
+        }
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_range_rejects_out_of_range_index() {
+        let _ = Histogram::bucket_range(65);
+    }
+
+    #[test]
+    fn merge_combines_buckets_and_extrema() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(0);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 1 + 100 + 1_000_000);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(1_000_000));
+        let total: u64 = a.nonzero_buckets().iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn mean_is_exact_despite_bucketing() {
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(5.0));
+    }
+}

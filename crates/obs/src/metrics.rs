@@ -1,0 +1,287 @@
+//! A pull-style metrics registry: atomic counters and gauges, mutex-guarded
+//! log-bucketed histograms, snapshot + text-table rendering.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+use crate::recorder::{AttrValue, Recorder};
+
+/// A [`Recorder`] that aggregates everything into named metrics.
+///
+/// Counters and gauges are lock-free atomics once registered (registration
+/// takes a short write lock). Histogram samples take a per-metric mutex.
+/// Spans are folded into a histogram named `<span>_us` (duration in
+/// microseconds); events increment a counter named `<event>.events` and set
+/// one gauge per numeric attribute (`<event>.<attr>`), so the latest policy
+/// decision is always visible in a snapshot.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+impl MetricsRecorder {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().expect("counter lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("counter lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.gauges.read().expect("gauge lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.gauges.write().expect("gauge lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    fn histogram_cell(&self, name: &str) -> Arc<Mutex<Histogram>> {
+        if let Some(h) = self.histograms.read().expect("histogram lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("histogram lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("gauge lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("histogram lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.lock().expect("histogram cell").clone()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        self.counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.gauge_cell(name)
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn record(&self, name: &str, value: u64) {
+        self.histogram_cell(name)
+            .lock()
+            .expect("histogram cell")
+            .record(value);
+    }
+
+    fn span(&self, name: &str, _start: Instant, dur: Duration) {
+        let micros = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        self.record(&format!("{name}_us"), micros);
+    }
+
+    fn event(&self, name: &str, attrs: &[(&str, AttrValue<'_>)]) {
+        self.counter(&format!("{name}.events"), 1);
+        for (key, value) in attrs {
+            match value {
+                AttrValue::U64(v) => self.gauge(&format!("{name}.{key}"), *v as f64),
+                AttrValue::F64(v) => self.gauge(&format!("{name}.{key}"), *v),
+                AttrValue::Str(_) => {}
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRecorder`]'s contents.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's value, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as an aligned text table, one metric per line.
+    pub fn render(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value:.3}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, hist) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={} sum={} min={} max={} mean={:.1}\n",
+                    hist.count(),
+                    hist.sum(),
+                    hist.min().unwrap_or(0),
+                    hist.max().unwrap_or(0),
+                    hist.mean().unwrap_or(0.0),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = MetricsRecorder::new();
+        m.counter("epochs", 1);
+        m.counter("epochs", 2);
+        m.gauge("dead_fraction", 0.25);
+        m.gauge("dead_fraction", 0.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("epochs"), Some(3));
+        assert_eq!(snap.gauge("dead_fraction"), Some(0.5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn spans_become_microsecond_histograms() {
+        let m = MetricsRecorder::new();
+        m.span("phase", Instant::now(), Duration::from_micros(250));
+        m.span("phase", Instant::now(), Duration::from_micros(750));
+        let snap = m.snapshot();
+        let h = snap.histogram("phase_us").expect("span histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1000);
+    }
+
+    #[test]
+    fn events_count_and_expose_numeric_attrs_as_gauges() {
+        let m = MetricsRecorder::new();
+        m.event(
+            "decision",
+            &[
+                ("predicted_us", AttrValue::F64(120.5)),
+                ("invalidated", AttrValue::U64(7)),
+                ("mode", AttrValue::Str("rebuild")),
+            ],
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("decision.events"), Some(1));
+        assert_eq!(snap.gauge("decision.predicted_us"), Some(120.5));
+        assert_eq!(snap.gauge("decision.invalidated"), Some(7.0));
+        assert_eq!(snap.gauge("decision.mode"), None);
+    }
+
+    #[test]
+    fn render_lists_every_section() {
+        let m = MetricsRecorder::new();
+        m.counter("c", 1);
+        m.gauge("g", 2.0);
+        m.record("h", 3);
+        let text = m.snapshot().render();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("count=1"));
+        assert!(MetricsSnapshot::default().render().contains("no metrics"));
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let m = Arc::new(MetricsRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.counter("hits", 1);
+                        m.record("vals", 2);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("hits"), Some(4000));
+        assert_eq!(snap.histogram("vals").map(|h| h.count()), Some(4000));
+    }
+}

@@ -1,0 +1,260 @@
+//! The [`Recorder`] trait, the no-op default, RAII [`Span`] guards, and the
+//! [`Fanout`] combinator.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A value attached to a structured [`Recorder::event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue<'a> {
+    /// An unsigned integer attribute.
+    U64(u64),
+    /// A floating-point attribute.
+    F64(f64),
+    /// A string attribute.
+    Str(&'a str),
+}
+
+impl fmt::Display for AttrValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The emission interface instrumented code writes into.
+///
+/// Implementations must be cheap and thread-safe: methods are called from
+/// worker threads inside the parallel executor. Instrumented call sites that
+/// need to allocate (e.g. to format a metric name) should check
+/// [`Recorder::enabled`] first so the no-op path stays allocation-free.
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// Whether this recorder keeps anything. `false` lets call sites skip
+    /// name formatting and clock reads entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the named gauge to an absolute value.
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Records one sample into the named log-bucketed histogram.
+    fn record(&self, name: &str, value: u64);
+
+    /// Reports a completed span: `name` ran from `start` for `dur`.
+    fn span(&self, name: &str, start: Instant, dur: Duration);
+
+    /// Reports a structured point-in-time event with attributes.
+    fn event(&self, name: &str, attrs: &[(&str, AttrValue<'_>)]);
+}
+
+/// A shareable, dynamically-dispatched recorder handle.
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// The default recorder: drops everything.
+///
+/// All methods are empty and [`Recorder::enabled`] returns `false`, so
+/// instrumentation against the no-op recorder reduces to a branch — no clock
+/// reads, no allocation, no locking.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn counter(&self, _name: &str, _delta: u64) {}
+
+    fn gauge(&self, _name: &str, _value: f64) {}
+
+    fn record(&self, _name: &str, _value: u64) {}
+
+    fn span(&self, _name: &str, _start: Instant, _dur: Duration) {}
+
+    fn event(&self, _name: &str, _attrs: &[(&str, AttrValue<'_>)]) {}
+}
+
+/// The process-wide shared [`NoopRecorder`] handle. Cloning it is a cheap
+/// reference-count bump; engines default to it.
+pub fn noop() -> SharedRecorder {
+    static NOOP: OnceLock<SharedRecorder> = OnceLock::new();
+    Arc::clone(NOOP.get_or_init(|| Arc::new(NoopRecorder)))
+}
+
+/// An RAII guard that reports a [`Recorder::span`] when dropped.
+///
+/// Created by [`span`]. When the recorder is disabled the guard is inert and
+/// never reads the clock. Nesting falls out of construction order: create the
+/// outer guard first and drop it last.
+#[must_use = "a span guard reports its duration on drop"]
+pub struct Span<'r> {
+    active: Option<(&'r dyn Recorder, &'r str, Instant)>,
+}
+
+impl fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.active {
+            Some((_, name, _)) => write!(f, "Span({name})"),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((rec, name, start)) = self.active.take() {
+            rec.span(name, start, start.elapsed());
+        }
+    }
+}
+
+/// Starts a timed span against `rec`, reported when the guard drops.
+pub fn span<'r>(rec: &'r SharedRecorder, name: &'r str) -> Span<'r> {
+    let active = if rec.enabled() {
+        Some((&**rec as &dyn Recorder, name, Instant::now()))
+    } else {
+        None
+    };
+    Span { active }
+}
+
+/// Broadcasts every emission to each inner sink in order.
+///
+/// Used by the CLI to feed a [`crate::MetricsRecorder`] and a
+/// [`crate::TraceSink`] from the same instrumented engine.
+#[derive(Debug, Default)]
+pub struct Fanout {
+    sinks: Vec<SharedRecorder>,
+}
+
+impl Fanout {
+    /// An empty fanout (behaves like the no-op recorder).
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Adds a sink; builder-style.
+    pub fn with(mut self, sink: SharedRecorder) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// The number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Recorder for Fanout {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        for s in &self.sinks {
+            s.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        for s in &self.sinks {
+            s.gauge(name, value);
+        }
+    }
+
+    fn record(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.record(name, value);
+        }
+    }
+
+    fn span(&self, name: &str, start: Instant, dur: Duration) {
+        for s in &self.sinks {
+            s.span(name, start, dur);
+        }
+    }
+
+    fn event(&self, name: &str, attrs: &[(&str, AttrValue<'_>)]) {
+        for s in &self.sinks {
+            s.event(name, attrs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRecorder;
+
+    #[test]
+    fn noop_is_disabled_and_shared() {
+        let a = noop();
+        let b = noop();
+        assert!(!a.enabled());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn span_against_noop_is_inert() {
+        let rec = noop();
+        let guard = span(&rec, "never-recorded");
+        assert!(format!("{guard:?}").contains("disabled"));
+    }
+
+    #[test]
+    fn span_reports_on_drop() {
+        let metrics = Arc::new(MetricsRecorder::new());
+        let rec: SharedRecorder = metrics.clone();
+        {
+            let _g = span(&rec, "outer");
+            let _h = span(&rec, "inner");
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histogram("outer_us").map(|h| h.count()), Some(1));
+        assert_eq!(snap.histogram("inner_us").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_all_sinks() {
+        let a = Arc::new(MetricsRecorder::new());
+        let b = Arc::new(MetricsRecorder::new());
+        let fan = Fanout::new()
+            .with(a.clone() as SharedRecorder)
+            .with(b.clone() as SharedRecorder);
+        assert_eq!(fan.len(), 2);
+        assert!(fan.enabled());
+        fan.counter("x", 5);
+        fan.gauge("g", 1.5);
+        fan.record("h", 7);
+        assert_eq!(a.snapshot().counter("x"), Some(5));
+        assert_eq!(b.snapshot().counter("x"), Some(5));
+        assert_eq!(b.snapshot().gauge("g"), Some(1.5));
+        assert_eq!(b.snapshot().histogram("h").map(|h| h.sum()), Some(7));
+    }
+
+    #[test]
+    fn empty_fanout_reports_disabled() {
+        assert!(!Fanout::new().enabled());
+        assert!(Fanout::new().is_empty());
+    }
+
+    #[test]
+    fn attr_value_displays_plainly() {
+        assert_eq!(AttrValue::U64(3).to_string(), "3");
+        assert_eq!(AttrValue::F64(2.5).to_string(), "2.5");
+        assert_eq!(AttrValue::Str("rebuild").to_string(), "rebuild");
+    }
+}

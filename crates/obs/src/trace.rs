@@ -1,0 +1,358 @@
+//! An append-only trace sink exportable as JSON lines or Chrome trace-event
+//! format (loadable in Perfetto / `chrome://tracing`).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use crate::recorder::{AttrValue, Recorder};
+
+/// One captured trace event.
+///
+/// `ph` follows the Chrome trace-event phase codes: `X` for complete spans
+/// (with `dur_us`), `i` for instants, `C` for counter samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span/phase name or event name).
+    pub name: String,
+    /// Chrome phase code: `'X'`, `'i'`, or `'C'`.
+    pub ph: char,
+    /// Start time in microseconds since the sink was created.
+    pub ts_us: u64,
+    /// Span duration in microseconds (`X` events only).
+    pub dur_us: Option<u64>,
+    /// Small integer id of the emitting thread.
+    pub tid: u64,
+    /// Structured arguments rendered into the `args` object.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// An argument value carried by a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl ArgValue {
+    fn to_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_owned()
+                }
+            }
+            ArgValue::Str(s) => json_string(s),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A [`Recorder`] that buffers every span and event as a [`TraceEvent`].
+///
+/// Timestamps are microseconds relative to the sink's creation. Spans become
+/// Chrome `X` (complete) events, so nesting falls out of timestamp
+/// containment per thread lane; structured events become `i` instants with
+/// their attributes in `args`; gauges become `C` counter samples so index
+/// maintenance pressure is plottable as a counter track. Counters and
+/// histogram samples are aggregates, not timeline points, and are left to
+/// [`crate::MetricsRecorder`].
+#[derive(Debug)]
+pub struct TraceSink {
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    tids: Mutex<HashMap<ThreadId, u64>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A new sink; timestamps are measured from this call.
+    pub fn new() -> Self {
+        TraceSink {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            tids: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn tid(&self) -> u64 {
+        let id = std::thread::current().id();
+        let mut map = self.tids.lock().expect("tid lock");
+        let next = map.len() as u64;
+        *map.entry(id).or_insert(next)
+    }
+
+    fn ts_us(&self, at: Instant) -> u64 {
+        u64::try_from(at.saturating_duration_since(self.origin).as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.events.lock().expect("event lock").push(event);
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event lock").len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the captured events in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("event lock").clone()
+    }
+
+    fn event_json(e: &TraceEvent) -> String {
+        let mut obj = format!(
+            "{{\"name\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            json_string(&e.name),
+            e.ph,
+            e.ts_us,
+            e.tid
+        );
+        if let Some(dur) = e.dur_us {
+            obj.push_str(&format!(",\"dur\":{dur}"));
+        }
+        if e.ph == 'i' {
+            // Thread-scoped instant marker.
+            obj.push_str(",\"s\":\"t\"");
+        }
+        if !e.args.is_empty() {
+            obj.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    obj.push(',');
+                }
+                obj.push_str(&format!("{}:{}", json_string(k), v.to_json()));
+            }
+            obj.push('}');
+        }
+        obj.push('}');
+        obj
+    }
+
+    /// The captured events as JSON lines: one Chrome trace-event object per
+    /// line, suitable for streaming appends and `jq`.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().expect("event lock");
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&TraceSink::event_json(e));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The captured events as a complete Chrome trace-event JSON document
+    /// (`{"traceEvents": [...], ...}`), loadable in Perfetto or
+    /// `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events.lock().expect("event lock");
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&TraceSink::event_json(e));
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+impl Recorder for TraceSink {
+    fn counter(&self, _name: &str, _delta: u64) {}
+
+    fn gauge(&self, name: &str, value: f64) {
+        let ts_us = self.ts_us(Instant::now());
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            ph: 'C',
+            ts_us,
+            dur_us: None,
+            tid: self.tid(),
+            args: vec![("value".to_owned(), ArgValue::F64(value))],
+        });
+    }
+
+    fn record(&self, _name: &str, _value: u64) {}
+
+    fn span(&self, name: &str, start: Instant, dur: Duration) {
+        let ts_us = self.ts_us(start);
+        let dur_us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            tid: self.tid(),
+            args: Vec::new(),
+        });
+    }
+
+    fn event(&self, name: &str, attrs: &[(&str, AttrValue<'_>)]) {
+        let ts_us = self.ts_us(Instant::now());
+        let args = attrs
+            .iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    AttrValue::U64(n) => ArgValue::U64(*n),
+                    AttrValue::F64(n) => ArgValue::F64(*n),
+                    AttrValue::Str(s) => ArgValue::Str((*s).to_owned()),
+                };
+                ((*k).to_owned(), value)
+            })
+            .collect();
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            ph: 'i',
+            ts_us,
+            dur_us: None,
+            tid: self.tid(),
+            args,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{span, SharedRecorder};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_become_complete_events_with_containment() {
+        let sink = Arc::new(TraceSink::new());
+        let rec: SharedRecorder = sink.clone();
+        {
+            let _outer = span(&rec, "outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span(&rec, "inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first, so it is recorded first.
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.ph, 'X');
+        // Containment: outer starts no later and ends no earlier.
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(
+            outer.ts_us + outer.dur_us.unwrap() >= inner.ts_us + inner.dur_us.unwrap(),
+            "outer span must contain inner span"
+        );
+        assert_eq!(inner.tid, outer.tid);
+    }
+
+    #[test]
+    fn instants_carry_args() {
+        let sink = TraceSink::new();
+        sink.event(
+            "decision",
+            &[
+                ("predicted_us", AttrValue::F64(10.5)),
+                ("mode", AttrValue::Str("incremental")),
+            ],
+        );
+        let json = sink.to_chrome_json();
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"predicted_us\":10.5"));
+        assert!(json.contains("\"mode\":\"incremental\""));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn gauges_become_counter_tracks() {
+        let sink = TraceSink::new();
+        sink.gauge("index.rebuilds", 3.0);
+        let events = sink.events();
+        assert_eq!(events[0].ph, 'C');
+        assert_eq!(events[0].args[0].1, ArgValue::F64(3.0));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let sink = TraceSink::new();
+        sink.event("a", &[]);
+        sink.event("b", &[]);
+        let jsonl = sink.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_json_has_required_keys_and_balanced_structure() {
+        let sink = Arc::new(TraceSink::new());
+        let rec: SharedRecorder = sink.clone();
+        {
+            let _s = span(&rec, "phase \"quoted\"\n");
+        }
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ts\":"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces must balance"
+        );
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn threads_get_stable_small_tids() {
+        let sink = Arc::new(TraceSink::new());
+        sink.event("main", &[]);
+        sink.event("main-again", &[]);
+        let sink2 = Arc::clone(&sink);
+        std::thread::spawn(move || sink2.event("worker", &[]))
+            .join()
+            .expect("worker thread");
+        let events = sink.events();
+        assert_eq!(events[0].tid, events[1].tid);
+        assert_ne!(events[0].tid, events[2].tid);
+    }
+}

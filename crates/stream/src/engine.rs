@@ -61,6 +61,7 @@ use dpc_core::{
     assign_clusters, BatchOp, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError,
     DpcParams, Point, PointId, Result, Rho, UpdatableIndex,
 };
+use dpc_obs::{span, AttrValue, SharedRecorder};
 
 use crate::epoch::{EpochPlan, PlanOp};
 use crate::handle::{Handle, HandleMap};
@@ -372,6 +373,11 @@ pub struct StreamingDpc<I: UpdatableIndex> {
     /// Reusable per-epoch working memory (taken out for the duration of a
     /// commit, put back afterwards).
     scratch: CommitScratch,
+    /// Observability sink for phase spans, policy decisions and maintenance
+    /// gauges. Defaults to the shared no-op recorder, which keeps every
+    /// instrumented site down to a predictable branch; see
+    /// [`set_recorder`](Self::set_recorder).
+    recorder: SharedRecorder,
 }
 
 impl<I: UpdatableIndex> StreamingDpc<I> {
@@ -443,6 +449,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             stats: StreamStats::default(),
             model,
             scratch: CommitScratch::default(),
+            recorder: dpc_obs::noop(),
         };
         // The seeding pass is epoch 0, not a streamed delta.
         engine.recluster()?;
@@ -532,6 +539,30 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
     /// starts from live estimates rather than the seeding calibration.
     pub fn set_policy(&mut self, policy: CommitPolicy) {
         self.params.policy = policy;
+    }
+
+    /// The engine's observability sink (the shared no-op recorder by
+    /// default).
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
+    }
+
+    /// Attaches an observability sink, effective from the next committed
+    /// epoch. Every epoch then emits phase spans (`stream.phase.*` nested
+    /// under `stream.epoch`), maintenance counters/histograms, per-query
+    /// telemetry, and — under [`CommitPolicy::Adaptive`] — one
+    /// `stream.policy.decision` event carrying predicted vs observed cost.
+    ///
+    /// Recording never changes results: ρ, δ, µ and labels are bit-identical
+    /// whatever the recorder (the equivalence proptests pin this down).
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// Builder-style [`set_recorder`](Self::set_recorder).
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.set_recorder(recorder);
+        self
     }
 
     /// The stable handle of the point at dense id `id`.
@@ -659,7 +690,14 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             };
             return Ok((Vec::new(), delta));
         }
-        self.validate_plan(plan)?;
+        // One guard for the whole epoch: created before the phase spans and
+        // dropped after re-clustering, so phases nest under it in a trace.
+        let rec = self.recorder.clone();
+        let _epoch_span = span(&rec, "stream.epoch");
+        {
+            let _validate_span = span(&rec, "stream.phase.validate");
+            self.validate_plan(plan)?;
+        }
 
         // Choose the maintenance path *before* any mutation, from the plan
         // shape alone (validation already guarantees every removal names a
@@ -725,13 +763,53 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         }
         self.stats.last_epoch_micros = micros as u64;
         self.stats.last_epoch_mode = Some(outcome.mode);
-        if let Some(p) = prediction {
+        if let Some(p) = &prediction {
             self.stats.predicted_cost_micros += p.chosen_us() as u64;
             self.stats.observed_cost_micros += micros as u64;
         }
 
+        if rec.enabled() {
+            rec.counter("stream.epochs", 1);
+            rec.counter("stream.updates", updates as u64);
+            rec.counter(
+                match outcome.mode {
+                    EpochMode::Incremental => "stream.epochs.incremental",
+                    EpochMode::Fallback => "stream.epochs.fallback",
+                    EpochMode::Rebuild => "stream.epochs.rebuild",
+                },
+                1,
+            );
+            rec.record("stream.invalidated", outcome.invalidated as u64);
+            rec.record("stream.epoch.maintenance_us", micros as u64);
+            // The policy decision, with its inputs and the realised outcome,
+            // lands in the trace as one instant event per adaptive epoch.
+            if let Some(p) = &prediction {
+                rec.event(
+                    "stream.policy.decision",
+                    &[
+                        ("mode", AttrValue::Str(outcome.mode.name())),
+                        ("predicted_incremental_us", AttrValue::F64(p.incremental_us)),
+                        ("predicted_rebuild_us", AttrValue::F64(p.rebuild_us)),
+                        ("predicted_us", AttrValue::F64(p.chosen_us())),
+                        ("observed_us", AttrValue::F64(micros)),
+                        ("invalidated", AttrValue::U64(outcome.invalidated as u64)),
+                    ],
+                );
+            }
+            // Index maintenance triggers (scapegoat/dead-fraction rebuilds,
+            // reinsertion rounds, …) as gauges: cumulative values, plottable
+            // as counter tracks.
+            let index_name = self.index.name();
+            for (counter, value) in self.index.maintenance_counters() {
+                rec.gauge(&format!("index.{index_name}.{counter}"), value as f64);
+            }
+        }
+
         // Phase 5 — one clustering epoch for the whole batch.
-        let delta = self.recluster()?;
+        let delta = {
+            let _recluster_span = span(&rec, "stream.phase.recluster");
+            self.recluster()?
+        };
         Ok((outcome.planned_handles, delta))
     }
 
@@ -792,6 +870,8 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         plan: &EpochPlan,
         scratch: &mut CommitScratch,
     ) -> Result<EpochOutcome> {
+        let rec = self.recorder.clone();
+        let apply_span = span(&rec, "stream.phase.apply");
         let n_old = self.rho.len();
         let planned_handles = self.apply_plan(plan, scratch);
 
@@ -802,6 +882,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         debug_assert_eq!(self.index.len(), self.rho.len());
         debug_assert_eq!(self.handles.len(), self.rho.len());
         self.stats.updates += scratch.batch_ops.len() as u64;
+        drop(apply_span);
 
         let n = self.rho.len();
         if n == 0 {
@@ -816,6 +897,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         // Phase 3 — ρ repair against the final index. `final_of_old` maps a
         // pre-epoch id to its final slot (None = expired); `visited` is the
         // dedup bitmap building the affected union U.
+        let rho_span = span(&rec, "stream.phase.rho_repair");
         let dc = self.params.dpc.dc;
         scratch.inserted_final.clear();
         scratch.final_of_old.clear();
@@ -863,9 +945,12 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             }
         }
         self.stats.affected_points += scratch.union.len() as u64;
+        rec.record("stream.affected_union", scratch.union.len() as u64);
+        drop(rho_span);
 
         // Phase 4 — build the invalidation set F and the candidate entrants,
         // then repair δ/µ once for the whole epoch.
+        let delta_span = span(&rec, "stream.phase.delta_repair");
         let tie = self.params.dpc.tie_break;
         let new_peak = DensityOrder::with_tie_break(&self.rho, tie).global_peak();
         let old_peak = self.peak.and_then(|pk| scratch.final_of_old[pk]);
@@ -953,6 +1038,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             );
             EpochMode::Incremental
         };
+        drop(delta_span);
         self.peak = new_peak;
         Ok(EpochOutcome {
             planned_handles,
@@ -973,6 +1059,8 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         plan: &EpochPlan,
         scratch: &mut CommitScratch,
     ) -> Result<EpochOutcome> {
+        let rec = self.recorder.clone();
+        let apply_span = span(&rec, "stream.phase.apply");
         let planned_handles = self.apply_plan(plan, scratch);
 
         // Phase 2′ — replay the resolved ops on a copy of the dataset
@@ -994,12 +1082,16 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         debug_assert_eq!(self.index.len(), self.rho.len());
         debug_assert_eq!(self.handles.len(), self.rho.len());
         self.stats.updates += scratch.batch_ops.len() as u64;
+        drop(apply_span);
 
         // Phases 3′+4′ — fresh batch ρ/δ/µ over the rebuilt index and a
-        // fresh global peak; nothing to repair.
-        let (rho, deltas) = self
-            .index
-            .rho_delta_with_policy(self.params.dpc.dc, self.params.dpc.exec)?;
+        // fresh global peak; nothing to repair. The observed query also
+        // reports per-worker chunk spans and traversal counters.
+        let batch_query_span = span(&rec, "stream.phase.batch_query");
+        let (rho, deltas) =
+            self.index
+                .rho_delta_observed(self.params.dpc.dc, self.params.dpc.exec, &*rec)?;
+        drop(batch_query_span);
         self.rho = rho;
         self.deltas = deltas;
         self.peak =

@@ -1,0 +1,238 @@
+//! Observability must be a pure side channel: attaching any recorder to a
+//! [`StreamingDpc`] engine must never change `(ρ, δ, µ, labels)` — they stay
+//! bit-identical to the default no-op run — and the default recorder must
+//! actually be the shared no-op (the zero-overhead path).
+//!
+//! The proptest replays a random insert/evict sequence on two engines fed
+//! the identical operations — one untouched (no-op recorder), one with a
+//! metrics registry *and* a trace sink fanned out — and compares the full
+//! state after every epoch. A structural test then pins down what the trace
+//! contains: per-epoch spans with the phase spans nested inside, and policy
+//! decision events carrying predicted/observed cost under the adaptive
+//! policy.
+
+use std::sync::Arc;
+
+use dpc_core::{Point, UpdatableIndex};
+use dpc_datasets::testsupport::lattice_point;
+use dpc_obs::{Fanout, MetricsRecorder, SharedRecorder, TraceSink};
+use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
+use dpc_tree_index::{KdTree, KdTreeConfig};
+use proptest::prelude::*;
+
+fn small_kdtree(points: Vec<Point>) -> KdTree {
+    KdTree::with_config(
+        &dpc_core::Dataset::new(points),
+        &KdTreeConfig {
+            leaf_capacity: 4,
+            ..KdTreeConfig::default()
+        },
+    )
+}
+
+fn engine_with(
+    seed: &[Point],
+    policy: CommitPolicy,
+    recorder: Option<SharedRecorder>,
+) -> StreamingDpc<KdTree> {
+    let params = StreamParams::new(1.5).with_policy(policy);
+    let mut engine =
+        StreamingDpc::new(small_kdtree(seed.to_vec()), params).expect("seeding must succeed");
+    if let Some(rec) = recorder {
+        engine.set_recorder(rec);
+    }
+    engine
+}
+
+/// Replays `ops` (insert when true, else evict-oldest) on `engine`.
+fn replay(engine: &mut StreamingDpc<KdTree>, ops: &[(bool, u32, u32)]) {
+    for &(insert, ix, iy) in ops {
+        if insert || engine.is_empty() {
+            engine
+                .insert(lattice_point(ix, iy))
+                .expect("insert must succeed");
+        } else {
+            let oldest = engine.oldest().expect("non-empty window has an oldest");
+            engine.remove(oldest).expect("remove must succeed");
+        }
+    }
+}
+
+/// The full comparable state of an engine.
+fn state_of(engine: &StreamingDpc<KdTree>) -> (Vec<u32>, Vec<f64>, Vec<Option<usize>>, Vec<usize>) {
+    (
+        engine.rho().to_vec(),
+        engine.deltas().delta.clone(),
+        engine.deltas().mu.clone(),
+        engine.clustering().labels().to_vec(),
+    )
+}
+
+#[test]
+fn default_recorder_is_the_shared_noop() {
+    let engine = engine_with(
+        &[lattice_point(0, 0), lattice_point(5, 5)],
+        CommitPolicy::default(),
+        None,
+    );
+    assert!(
+        !engine.recorder().enabled(),
+        "the default recorder must be disabled"
+    );
+    assert!(
+        Arc::ptr_eq(engine.recorder(), &dpc_obs::noop()),
+        "the default recorder must be the shared no-op instance"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-identical ρ/δ/µ/labels with and without recording, on every
+    /// commit policy, after every single epoch.
+    #[test]
+    fn recording_never_changes_results(
+        seed in prop::collection::vec((0u32..8, 0u32..8), 2..12),
+        ops in prop::collection::vec((any::<bool>(), 0u32..8, 0u32..8), 1..20),
+        policy_sel in 0u8..3,
+    ) {
+        let policy = match policy_sel {
+            0 => CommitPolicy::AlwaysIncremental,
+            1 => CommitPolicy::AlwaysRebuild,
+            _ => CommitPolicy::Adaptive,
+        };
+        let seed_points: Vec<Point> =
+            seed.iter().map(|&(x, y)| lattice_point(x, y)).collect();
+
+        let metrics = Arc::new(MetricsRecorder::new());
+        let trace = Arc::new(TraceSink::new());
+        let fanout: SharedRecorder = Arc::new(
+            Fanout::new()
+                .with(metrics.clone() as SharedRecorder)
+                .with(trace.clone() as SharedRecorder),
+        );
+
+        let mut plain = engine_with(&seed_points, policy, None);
+        let mut recorded = engine_with(&seed_points, policy, Some(fanout));
+
+        for &(insert, ix, iy) in &ops {
+            replay(&mut plain, &[(insert, ix, iy)]);
+            replay(&mut recorded, &[(insert, ix, iy)]);
+            prop_assert_eq!(
+                state_of(&plain),
+                state_of(&recorded),
+                "state diverged after an epoch (policy {:?})",
+                policy
+            );
+        }
+        prop_assert_eq!(plain.epoch(), recorded.epoch());
+
+        // The recorded run must actually have recorded something.
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.counter("stream.epochs"), Some(ops.len() as u64));
+        prop_assert!(trace.events().iter().any(|e| e.name == "stream.epoch"));
+    }
+}
+
+#[test]
+fn trace_contains_nested_phase_spans_and_policy_decisions() {
+    let seed: Vec<Point> = (0..10).map(|i| lattice_point(i % 4, i / 4)).collect();
+    let trace = Arc::new(TraceSink::new());
+    let mut engine = engine_with(&seed, CommitPolicy::Adaptive, Some(trace.clone()));
+
+    let ops: Vec<(bool, u32, u32)> = (0..12).map(|i| (i % 3 != 0, i % 5, i % 7)).collect();
+    replay(&mut engine, &ops);
+
+    let events = trace.events();
+    let epochs: Vec<_> = events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name == "stream.epoch")
+        .collect();
+    assert_eq!(
+        epochs.len(),
+        ops.len(),
+        "one epoch span per committed epoch"
+    );
+
+    // Every phase span must be contained in some epoch span.
+    for phase in events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("stream.phase."))
+    {
+        let (ts, dur) = (phase.ts_us, phase.dur_us.expect("complete event"));
+        assert!(
+            epochs
+                .iter()
+                .any(|ep| ep.ts_us <= ts && ts + dur <= ep.ts_us + ep.dur_us.unwrap()),
+            "phase span {} at {ts} must nest inside an epoch span",
+            phase.name
+        );
+    }
+    // Each epoch has a validate and a recluster phase at minimum.
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.name == "stream.phase.validate")
+            .count()
+            >= ops.len()
+    );
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.name == "stream.phase.recluster")
+            .count()
+            >= ops.len()
+    );
+
+    // Adaptive policy: one decision instant per epoch, carrying the
+    // predicted and observed cost.
+    let decisions: Vec<_> = events
+        .iter()
+        .filter(|e| e.ph == 'i' && e.name == "stream.policy.decision")
+        .collect();
+    assert_eq!(decisions.len(), ops.len());
+    for d in &decisions {
+        let keys: Vec<&str> = d.args.iter().map(|(k, _)| k.as_str()).collect();
+        for required in [
+            "mode",
+            "predicted_incremental_us",
+            "predicted_rebuild_us",
+            "predicted_us",
+            "observed_us",
+        ] {
+            assert!(keys.contains(&required), "decision missing {required}");
+        }
+    }
+
+    // The export is well-formed Chrome trace JSON at the structural level.
+    let json = trace.to_chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn maintenance_counters_surface_as_gauges() {
+    let seed: Vec<Point> = (0..8).map(|i| lattice_point(i, i)).collect();
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut engine = engine_with(
+        &seed,
+        CommitPolicy::AlwaysIncremental,
+        Some(metrics.clone() as SharedRecorder),
+    );
+    let ops: Vec<(bool, u32, u32)> = (0..30).map(|i| (i % 2 == 0, i % 6, (i * 3) % 6)).collect();
+    replay(&mut engine, &ops);
+
+    let snap = metrics.snapshot();
+    // Every maintenance counter the index reports must be visible as an
+    // `index.kdtree.<counter>` gauge with the index's current value.
+    for (name, value) in engine.index().maintenance_counters() {
+        assert_eq!(
+            snap.gauge(&format!("index.kdtree.{name}")),
+            Some(value as f64),
+            "gauge for maintenance counter {name}"
+        );
+    }
+    assert_eq!(snap.counter("stream.epochs"), Some(ops.len() as u64));
+    assert!(snap.histogram("stream.epoch.maintenance_us").is_some());
+    assert!(snap.histogram("stream.phase.validate_us").is_some());
+}

@@ -42,8 +42,8 @@ use dpc_core::{
 
 use crate::common::{check_partition_invariants, NodeId, SpatialPartition};
 use crate::query::{
-    delta_query_with_policy, eps_query, rho_query_with_policy, subtree_max_density,
-    DeltaQueryConfig, QueryStats,
+    delta_query_with_policy, eps_query, rho_delta_query_recorded, rho_query_with_policy,
+    subtree_max_density, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of a [`KdTree`].
@@ -518,6 +518,24 @@ impl DpcIndex for KdTree {
     fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         self.delta_with_config_policy(dc, rho, &self.config.delta, policy)
             .map(|(result, _)| result)
+    }
+
+    fn rho_delta_observed(
+        &self,
+        dc: f64,
+        policy: ExecPolicy,
+        rec: &dyn dpc_obs::Recorder,
+    ) -> Result<(Vec<Rho>, DeltaResult)> {
+        validate_dc(dc)?;
+        Ok(rho_delta_query_recorded(
+            self,
+            &self.dataset,
+            dc,
+            self.config.tie_break,
+            &self.config.delta,
+            policy,
+            rec,
+        ))
     }
 
     fn memory_bytes(&self) -> usize {

@@ -43,5 +43,8 @@ pub use common::{NodeId, SpatialPartition};
 pub use grid::{GridConfig, GridIndex};
 pub use kdtree::{KdTree, KdTreeConfig};
 pub use quadtree::{Quadtree, QuadtreeConfig};
-pub use query::{eps_query, DeltaQueryConfig, QueryStats};
+pub use query::{
+    delta_query_recorded, eps_query, rho_delta_query_recorded, rho_query_recorded,
+    DeltaQueryConfig, QueryStats,
+};
 pub use rtree::{RTree, RTreeConfig};

@@ -33,7 +33,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dpc_core::{exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, Point, PointId, Rho};
+use dpc_core::{
+    exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, Point, PointId, Rho, TieBreak,
+};
 
 use crate::common::{NodeId, SpatialPartition};
 
@@ -66,6 +68,31 @@ impl QueryStats {
         self.nodes_density_pruned += other.nodes_density_pruned;
         self.nodes_distance_pruned += other.nodes_distance_pruned;
         self.points_scanned += other.points_scanned;
+    }
+
+    /// Emits every counter into `rec` as `<prefix>.<counter>` metrics, so
+    /// traversal statistics show up next to phase timings in a snapshot.
+    ///
+    /// Does nothing (and allocates nothing) when the recorder is disabled.
+    pub fn publish(&self, rec: &dyn dpc_obs::Recorder, prefix: &str) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter(&format!("{prefix}.nodes_visited"), self.nodes_visited);
+        rec.counter(&format!("{prefix}.nodes_discarded"), self.nodes_discarded);
+        rec.counter(
+            &format!("{prefix}.nodes_fully_contained"),
+            self.nodes_fully_contained,
+        );
+        rec.counter(
+            &format!("{prefix}.nodes_density_pruned"),
+            self.nodes_density_pruned,
+        );
+        rec.counter(
+            &format!("{prefix}.nodes_distance_pruned"),
+            self.nodes_distance_pruned,
+        );
+        rec.counter(&format!("{prefix}.points_scanned"), self.points_scanned);
     }
 }
 
@@ -157,6 +184,34 @@ pub fn rho_query_with_policy<T: SpatialPartition + Sync + ?Sized>(
     for s in &scratches {
         stats.merge(&s.stats);
     }
+    (rho, stats)
+}
+
+/// [`rho_query_with_policy`] reporting telemetry to `rec`: one
+/// `query.rho.chunk` span per worker plus the aggregated [`QueryStats`]
+/// counters under the `query.rho` prefix. Results are bit-identical to the
+/// unrecorded query.
+pub fn rho_query_recorded<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    dc: f64,
+    policy: ExecPolicy,
+    rec: &dyn dpc_obs::Recorder,
+) -> (Vec<Rho>, QueryStats) {
+    let mut rho = vec![0 as Rho; dataset.len()];
+    let scratches = exec::fill_slice_recorded(
+        &mut rho,
+        policy,
+        rec,
+        "query.rho.chunk",
+        QueryScratch::new,
+        |p, scratch| rho_one(tree, dataset, p, dc, scratch),
+    );
+    let mut stats = QueryStats::default();
+    for s in &scratches {
+        stats.merge(&s.stats);
+    }
+    stats.publish(rec, "query.rho");
     (rho, stats)
 }
 
@@ -332,6 +387,64 @@ pub fn delta_query_with_policy<T: SpatialPartition + Sync + ?Sized>(
         stats.merge(&s.stats);
     }
     (result, stats)
+}
+
+/// [`delta_query_with_policy`] reporting telemetry to `rec`: one
+/// `query.delta.chunk` span per worker plus the aggregated [`QueryStats`]
+/// counters under the `query.delta` prefix. Results are bit-identical to the
+/// unrecorded query.
+pub fn delta_query_recorded<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    order: &DensityOrder<'_>,
+    maxrho: &[Rho],
+    config: &DeltaQueryConfig,
+    policy: ExecPolicy,
+    rec: &dyn dpc_obs::Recorder,
+) -> (DeltaResult, QueryStats) {
+    let n = dataset.len();
+    debug_assert_eq!(order.len(), n);
+    let mut result = DeltaResult::unset(n);
+    let scratches = exec::fill_slice_pair_recorded(
+        &mut result.delta,
+        &mut result.mu,
+        policy,
+        rec,
+        "query.delta.chunk",
+        QueryScratch::new,
+        |p, delta_slot, mu_slot, scratch| {
+            let (delta, mu) = delta_one(tree, dataset, order, maxrho, p, config, scratch);
+            *delta_slot = delta;
+            *mu_slot = mu;
+        },
+    );
+    let mut stats = QueryStats::default();
+    for s in &scratches {
+        stats.merge(&s.stats);
+    }
+    stats.publish(rec, "query.delta");
+    (result, stats)
+}
+
+/// The full ρ→δ query pipeline with telemetry: recorded ρ-query, density
+/// order, `maxrho` annotation, recorded δ-query. This is the single
+/// implementation behind every tree index's
+/// [`dpc_core::DpcIndex::rho_delta_observed`] override.
+#[allow(clippy::too_many_arguments)]
+pub fn rho_delta_query_recorded<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    dc: f64,
+    tie_break: TieBreak,
+    config: &DeltaQueryConfig,
+    policy: ExecPolicy,
+    rec: &dyn dpc_obs::Recorder,
+) -> (Vec<Rho>, DeltaResult) {
+    let (rho, _) = rho_query_recorded(tree, dataset, dc, policy, rec);
+    let order = DensityOrder::with_tie_break(&rho, tie_break);
+    let maxrho = subtree_max_density(tree, &rho);
+    let (delta, _) = delta_query_recorded(tree, dataset, &order, &maxrho, config, policy, rec);
+    (rho, delta)
 }
 
 /// Ordered f64 wrapper so `BinaryHeap` can prioritise by `dmin`.
