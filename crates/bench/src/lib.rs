@@ -27,10 +27,12 @@ pub mod config;
 pub mod experiments;
 pub mod indexes;
 pub mod parallel_scaling;
+pub mod serve_throughput;
 pub mod stream_throughput;
 
 pub use cli::{run_cli, run_repro_cli};
 pub use config::ExperimentConfig;
 pub use indexes::IndexKind;
 pub use parallel_scaling::{ScalingOptions, ScalingReport};
+pub use serve_throughput::{ServeBenchOptions, ServeBenchReport};
 pub use stream_throughput::{StreamBenchOptions, StreamBenchReport};

@@ -411,30 +411,457 @@ fn replay<I: UpdatableIndex>(
         // Tag each epoch with the maintenance path the commit policy
         // actually took (incremental / fallback / rebuild).
         let mode = engine.stats().last_epoch_mode.map_or("?", |m| m.name());
-        if opts.json {
-            lines.push(format!(
-                "{{\"event\":\"epoch\",\"epoch\":{},\"clusters\":{},\
-                 \"births\":{},\"deaths\":{},\"insertions\":{},\
-                 \"evictions\":{},\"relabelled\":{},\"mode\":\"{mode}\",\
-                 \"maintenance_us\":{}}}",
-                delta.epoch,
-                delta.num_clusters,
-                delta.births.len(),
-                delta.deaths.len(),
-                delta.insertions(),
-                delta.evictions(),
-                delta.relabelled(),
-                engine.stats().last_epoch_micros
-            ));
-        } else {
-            lines.push(format!("{} [{mode}]", delta.summary()));
-        }
+        lines.push(epoch_line(
+            mode,
+            &delta,
+            engine.stats().last_epoch_micros,
+            opts.json,
+        ));
     }
     Ok((engine.stats(), timer.elapsed()))
 }
 
+/// One per-epoch report line — shared by `dpc stream` and `dpc serve` so
+/// both feeds carry the same cluster events, including the re-centred
+/// survivors that used to be misreported as a death plus a birth.
+fn epoch_line(mode: &str, delta: &dpc_stream::ClusterDelta, micros: u64, json: bool) -> String {
+    if json {
+        format!(
+            "{{\"event\":\"epoch\",\"epoch\":{},\"clusters\":{},\
+             \"births\":{},\"deaths\":{},\"recentred\":{},\
+             \"insertions\":{},\"evictions\":{},\"relabelled\":{},\
+             \"mode\":\"{mode}\",\"maintenance_us\":{micros}}}",
+            delta.epoch,
+            delta.num_clusters,
+            delta.births.len(),
+            delta.deaths.len(),
+            delta.recentred.len(),
+            delta.insertions(),
+            delta.evictions(),
+            delta.relabelled(),
+        )
+    } else {
+        format!("{} [{mode}]", delta.summary())
+    }
+}
+
 fn load_points(path: &str) -> Result<Dataset, String> {
     read_points_csv(Path::new(path)).map_err(|e| e.to_string())
+}
+
+/// `dpc serve`: replays a CSV stream through the serving layer — one writer
+/// committing epochs while `--readers` threads answer point-lookup,
+/// ε-neighbourhood and subscription queries from the published epoch
+/// snapshots.
+///
+/// The writer is exactly `dpc stream`'s replay loop (same `--window`,
+/// `--batch`, `--policy`, per-epoch delta lines); the serving layer wraps
+/// the engine in a [`dpc_serve::Server`] so every committed epoch publishes
+/// an immutable snapshot. Reader threads issue a deterministic mix of the
+/// three query families against the newest snapshot and report per-family
+/// p50/p99 latencies in the exit summary. `--ring` bounds the subscription
+/// delta ring (lagging subscribers resync, counted in the summary).
+///
+/// `--json`, `--metrics` and `--trace-out` behave as in `dpc stream`; with
+/// a trace attached, reader query spans and writer epoch phases land in the
+/// same Chrome trace, on separate thread lanes.
+pub fn serve(args: &ParsedArgs) -> Result<String, String> {
+    args.reject_unknown(&[
+        "input",
+        "dc",
+        "engine",
+        "index",
+        "window",
+        "batch",
+        "threads",
+        "centers",
+        "max-epochs",
+        "policy",
+        "readers",
+        "ring",
+        "quiet",
+        "json",
+        "metrics",
+        "trace-out",
+    ])?;
+    let data = load_points(args.require("input")?)?;
+    let dc: f64 = args.require_parsed("dc")?;
+    let index_name = args
+        .get("engine")
+        .or_else(|| args.get("index"))
+        .unwrap_or("grid");
+    let window: usize = args.get_or("window", 1_000)?;
+    let batch: usize = args.get_or("batch", 100)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
+    let max_epochs: usize = args.get_or("max-epochs", usize::MAX)?;
+    let policy = CommitPolicy::parse(args.get("policy").unwrap_or("incremental"))
+        .map_err(|e| e.to_string())?;
+    let readers: usize = args.get_or("readers", 2)?;
+    let ring: usize = args.get_or("ring", 64)?;
+    let quiet = args.has_switch("quiet");
+    let json = args.has_switch("json");
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    let metrics = args
+        .has_switch("metrics")
+        .then(|| Arc::new(MetricsRecorder::new()));
+    let trace = trace_out.is_some().then(|| Arc::new(TraceSink::new()));
+    let recorder: Option<SharedRecorder> = match (&metrics, &trace) {
+        (None, None) => None,
+        (Some(m), None) => Some(Arc::clone(m) as SharedRecorder),
+        (None, Some(t)) => Some(Arc::clone(t) as SharedRecorder),
+        (Some(m), Some(t)) => Some(Arc::new(
+            Fanout::new()
+                .with(Arc::clone(m) as SharedRecorder)
+                .with(Arc::clone(t) as SharedRecorder),
+        )),
+    };
+    if window == 0 || batch == 0 {
+        return Err("--window and --batch must be positive".into());
+    }
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if ring == 0 {
+        return Err("--ring must be positive".into());
+    }
+    if data.is_empty() {
+        return Err("input file holds no points".into());
+    }
+
+    let points = data.points();
+    let warm = window.min(points.len());
+    let seed = Dataset::new(points[..warm].to_vec());
+    let params = StreamParams::new(dc)
+        .with_dpc(
+            DpcParams::new(dc)
+                .with_centers(selection)
+                .with_threads(threads),
+        )
+        .with_policy(policy);
+    let mut lines = Vec::new();
+    let opts = ReplayOpts {
+        quiet,
+        json,
+        recorder,
+    };
+    let serve_opts = ServeOpts {
+        readers,
+        ring,
+        eps: dc,
+        query_points: points,
+    };
+    let (report, elapsed) = match index_name.to_ascii_lowercase().as_str() {
+        "grid" => serve_replay(
+            StreamingDpc::new(GridIndex::build(&seed), params).map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            &serve_opts,
+            &opts,
+            &mut lines,
+        )?,
+        "kdtree" | "kd" => serve_replay(
+            StreamingDpc::new(KdTree::build(&seed), params).map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            &serve_opts,
+            &opts,
+            &mut lines,
+        )?,
+        "rtree" => serve_replay(
+            StreamingDpc::new(RTree::build(&seed), params).map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            &serve_opts,
+            &opts,
+            &mut lines,
+        )?,
+        "naive" => serve_replay(
+            StreamingDpc::new(
+                dpc_core::naive_reference::NaiveReferenceIndex::build(&seed),
+                params,
+            )
+            .map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            &serve_opts,
+            &opts,
+            &mut lines,
+        )?,
+        "lean" => serve_replay(
+            StreamingDpc::new(LeanDpc::build(&seed), params).map_err(|e| e.to_string())?,
+            &points[warm..],
+            batch,
+            max_epochs,
+            &serve_opts,
+            &opts,
+            &mut lines,
+        )?,
+        other => {
+            return Err(format!(
+                "unknown streaming engine {other:?} (grid, kdtree, rtree, naive, or lean)"
+            ))
+        }
+    };
+
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    let q = |h: &dpc_obs::Histogram, q: f64| h.value_at_quantile(q).unwrap_or(0);
+    if json {
+        let _ = write!(
+            out,
+            "{{\"event\":\"serve_summary\",\"epochs\":{},\"published\":{},\
+             \"window\":{warm},\"elapsed_ms\":{:.3},\"readers\":{readers},\
+             \"lookups\":{},\"eps_queries\":{},\"sub_polls\":{},\
+             \"resyncs\":{},\"ring_evictions\":{},\
+             \"lookup_p50_us\":{},\"lookup_p99_us\":{},\
+             \"eps_p50_us\":{},\"eps_p99_us\":{},\
+             \"sub_p50_us\":{},\"sub_p99_us\":{}}}",
+            report.stats.epochs,
+            report.published,
+            elapsed.as_secs_f64() * 1e3,
+            report.lookups,
+            report.eps_queries,
+            report.sub_polls,
+            report.resyncs,
+            report.ring_evictions,
+            q(&report.lookup, 0.5),
+            q(&report.lookup, 0.99),
+            q(&report.eps, 0.5),
+            q(&report.eps, 0.99),
+            q(&report.sub, 0.5),
+            q(&report.sub, 0.99),
+        );
+    } else {
+        let _ = write!(
+            out,
+            "served {} epochs ({} published) over a window of {warm} in {:.1} ms \
+             ({:.1} epochs/s); {readers} readers issued {} lookups, {} eps-queries, \
+             {} subscription polls ({} resyncs, {} ring evictions); \
+             p50/p99 us: lookup {}/{}, eps {}/{}, sub {}/{}",
+            report.stats.epochs,
+            report.published,
+            elapsed.as_secs_f64() * 1e3,
+            report.stats.epochs as f64 / elapsed.as_secs_f64().max(1e-9),
+            report.lookups,
+            report.eps_queries,
+            report.sub_polls,
+            report.resyncs,
+            report.ring_evictions,
+            q(&report.lookup, 0.5),
+            q(&report.lookup, 0.99),
+            q(&report.eps, 0.5),
+            q(&report.eps, 0.99),
+            q(&report.sub, 0.5),
+            q(&report.sub, 0.99),
+        );
+    }
+    if let Some(metrics) = &metrics {
+        out.push('\n');
+        out.push_str(&metrics.snapshot().render());
+    }
+    if let (Some(trace), Some(path)) = (&trace, &trace_out) {
+        std::fs::write(path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+        if !json {
+            let _ = write!(
+                out,
+                "\nwrote Chrome trace ({} events) to {}",
+                trace.events().len(),
+                path.display()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Serving-specific knobs for [`serve_replay`].
+struct ServeOpts<'a> {
+    /// Number of concurrent reader threads.
+    readers: usize,
+    /// Capacity of the subscription delta ring.
+    ring: usize,
+    /// Radius for the readers' ε-neighbourhood queries.
+    eps: f64,
+    /// Pool of coordinates the readers centre ε-queries on.
+    query_points: &'a [dpc_core::Point],
+}
+
+/// What one replay through the serving layer observed: the writer's engine
+/// stats plus the merged reader-side tallies and latency histograms.
+struct ServeReport {
+    stats: dpc_stream::StreamStats,
+    published: u64,
+    ring_evictions: u64,
+    lookups: u64,
+    eps_queries: u64,
+    sub_polls: u64,
+    resyncs: u64,
+    lookup: dpc_obs::Histogram,
+    eps: dpc_obs::Histogram,
+    sub: dpc_obs::Histogram,
+}
+
+/// Per-reader-thread tallies, merged into the [`ServeReport`] at join.
+#[derive(Default)]
+struct ReaderTally {
+    lookups: u64,
+    eps_queries: u64,
+    sub_polls: u64,
+    resyncs: u64,
+    lookup: dpc_obs::Histogram,
+    eps: dpc_obs::Histogram,
+    sub: dpc_obs::Histogram,
+}
+
+/// Drives the writer over the remaining points while `opts.readers` threads
+/// issue a deterministic mix of queries against the published snapshots.
+/// Returns the merged report and the wall-clock time of the replay loop.
+fn serve_replay<I: UpdatableIndex>(
+    mut engine: StreamingDpc<I>,
+    rest: &[dpc_core::Point],
+    batch: usize,
+    max_epochs: usize,
+    serve_opts: &ServeOpts<'_>,
+    opts: &ReplayOpts,
+    lines: &mut Vec<String>,
+) -> Result<(ServeReport, std::time::Duration), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    if let Some(rec) = &opts.recorder {
+        engine.set_recorder(Arc::clone(rec));
+    }
+    let mut server = dpc_serve::Server::new(engine, serve_opts.ring);
+    let reader_handles: Vec<_> = (0..serve_opts.readers).map(|_| server.reader()).collect();
+    if opts.quiet {
+        // No per-epoch lines at all.
+    } else if opts.json {
+        lines.push(format!(
+            "{{\"event\":\"seed\",\"window\":{},\"clusters\":{}}}",
+            server.engine().len(),
+            server.engine().clustering().num_clusters()
+        ));
+    } else {
+        lines.push(format!(
+            "seeded window of {} points: {} clusters",
+            server.engine().len(),
+            server.engine().clustering().num_clusters()
+        ));
+    }
+
+    let stop = AtomicBool::new(false);
+    let timer = dpc_core::Timer::start();
+    let (writer_result, tallies) = std::thread::scope(|s| {
+        let stop = &stop;
+        let eps = serve_opts.eps;
+        let query_points = serve_opts.query_points;
+        let workers: Vec<_> = reader_handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut reader)| {
+                s.spawn(move || {
+                    let mut rng = dpc_datasets::SplitMix64::new(
+                        0x5E12_7E5E ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut tally = ReaderTally::default();
+                    let mut seen = reader.epoch();
+                    while !stop.load(Ordering::Acquire) {
+                        match rng.next_u64() % 3 {
+                            0 => {
+                                let snap = reader.current();
+                                if snap.is_empty() {
+                                    continue;
+                                }
+                                let h = snap.handle_at(rng.uniform_usize(snap.len()));
+                                let start = Instant::now();
+                                let _ = reader.cluster_of(h);
+                                tally.lookup.record(start.elapsed().as_micros() as u64);
+                                tally.lookups += 1;
+                            }
+                            1 => {
+                                let c = query_points[rng.uniform_usize(query_points.len())];
+                                let start = Instant::now();
+                                let _ = reader.eps_neighbors(c, eps);
+                                tally.eps.record(start.elapsed().as_micros() as u64);
+                                tally.eps_queries += 1;
+                            }
+                            _ => {
+                                let start = Instant::now();
+                                match reader.deltas_since(seen) {
+                                    dpc_serve::Replay::Deltas(deltas) => {
+                                        if let Some(last) = deltas.last() {
+                                            seen = last.epoch;
+                                        }
+                                    }
+                                    dpc_serve::Replay::Resync(snapshot) => {
+                                        seen = snapshot.epoch();
+                                        tally.resyncs += 1;
+                                    }
+                                }
+                                tally.sub.record(start.elapsed().as_micros() as u64);
+                                tally.sub_polls += 1;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+
+        // The writer must release the readers even when a commit fails —
+        // otherwise the scope would never join.
+        let writer_result = (|| -> Result<(), String> {
+            for chunk in rest.chunks(batch).take(max_epochs) {
+                let (_, delta) = server
+                    .engine_mut()
+                    .advance(chunk, chunk.len())
+                    .map_err(|e| e.to_string())?;
+                if !opts.quiet {
+                    let stats = server.engine().stats();
+                    let mode = stats.last_epoch_mode.map_or("?", |m| m.name());
+                    lines.push(epoch_line(mode, &delta, stats.last_epoch_micros, opts.json));
+                }
+            }
+            Ok(())
+        })();
+        stop.store(true, Ordering::Release);
+        let tallies: Vec<ReaderTally> = workers
+            .into_iter()
+            .map(|w| w.join().expect("reader thread panicked"))
+            .collect();
+        (writer_result, tallies)
+    });
+    let elapsed = timer.elapsed();
+    writer_result?;
+
+    let mut report = ServeReport {
+        stats: server.engine().stats(),
+        published: server.cell().published(),
+        ring_evictions: server.cell().ring_evictions(),
+        lookups: 0,
+        eps_queries: 0,
+        sub_polls: 0,
+        resyncs: 0,
+        lookup: dpc_obs::Histogram::new(),
+        eps: dpc_obs::Histogram::new(),
+        sub: dpc_obs::Histogram::new(),
+    };
+    for tally in tallies {
+        report.lookups += tally.lookups;
+        report.eps_queries += tally.eps_queries;
+        report.sub_polls += tally.sub_polls;
+        report.resyncs += tally.resyncs;
+        report.lookup.merge(&tally.lookup);
+        report.eps.merge(&tally.eps);
+        report.sub.merge(&tally.sub);
+    }
+    Ok((report, elapsed))
 }
 
 /// Parses a centre-selection spec: `top:K`, `auto`, `auto:MAX` or
@@ -969,6 +1396,106 @@ mod tests {
         ] {
             assert!(trace.contains(required), "trace missing {required}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_replays_with_readers_and_reports_latencies() {
+        let dir = temp_dir();
+        let points = dir.join("serve-points.csv");
+        run(args(&[
+            "generate",
+            "--dataset",
+            "gowalla",
+            "--scale",
+            "0.0005",
+            "--seed",
+            "11",
+            "--output",
+            points.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base = [
+            "serve",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--readers",
+            "2",
+            "--ring",
+            "8",
+        ];
+
+        // Human output: per-epoch delta lines plus the serving summary.
+        let out = run(args(&base)).unwrap();
+        assert!(out.contains("seeded window of 200 points"), "{out}");
+        assert!(out.contains("2 readers issued"), "{out}");
+        assert!(out.contains("p50/p99 us"), "{out}");
+
+        // --json: every line is a JSON object, ending in the serve summary
+        // with the per-family latency quantiles and resync count.
+        let mut json_args = base.to_vec();
+        json_args.push("--json");
+        let out = run(args(&json_args)).unwrap();
+        for line in out.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "non-JSON line in --json output: {line}"
+            );
+        }
+        let summary = out.lines().last().unwrap();
+        assert!(summary.starts_with("{\"event\":\"serve_summary\""), "{out}");
+        for field in [
+            "\"published\":",
+            "\"lookups\":",
+            "\"eps_queries\":",
+            "\"sub_polls\":",
+            "\"resyncs\":",
+            "\"lookup_p50_us\":",
+            "\"sub_p99_us\":",
+        ] {
+            assert!(
+                summary.contains(field),
+                "summary missing {field}: {summary}"
+            );
+        }
+        assert!(out.contains("\"recentred\":"), "{out}");
+
+        // --trace-out: reader query spans land in the same Chrome trace as
+        // the writer's epoch phases.
+        let trace_path = dir.join("serve-trace.json");
+        let mut trace_args = base.to_vec();
+        trace_args.extend(["--quiet", "--trace-out", trace_path.to_str().unwrap()]);
+        let out = run(args(&trace_args)).unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        for required in [
+            "\"name\":\"stream.epoch\"",
+            "\"name\":\"stream.phase.publish\"",
+            "\"name\":\"serve.query.lookup\"",
+            "\"name\":\"serve.query.eps\"",
+            "\"name\":\"serve.query.sub\"",
+        ] {
+            assert!(trace.contains(required), "trace missing {required}");
+        }
+
+        // Bad invocations fail cleanly.
+        assert!(run(args(&[
+            "serve",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--ring",
+            "0"
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -38,6 +38,7 @@ pub fn run(args: Vec<String>) -> Result<String, String> {
         "cluster" => commands::cluster(&parsed),
         "knn-cluster" => commands::knn_cluster(&parsed),
         "stream" => commands::stream(&parsed),
+        "serve" => commands::serve(&parsed),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -61,6 +62,12 @@ USAGE:
                   [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
                   [--policy incremental|rebuild|adaptive] [--max-epochs N] [--quiet]
                   [--json] [--metrics] [--trace-out trace.json]
+  dpc serve       --input points.csv --dc F
+                  [--engine grid|kdtree|rtree|naive] [--window N] [--batch N] [--threads N]
+                  [--readers N] [--ring N]
+                  [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
+                  [--policy incremental|rebuild|adaptive] [--max-epochs N] [--quiet]
+                  [--json] [--metrics] [--trace-out trace.json]
   dpc help
 
 Datasets are the paper's six evaluation datasets, regenerated synthetically
@@ -73,7 +80,12 @@ picks the commit strategy (adaptive = a calibrated cost model chooses
 incremental maintenance or a bulk rebuild per epoch). --json emits one JSON
 object per epoch instead of text, --metrics prints a metrics table after the
 replay, and --trace-out writes a Chrome trace-event file of the per-epoch
-phase spans (open in Perfetto or chrome://tracing)."
+phase spans (open in Perfetto or chrome://tracing). `serve` runs the same
+writer replay behind the concurrent serving layer while --readers threads
+answer point-lookup, eps-neighbourhood and delta-subscription queries from
+the published epoch snapshots (per-family p50/p99 in the exit summary);
+--ring bounds the subscription delta ring — readers that fall further behind
+resync from a full snapshot."
         .to_string()
 }
 

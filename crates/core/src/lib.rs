@@ -69,6 +69,7 @@ pub mod naive_reference;
 pub mod params;
 pub mod pipeline;
 pub mod point;
+pub mod snapshot;
 pub mod stats;
 
 pub use assign::{assign_clusters, AssignmentOptions};
@@ -85,4 +86,5 @@ pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
 pub use params::DpcParams;
 pub use pipeline::{cluster_with_index, DpcPipeline, DpcRun};
 pub use point::{Dataset, Point, PointId};
+pub use snapshot::StateSnapshot;
 pub use stats::{MemoryReport, Timer};

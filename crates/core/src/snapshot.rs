@@ -1,0 +1,388 @@
+//! Immutable point-in-time views of clustering state, built for concurrent
+//! serving.
+//!
+//! A [`StateSnapshot`] freezes everything a read-only query needs — the
+//! window's coordinates, ρ, δ, µ, labels, centres and halo flags — plus a
+//! compact uniform grid over the frozen coordinates so ε-neighbourhood
+//! queries stay sub-linear without keeping the (mutable) source index
+//! alive. Snapshots are plain owned data: cloning is deep, sharing is
+//! cheap behind an `Arc`, and nothing in this module can observe later
+//! mutations of the engine that produced it.
+
+use std::collections::HashMap;
+
+use crate::cluster::Clustering;
+use crate::delta::DeltaResult;
+use crate::density::Rho;
+use crate::error::Result;
+use crate::index::validate_dc;
+use crate::point::{Dataset, Point, PointId};
+
+/// Average cell occupancy the snapshot grid aims for; mirrors the default of
+/// the updatable grid index.
+const TARGET_POINTS_PER_CELL: f64 = 32.0;
+
+/// A compact uniform grid over a frozen point set, supporting exact
+/// ε-neighbourhood queries. Geometry is derived from the points at build
+/// time; since a snapshot never mutates, it can never drift.
+#[derive(Debug, Clone)]
+struct SnapshotGrid {
+    origin: (f64, f64),
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl SnapshotGrid {
+    fn build(points: &[Point]) -> Self {
+        let bb = points
+            .iter()
+            .fold(crate::bbox::BoundingBox::EMPTY, |acc, p| acc.extended(*p));
+        let origin = if bb.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (bb.min_x(), bb.min_y())
+        };
+        let n = points.len();
+        let mut cell_size = {
+            let cells = (n as f64 / TARGET_POINTS_PER_CELL).max(1.0);
+            let per_axis = cells.sqrt().ceil().max(1.0);
+            bb.width().max(bb.height()).max(f64::MIN_POSITIVE) / per_axis
+        };
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            cell_size = 1.0;
+        }
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (id, p) in points.iter().enumerate() {
+            cells
+                .entry(Self::key(*p, origin, cell_size))
+                .or_default()
+                .push(id as u32);
+        }
+        SnapshotGrid {
+            origin,
+            cell_size,
+            cells,
+        }
+    }
+
+    /// Integer cell coordinates; the f64→i64 cast saturates so degenerate
+    /// geometries collapse into boundary cells instead of overflowing.
+    fn key(p: Point, origin: (f64, f64), cell_size: f64) -> (i64, i64) {
+        (
+            ((p.x - origin.0) / cell_size).floor() as i64,
+            ((p.y - origin.1) / cell_size).floor() as i64,
+        )
+    }
+
+    /// Ids of all points strictly within `eps` of `center`, ascending — the
+    /// same contract (and bit-identical answer) as a linear scan in id
+    /// order with a strict `< eps²` test.
+    fn eps_neighbors(&self, points: &[Point], center: Point, eps: f64) -> Vec<PointId> {
+        let mut out = Vec::new();
+        if points.is_empty() {
+            return out;
+        }
+        let eps2 = eps * eps;
+        // Widen the key rectangle by one cell per side: rounded f64
+        // arithmetic may push fl(center ± eps) across a cell boundary, and
+        // the exact strict `< eps²` test below keeps the result tight.
+        let (kx0, ky0) = Self::key(
+            Point::new(center.x - eps, center.y - eps),
+            self.origin,
+            self.cell_size,
+        );
+        let (kx1, ky1) = Self::key(
+            Point::new(center.x + eps, center.y + eps),
+            self.origin,
+            self.cell_size,
+        );
+        let (kx0, ky0) = (kx0.saturating_sub(1), ky0.saturating_sub(1));
+        let (kx1, ky1) = (kx1.saturating_add(1), ky1.saturating_add(1));
+        let scan = |ids: &[u32], out: &mut Vec<PointId>| {
+            for &q in ids {
+                let q = q as PointId;
+                if points[q].distance_squared(&center) < eps2 {
+                    out.push(q);
+                }
+            }
+        };
+        // Enumerate the rectangle when small; for a huge eps relative to
+        // the cell size, walking the existing cells is cheaper.
+        let span = ((kx1 as i128 - kx0 as i128 + 1) as u128)
+            .saturating_mul((ky1 as i128 - ky0 as i128 + 1) as u128);
+        if span <= self.cells.len() as u128 {
+            for kx in kx0..=kx1 {
+                for ky in ky0..=ky1 {
+                    if let Some(ids) = self.cells.get(&(kx, ky)) {
+                        scan(ids, &mut out);
+                    }
+                }
+            }
+        } else {
+            for (&(kx, ky), ids) in &self.cells {
+                if (kx0..=kx1).contains(&kx) && (ky0..=ky1).contains(&ky) {
+                    scan(ids, &mut out);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// An immutable copy of one epoch's full clustering state.
+///
+/// All per-point vectors are indexed by the dense [`PointId`]s of the source
+/// dataset *at the moment of the snapshot*; `version` records the dataset's
+/// mutation counter so the snapshot can be correlated with the live engine.
+#[derive(Debug, Clone)]
+pub struct StateSnapshot {
+    version: u64,
+    points: Vec<Point>,
+    rho: Vec<Rho>,
+    deltas: DeltaResult,
+    clustering: Clustering,
+    grid: SnapshotGrid,
+}
+
+impl StateSnapshot {
+    /// Freezes a snapshot from its parts, building the internal ε-query
+    /// grid.
+    ///
+    /// # Panics
+    /// Panics if the per-point vectors disagree on length.
+    pub fn new(
+        version: u64,
+        points: Vec<Point>,
+        rho: Vec<Rho>,
+        deltas: DeltaResult,
+        clustering: Clustering,
+    ) -> Self {
+        let n = points.len();
+        assert_eq!(rho.len(), n, "rho length must match the point count");
+        assert_eq!(
+            deltas.delta.len(),
+            n,
+            "delta length must match the point count"
+        );
+        assert_eq!(deltas.mu.len(), n, "mu length must match the point count");
+        assert_eq!(
+            clustering.len(),
+            n,
+            "clustering length must match the point count"
+        );
+        let grid = SnapshotGrid::build(&points);
+        StateSnapshot {
+            version,
+            points,
+            rho,
+            deltas,
+            clustering,
+            grid,
+        }
+    }
+
+    /// Freezes the current state of a dataset plus its derived quantities.
+    pub fn capture(
+        dataset: &Dataset,
+        rho: &[Rho],
+        deltas: &DeltaResult,
+        clustering: &Clustering,
+    ) -> Self {
+        StateSnapshot::new(
+            dataset.version(),
+            dataset.points().to_vec(),
+            rho.to_vec(),
+            deltas.clone(),
+            clustering.clone(),
+        )
+    }
+
+    /// The dataset mutation counter at snapshot time.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of points in the snapshot.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the snapshot holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The frozen coordinates, indexed by dense id.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// One frozen point.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn point(&self, id: PointId) -> Point {
+        self.points[id]
+    }
+
+    /// The frozen ρ values.
+    pub fn rho(&self) -> &[Rho] {
+        &self.rho
+    }
+
+    /// The frozen δ/µ values.
+    pub fn deltas(&self) -> &DeltaResult {
+        &self.deltas
+    }
+
+    /// The frozen clustering (labels, centres, halo).
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Ids of all points strictly within `eps` of `center`, ascending.
+    /// Bit-identical to a linear scan of the frozen points with a strict
+    /// `< eps²` test.
+    ///
+    /// # Errors
+    /// Rejects a non-finite or non-positive `eps`.
+    pub fn eps_neighbors(&self, center: Point, eps: f64) -> Result<Vec<PointId>> {
+        validate_dc(eps)?;
+        Ok(self.grid.eps_neighbors(&self.points, center, eps))
+    }
+
+    /// Verifies the snapshot's internal consistency: per-point vectors agree
+    /// on length, every label points at a valid centre, every centre is
+    /// labelled with its own cluster, and the ε-grid partitions exactly the
+    /// frozen ids. A torn snapshot (state mixed across epochs) cannot pass.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on the first violation.
+    pub fn check_consistency(&self) {
+        let n = self.points.len();
+        assert_eq!(self.rho.len(), n, "rho/points length mismatch");
+        assert_eq!(self.deltas.delta.len(), n, "delta/points length mismatch");
+        assert_eq!(self.deltas.mu.len(), n, "mu/points length mismatch");
+        assert_eq!(self.clustering.len(), n, "labels/points length mismatch");
+        let centers = self.clustering.centers();
+        for (p, &label) in self.clustering.labels().iter().enumerate() {
+            assert!(
+                label < centers.len(),
+                "point {p} labelled {label} but only {} clusters exist",
+                centers.len()
+            );
+        }
+        for (cluster, &c) in centers.iter().enumerate() {
+            assert!(c < n, "centre {c} of cluster {cluster} is out of range");
+            assert_eq!(
+                self.clustering.label(c),
+                cluster,
+                "centre {c} is not labelled with its own cluster"
+            );
+        }
+        let mut seen = vec![false; n];
+        for ((kx, ky), ids) in &self.grid.cells {
+            for &q in ids {
+                let q = q as PointId;
+                assert!(q < n, "grid lists out-of-range id {q}");
+                assert!(!seen[q], "grid lists id {q} twice");
+                seen[q] = true;
+                assert_eq!(
+                    SnapshotGrid::key(self.points[q], self.grid.origin, self.grid.cell_size),
+                    (*kx, *ky),
+                    "point {q} is listed in cell ({kx}, {ky}) but keys elsewhere"
+                );
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "grid must partition every frozen id"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_reference::NaiveReferenceIndex;
+    use crate::params::DpcParams;
+    use crate::pipeline::DpcPipeline;
+
+    fn snapshot_of(coords: Vec<(f64, f64)>, dc: f64) -> (Dataset, StateSnapshot) {
+        let dataset = Dataset::from_coords(coords);
+        let index = NaiveReferenceIndex::build(&dataset);
+        let run = DpcPipeline::new(DpcParams::new(dc)).run(&index).unwrap();
+        let snap = StateSnapshot::capture(&dataset, &run.rho, &run.deltas, &run.clustering);
+        (dataset, snap)
+    }
+
+    fn grid_coords() -> Vec<(f64, f64)> {
+        let mut coords = Vec::new();
+        for i in 0..13 {
+            for j in 0..11 {
+                coords.push((i as f64 * 1.7, j as f64 * 2.3 + (i % 3) as f64 * 0.1));
+            }
+        }
+        coords
+    }
+
+    #[test]
+    fn capture_freezes_state_and_passes_consistency() {
+        let (dataset, snap) = snapshot_of(grid_coords(), 3.0);
+        assert_eq!(snap.len(), dataset.len());
+        assert_eq!(snap.version(), dataset.version());
+        assert_eq!(snap.points(), dataset.points());
+        snap.check_consistency();
+    }
+
+    #[test]
+    fn eps_neighbors_matches_a_linear_scan() {
+        let (dataset, snap) = snapshot_of(grid_coords(), 3.0);
+        for (center, eps) in [
+            (dataset.point(0), 2.5),
+            (dataset.point(57), 4.0),
+            (Point::new(-3.0, -3.0), 1.0),
+            (dataset.point(8), 1.0e6),
+        ] {
+            let got = snap.eps_neighbors(center, eps).unwrap();
+            let expected: Vec<PointId> = dataset
+                .iter()
+                .filter(|(_, p)| p.distance_squared(&center) < eps * eps)
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(got, expected, "eps = {eps}");
+        }
+        assert!(snap.eps_neighbors(Point::new(0.0, 0.0), f64::NAN).is_err());
+        assert!(snap.eps_neighbors(Point::new(0.0, 0.0), -1.0).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_is_consistent() {
+        let snap = StateSnapshot::new(
+            0,
+            Vec::new(),
+            Vec::new(),
+            DeltaResult::unset(0),
+            Clustering::new(vec![], vec![], vec![]),
+        );
+        assert!(snap.is_empty());
+        snap.check_consistency();
+        assert!(snap
+            .eps_neighbors(Point::new(0.0, 0.0), 1.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rho length")]
+    fn mismatched_lengths_panic() {
+        let _ = StateSnapshot::new(
+            0,
+            vec![Point::new(0.0, 0.0)],
+            Vec::new(),
+            DeltaResult::unset(1),
+            Clustering::new(vec![0], vec![0], vec![false]),
+        );
+    }
+}

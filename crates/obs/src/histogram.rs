@@ -103,6 +103,31 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// An upper bound on the value at quantile `q` (`0.0..=1.0`), or `None`
+    /// if the histogram is empty.
+    ///
+    /// Walks the log2 buckets until the cumulative count reaches
+    /// `ceil(q * count)` and reports that bucket's upper edge, clamped to the
+    /// exact recorded `min`/`max`. Resolution is therefore one power of two,
+    /// but the answer never under-reports: the true quantile value is `<=`
+    /// the returned bound. `q` outside `[0, 1]` is clamped.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                let (_, hi) = Histogram::bucket_range(index);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty buckets as `(lo, hi, count)` ranges, lowest first.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -210,6 +235,31 @@ mod tests {
         let mut empty = Histogram::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantiles_are_clamped_upper_bounds() {
+        assert_eq!(Histogram::new().value_at_quantile(0.5), None);
+        let mut h = Histogram::new();
+        h.record(10);
+        // Single sample: every quantile is that sample.
+        assert_eq!(h.value_at_quantile(0.0), Some(10));
+        assert_eq!(h.value_at_quantile(0.5), Some(10));
+        assert_eq!(h.value_at_quantile(1.0), Some(10));
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.value_at_quantile(0.5).unwrap();
+        let p99 = h.value_at_quantile(0.99).unwrap();
+        // Upper bounds: at least the true quantile, at most the next
+        // power-of-two edge (and never beyond the recorded max).
+        assert!((50..=63).contains(&p50), "p50 bound was {p50}");
+        assert!((99..=100).contains(&p99), "p99 bound was {p99}");
+        assert_eq!(h.value_at_quantile(1.0), Some(100));
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.value_at_quantile(-1.0), Some(1));
+        assert_eq!(h.value_at_quantile(2.0), Some(100));
     }
 
     #[test]

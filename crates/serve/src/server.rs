@@ -1,0 +1,72 @@
+//! The [`Server`]: owns the single streaming writer and hands out readers.
+
+use std::sync::Arc;
+
+use dpc_core::UpdatableIndex;
+use dpc_stream::StreamingDpc;
+
+use crate::cell::SnapshotCell;
+use crate::reader::SnapshotReader;
+
+/// A single-writer serving wrapper around a [`StreamingDpc`] engine.
+///
+/// Construction freezes the engine's current state as the seed snapshot and
+/// attaches a [`SnapshotCell`] as the engine's snapshot sink: from then on
+/// every successfully committed non-empty epoch publishes automatically, and
+/// any number of [`SnapshotReader`]s (one per query thread) serve from the
+/// newest published snapshot without ever blocking the writer.
+///
+/// The cell reuses the engine's recorder, so writer epoch phases and reader
+/// query latencies land in the same metrics/trace stream.
+#[derive(Debug)]
+pub struct Server<I: UpdatableIndex> {
+    engine: StreamingDpc<I>,
+    cell: Arc<SnapshotCell>,
+}
+
+impl<I: UpdatableIndex> Server<I> {
+    /// Wraps `engine`, publishing its current state as the seed snapshot.
+    /// `ring_capacity` bounds the delta ring for subscription replay —
+    /// subscribers that fall further behind get a
+    /// [`Replay::Resync`](crate::Replay::Resync).
+    ///
+    /// # Panics
+    /// Panics if `ring_capacity` is zero.
+    pub fn new(mut engine: StreamingDpc<I>, ring_capacity: usize) -> Self {
+        let seed = Arc::new(engine.snapshot());
+        let cell = Arc::new(
+            SnapshotCell::new(seed, ring_capacity).with_recorder(engine.recorder().clone()),
+        );
+        engine.set_snapshot_sink(cell.clone());
+        Server { engine, cell }
+    }
+
+    /// A new reader positioned at the newest published epoch. Hand one to
+    /// each query thread; readers are `Send` and independent.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::new(Arc::clone(&self.cell), self.cell.recorder().clone())
+    }
+
+    /// The wrapped engine — all writes go through here.
+    pub fn engine(&self) -> &StreamingDpc<I> {
+        &self.engine
+    }
+
+    /// Mutable access to the engine for the writer thread.
+    pub fn engine_mut(&mut self) -> &mut StreamingDpc<I> {
+        &mut self.engine
+    }
+
+    /// The publication cell (monitoring: published count, latest epoch,
+    /// ring evictions).
+    pub fn cell(&self) -> &Arc<SnapshotCell> {
+        &self.cell
+    }
+
+    /// Detaches the serving layer and returns the engine. The cell stays
+    /// alive for existing readers but receives no further epochs.
+    pub fn into_engine(mut self) -> StreamingDpc<I> {
+        self.engine.clear_snapshot_sink();
+        self.engine
+    }
+}

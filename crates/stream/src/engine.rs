@@ -55,11 +55,12 @@
 //! [`UpdatableIndex`] implementation, at every thread count.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use dpc_core::{
     assign_clusters, BatchOp, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError,
-    DpcParams, Point, PointId, Result, Rho, UpdatableIndex,
+    DpcParams, Point, PointId, Result, Rho, StateSnapshot, UpdatableIndex,
 };
 use dpc_obs::{span, AttrValue, SharedRecorder};
 
@@ -68,6 +69,7 @@ use crate::handle::{Handle, HandleMap};
 use crate::maintenance::{candidate_pass, delta_point, recompute_all, recompute_targets};
 use crate::policy::{CommitPolicy, CostModel, EpochMode, Prediction};
 use crate::report::{ClusterDelta, LabelChange};
+use crate::snapshot::{EpochSnapshot, SnapshotSink};
 
 /// Parameters of a streaming run: the batch DPC parameters plus the
 /// incremental-maintenance knobs.
@@ -378,6 +380,11 @@ pub struct StreamingDpc<I: UpdatableIndex> {
     /// instrumented site down to a predictable branch; see
     /// [`set_recorder`](Self::set_recorder).
     recorder: SharedRecorder,
+    /// Publication sink for epoch snapshots (`None` by default). When set,
+    /// every successfully committed non-empty epoch freezes an
+    /// [`EpochSnapshot`] after re-clustering and hands it to the sink; see
+    /// [`set_snapshot_sink`](Self::set_snapshot_sink).
+    sink: Option<Arc<dyn SnapshotSink>>,
 }
 
 impl<I: UpdatableIndex> StreamingDpc<I> {
@@ -450,6 +457,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             model,
             scratch: CommitScratch::default(),
             recorder: dpc_obs::noop(),
+            sink: None,
         };
         // The seeding pass is epoch 0, not a streamed delta.
         engine.recluster()?;
@@ -563,6 +571,50 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
     pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
         self.set_recorder(recorder);
         self
+    }
+
+    /// Attaches a snapshot publication sink, effective from the next
+    /// committed epoch: every successfully committed non-empty epoch then
+    /// freezes an [`EpochSnapshot`] (after re-clustering, under a
+    /// `stream.phase.publish` span) and hands it to the sink. Committing an
+    /// empty plan publishes nothing — the state did not change. The sink
+    /// never affects results; it only observes them.
+    pub fn set_snapshot_sink(&mut self, sink: Arc<dyn SnapshotSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the snapshot sink, if any.
+    pub fn clear_snapshot_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Freezes the engine's *current* state as an [`EpochSnapshot`] with an
+    /// empty delta — the form a serving layer publishes at attach time,
+    /// before any epoch has been committed through the sink.
+    pub fn snapshot(&self) -> EpochSnapshot {
+        self.snapshot_with_delta(ClusterDelta {
+            epoch: self.epoch,
+            num_clusters: self.clustering.num_clusters(),
+            births: Vec::new(),
+            deaths: Vec::new(),
+            recentred: Vec::new(),
+            changed: Vec::new(),
+        })
+    }
+
+    /// Freezes the engine's current state, attaching `delta` as the epoch's
+    /// advancing delta.
+    fn snapshot_with_delta(&self, delta: ClusterDelta) -> EpochSnapshot {
+        let state = StateSnapshot::capture(
+            self.index.dataset(),
+            &self.rho,
+            &self.deltas,
+            &self.clustering,
+        );
+        let handles: Vec<Handle> = (0..self.rho.len())
+            .map(|p| self.handles.handle_at(p))
+            .collect();
+        EpochSnapshot::new(self.epoch, state, handles, delta)
     }
 
     /// The stable handle of the point at dense id `id`.
@@ -686,6 +738,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                 num_clusters: self.clustering.num_clusters(),
                 births: Vec::new(),
                 deaths: Vec::new(),
+                recentred: Vec::new(),
                 changed: Vec::new(),
             };
             return Ok((Vec::new(), delta));
@@ -810,6 +863,14 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             let _recluster_span = span(&rec, "stream.phase.recluster");
             self.recluster()?
         };
+        // Phase 6 (optional) — freeze and publish the epoch snapshot. This
+        // is the single-writer half of the serving layer: the snapshot is
+        // immutable from here on, so readers need no coordination with the
+        // next epoch's maintenance.
+        if let Some(sink) = self.sink.clone() {
+            let _publish_span = span(&rec, "stream.phase.publish");
+            sink.publish(Arc::new(self.snapshot_with_delta(delta.clone())));
+        }
         Ok((outcome.planned_handles, delta))
     }
 
@@ -1205,15 +1266,79 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
 }
 
 /// Diffs two stable (point handle → centre handle) assignments.
+///
+/// A centre handle that leaves the centre set does not necessarily mean its
+/// cluster died: when the centre *point* expires but the population
+/// persists, the next epoch elects a new centre among the survivors. Dying
+/// and newborn centres whose member sets overlap with Jaccard similarity of
+/// at least [`ClusterDelta::JACCARD_THRESHOLD`] are therefore matched
+/// greedily (best overlap first, deterministic handle-order tie-break) and
+/// reported as `recentred` survivors instead of a death + birth pair.
 fn diff_assignments(
     epoch: u64,
     old: &BTreeMap<Handle, Handle>,
     new: &BTreeMap<Handle, Handle>,
 ) -> ClusterDelta {
-    let old_centers: std::collections::BTreeSet<Handle> = old.values().copied().collect();
-    let new_centers: std::collections::BTreeSet<Handle> = new.values().copied().collect();
-    let births = new_centers.difference(&old_centers).copied().collect();
-    let deaths = old_centers.difference(&new_centers).copied().collect();
+    use std::collections::BTreeSet;
+    let old_centers: BTreeSet<Handle> = old.values().copied().collect();
+    let new_centers: BTreeSet<Handle> = new.values().copied().collect();
+    let mut births: Vec<Handle> = new_centers.difference(&old_centers).copied().collect();
+    let mut deaths: Vec<Handle> = old_centers.difference(&new_centers).copied().collect();
+
+    // Identity matching: pair each dying centre with the newborn centre
+    // whose membership overlaps it the most, if the overlap clears the
+    // Jaccard threshold. Clusters whose centre survived keep their identity
+    // trivially and never take part.
+    let mut recentred: Vec<(Handle, Handle)> = Vec::new();
+    if !births.is_empty() && !deaths.is_empty() {
+        let mut old_size: BTreeMap<Handle, usize> = BTreeMap::new();
+        let mut new_size: BTreeMap<Handle, usize> = BTreeMap::new();
+        for &c in old.values() {
+            *old_size.entry(c).or_default() += 1;
+        }
+        for &c in new.values() {
+            *new_size.entry(c).or_default() += 1;
+        }
+        let dead: BTreeSet<Handle> = deaths.iter().copied().collect();
+        let born: BTreeSet<Handle> = births.iter().copied().collect();
+        // Overlap counts over the points present in both epochs, restricted
+        // to (dying, newborn) cluster pairs.
+        let mut overlap: BTreeMap<(Handle, Handle), usize> = BTreeMap::new();
+        for (h, &co) in old {
+            if let Some(&cn) = new.get(h) {
+                if dead.contains(&co) && born.contains(&cn) {
+                    *overlap.entry((co, cn)).or_default() += 1;
+                }
+            }
+        }
+        let mut candidates: Vec<(f64, Handle, Handle)> = overlap
+            .iter()
+            .map(|(&(co, cn), &inter)| {
+                let union = old_size[&co] + new_size[&cn] - inter;
+                (inter as f64 / union as f64, co, cn)
+            })
+            .filter(|&(jaccard, _, _)| jaccard >= ClusterDelta::JACCARD_THRESHOLD)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        let mut matched_old: BTreeSet<Handle> = BTreeSet::new();
+        let mut matched_new: BTreeSet<Handle> = BTreeSet::new();
+        for (_, co, cn) in candidates {
+            if !matched_old.contains(&co) && !matched_new.contains(&cn) {
+                matched_old.insert(co);
+                matched_new.insert(cn);
+                recentred.push((co, cn));
+            }
+        }
+        if !recentred.is_empty() {
+            recentred.sort_unstable();
+            births.retain(|c| !matched_new.contains(c));
+            deaths.retain(|c| !matched_old.contains(c));
+        }
+    }
 
     let mut changed = Vec::new();
     // Both maps iterate in ascending handle order; a classic merge collects
@@ -1274,6 +1399,7 @@ fn diff_assignments(
         num_clusters: new_centers.len(),
         births,
         deaths,
+        recentred,
         changed,
     }
 }
@@ -1339,6 +1465,90 @@ mod tests {
         assert_eq!(delta.evictions(), 1);
         assert_eq!(engine.dense_of(victim), None);
         assert!(engine.remove(victim).is_err());
+    }
+
+    #[test]
+    fn centre_expiry_with_survivors_is_recentred_not_death_and_birth() {
+        let mut engine = two_blob_engine();
+        let far_centre_id = engine
+            .clustering()
+            .centers()
+            .iter()
+            .copied()
+            .find(|&c| engine.index().dataset().point(c).x > 1.0)
+            .expect("one centre per blob");
+        let old_centre = engine.handle_at(far_centre_id);
+        let delta = engine.remove(old_centre).unwrap();
+        // Regression: before overlap matching this epoch reported the far
+        // blob as one death plus one birth even though two of its three
+        // points survive under a freshly elected centre.
+        assert!(delta.births.is_empty(), "births: {:?}", delta.births);
+        assert!(delta.deaths.is_empty(), "deaths: {:?}", delta.deaths);
+        assert_eq!(delta.recentred.len(), 1);
+        let (dead, reborn) = delta.recentred[0];
+        assert_eq!(dead, old_centre);
+        let new_id = engine.dense_of(reborn).expect("new centre must be live");
+        assert!(engine.index().dataset().point(new_id).x > 1.0);
+        assert_eq!(delta.num_clusters, 2);
+        assert_matches_cold_batch(&engine);
+    }
+
+    #[test]
+    fn whole_cluster_eviction_is_still_a_death() {
+        let mut engine = two_blob_engine();
+        let far_centre_id = engine
+            .clustering()
+            .centers()
+            .iter()
+            .copied()
+            .find(|&c| engine.index().dataset().point(c).x > 1.0)
+            .unwrap();
+        let far_centre = engine.handle_at(far_centre_id);
+        let far: Vec<Handle> = (0..engine.len())
+            .filter(|&p| engine.index().dataset().point(p).x > 1.0)
+            .map(|p| engine.handle_at(p))
+            .collect();
+        let mut plan = EpochPlan::new();
+        for &h in &far {
+            plan.remove(h);
+        }
+        let (_, delta) = engine.commit(&plan).unwrap();
+        // No surviving population: overlap matching must not resurrect it.
+        assert!(delta.deaths.contains(&far_centre));
+        assert!(delta.recentred.is_empty());
+    }
+
+    #[test]
+    fn diff_matches_identity_only_above_the_jaccard_threshold() {
+        let map = |pairs: &[(u64, u64)]| -> BTreeMap<Handle, Handle> {
+            pairs.iter().map(|&(h, c)| (Handle(h), Handle(c))).collect()
+        };
+        // Centre #0 expires, survivors {1, 2} re-centre at #1:
+        // Jaccard 2/3 ≥ 0.5 → matched.
+        let old = map(&[(0, 0), (1, 0), (2, 0)]);
+        let new = map(&[(1, 1), (2, 1)]);
+        let d = diff_assignments(1, &old, &new);
+        assert_eq!(d.recentred, vec![(Handle(0), Handle(1))]);
+        assert!(d.births.is_empty() && d.deaths.is_empty());
+
+        // Only one of four old members flows into the newborn cluster:
+        // Jaccard 1/8 < 0.5 → the naive death + birth stands.
+        let old = map(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let new = map(&[(3, 7), (7, 7), (8, 7), (9, 7), (10, 7)]);
+        let d = diff_assignments(2, &old, &new);
+        assert!(d.recentred.is_empty());
+        assert_eq!(d.births, vec![Handle(7)]);
+        assert_eq!(d.deaths, vec![Handle(0)]);
+
+        // A merge: two dying clusters pour into one newborn; only the
+        // dominant contributor (Jaccard 3/5) keeps the identity, the minor
+        // one (2/5) dies.
+        let old = map(&[(0, 0), (1, 0), (2, 0), (10, 5), (11, 5)]);
+        let new = map(&[(0, 1), (1, 1), (2, 1), (10, 1), (11, 1)]);
+        let d = diff_assignments(3, &old, &new);
+        assert_eq!(d.recentred, vec![(Handle(0), Handle(1))]);
+        assert!(d.births.is_empty());
+        assert_eq!(d.deaths, vec![Handle(5)]);
     }
 
     #[test]

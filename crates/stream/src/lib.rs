@@ -64,6 +64,12 @@
 //! internals contract — affected sets, the δ invalidation taxonomy,
 //! swap-remove semantics, a worked epoch example — lives in
 //! `docs/STREAMING.md` at the repository root.
+//!
+//! For concurrent serving, [`snapshot`] freezes each committed epoch as an
+//! immutable [`EpochSnapshot`] and publishes it through a [`SnapshotSink`]
+//! attached with [`StreamingDpc::set_snapshot_sink`]; the `dpc-serve` crate
+//! builds the single-writer/many-reader layer on top (see
+//! `docs/SERVING.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,9 +80,11 @@ pub mod handle;
 pub mod maintenance;
 pub mod policy;
 pub mod report;
+pub mod snapshot;
 
 pub use engine::{StreamParams, StreamStats, StreamingDpc};
 pub use epoch::{EpochPlan, PlannedInsert};
 pub use handle::{Handle, HandleMap};
 pub use policy::{CommitPolicy, CostModel, EpochMode, Prediction};
 pub use report::{ClusterDelta, LabelChange};
+pub use snapshot::{EpochSnapshot, SnapshotSink};

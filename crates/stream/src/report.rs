@@ -5,6 +5,14 @@
 //! report therefore identifies a cluster by the [`Handle`] of its *centre
 //! point* and a point's label by its cluster's centre handle — both stable
 //! for as long as the underlying points live.
+//!
+//! A centre handle alone is too brittle an identity: when a cluster's centre
+//! point expires but its population persists, the next epoch picks a new
+//! centre among the survivors and a naive diff reports the cluster as one
+//! death plus one birth. The delta therefore matches dying and newborn
+//! centres by member overlap (Jaccard similarity of the two member sets,
+//! threshold [`ClusterDelta::JACCARD_THRESHOLD`]); matched pairs are
+//! reported as [`ClusterDelta::recentred`] instead of a death + birth.
 
 use crate::handle::Handle;
 
@@ -46,15 +54,33 @@ pub struct ClusterDelta {
     /// Centre handles of clusters that existed before but not any more
     /// (sorted).
     pub deaths: Vec<Handle>,
+    /// Clusters that survived a centre change, as `(old_centre, new_centre)`
+    /// pairs sorted by old centre: the old centre left the centre set (its
+    /// point may have expired) but the population persists under a new
+    /// centre with member overlap of at least
+    /// [`ClusterDelta::JACCARD_THRESHOLD`]. These clusters are *not* listed
+    /// in `births`/`deaths`.
+    pub recentred: Vec<(Handle, Handle)>,
     /// Points whose cluster changed, sorted by handle. Includes inserted
     /// points (`old = None`) and evicted points (`new = None`).
     pub changed: Vec<LabelChange>,
 }
 
 impl ClusterDelta {
-    /// True when nothing changed (no births, deaths or relabelled points).
+    /// Minimum Jaccard similarity (`|A ∩ B| / |A ∪ B|` over member sets) for
+    /// a dying and a newborn cluster to be matched as one re-centred
+    /// surviving cluster. `0.5` means the surviving population must make up
+    /// the majority of the union of the two memberships, so at most one old
+    /// cluster can match any new cluster (and vice versa) on overlap alone.
+    pub const JACCARD_THRESHOLD: f64 = 0.5;
+
+    /// True when nothing changed (no births, deaths, re-centred clusters or
+    /// relabelled points).
     pub fn is_empty(&self) -> bool {
-        self.births.is_empty() && self.deaths.is_empty() && self.changed.is_empty()
+        self.births.is_empty()
+            && self.deaths.is_empty()
+            && self.recentred.is_empty()
+            && self.changed.is_empty()
     }
 
     /// Number of points that stayed in the window but switched cluster.
@@ -90,6 +116,15 @@ impl ClusterDelta {
         if !self.deaths.is_empty() {
             parts.push(format!("died {}", fmt_handles(&self.deaths)));
         }
+        if !self.recentred.is_empty() {
+            let pairs = self
+                .recentred
+                .iter()
+                .map(|(old, new)| format!("{old}->{new}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            parts.push(format!("recentred {pairs}"));
+        }
         parts.push(format!(
             "+{} / -{} points, {} relabelled",
             self.insertions(),
@@ -110,6 +145,7 @@ mod tests {
             num_clusters: 2,
             births: vec![Handle(9)],
             deaths: vec![Handle(2)],
+            recentred: vec![(Handle(3), Handle(11))],
             changed: vec![
                 LabelChange {
                     handle: Handle(4),
@@ -145,6 +181,7 @@ mod tests {
         assert!(s.contains("epoch"));
         assert!(s.contains("born #9"));
         assert!(s.contains("died #2"));
+        assert!(s.contains("recentred #3->#11"));
         assert!(s.contains("+1 / -1 points, 1 relabelled"));
     }
 
@@ -155,9 +192,24 @@ mod tests {
             num_clusters: 3,
             births: vec![],
             deaths: vec![],
+            recentred: vec![],
             changed: vec![],
         };
         assert!(d.is_empty());
         assert_eq!(d.relabelled(), 0);
+    }
+
+    #[test]
+    fn recentring_alone_is_not_empty() {
+        let d = ClusterDelta {
+            epoch: 2,
+            num_clusters: 1,
+            births: vec![],
+            deaths: vec![],
+            recentred: vec![(Handle(1), Handle(5))],
+            changed: vec![],
+        };
+        assert!(!d.is_empty());
+        assert!(d.summary().contains("recentred #1->#5"));
     }
 }

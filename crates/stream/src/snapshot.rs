@@ -1,0 +1,320 @@
+//! Epoch snapshot publication: immutable per-epoch views of the streaming
+//! engine, addressed by stable [`Handle`]s, and the sink trait through which
+//! [`StreamingDpc::commit`](crate::StreamingDpc::commit) publishes them.
+//!
+//! A [`StateSnapshot`] (from `dpc-core`) freezes the dense per-point state;
+//! an [`EpochSnapshot`] wraps it with everything a *streaming* consumer
+//! needs on top: the epoch counter, the dense-id ↔ handle correspondence of
+//! that epoch, per-cluster centre handles, and the [`ClusterDelta`] that
+//! produced the epoch. Snapshots are immutable plain data — share them
+//! behind an `Arc` and read them from any thread without synchronisation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use dpc_core::{ClusterId, Point, PointId, Result, StateSnapshot};
+
+use crate::handle::Handle;
+use crate::report::ClusterDelta;
+
+/// An immutable view of the engine at one committed epoch.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    state: StateSnapshot,
+    /// Dense id → stable handle, frozen at the epoch.
+    handles: Vec<Handle>,
+    /// Stable handle → dense id (inverse of `handles`).
+    dense: BTreeMap<Handle, PointId>,
+    /// Centre handle of every cluster, indexed by [`ClusterId`].
+    centre_handles: Vec<Handle>,
+    /// The delta that advanced the engine *to* this epoch. The initial
+    /// snapshot (published at attach time, before any commit) carries an
+    /// empty delta.
+    delta: ClusterDelta,
+}
+
+impl EpochSnapshot {
+    /// Assembles a snapshot from its parts.
+    ///
+    /// # Panics
+    /// Panics if `handles` does not have exactly one handle per frozen
+    /// point, or if a handle repeats.
+    pub fn new(
+        epoch: u64,
+        state: StateSnapshot,
+        handles: Vec<Handle>,
+        delta: ClusterDelta,
+    ) -> Self {
+        assert_eq!(
+            handles.len(),
+            state.len(),
+            "one handle per frozen point required"
+        );
+        let dense: BTreeMap<Handle, PointId> =
+            handles.iter().enumerate().map(|(id, &h)| (h, id)).collect();
+        assert_eq!(dense.len(), handles.len(), "handles must be distinct");
+        let centre_handles = state
+            .clustering()
+            .centers()
+            .iter()
+            .map(|&c| handles[c])
+            .collect();
+        EpochSnapshot {
+            epoch,
+            state,
+            handles,
+            dense,
+            centre_handles,
+            delta,
+        }
+    }
+
+    /// The epoch this snapshot was committed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The dataset mutation counter at the epoch.
+    pub fn version(&self) -> u64 {
+        self.state.version()
+    }
+
+    /// Number of points in the snapshot.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the snapshot holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// The frozen dense per-point state (ρ, δ, µ, labels, centres).
+    pub fn state(&self) -> &StateSnapshot {
+        &self.state
+    }
+
+    /// The delta that advanced the engine to this epoch.
+    pub fn delta(&self) -> &ClusterDelta {
+        &self.delta
+    }
+
+    /// Dense id → handle correspondence frozen at the epoch.
+    pub fn handles(&self) -> &[Handle] {
+        &self.handles
+    }
+
+    /// Centre handle of every cluster, indexed by [`ClusterId`].
+    pub fn centre_handles(&self) -> &[Handle] {
+        &self.centre_handles
+    }
+
+    /// The dense id behind a handle at this epoch, or `None` if the point
+    /// was not in the window.
+    pub fn dense_of(&self, handle: Handle) -> Option<PointId> {
+        self.dense.get(&handle).copied()
+    }
+
+    /// The handle of the point at dense id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn handle_at(&self, id: PointId) -> Handle {
+        self.handles[id]
+    }
+
+    /// The frozen coordinates of a live handle.
+    pub fn point_of(&self, handle: Handle) -> Option<Point> {
+        self.dense_of(handle).map(|id| self.state.point(id))
+    }
+
+    /// The dense cluster id of a live handle.
+    pub fn label_of(&self, handle: Handle) -> Option<ClusterId> {
+        self.dense_of(handle)
+            .map(|id| self.state.clustering().label(id))
+    }
+
+    /// Point lookup: the *centre handle* of the cluster a point belongs to
+    /// at this epoch, or `None` if the handle is not in the window. Centre
+    /// handles are the stable cluster identity used by [`ClusterDelta`].
+    pub fn cluster_of(&self, handle: Handle) -> Option<Handle> {
+        self.label_of(handle)
+            .map(|label| self.centre_handles[label])
+    }
+
+    /// Handles of all points strictly within `eps` of `center`, in
+    /// ascending dense-id order — the handle-addressed form of
+    /// [`StateSnapshot::eps_neighbors`], bit-identical to querying the
+    /// engine's index at the published epoch.
+    ///
+    /// # Errors
+    /// Rejects a non-finite or non-positive `eps`.
+    pub fn eps_neighbor_handles(&self, center: Point, eps: f64) -> Result<Vec<Handle>> {
+        Ok(self
+            .state
+            .eps_neighbors(center, eps)?
+            .into_iter()
+            .map(|id| self.handles[id])
+            .collect())
+    }
+
+    /// Verifies internal consistency: the dense state checks out, the
+    /// handle maps are mutually inverse, and every cluster's centre handle
+    /// resolves back to its centre point. A torn snapshot (fields mixed
+    /// across epochs) cannot pass.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on the first violation.
+    pub fn check_consistency(&self) {
+        self.state.check_consistency();
+        assert_eq!(
+            self.handles.len(),
+            self.state.len(),
+            "handle map length mismatch"
+        );
+        assert_eq!(
+            self.dense.len(),
+            self.handles.len(),
+            "dense map length mismatch"
+        );
+        for (id, &h) in self.handles.iter().enumerate() {
+            assert_eq!(
+                self.dense.get(&h),
+                Some(&id),
+                "handle map is not its own inverse at dense id {id}"
+            );
+        }
+        let centers = self.state.clustering().centers();
+        assert_eq!(
+            self.centre_handles.len(),
+            centers.len(),
+            "one centre handle per cluster required"
+        );
+        for (cluster, (&ch, &c)) in self.centre_handles.iter().zip(centers.iter()).enumerate() {
+            assert_eq!(
+                self.dense_of(ch),
+                Some(c),
+                "centre handle of cluster {cluster} does not resolve to its centre"
+            );
+        }
+    }
+}
+
+/// A consumer of published epoch snapshots.
+///
+/// [`StreamingDpc`](crate::StreamingDpc) calls
+/// [`publish`](SnapshotSink::publish) once per successfully committed
+/// non-empty epoch, after re-clustering, with a freshly frozen snapshot.
+/// Implementations must be cheap and non-blocking — the publish happens on
+/// the writer's commit path — and must not call back into the engine.
+pub trait SnapshotSink: fmt::Debug + Send + Sync {
+    /// Accepts the snapshot of a just-committed epoch.
+    fn publish(&self, snapshot: Arc<EpochSnapshot>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StreamParams, StreamingDpc};
+    use dpc_core::naive_reference::NaiveReferenceIndex;
+    use dpc_core::{CenterSelection, Dataset, DpcParams, UpdatableIndex};
+    use std::sync::Mutex;
+
+    /// A sink that remembers everything published to it.
+    #[derive(Debug, Default)]
+    struct CollectingSink {
+        published: Mutex<Vec<Arc<EpochSnapshot>>>,
+    }
+
+    impl SnapshotSink for CollectingSink {
+        fn publish(&self, snapshot: Arc<EpochSnapshot>) {
+            self.published.lock().unwrap().push(snapshot);
+        }
+    }
+
+    fn engine() -> StreamingDpc<NaiveReferenceIndex> {
+        let seed = Dataset::from_coords(vec![
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (5.0, 5.0),
+            (5.1, 5.0),
+            (5.0, 5.1),
+        ]);
+        let params = StreamParams::new(0.5)
+            .with_dpc(DpcParams::new(0.5).with_centers(CenterSelection::TopKGamma { k: 2 }));
+        StreamingDpc::new(NaiveReferenceIndex::build(&seed), params).unwrap()
+    }
+
+    #[test]
+    fn snapshot_mirrors_engine_state() {
+        let engine = engine();
+        let snap = engine.snapshot();
+        snap.check_consistency();
+        assert_eq!(snap.epoch(), engine.epoch());
+        assert_eq!(snap.version(), engine.version());
+        assert_eq!(snap.len(), engine.len());
+        assert_eq!(snap.state().rho(), engine.rho());
+        assert_eq!(snap.state().deltas(), engine.deltas());
+        assert_eq!(snap.state().clustering(), engine.clustering());
+        assert!(snap.delta().is_empty());
+        for p in 0..engine.len() {
+            let h = engine.handle_at(p);
+            assert_eq!(snap.handle_at(p), h);
+            assert_eq!(snap.dense_of(h), Some(p));
+            let label = engine.clustering().label(p);
+            let centre = engine.clustering().centers()[label];
+            assert_eq!(snap.cluster_of(h), Some(engine.handle_at(centre)));
+        }
+        assert_eq!(snap.cluster_of(Handle(u64::MAX)), None);
+    }
+
+    #[test]
+    fn commit_publishes_one_snapshot_per_nonempty_epoch() {
+        let mut engine = engine();
+        let sink = Arc::new(CollectingSink::default());
+        engine.set_snapshot_sink(sink.clone());
+
+        // An empty epoch publishes nothing.
+        engine.advance(&[], 0).unwrap();
+        assert!(sink.published.lock().unwrap().is_empty());
+
+        let (_, d1) = engine.insert(dpc_core::Point::new(0.05, 0.05)).unwrap();
+        let (_, d2) = engine.insert(dpc_core::Point::new(5.05, 5.05)).unwrap();
+        let published = sink.published.lock().unwrap().clone();
+        assert_eq!(published.len(), 2);
+        for (snap, delta) in published.iter().zip([&d1, &d2]) {
+            snap.check_consistency();
+            assert_eq!(snap.delta(), delta);
+            assert_eq!(snap.delta().epoch, snap.epoch());
+        }
+        // The latest snapshot mirrors the live engine exactly.
+        let last = published.last().unwrap();
+        assert_eq!(last.epoch(), engine.epoch());
+        assert_eq!(last.version(), engine.version());
+        assert_eq!(last.state().rho(), engine.rho());
+        assert_eq!(last.state().clustering(), engine.clustering());
+    }
+
+    #[test]
+    fn snapshot_eps_queries_match_the_engine_index() {
+        let mut engine = engine();
+        engine.insert(dpc_core::Point::new(2.5, 2.5)).unwrap();
+        let snap = engine.snapshot();
+        for (center, eps) in [
+            (dpc_core::Point::new(0.0, 0.0), 0.2),
+            (dpc_core::Point::new(5.0, 5.0), 0.5),
+            (dpc_core::Point::new(2.0, 2.0), 10.0),
+        ] {
+            let ids = engine.index().eps_neighbors(center, eps).unwrap();
+            let expected: Vec<Handle> = ids.iter().map(|&id| engine.handle_at(id)).collect();
+            assert_eq!(
+                snap.eps_neighbor_handles(center, eps).unwrap(),
+                expected,
+                "eps = {eps}"
+            );
+        }
+    }
+}

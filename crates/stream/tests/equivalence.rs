@@ -37,7 +37,7 @@ use dpc_core::{CenterSelection, Dataset, DpcIndex, DpcParams, DpcPipeline, Point
 use dpc_datasets::rng::SplitMix64;
 use dpc_datasets::testsupport::{lattice_point, test_points, TestDistribution};
 use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
-use dpc_tree_index::{GridIndex, KdTree, KdTreeConfig, RTree, RTreeConfig};
+use dpc_tree_index::{GridConfig, GridIndex, KdTree, KdTreeConfig, RTree, RTreeConfig};
 use proptest::prelude::*;
 
 /// One streamed operation. `insert` chooses between inserting `point` and
@@ -95,6 +95,23 @@ fn rt_build(data: &Dataset) -> RTree {
         data,
         &RTreeConfig {
             node_capacity: 3,
+            ..Default::default()
+        },
+    )
+}
+
+/// Drift-sensitive grid builder: a one-point cell target and a low
+/// re-bucket skew threshold, so the few consecutive drift points that land
+/// in the same frozen cell already count as pathological occupancy. This is
+/// the regression gate for the frozen-geometry bug where the streaming grid
+/// kept its build-time origin and cell size forever and degenerated to
+/// scans as the window drifted.
+fn grid_drift_build(data: &Dataset) -> GridIndex {
+    GridIndex::with_config(
+        data,
+        &GridConfig {
+            target_points_per_cell: 1,
+            rebucket_skew: 2.0,
             ..Default::default()
         },
     )
@@ -511,6 +528,15 @@ proptest! {
         prop_assert!(
             counter(&rt, "nodes_dissolved") >= 1,
             "R-tree never dissolved a node under drift: {:?}", rt
+        );
+        // The grid must re-anchor its origin/cell size as the window walks
+        // away from the seed bounding box — and stay bit-identical to the
+        // cold batch at every step while doing so (check_equivalence asserts
+        // that per step; this gate asserts the re-anchor actually fired).
+        let grid = check_equivalence("grid", grid_drift_build, 60.0, &seed_points, &ops, 1, 0.25)?;
+        prop_assert!(
+            counter(&grid, "rebuckets") >= 1,
+            "grid never re-bucketed under drift: {:?}", grid
         );
     }
 

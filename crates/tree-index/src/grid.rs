@@ -30,6 +30,15 @@ pub struct GridConfig {
     pub cell_size: Option<f64>,
     /// Average cell occupancy targeted when `cell_size` is `None`.
     pub target_points_per_cell: usize,
+    /// Occupancy-skew factor that triggers an amortised re-bucket when the
+    /// cell size is auto-chosen: an insert that leaves its cell holding more
+    /// than `rebucket_skew * target_points_per_cell` points re-derives the
+    /// grid geometry (origin and cell size) from the *current* window.
+    /// Without this, a long-lived stream that drifts off the build-time
+    /// region degrades to a few huge cells. `f64::INFINITY` disables
+    /// re-bucketing; explicit `cell_size` grids never re-bucket (a fixed
+    /// geometry cannot adapt). Must be greater than 1.
+    pub rebucket_skew: f64,
     /// Tie-break rule of the density order.
     pub tie_break: TieBreak,
     /// Pruning configuration used by the δ-query of the [`DpcIndex`] impl.
@@ -41,6 +50,7 @@ impl Default for GridConfig {
         GridConfig {
             cell_size: None,
             target_points_per_cell: 32,
+            rebucket_skew: 8.0,
             tie_break: TieBreak::default(),
             delta: DeltaQueryConfig::default(),
         }
@@ -53,11 +63,17 @@ impl Default for GridConfig {
 /// updates ([`UpdatableIndex`]): a point insert/delete touches exactly one
 /// cell (found in O(1) through the key map), which makes the grid the
 /// natural index for the streaming engine in `dpc-stream`. The grid geometry
-/// (origin and cell size) is frozen at build time; points inserted outside
+/// (origin and cell size) is anchored at build time; points inserted outside
 /// the original bounding box simply land in new cells with negative or
-/// larger keys. After deletions, cell bounding boxes are *conservative*
-/// (they may be larger than tight) — query results are unaffected, only
-/// pruning is marginally weaker.
+/// larger keys. When the auto-sized geometry stops fitting the data — a
+/// drifting stream piles points into one build-time cell — an insert that
+/// pushes a cell past [`GridConfig::rebucket_skew`] times the target
+/// occupancy re-anchors the grid from the current window (an amortised
+/// re-bucket, counted in [`UpdatableIndex::maintenance_counters`]). The
+/// partition only affects pruning, so re-bucketing never changes query
+/// results. After deletions, cell bounding boxes are *conservative* (they
+/// may be larger than tight) — query results are unaffected, only pruning is
+/// marginally weaker.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     dataset: Dataset,
@@ -76,6 +92,15 @@ pub struct GridIndex {
     cell_size: f64,
     config: GridConfig,
     construction_time: Duration,
+    /// Number of occupancy-triggered re-anchors performed so far. Carried
+    /// across [`UpdatableIndex::rebuild_from`].
+    rebuckets: u64,
+    /// Dataset version at the last re-anchor (or build). A re-bucket is
+    /// allowed only after at least a threshold's worth of mutations, so the
+    /// O(n) rebuild amortises against the inserts that overfilled the cell
+    /// (degenerate data — e.g. thousands of coincident points — cannot force
+    /// a rebuild per insert).
+    last_rebucket_version: u64,
 }
 
 impl GridIndex {
@@ -87,12 +112,18 @@ impl GridIndex {
     /// Builds a grid index with an explicit configuration.
     ///
     /// # Panics
-    /// Panics if an explicit `cell_size` is not positive and finite, or if
-    /// `target_points_per_cell` is 0.
+    /// Panics if an explicit `cell_size` is not positive and finite, if
+    /// `target_points_per_cell` is 0, or if `rebucket_skew` is not greater
+    /// than 1.
     pub fn with_config(dataset: &Dataset, config: &GridConfig) -> Self {
         assert!(
             config.target_points_per_cell > 0,
             "GridIndex: target points per cell must be positive"
+        );
+        assert!(
+            config.rebucket_skew > 1.0,
+            "GridIndex: rebucket skew must be greater than 1, got {}",
+            config.rebucket_skew
         );
         if let Some(s) = config.cell_size {
             assert!(
@@ -160,7 +191,31 @@ impl GridIndex {
             cell_size,
             config: *config,
             construction_time: timer.elapsed(),
+            rebuckets: 0,
+            last_rebucket_version: dataset.version(),
         }
+    }
+
+    /// Re-derives the grid geometry (origin, cell size, partition) from the
+    /// current window, preserving the dataset and the re-bucket count. Called
+    /// when occupancy skew shows the anchored geometry no longer fits.
+    fn rebucket(&mut self) {
+        let rebuckets = self.rebuckets + 1;
+        let config = self.config;
+        let dataset = std::mem::replace(&mut self.dataset, Dataset::new(Vec::new()));
+        *self = GridIndex::with_config(&dataset, &config);
+        self.rebuckets = rebuckets;
+    }
+
+    /// The insert-time occupancy threshold above which a re-bucket fires,
+    /// or `None` when re-bucketing is disabled (explicit cell size or an
+    /// infinite skew).
+    fn rebucket_threshold(&self) -> Option<usize> {
+        if self.config.cell_size.is_some() || !self.config.rebucket_skew.is_finite() {
+            return None;
+        }
+        let raw = self.config.rebucket_skew * self.config.target_points_per_cell as f64;
+        Some(raw.ceil() as usize)
     }
 
     /// The side length of a grid cell.
@@ -286,6 +341,14 @@ impl UpdatableIndex for GridIndex {
         // The root box must keep covering every point (inserts may fall
         // outside the build-time bounding box).
         self.boxes[0] = self.boxes[0].extended(p);
+        if let Some(threshold) = self.rebucket_threshold() {
+            let node = self.cell_node(p).expect("inserted point must have a cell");
+            if self.members[node].len() > threshold
+                && self.dataset.version() >= self.last_rebucket_version + threshold as u64
+            {
+                self.rebucket();
+            }
+        }
         Ok(id)
     }
 
@@ -333,7 +396,9 @@ impl UpdatableIndex for GridIndex {
         // instead of paying per-point cell maintenance. The adopted dataset
         // keeps the caller's id order and version history.
         let config = self.config;
+        let rebuckets = self.rebuckets;
         *self = GridIndex::with_config(&dataset, &config);
+        self.rebuckets = rebuckets;
         Ok(())
     }
 
@@ -384,6 +449,10 @@ impl UpdatableIndex for GridIndex {
         }
         out.sort_unstable();
         Ok(out)
+    }
+
+    fn maintenance_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("rebuckets", self.rebuckets)]
     }
 
     fn check_invariants(&self) {
@@ -493,6 +562,7 @@ impl DpcIndex for GridIndex {
     fn stats(&self) -> IndexStats {
         IndexStats::new(self.construction_time, self.memory_bytes())
             .with_counter("cells", self.cell_count() as u64)
+            .with_counter("rebuckets", self.rebuckets)
     }
 
     fn tie_break(&self) -> TieBreak {
@@ -669,6 +739,99 @@ mod tests {
             assert_eq!(got, expected, "eps = {eps}");
         }
         assert!(grid.eps_neighbors(data.point(0), f64::NAN).is_err());
+    }
+
+    fn rebuckets(grid: &GridIndex) -> u64 {
+        grid.maintenance_counters()
+            .iter()
+            .find(|(name, _)| *name == "rebuckets")
+            .map(|&(_, v)| v)
+            .expect("grid must expose a rebuckets counter")
+    }
+
+    #[test]
+    fn drift_triggers_rebucket_and_results_stay_exact() {
+        // Tight config so the trigger is reachable in a small test:
+        // threshold = ceil(2.0 * 4) = 8 points in one cell.
+        let config = GridConfig {
+            target_points_per_cell: 4,
+            rebucket_skew: 2.0,
+            ..Default::default()
+        };
+        let seed = s1(59, 0.01).into_dataset();
+        let mut grid = GridIndex::with_config(&seed, &config);
+        let built_cell_size = grid.cell_size();
+        assert_eq!(rebuckets(&grid), 0);
+        // Drift: a new hotspot far outside the build-time box. Under the
+        // frozen geometry all of it lands in one huge off-grid cell.
+        let bb = seed.bounding_box();
+        for i in 0..30 {
+            let p = dpc_core::Point::new(
+                bb.max_x() + 1.0e7 + 50.0 * (i as f64),
+                bb.max_y() + 1.0e7 + 35.0 * (i % 7) as f64,
+            );
+            grid.insert(p).unwrap();
+            grid.check_structure();
+        }
+        assert!(
+            rebuckets(&grid) >= 1,
+            "drift past the build-time region must re-anchor the grid"
+        );
+        assert_ne!(
+            grid.cell_size(),
+            built_cell_size,
+            "re-anchor must re-derive the cell size for the drifted window"
+        );
+        // The partition only affects pruning: results stay exact.
+        assert_matches_baseline(grid.dataset(), &grid, 60_000.0);
+    }
+
+    #[test]
+    fn explicit_cell_size_never_rebuckets() {
+        let mut grid = GridIndex::with_config(
+            &s1(61, 0.01).into_dataset(),
+            &GridConfig {
+                cell_size: Some(1.0e7),
+                target_points_per_cell: 2,
+                rebucket_skew: 1.5,
+                ..Default::default()
+            },
+        );
+        for i in 0..40 {
+            grid.insert(dpc_core::Point::new(5.0e8 + i as f64, 5.0e8))
+                .unwrap();
+        }
+        assert_eq!(rebuckets(&grid), 0);
+    }
+
+    #[test]
+    fn rebuild_from_carries_the_rebucket_counter() {
+        let config = GridConfig {
+            target_points_per_cell: 2,
+            rebucket_skew: 2.0,
+            ..Default::default()
+        };
+        let mut grid = GridIndex::with_config(&s1(23, 0.005).into_dataset(), &config);
+        for i in 0..20 {
+            grid.insert(dpc_core::Point::new(9.0e7 + i as f64, 9.0e7))
+                .unwrap();
+        }
+        let before = rebuckets(&grid);
+        assert!(before >= 1);
+        grid.rebuild_from(grid.dataset().clone()).unwrap();
+        assert_eq!(rebuckets(&grid), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebucket skew must be greater than 1")]
+    fn invalid_rebucket_skew_panics() {
+        GridIndex::with_config(
+            &Dataset::new(vec![]),
+            &GridConfig {
+                rebucket_skew: 1.0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
