@@ -26,13 +26,14 @@ pub(crate) fn rho_scan(dataset: &Dataset, dc: f64, policy: ExecPolicy) -> Vec<Rh
             // Branch-free count over the two coordinate streams; the point
             // itself always satisfies dist² = 0 < dc² (validate_dc guarantees
             // dc² > 0), so subtract it at the end instead of testing j != i in
-            // the hot loop.
-            let mut count: Rho = 0;
+            // the hot loop. Counting in u32 and converting once keeps the
+            // loop integer-only; the count is an exact integer in f64.
+            let mut count: u32 = 0;
             for (&xj, &yj) in xs.iter().zip(ys.iter()) {
                 let (dx, dy) = (xj - xi, yj - yi);
-                count += Rho::from(dx * dx + dy * dy < dc2);
+                count += u32::from(dx * dx + dy * dy < dc2);
             }
-            count.saturating_sub(1)
+            count.saturating_sub(1) as Rho
         },
     );
     rho

@@ -51,12 +51,12 @@ impl DpcIndex for LeanDpc {
         let pts = self.dataset.points();
         let n = pts.len();
         let dc2 = dc * dc;
-        let mut rho = vec![0 as Rho; n];
+        let mut rho = vec![0.0 as Rho; n];
         for i in 0..n {
             for j in (i + 1)..n {
                 if pts[i].distance_squared(&pts[j]) < dc2 {
-                    rho[i] += 1;
-                    rho[j] += 1;
+                    rho[i] += 1.0;
+                    rho[j] += 1.0;
                 }
             }
         }
@@ -176,8 +176,8 @@ mod tests {
     fn strict_inequality_on_dc_boundary() {
         let data = Dataset::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
         let lean = LeanDpc::build(&data);
-        assert_eq!(lean.rho(2.0).unwrap(), vec![0, 0]);
-        assert_eq!(lean.rho(2.0000001).unwrap(), vec![1, 1]);
+        assert_eq!(lean.rho(2.0).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(lean.rho(2.0000001).unwrap(), vec![1.0, 1.0]);
     }
 
     #[test]

@@ -108,12 +108,12 @@ impl DpcIndex for MatrixDpc {
     fn rho(&self, dc: f64) -> Result<Vec<Rho>> {
         validate_dc(dc)?;
         let n = self.dataset.len();
-        let mut rho = vec![0 as Rho; n];
+        let mut rho = vec![0.0 as Rho; n];
         for i in 0..n {
             for j in (i + 1)..n {
                 if self.matrix.distance(i, j) < dc {
-                    rho[i] += 1;
-                    rho[j] += 1;
+                    rho[i] += 1.0;
+                    rho[j] += 1.0;
                 }
             }
         }
@@ -240,7 +240,7 @@ mod tests {
     fn rejects_invalid_dc() {
         let baseline = MatrixDpc::build(&dataset());
         assert!(baseline.rho(0.0).is_err());
-        assert!(baseline.delta(f64::NAN, &[0; 5]).is_err());
+        assert!(baseline.delta(f64::NAN, &[0.0; 5]).is_err());
     }
 
     #[test]

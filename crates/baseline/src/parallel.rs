@@ -163,7 +163,7 @@ mod tests {
         assert!(par.rho(1e-170).is_err());
         assert!(LeanDpc::build(&data).rho(1e-170).is_err());
         // A comfortably-above-the-limit dc counts coincident points.
-        assert_eq!(par.rho(1e-100).unwrap(), vec![2, 2, 2]);
+        assert_eq!(par.rho(1e-100).unwrap(), vec![2.0, 2.0, 2.0]);
     }
 
     #[test]

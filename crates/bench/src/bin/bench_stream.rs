@@ -5,6 +5,7 @@
 //! ```text
 //! bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000]
 //!              [--batches 1,64] [--policy incremental,rebuild,adaptive]
+//!              [--kernels cutoff,gaussian[:H],exponential[:H]]
 //!              [--updates N] [--dc F] [--seed S] [--threads N]
 //!              [--out FILE | --no-out]
 //! ```
@@ -15,14 +16,19 @@
 //! the ρ/δ repairs and the clustering over whole epochs. `--policy` (alias
 //! `--modes`) restricts which maintenance strategies are timed per cell —
 //! by default all three run, so the snapshot shows the adaptive commit
-//! policy next to both fixed strategies it chooses between. The committed
-//! snapshot at the repository root is produced with the defaults
-//! (`--out BENCH_stream.json`); CI runs tiny smoke invocations so the
-//! benchmark cannot rot.
+//! policy next to both fixed strategies it chooses between. `--kernels`
+//! (alias `--kernel`) sweeps density kernels: the default is the
+//! paper-faithful cut-off alone, and a weighted kernel without an explicit
+//! `:H` bandwidth uses `H = dc`. The committed snapshot at the repository
+//! root is produced with `--kernels cutoff,gaussian --out
+//! BENCH_stream.json`; CI runs tiny smoke invocations so the benchmark
+//! cannot rot.
 
 use std::path::PathBuf;
 
-use dpc_bench::stream_throughput::{run, StreamBenchOptions, StreamEngine, StreamMode};
+use dpc_bench::stream_throughput::{
+    parse_kernel_spec, run, StreamBenchOptions, StreamEngine, StreamMode,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +38,8 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: bench_stream [--engines grid,kdtree,rtree] [--windows 1000,4000] \
-                 [--batches 1,64] [--policy incremental,rebuild,adaptive] [--updates N] \
+                 [--batches 1,64] [--policy incremental,rebuild,adaptive] \
+                 [--kernels cutoff,gaussian[:H],exponential[:H]] [--updates N] \
                  [--dc F] [--seed S] [--threads N] [--out FILE | --no-out]"
             );
             std::process::exit(2);
@@ -55,6 +62,9 @@ fn main_with_args(args: Vec<String>) -> Result<(), String> {
 fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>), String> {
     let mut options = StreamBenchOptions::default();
     let mut out = Some(PathBuf::from("target/experiments/BENCH_stream.json"));
+    // Kernel specs are resolved after the loop: a weighted kernel without an
+    // explicit bandwidth defaults to `dc`, which may be set by a later flag.
+    let mut kernel_specs: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         let mut value_of = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -101,6 +111,7 @@ fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>)
                     return Err("--batches needs a comma-separated list of positive sizes".into());
                 }
             }
+            "--kernels" | "--kernel" => kernel_specs = Some(value_of("--kernels")?),
             "--updates" => {
                 options.updates = value_of("--updates")?
                     .parse()
@@ -133,6 +144,15 @@ fn parse_args(args: Vec<String>) -> Result<(StreamBenchOptions, Option<PathBuf>)
             "--out" => out = Some(PathBuf::from(value_of("--out")?)),
             "--no-out" => out = None,
             other => return Err(format!("unrecognised argument {other:?}")),
+        }
+    }
+    if let Some(list) = kernel_specs {
+        options.kernels = list
+            .split(',')
+            .map(|spec| parse_kernel_spec(spec, options.dc))
+            .collect::<Result<Vec<_>, _>>()?;
+        if options.kernels.is_empty() {
+            return Err("--kernels needs a comma-separated list of kernels".into());
         }
     }
     if let Some(path) = &out {

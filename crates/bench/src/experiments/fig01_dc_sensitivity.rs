@@ -46,9 +46,9 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
         // Centres: above-average density and a dependent distance larger than
         // dc (a local peak at scale dc). Fall back to the single densest
         // point when the rule selects nothing (enormous dc).
-        let mean_rho = rho.iter().map(|&r| r as f64).sum::<f64>() / data.len().max(1) as f64;
+        let mean_rho = rho.iter().sum::<f64>() / data.len().max(1) as f64;
         let selection = CenterSelection::Threshold {
-            rho_min: mean_rho.ceil() as u32,
+            rho_min: mean_rho.ceil(),
             delta_min: dc,
         };
         let centers = graph

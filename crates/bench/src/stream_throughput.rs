@@ -21,14 +21,21 @@
 //! three over the whole epoch — the per-epoch vs per-update cost gap is the
 //! headline number of `BENCH_stream.json`.
 //!
+//! The sweep can also cover **density kernels** ([`StreamBenchOptions::
+//! kernels`]): the paper-faithful cut-off counts neighbours, while the
+//! gaussian/exponential kernels maintain weighted densities through the
+//! ±w(d) incremental repair. Weighted rows never take the bulk-rebuild
+//! path (the engine coerces those commits to incremental maintenance), so
+//! the interesting number is the weighted-vs-cutoff incremental overhead.
+//!
 //! The committed `BENCH_stream.json` at the repository root is produced by
-//! the `bench_stream` binary; CI runs a tiny smoke invocation so the
-//! benchmark cannot rot.
+//! the `bench_stream` binary with `--kernels cutoff,gaussian`; CI runs a
+//! tiny smoke invocation so the benchmark cannot rot.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, UpdatableIndex};
+use dpc_core::{CenterSelection, Dataset, DpcParams, DpcPipeline, Kernel, UpdatableIndex};
 use dpc_datasets::generators::{checkins, CheckinConfig};
 use dpc_obs::{MetricsRecorder, MetricsSnapshot, SharedRecorder};
 use dpc_stream::{CommitPolicy, StreamParams, StreamingDpc};
@@ -119,6 +126,41 @@ impl StreamMode {
     }
 }
 
+/// Parses one kernel spec from the `--kernels` sweep list: `cutoff`,
+/// `gaussian[:H]` or `exponential[:H]` (alias `exp`). A weighted kernel
+/// without an explicit bandwidth defaults to `H = dc`, the conventional
+/// choice.
+pub fn parse_kernel_spec(spec: &str, dc: f64) -> Result<Kernel, String> {
+    let spec = spec.trim().to_ascii_lowercase();
+    let (name, bandwidth) = match spec.split_once(':') {
+        Some((name, h)) => {
+            let h: f64 = h
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid bandwidth in kernel spec {spec:?}"))?;
+            (name.trim(), Some(h))
+        }
+        None => (spec.as_str(), None),
+    };
+    let kernel = match name {
+        "cutoff" => {
+            if bandwidth.is_some() {
+                return Err("the cutoff kernel takes no bandwidth".into());
+            }
+            Kernel::Cutoff
+        }
+        "gaussian" => Kernel::gaussian(bandwidth.unwrap_or(dc)),
+        "exponential" | "exp" => Kernel::exponential(bandwidth.unwrap_or(dc)),
+        other => {
+            return Err(format!(
+                "unknown kernel {other:?} (cutoff, gaussian[:H], exponential[:H])"
+            ))
+        }
+    };
+    kernel.validate().map_err(|e| e.to_string())?;
+    Ok(kernel)
+}
+
 /// What to measure: engines, modes, window sizes, epoch batch sizes, updates
 /// per cell, cut-off, seed, threads.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,6 +178,13 @@ pub struct StreamBenchOptions {
     /// maintenance; larger batches amortise the ρ/δ repairs and the
     /// clustering over the whole epoch.
     pub batches: Vec<usize>,
+    /// Density kernels to sweep. The default is the paper-faithful cut-off
+    /// alone; adding a weighted kernel (see [`parse_kernel_spec`]) times the
+    /// ±w(d) weighted repair next to the integer-count path. Weighted rows
+    /// never rebuild — a bulk rebuild cannot reproduce streamed weighted
+    /// densities bit-for-bit, so the engine coerces rebuild commits to
+    /// incremental maintenance.
+    pub kernels: Vec<Kernel>,
     /// Sliding-window updates (one eviction + one insertion each) measured
     /// per sweep cell.
     pub updates: usize,
@@ -154,6 +203,7 @@ impl Default for StreamBenchOptions {
             modes: StreamMode::ALL.to_vec(),
             windows: vec![1_000, 4_000],
             batches: vec![1, 64],
+            kernels: vec![Kernel::Cutoff],
             updates: 1_000,
             dc: 0.1,
             seed: 42,
@@ -211,6 +261,8 @@ pub struct StreamMeasurement {
     pub window: usize,
     /// Epoch batch size this row belongs to.
     pub batch: usize,
+    /// Density kernel this row was measured under.
+    pub kernel: Kernel,
     /// `"incremental"` (affected-set maintenance), `"rebuild"` (bulk index
     /// rebuild + full batch pipeline per epoch) or `"adaptive"` (the cost
     /// model choosing between the two per epoch).
@@ -245,9 +297,10 @@ pub struct StreamBenchReport {
     pub measurements: Vec<StreamMeasurement>,
 }
 
-fn params(options: &StreamBenchOptions) -> DpcParams {
+fn params(options: &StreamBenchOptions, kernel: Kernel) -> DpcParams {
     DpcParams::new(options.dc)
         .with_centers(CenterSelection::GammaGap { max_centers: 32 })
+        .with_kernel(kernel)
         .with_threads(options.threads)
 }
 
@@ -268,6 +321,7 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
         !options.batches.is_empty() && !options.batches.contains(&0),
         "need at least one positive batch size"
     );
+    assert!(!options.kernels.is_empty(), "need at least one kernel");
     assert!(options.updates > 0, "need at least one update");
     let max_batch = options.batches.iter().copied().max().unwrap_or(0);
     let min_window = options.windows.iter().copied().min().unwrap_or(0);
@@ -285,18 +339,38 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
         let data = checkins(total_points, &CheckinConfig::gowalla(), options.seed).into_dataset();
         for &engine in &options.engines {
             for &batch in &options.batches {
-                let cell = match engine {
-                    StreamEngine::Grid => {
-                        measure_engine(engine, GridIndex::build, options, window, batch, &data)
-                    }
-                    StreamEngine::KdTree => {
-                        measure_engine(engine, KdTree::build, options, window, batch, &data)
-                    }
-                    StreamEngine::RTree => {
-                        measure_engine(engine, RTree::build, options, window, batch, &data)
-                    }
-                };
-                measurements.extend(cell);
+                for &kernel in &options.kernels {
+                    let cell = match engine {
+                        StreamEngine::Grid => measure_engine(
+                            engine,
+                            GridIndex::build,
+                            options,
+                            window,
+                            batch,
+                            kernel,
+                            &data,
+                        ),
+                        StreamEngine::KdTree => measure_engine(
+                            engine,
+                            KdTree::build,
+                            options,
+                            window,
+                            batch,
+                            kernel,
+                            &data,
+                        ),
+                        StreamEngine::RTree => measure_engine(
+                            engine,
+                            RTree::build,
+                            options,
+                            window,
+                            batch,
+                            kernel,
+                            &data,
+                        ),
+                    };
+                    measurements.extend(cell);
+                }
             }
         }
     }
@@ -308,13 +382,14 @@ pub fn run(options: &StreamBenchOptions) -> StreamBenchReport {
 }
 
 /// Measures every requested mode of one engine on one window size at one
-/// epoch batch size.
+/// epoch batch size under one density kernel.
 fn measure_engine<I, F>(
     engine: StreamEngine,
     build: F,
     options: &StreamBenchOptions,
     window: usize,
     batch: usize,
+    kernel: Kernel,
     data: &Dataset,
 ) -> Vec<StreamMeasurement>
 where
@@ -324,7 +399,7 @@ where
     let points = data.points();
     let seed_window = Dataset::new(points[..window].to_vec());
     let arriving = &points[window..];
-    let pipeline = DpcPipeline::new(params(options));
+    let pipeline = DpcPipeline::new(params(options, kernel));
     let mut rows = Vec::with_capacity(options.modes.len());
     for &mode in &options.modes {
         // One engine per mode, one advance (batch in, batch out) per epoch;
@@ -336,7 +411,7 @@ where
             StreamMode::Adaptive => CommitPolicy::Adaptive,
         };
         let stream_params = StreamParams::new(options.dc)
-            .with_dpc(params(options))
+            .with_dpc(params(options, kernel))
             .with_policy(policy);
         let mut stream = StreamingDpc::new(build(&seed_window), stream_params)
             .expect("seeding the streaming engine must succeed");
@@ -352,32 +427,50 @@ where
                 .expect("streaming update must succeed");
         }
         let total = timer.elapsed();
-        // Consistency: the engine's final state must be bit-identical to a
-        // cold batch run over its own surviving dataset (the same invariant
-        // the dpc-stream property suite enforces epoch by epoch) — on every
-        // policy.
+        // Consistency: the engine's final densities must match a cold batch
+        // run over its own surviving dataset (the same invariant the
+        // dpc-stream property suite enforces epoch by epoch) — on every
+        // policy. Under the cut-off kernel the match is bit-exact; weighted
+        // kernels accumulate ±w(d) repairs in stream order, which regroups
+        // the f64 additions, so those rows check to a 1e-9 relative
+        // tolerance instead.
         let check = pipeline
             .run(&build(stream.index().dataset()))
             .expect("consistency check must succeed");
-        assert_eq!(
-            stream.rho(),
-            &check.rho[..],
-            "{} rho diverged from batch ({} @ window {window}, batch {batch})",
-            mode.name(),
-            engine.name()
-        );
-        assert_eq!(
-            stream.clustering().labels(),
-            check.clustering.labels(),
-            "{} labels diverged from batch ({} @ window {window}, batch {batch})",
-            mode.name(),
-            engine.name()
-        );
+        if kernel.is_cutoff() {
+            assert_eq!(
+                stream.rho(),
+                &check.rho[..],
+                "{} rho diverged from batch ({} @ window {window}, batch {batch})",
+                mode.name(),
+                engine.name()
+            );
+            assert_eq!(
+                stream.clustering().labels(),
+                check.clustering.labels(),
+                "{} labels diverged from batch ({} @ window {window}, batch {batch})",
+                mode.name(),
+                engine.name()
+            );
+        } else {
+            assert_eq!(stream.rho().len(), check.rho.len());
+            for (i, (&got, &want)) in stream.rho().iter().zip(check.rho.iter()).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "{} {} rho[{i}] diverged from batch beyond tolerance \
+                     ({} @ window {window}, batch {batch}): {got} vs {want}",
+                    mode.name(),
+                    kernel.name(),
+                    engine.name()
+                );
+            }
+        }
         let stats = stream.stats();
         rows.push(measurement(
             engine,
             window,
             batch,
+            kernel,
             mode,
             options.updates,
             total,
@@ -394,6 +487,7 @@ fn measurement(
     engine: StreamEngine,
     window: usize,
     batch: usize,
+    kernel: Kernel,
     mode: StreamMode,
     updates: usize,
     total: Duration,
@@ -406,6 +500,7 @@ fn measurement(
         engine: engine.name(),
         window,
         batch,
+        kernel,
         mode: mode.name(),
         updates,
         total,
@@ -418,7 +513,11 @@ fn measurement(
 }
 
 impl StreamBenchReport {
-    /// The row of one (engine, window, batch, mode) cell, if measured.
+    /// The cut-off-kernel row of one (engine, window, batch, mode) cell, if
+    /// measured. The mode-comparison ratios below are defined on the
+    /// paper-faithful cut-off rows: weighted kernels coerce every commit to
+    /// incremental maintenance, so rebuild-vs-incremental ratios would be
+    /// meaningless there.
     fn row(
         &self,
         engine: StreamEngine,
@@ -427,8 +526,35 @@ impl StreamBenchReport {
         mode: &str,
     ) -> Option<&StreamMeasurement> {
         self.measurements.iter().find(|m| {
-            m.engine == engine.name() && m.window == window && m.batch == batch && m.mode == mode
+            m.engine == engine.name()
+                && m.window == window
+                && m.batch == batch
+                && m.mode == mode
+                && m.kernel.is_cutoff()
         })
+    }
+
+    /// Throughput of a weighted kernel's incremental row relative to the
+    /// cut-off incremental row of the same cell — the cost of evaluating
+    /// and maintaining w(d) weights instead of integer counts. `None`
+    /// unless both rows were swept.
+    pub fn kernel_overhead(
+        &self,
+        engine: StreamEngine,
+        window: usize,
+        batch: usize,
+        kernel_name: &str,
+    ) -> Option<f64> {
+        let weighted = self.measurements.iter().find(|m| {
+            m.engine == engine.name()
+                && m.window == window
+                && m.batch == batch
+                && m.mode == "incremental"
+                && m.kernel.name() == kernel_name
+                && !m.kernel.is_cutoff()
+        })?;
+        let cutoff = self.row(engine, window, batch, "incremental")?;
+        Some(weighted.updates_per_sec / cutoff.updates_per_sec.max(1e-9))
     }
 
     /// Speedup of incremental over rebuild for one engine, window size and
@@ -502,8 +628,14 @@ impl StreamBenchReport {
             if i > 0 {
                 rows.push_str(",\n");
             }
+            let bandwidth = m
+                .kernel
+                .bandwidth()
+                .map(|h| format!(", \"bandwidth\": {h}"))
+                .unwrap_or_default();
             rows.push_str(&format!(
-                "    {{ \"engine\": \"{}\", \"window\": {}, \"batch\": {}, \"mode\": \"{}\", \
+                "    {{ \"engine\": \"{}\", \"window\": {}, \"batch\": {}, \
+                 \"kernel\": \"{}\"{bandwidth}, \"mode\": \"{}\", \
                  \"updates\": {}, \"per_update_us\": {:.1}, \"updates_per_sec\": {:.1}, \
                  \"fallbacks\": {}, \"rebuilds\": {}, \"phase_us\": {{ \"validate\": {}, \
                  \"apply\": {}, \"rho_repair\": {}, \"delta_repair\": {}, \"batch_query\": {}, \
@@ -511,6 +643,7 @@ impl StreamBenchReport {
                 m.engine,
                 m.window,
                 m.batch,
+                m.kernel.name(),
                 m.mode,
                 m.updates,
                 m.per_update.as_secs_f64() * 1e6,
@@ -559,6 +692,25 @@ impl StreamBenchReport {
                 batch_speedups.join(", ")
             ));
         }
+        let weighted: Vec<String> = self
+            .options
+            .kernels
+            .iter()
+            .filter(|k| !k.is_cutoff())
+            .flat_map(|k| {
+                self.options.engines.iter().filter_map(move |&e| {
+                    self.kernel_overhead(e, largest, largest_batch, k.name())
+                        .map(|r| format!("{} {} {r:.2}x", e.name(), k.name()))
+                })
+            })
+            .collect();
+        if !weighted.is_empty() {
+            note.push_str(&format!(
+                "; weighted-kernel incremental throughput vs cutoff at window {largest}, \
+                 batch {largest_batch}: {}",
+                weighted.join(", ")
+            ));
+        }
         if let Some(worst) = self.worst_adaptive_ratio() {
             note.push_str(&format!(
                 "; adaptive = cost-model-driven per-epoch choice between the two, throughput vs \
@@ -586,7 +738,7 @@ impl StreamBenchReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "streaming throughput @ {} updates, dc = {}, {} thread(s), {} cpu(s)\n\
-             {:<8} {:<8} {:<7} {:<12} {:>16} {:>14} {:>10} {:>9}\n",
+             {:<8} {:<8} {:<7} {:<12} {:<12} {:>16} {:>14} {:>10} {:>9}\n",
             self.options.updates,
             self.options.dc,
             self.options.threads,
@@ -594,6 +746,7 @@ impl StreamBenchReport {
             "engine",
             "window",
             "batch",
+            "kernel",
             "mode",
             "per update (us)",
             "updates/sec",
@@ -602,10 +755,11 @@ impl StreamBenchReport {
         );
         for m in &self.measurements {
             out.push_str(&format!(
-                "{:<8} {:<8} {:<7} {:<12} {:>16.1} {:>14.1} {:>10} {:>9}\n",
+                "{:<8} {:<8} {:<7} {:<12} {:<12} {:>16.1} {:>14.1} {:>10} {:>9}\n",
                 m.engine,
                 m.window,
                 m.batch,
+                m.kernel.name(),
                 m.mode,
                 m.per_update.as_secs_f64() * 1e6,
                 m.updates_per_sec,
@@ -644,6 +798,19 @@ impl StreamBenchReport {
                             e.name()
                         ));
                     }
+                    for k in &self.options.kernels {
+                        if k.is_cutoff() {
+                            continue;
+                        }
+                        if let Some(r) = self.kernel_overhead(e, w, b, k.name()) {
+                            out.push_str(&format!(
+                                "{} @ window {w}, batch {b}: {} incremental runs at {r:.2}x \
+                                 the cutoff kernel\n",
+                                e.name(),
+                                k.name()
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -666,6 +833,7 @@ mod tests {
             modes: StreamMode::ALL.to_vec(),
             windows: vec![150],
             batches: vec![1],
+            kernels: vec![Kernel::Cutoff],
             updates: 40,
             dc: 0.3,
             seed: 7,
@@ -748,6 +916,76 @@ mod tests {
                 .iter()
                 .any(|m| m.engine == e.name() && m.mode == "rebuild"));
         }
+    }
+
+    #[test]
+    fn kernel_sweep_adds_weighted_rows_that_never_rebuild() {
+        let report = run(&StreamBenchOptions {
+            kernels: vec![Kernel::Cutoff, Kernel::gaussian(0.3)],
+            batches: vec![8],
+            ..tiny_options()
+        });
+        // Three modes × two kernels.
+        assert_eq!(report.measurements.len(), 6);
+        let gaussian: Vec<_> = report
+            .measurements
+            .iter()
+            .filter(|m| m.kernel == Kernel::gaussian(0.3))
+            .collect();
+        assert_eq!(gaussian.len(), 3);
+        // A bulk rebuild cannot reproduce streamed weighted densities, so
+        // even the rebuild-pinned and adaptive rows stay incremental.
+        assert!(gaussian.iter().all(|m| m.rebuilds == 0), "{gaussian:?}");
+        // The cut-off rows still anchor the mode-comparison ratios, and the
+        // weighted rows get their own overhead ratio.
+        assert!(report.speedup(StreamEngine::Grid, 150, 8).unwrap() > 0.0);
+        let overhead = report
+            .kernel_overhead(StreamEngine::Grid, 150, 8, "gaussian")
+            .unwrap();
+        assert!(overhead > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"kernel\": \"cutoff\""), "{json}");
+        assert!(
+            json.contains("\"kernel\": \"gaussian\", \"bandwidth\": 0.3"),
+            "{json}"
+        );
+        assert!(
+            json.contains("weighted-kernel incremental throughput"),
+            "{json}"
+        );
+        assert!(report.render().contains("gaussian"), "{}", report.render());
+    }
+
+    #[test]
+    fn kernel_specs_parse_with_and_without_bandwidths() {
+        assert_eq!(parse_kernel_spec("cutoff", 0.1).unwrap(), Kernel::Cutoff);
+        assert_eq!(
+            parse_kernel_spec("gaussian", 0.1).unwrap(),
+            Kernel::gaussian(0.1)
+        );
+        assert_eq!(
+            parse_kernel_spec("gaussian:0.5", 0.1).unwrap(),
+            Kernel::gaussian(0.5)
+        );
+        assert_eq!(
+            parse_kernel_spec("exp:2", 0.1).unwrap(),
+            Kernel::exponential(2.0)
+        );
+        assert!(parse_kernel_spec("cutoff:1", 0.1).is_err());
+        assert!(parse_kernel_spec("gaussian:x", 0.1).is_err());
+        assert!(parse_kernel_spec("gaussian:-1", 0.1)
+            .unwrap_err()
+            .contains("valid range"));
+        assert!(parse_kernel_spec("tricube", 0.1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn no_kernels_panics() {
+        run(&StreamBenchOptions {
+            kernels: vec![],
+            ..tiny_options()
+        });
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use dpc_baseline::LeanDpc;
 use dpc_core::{
-    CenterSelection, Clustering, Dataset, DcEstimation, DpcIndex, DpcParams, UpdatableIndex,
+    CenterSelection, Clustering, Dataset, DcEstimation, DpcIndex, DpcParams, Kernel, UpdatableIndex,
 };
 use dpc_datasets::{read_points_csv, write_labels_csv, write_points_csv, DatasetKind};
 use dpc_list_index::{ChIndex, KnnDpc, ListIndex};
@@ -74,6 +74,8 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
         "bin-width",
         "tau",
         "centers",
+        "kernel",
+        "bandwidth",
         "halo",
         "threads",
         "output",
@@ -85,6 +87,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
     let bin_width: Option<f64> = args.get_parsed("bin-width")?;
     let tau: Option<f64> = args.get_parsed("tau")?;
     let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
+    let kernel = parse_kernel(args.get("kernel"), args.get_parsed("bandwidth")?)?;
     let halo = args.has_switch("halo");
     // Default stays 1 (sequential) so timings remain comparable to the
     // paper's single-threaded measurements unless parallelism is asked for.
@@ -96,6 +99,7 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
     let index = build_index(&data, index_name, bin_width, tau, dc)?;
     let params = DpcParams::new(dc)
         .with_centers(selection)
+        .with_kernel(kernel)
         .with_halo(halo)
         .with_threads(threads);
     let run = dpc_core::DpcPipeline::new(params)
@@ -110,6 +114,9 @@ pub fn cluster(args: &ParsedArgs) -> Result<String, String> {
     }
 
     let mut summary = summarise(index_name, &data, &run, args.get("output"));
+    if !kernel.is_cutoff() {
+        summary.push_str(&format!("\ndensity kernel: {}", describe_kernel(kernel)));
+    }
     if threads > 1 {
         summary.push_str(&format!("\nqueries ran on {threads} threads"));
     }
@@ -165,6 +172,9 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         "batch",
         "threads",
         "centers",
+        "kernel",
+        "bandwidth",
+        "decay",
         "max-epochs",
         "policy",
         "quiet",
@@ -182,6 +192,8 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     let batch: usize = args.get_or("batch", 100)?;
     let threads: usize = args.get_or("threads", 1)?;
     let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
+    let kernel = parse_kernel(args.get("kernel"), args.get_parsed("bandwidth")?)?;
+    let decay: f64 = args.get_or("decay", 1.0)?;
     let max_epochs: usize = args.get_or("max-epochs", usize::MAX)?;
     let policy = CommitPolicy::parse(args.get("policy").unwrap_or("incremental"))
         .map_err(|e| e.to_string())?;
@@ -221,9 +233,11 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
         .with_dpc(
             DpcParams::new(dc)
                 .with_centers(selection)
+                .with_kernel(kernel)
                 .with_threads(threads),
         )
-        .with_policy(policy);
+        .with_policy(policy)
+        .with_decay(decay);
     let mut lines = Vec::new();
     let opts = ReplayOpts {
         quiet,
@@ -297,12 +311,18 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
     // repair is paid per *epoch* (one `--batch`-sized advance), so the
     // incremental/fallback split and the affected union are per epoch.
     if json {
+        let bandwidth_field = kernel
+            .bandwidth()
+            .map(|h| format!(",\"bandwidth\":{h}"))
+            .unwrap_or_default();
         let _ = write!(
             out,
             "{{\"event\":\"summary\",\"updates\":{},\"window\":{warm},\
              \"elapsed_ms\":{:.3},\"seed_ms\":{:.3},\"epochs\":{},\
-             \"incremental\":{},\"fallback\":{},\"rebuild\":{},\
+             \"incremental\":{},\"fallback\":{},\"rebuild\":{},\"decay_epochs\":{},\
              \"mean_affected\":{:.3},\"policy\":\"{}\",\
+             \"kernel\":\"{}\"{bandwidth_field},\"decay\":{decay},\
+             \"eps_queries\":{},\
              \"predicted_cost_us\":{},\"observed_cost_us\":{}}}",
             stats.updates,
             elapsed.as_secs_f64() * 1e3,
@@ -311,8 +331,11 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             stats.incremental_epochs,
             stats.fallback_epochs,
             stats.rebuild_epochs,
+            stats.decay_epochs,
             stats.affected_points as f64 / (stats.epochs as f64).max(1.0),
             policy.name(),
+            kernel.name(),
+            stats.eps_queries,
             stats.predicted_cost_micros,
             stats.observed_cost_micros
         );
@@ -335,6 +358,9 @@ pub fn stream(args: &ParsedArgs) -> Result<String, String> {
             stats.affected_points as f64 / (stats.epochs as f64).max(1.0),
             policy.name()
         );
+        if !kernel.is_cutoff() || decay != 1.0 {
+            let _ = write!(out, ", kernel {}, decay {decay}", describe_kernel(kernel));
+        }
         if policy == CommitPolicy::Adaptive {
             let _ = write!(
                 out,
@@ -475,6 +501,9 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         "batch",
         "threads",
         "centers",
+        "kernel",
+        "bandwidth",
+        "decay",
         "max-epochs",
         "policy",
         "readers",
@@ -494,6 +523,8 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     let batch: usize = args.get_or("batch", 100)?;
     let threads: usize = args.get_or("threads", 1)?;
     let selection = parse_centers(args.get("centers").unwrap_or("auto"))?;
+    let kernel = parse_kernel(args.get("kernel"), args.get_parsed("bandwidth")?)?;
+    let decay: f64 = args.get_or("decay", 1.0)?;
     let max_epochs: usize = args.get_or("max-epochs", usize::MAX)?;
     let policy = CommitPolicy::parse(args.get("policy").unwrap_or("incremental"))
         .map_err(|e| e.to_string())?;
@@ -536,9 +567,11 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         .with_dpc(
             DpcParams::new(dc)
                 .with_centers(selection)
+                .with_kernel(kernel)
                 .with_threads(threads),
         )
-        .with_policy(policy);
+        .with_policy(policy)
+        .with_decay(decay);
     let mut lines = Vec::new();
     let opts = ReplayOpts {
         quiet,
@@ -613,11 +646,13 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         out.push('\n');
     }
     let q = |h: &dpc_obs::Histogram, q: f64| h.value_at_quantile(q).unwrap_or(0);
+    let kernel_name = kernel.name();
     if json {
         let _ = write!(
             out,
             "{{\"event\":\"serve_summary\",\"epochs\":{},\"published\":{},\
              \"window\":{warm},\"elapsed_ms\":{:.3},\"readers\":{readers},\
+             \"kernel\":\"{kernel_name}\",\"decay\":{decay},\
              \"lookups\":{},\"eps_queries\":{},\"sub_polls\":{},\
              \"resyncs\":{},\"ring_evictions\":{},\
              \"lookup_p50_us\":{},\"lookup_p99_us\":{},\
@@ -661,6 +696,9 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
             q(&report.sub, 0.5),
             q(&report.sub, 0.99),
         );
+        if !kernel.is_cutoff() || decay != 1.0 {
+            let _ = write!(out, "; kernel {}, decay {decay}", describe_kernel(kernel));
+        }
     }
     if let Some(metrics) = &metrics {
         out.push('\n');
@@ -864,6 +902,46 @@ fn serve_replay<I: UpdatableIndex>(
     Ok((report, elapsed))
 }
 
+/// Parses `--kernel NAME` plus the optional `--bandwidth H` flag into a
+/// [`Kernel`]. The default (`cutoff`) is the paper-faithful hard cut-off and
+/// takes no bandwidth; `gaussian` and `exponential` require one. Bandwidth
+/// range checking is delegated to [`Kernel::validate`] so the CLI quotes the
+/// same value-and-range messages as the library.
+pub fn parse_kernel(name: Option<&str>, bandwidth: Option<f64>) -> Result<Kernel, String> {
+    let name = name.unwrap_or("cutoff").trim().to_ascii_lowercase();
+    let kernel = match name.as_str() {
+        "cutoff" => {
+            if bandwidth.is_some() {
+                return Err(
+                    "--bandwidth only applies to the gaussian and exponential kernels".into(),
+                );
+            }
+            return Ok(Kernel::Cutoff);
+        }
+        "gaussian" => Kernel::gaussian(
+            bandwidth.ok_or_else(|| "--kernel gaussian requires --bandwidth".to_string())?,
+        ),
+        "exponential" | "exp" => Kernel::exponential(
+            bandwidth.ok_or_else(|| "--kernel exponential requires --bandwidth".to_string())?,
+        ),
+        other => {
+            return Err(format!(
+                "unknown kernel {other:?} (cutoff, gaussian, or exponential)"
+            ))
+        }
+    };
+    kernel.validate().map_err(|e| e.to_string())?;
+    Ok(kernel)
+}
+
+/// Human-readable kernel description for exit summaries.
+fn describe_kernel(kernel: Kernel) -> String {
+    match kernel.bandwidth() {
+        Some(h) => format!("{} (bandwidth {h})", kernel.name()),
+        None => kernel.name().to_string(),
+    }
+}
+
 /// Parses a centre-selection spec: `top:K`, `auto`, `auto:MAX` or
 /// `threshold:RHO,DELTA`.
 pub fn parse_centers(spec: &str) -> Result<CenterSelection, String> {
@@ -887,7 +965,7 @@ pub fn parse_centers(spec: &str) -> Result<CenterSelection, String> {
         let mut parts = rest.split(',');
         let rho = parts
             .next()
-            .and_then(|v| v.trim().parse::<u32>().ok())
+            .and_then(|v| v.trim().parse::<f64>().ok())
             .ok_or_else(|| format!("invalid threshold spec {spec:?}"))?;
         let delta = parts
             .next()
@@ -1022,7 +1100,7 @@ mod tests {
         assert_eq!(
             parse_centers("threshold:3,1.5").unwrap(),
             CenterSelection::Threshold {
-                rho_min: 3,
+                rho_min: 3.0,
                 delta_min: 1.5
             }
         );
@@ -1308,6 +1386,143 @@ mod tests {
             "0"
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_kernel_specs() {
+        assert_eq!(parse_kernel(None, None).unwrap(), Kernel::Cutoff);
+        assert_eq!(parse_kernel(Some("cutoff"), None).unwrap(), Kernel::Cutoff);
+        assert_eq!(
+            parse_kernel(Some("gaussian"), Some(0.5)).unwrap(),
+            Kernel::gaussian(0.5)
+        );
+        assert_eq!(
+            parse_kernel(Some("exp"), Some(2.0)).unwrap(),
+            Kernel::exponential(2.0)
+        );
+        // Bandwidth is mandatory for the weighted kernels and meaningless
+        // for the cut-off, in both directions.
+        assert!(parse_kernel(Some("gaussian"), None)
+            .unwrap_err()
+            .contains("--bandwidth"));
+        assert!(parse_kernel(Some("cutoff"), Some(1.0))
+            .unwrap_err()
+            .contains("--bandwidth"));
+        // Out-of-range bandwidths surface the library's quoted-range message.
+        let msg = parse_kernel(Some("gaussian"), Some(-1.0)).unwrap_err();
+        assert!(msg.contains("valid range"), "{msg}");
+        assert!(parse_kernel(Some("epanechnikov"), Some(1.0)).is_err());
+    }
+
+    #[test]
+    fn stream_with_weighted_kernel_and_decay_replays_end_to_end() {
+        let dir = temp_dir();
+        let points = dir.join("kernel-points.csv");
+        run(args(&[
+            "generate",
+            "--dataset",
+            "gowalla",
+            "--scale",
+            "0.0005",
+            "--seed",
+            "11",
+            "--output",
+            points.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // A decayed gaussian replay through the JSON feed: the summary names
+        // the kernel, bandwidth and decay factor, and the rebuild policy is
+        // coerced to incremental because rebuilds cannot reproduce decayed
+        // weighted densities.
+        let out = run(args(&[
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--kernel",
+            "gaussian",
+            "--bandwidth",
+            "0.7",
+            "--decay",
+            "0.9",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--policy",
+            "rebuild",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"event\":\"summary\""), "{out}");
+        assert!(out.contains("\"kernel\":\"gaussian\""), "{out}");
+        assert!(out.contains("\"bandwidth\":0.7"), "{out}");
+        assert!(out.contains("\"decay\":0.9"), "{out}");
+        assert!(out.contains("\"rebuild\":0"), "{out}");
+
+        // The human-readable summary names weighted kernels too.
+        let out = run(args(&[
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--kernel",
+            "exponential",
+            "--bandwidth",
+            "1.1",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(out.contains("kernel exponential (bandwidth 1.1)"), "{out}");
+
+        // `dpc serve` accepts the same flags and reports them in its summary.
+        let out = run(args(&[
+            "serve",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--kernel",
+            "gaussian",
+            "--bandwidth",
+            "0.7",
+            "--decay",
+            "0.9",
+            "--window",
+            "200",
+            "--batch",
+            "50",
+            "--readers",
+            "1",
+            "--quiet",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"event\":\"serve_summary\""), "{out}");
+        assert!(out.contains("\"kernel\":\"gaussian\""), "{out}");
+        assert!(out.contains("\"decay\":0.9"), "{out}");
+
+        // Bad decay values surface the library's quoted-range message.
+        let err = run(args(&[
+            "stream",
+            "--input",
+            points.to_str().unwrap(),
+            "--dc",
+            "0.5",
+            "--decay",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("decay"), "{err}");
+        assert!(err.contains("got"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

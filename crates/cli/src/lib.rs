@@ -54,18 +54,21 @@ USAGE:
   dpc cluster     --input points.csv --dc F
                   [--index list|ch|quadtree|rtree|kdtree|grid|naive]
                   [--bin-width F] [--tau F] [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
+                  [--kernel cutoff|gaussian|exponential] [--bandwidth F]
                   [--threads N] [--halo] [--output labels.csv] [--decision-graph graph.csv]
   dpc knn-cluster --input points.csv --k N
                   [--centers top:K|auto[:MAX]] [--output labels.csv]
   dpc stream      --input points.csv --dc F
                   [--engine grid|kdtree|rtree|naive] [--window N] [--batch N] [--threads N]
                   [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
+                  [--kernel cutoff|gaussian|exponential] [--bandwidth F] [--decay L]
                   [--policy incremental|rebuild|adaptive] [--max-epochs N] [--quiet]
                   [--json] [--metrics] [--trace-out trace.json]
   dpc serve       --input points.csv --dc F
                   [--engine grid|kdtree|rtree|naive] [--window N] [--batch N] [--threads N]
                   [--readers N] [--ring N]
                   [--centers top:K|auto[:MAX]|threshold:RHO,DELTA]
+                  [--kernel cutoff|gaussian|exponential] [--bandwidth F] [--decay L]
                   [--policy incremental|rebuild|adaptive] [--max-epochs N] [--quiet]
                   [--json] [--metrics] [--trace-out trace.json]
   dpc help
@@ -77,7 +80,11 @@ empty label when --halo is set. `stream` replays the CSV as a point stream:
 the first --window rows seed an incremental engine, every following batch
 slides the window, and per-epoch cluster births/deaths are printed; --policy
 picks the commit strategy (adaptive = a calibrated cost model chooses
-incremental maintenance or a bulk rebuild per epoch). --json emits one JSON
+incremental maintenance or a bulk rebuild per epoch). --kernel swaps the
+hard cut-off density for a weighted gaussian/exponential kernel (requires
+--bandwidth), and --decay L (0 < L <= 1) multiplies every surviving point's
+density by L each epoch so stale mass fades out; weighted or decayed runs
+always maintain densities incrementally. --json emits one JSON
 object per epoch instead of text, --metrics prints a metrics table after the
 replay, and --trace-out writes a Chrome trace-event file of the per-epoch
 phase spans (open in Perfetto or chrome://tracing). `serve` runs the same

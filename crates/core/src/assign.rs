@@ -144,7 +144,7 @@ fn compute_halo(
 ) -> Vec<bool> {
     let n = dataset.len();
     let rho = order.rho();
-    let mut border_density = vec![0u32; num_clusters];
+    let mut border_density = vec![0.0f64; num_clusters];
     for i in 0..n {
         for j in (i + 1)..n {
             if labels[i] != labels[j] && dataset.distance(i, j) < dc {
@@ -177,7 +177,7 @@ mod tests {
         ])
     }
 
-    fn rho_delta(data: &Dataset, dc: f64) -> (Vec<u32>, DeltaResult) {
+    fn rho_delta(data: &Dataset, dc: f64) -> (Vec<crate::density::Rho>, DeltaResult) {
         NaiveReferenceIndex::build(data).rho_delta(dc).unwrap()
     }
 
@@ -380,7 +380,7 @@ mod tests {
         let dc = 1.0;
         let (rho, deltas) = rho_delta(&data, dc);
         // Both pair leaders are exact ties on the decision graph.
-        assert_eq!(rho, vec![1, 1, 1, 1]);
+        assert_eq!(rho, vec![1.0, 1.0, 1.0, 1.0]);
         assert_eq!(deltas.delta, vec![10.0, 0.0, 10.0, 0.0]);
 
         let run_once = || {
@@ -415,7 +415,7 @@ mod tests {
     #[test]
     fn empty_dataset_gives_empty_clustering() {
         let data = Dataset::new(vec![]);
-        let rho: Vec<u32> = vec![];
+        let rho: Vec<crate::density::Rho> = vec![];
         let order = DensityOrder::new(&rho);
         let deltas = DeltaResult::unset(0);
         let c = assign_clusters(

@@ -146,7 +146,7 @@ mod tests {
             .estimate(&data)
             .unwrap();
         let rho = NaiveReferenceIndex::build(&data).rho(dc).unwrap();
-        let mean = rho.iter().map(|&r| r as f64).sum::<f64>() / data.len() as f64;
+        let mean = rho.iter().sum::<f64>() / data.len() as f64;
         let achieved = mean / data.len() as f64;
         assert!(
             (achieved - fraction).abs() < 0.02,

@@ -80,7 +80,7 @@ impl DecisionGraph {
     /// in `[0, 1]`; this is the standard way of ranking centre candidates
     /// when the decision graph is not inspected manually.
     pub fn gamma(&self) -> Vec<f64> {
-        let max_rho = self.rho.iter().copied().max().unwrap_or(0).max(1) as f64;
+        let max_rho = self.rho.iter().copied().fold(0.0, f64::max).max(1.0);
         let max_delta = self
             .delta
             .iter()
@@ -90,7 +90,7 @@ impl DecisionGraph {
         self.rho
             .iter()
             .zip(&self.delta)
-            .map(|(&r, &d)| (r as f64 / max_rho) * (d / max_delta))
+            .map(|(&r, &d)| (r / max_rho) * (d / max_delta))
             .collect()
     }
 
@@ -231,7 +231,7 @@ mod tests {
 
     /// Small synthetic decision graph: points 0 and 5 are obvious centres.
     fn graph() -> DecisionGraph {
-        let rho = vec![10, 8, 7, 6, 1, 9];
+        let rho = vec![10.0, 8.0, 7.0, 6.0, 1.0, 9.0];
         let delta = DeltaResult::new(
             vec![5.0, 0.2, 0.3, 0.1, 0.2, 4.0],
             vec![None, Some(0), Some(0), Some(1), Some(3), Some(0)],
@@ -274,7 +274,7 @@ mod tests {
         let g = graph();
         let centers = g
             .select_centers(&CenterSelection::Threshold {
-                rho_min: 7,
+                rho_min: 7.0,
                 delta_min: 1.0,
             })
             .unwrap();
@@ -286,7 +286,7 @@ mod tests {
         let g = graph();
         assert!(g
             .select_centers(&CenterSelection::Threshold {
-                rho_min: 100,
+                rho_min: 100.0,
                 delta_min: 100.0
             })
             .is_err());
@@ -319,15 +319,15 @@ mod tests {
 
     #[test]
     fn outliers_are_low_rho_high_delta() {
-        let rho = vec![10, 1, 9];
+        let rho = vec![10.0, 1.0, 9.0];
         let delta = DeltaResult::new(vec![3.0, 2.5, 0.1], vec![None, Some(0), Some(0)]);
         let g = DecisionGraph::new(rho, &delta).unwrap();
-        assert_eq!(g.outliers(2, 1.0), vec![1]);
+        assert_eq!(g.outliers(2.0, 1.0), vec![1]);
     }
 
     #[test]
     fn infinite_delta_is_clipped() {
-        let rho = vec![5, 4];
+        let rho = vec![5.0, 4.0];
         let delta = DeltaResult::new(vec![f64::INFINITY, 2.0], vec![None, Some(0)]);
         let g = DecisionGraph::new(rho, &delta).unwrap();
         assert_eq!(g.delta(0), 2.0);
@@ -336,7 +336,7 @@ mod tests {
     #[test]
     fn mismatched_lengths_are_rejected() {
         let delta = DeltaResult::unset(3);
-        assert!(DecisionGraph::new(vec![1, 2], &delta).is_err());
+        assert!(DecisionGraph::new(vec![1.0, 2.0], &delta).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::density::Rho;
 use crate::error::{DpcError, Result};
 use crate::point::PointId;
 
-/// How to order two points with the same integer density.
+/// How to order two points with the same density.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TieBreak {
     /// The point with the *smaller* id is considered denser (paper's
@@ -102,13 +102,19 @@ impl<'a> DensityOrder<'a> {
 
     /// Sort key such that a larger key means denser. Useful with
     /// `sort_by_key` / `max_by_key`.
+    ///
+    /// Densities are non-negative f64, so their IEEE-754 bit patterns order
+    /// exactly like the values themselves; `-0.0` is normalised to `+0.0` so
+    /// the two zeros compare equal.
     #[inline]
-    pub fn key(&self, p: PointId) -> (Rho, i64) {
+    pub fn key(&self, p: PointId) -> (u64, i64) {
         let id_key = match self.tie {
             TieBreak::SmallerIdDenser => -(p as i64),
             TieBreak::LargerIdDenser => p as i64,
         };
-        (self.rho[p], id_key)
+        let r = self.rho[p];
+        let rho_key = if r == 0.0 { 0u64 } else { r.to_bits() };
+        (rho_key, id_key)
     }
 
     /// The densest point under the total order (`None` for an empty order).
@@ -239,7 +245,7 @@ mod tests {
 
     #[test]
     fn is_denser_uses_rho_first() {
-        let rho = vec![5, 3, 7];
+        let rho = vec![5.0, 3.0, 7.0];
         let ord = DensityOrder::new(&rho);
         assert!(ord.is_denser(2, 0));
         assert!(ord.is_denser(0, 1));
@@ -249,7 +255,7 @@ mod tests {
 
     #[test]
     fn tie_break_smaller_id_default() {
-        let rho = vec![4, 4, 4];
+        let rho = vec![4.0, 4.0, 4.0];
         let ord = DensityOrder::new(&rho);
         assert!(ord.is_denser(0, 1));
         assert!(ord.is_denser(1, 2));
@@ -259,7 +265,7 @@ mod tests {
 
     #[test]
     fn tie_break_larger_id() {
-        let rho = vec![4, 4, 4];
+        let rho = vec![4.0, 4.0, 4.0];
         let ord = DensityOrder::with_tie_break(&rho, TieBreak::LargerIdDenser);
         assert!(ord.is_denser(2, 1));
         assert!(!ord.is_denser(0, 1));
@@ -268,7 +274,7 @@ mod tests {
 
     #[test]
     fn order_is_total_and_antisymmetric() {
-        let rho = vec![1, 5, 5, 0, 5];
+        let rho = vec![1.0, 5.0, 5.0, 0.0, 5.0];
         let ord = DensityOrder::new(&rho);
         for p in 0..rho.len() {
             for q in 0..rho.len() {
@@ -284,7 +290,7 @@ mod tests {
 
     #[test]
     fn rank_descending_is_consistent_with_is_denser() {
-        let rho = vec![2, 9, 9, 1, 4];
+        let rho = vec![2.0, 9.0, 9.0, 1.0, 4.0];
         let ord = DensityOrder::new(&rho);
         let ranked = ord.rank_descending();
         assert_eq!(ranked.len(), rho.len());
@@ -295,6 +301,25 @@ mod tests {
     }
 
     #[test]
+    fn key_orders_fractional_densities_and_normalises_negative_zero() {
+        let rho = vec![0.5, 1.25, 0.0, -0.0, 1.25];
+        let ord = DensityOrder::new(&rho);
+        assert!(ord.is_denser(1, 0));
+        assert!(ord.key(1) > ord.key(0));
+        assert!(ord.key(0) > ord.key(2));
+        // The two zeros differ only by id: -0.0 maps to the same rho key.
+        assert_eq!(ord.key(2).0, ord.key(3).0);
+        assert!(ord.is_denser(2, 3));
+        // Equal fractional densities fall back to the id tie-break.
+        assert!(ord.key(1) > ord.key(4));
+        assert_eq!(ord.global_peak(), Some(1));
+        let ranked = ord.rank_descending();
+        for w in ranked.windows(2) {
+            assert!(ord.is_denser(w[0], w[1]));
+        }
+    }
+
+    #[test]
     fn global_peak_of_empty_is_none() {
         let rho: Vec<Rho> = vec![];
         assert_eq!(DensityOrder::new(&rho).global_peak(), None);
@@ -302,7 +327,7 @@ mod tests {
 
     #[test]
     fn delta_result_validation_accepts_consistent_result() {
-        let rho = vec![3, 2, 1];
+        let rho = vec![3.0, 2.0, 1.0];
         let ord = DensityOrder::new(&rho);
         let res = DeltaResult::new(vec![10.0, 1.0, 2.0], vec![None, Some(0), Some(1)]);
         assert!(res.validate(&ord).is_ok());
@@ -310,7 +335,7 @@ mod tests {
 
     #[test]
     fn delta_result_validation_rejects_non_denser_mu() {
-        let rho = vec![3, 2, 1];
+        let rho = vec![3.0, 2.0, 1.0];
         let ord = DensityOrder::new(&rho);
         // mu[0] = 2 but point 2 is sparser than point 0.
         let res = DeltaResult::new(vec![1.0, 1.0, 2.0], vec![Some(2), Some(0), Some(1)]);
@@ -319,7 +344,7 @@ mod tests {
 
     #[test]
     fn delta_result_validation_requires_a_global_peak() {
-        let rho = vec![3, 2];
+        let rho = vec![3.0, 2.0];
         let ord = DensityOrder::new(&rho);
         let res = DeltaResult::new(vec![1.0, 1.0], vec![Some(1), Some(0)]);
         assert!(res.validate(&ord).is_err());
@@ -327,7 +352,7 @@ mod tests {
 
     #[test]
     fn delta_result_validation_rejects_length_mismatch() {
-        let rho = vec![3, 2, 1];
+        let rho = vec![3.0, 2.0, 1.0];
         let ord = DensityOrder::new(&rho);
         let res = DeltaResult::unset(2);
         assert!(res.validate(&ord).is_err());

@@ -11,18 +11,30 @@
 //! *strictly* smaller than `dc` and the point itself is never counted. Every
 //! index in this workspace follows that convention so their results are
 //! bit-identical to the naive baseline.
+//!
+//! ## Weighted densities
+//!
+//! With a pluggable [`Kernel`](crate::Kernel) the indicator generalises to a
+//! weight `w(dist(p,q))` for neighbours strictly within `dc` (truncated
+//! kernels; see [`crate::kernel`]), so `ρ` is an `f64`. The paper-faithful
+//! [`Kernel::Cutoff`](crate::Kernel::Cutoff) keeps every weight exactly
+//! `1.0`: sums of exact ones are exact integers in f64 (up to 2⁵³ ≫ any
+//! window), so the cut-off path remains **bit-identical** to the historical
+//! integer-count representation.
 
 use crate::point::PointId;
 
-/// Local density of a single point: a count of neighbours within `dc`.
-pub type Rho = u32;
+/// Local density of a single point: the (possibly kernel-weighted) mass of
+/// neighbours within `dc`. Under [`Kernel::Cutoff`](crate::Kernel::Cutoff)
+/// this is an exact integer-valued count.
+pub type Rho = f64;
 
 /// The local densities of every point of a dataset for one particular `dc`.
 ///
 /// Thin wrapper around `Vec<Rho>` adding the convenience queries used by the
 /// decision graph and by the tree indices (which need the maximum density per
 /// subtree).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DensityEstimate {
     values: Vec<Rho>,
 }
@@ -61,7 +73,7 @@ impl DensityEstimate {
 
     /// Maximum density over all points (0 for an empty estimate).
     pub fn max(&self) -> Rho {
-        self.values.iter().copied().max().unwrap_or(0)
+        self.values.iter().copied().fold(0.0, Rho::max)
     }
 
     /// Mean density (0 for an empty estimate).
@@ -69,7 +81,7 @@ impl DensityEstimate {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().map(|&r| r as f64).sum::<f64>() / self.values.len() as f64
+            self.values.iter().sum::<f64>() / self.values.len() as f64
         }
     }
 
@@ -88,8 +100,9 @@ impl DensityEstimate {
         best.map(|(_, id)| id)
     }
 
-    /// Histogram of densities: `hist[d]` = number of points with density `d`.
-    /// Empty for an empty estimate.
+    /// Histogram of densities: `hist[d]` = number of points whose density
+    /// floors to `d` (for integer-valued cut-off densities this is the exact
+    /// per-count histogram). Empty for an empty estimate.
     pub fn histogram(&self) -> Vec<usize> {
         if self.values.is_empty() {
             return vec![];
@@ -122,19 +135,19 @@ mod tests {
 
     #[test]
     fn basic_accessors() {
-        let d = DensityEstimate::new(vec![3, 1, 4, 1, 5]);
+        let d = DensityEstimate::new(vec![3.0, 1.0, 4.0, 1.0, 5.0]);
         assert_eq!(d.len(), 5);
         assert!(!d.is_empty());
-        assert_eq!(d.rho(2), 4);
-        assert_eq!(d[4], 5);
-        assert_eq!(d.max(), 5);
+        assert_eq!(d.rho(2), 4.0);
+        assert_eq!(d[4], 5.0);
+        assert_eq!(d.max(), 5.0);
         assert_eq!(d.argmax(), Some(4));
         assert!((d.mean() - 2.8).abs() < 1e-12);
     }
 
     #[test]
     fn argmax_breaks_ties_towards_smaller_id() {
-        let d = DensityEstimate::new(vec![2, 7, 7, 3]);
+        let d = DensityEstimate::new(vec![2.0, 7.0, 7.0, 3.0]);
         assert_eq!(d.argmax(), Some(1));
     }
 
@@ -142,7 +155,7 @@ mod tests {
     fn empty_estimate() {
         let d = DensityEstimate::new(vec![]);
         assert!(d.is_empty());
-        assert_eq!(d.max(), 0);
+        assert_eq!(d.max(), 0.0);
         assert_eq!(d.mean(), 0.0);
         assert_eq!(d.argmax(), None);
         assert!(d.histogram().is_empty());
@@ -150,19 +163,25 @@ mod tests {
 
     #[test]
     fn histogram_counts_each_density() {
-        let d = DensityEstimate::new(vec![0, 2, 2, 3]);
+        let d = DensityEstimate::new(vec![0.0, 2.0, 2.0, 3.0]);
         assert_eq!(d.histogram(), vec![1, 0, 2, 1]);
     }
 
     #[test]
     fn histogram_of_all_zero_densities_is_one_bin_holding_n() {
-        let d = DensityEstimate::new(vec![0; 5]);
+        let d = DensityEstimate::new(vec![0.0; 5]);
         assert_eq!(d.histogram(), vec![5]);
     }
 
     #[test]
+    fn histogram_floors_weighted_densities_into_integer_bins() {
+        let d = DensityEstimate::new(vec![0.4, 2.7, 2.1, 3.0]);
+        assert_eq!(d.histogram(), vec![1, 0, 2, 1]);
+    }
+
+    #[test]
     fn into_vec_round_trips() {
-        let v = vec![1u32, 2, 3];
+        let v = vec![1.0f64, 2.0, 3.0];
         let d: DensityEstimate = v.clone().into();
         assert_eq!(d.into_vec(), v);
     }

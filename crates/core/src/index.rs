@@ -18,6 +18,7 @@ use crate::delta::{DeltaResult, TieBreak};
 use crate::density::Rho;
 use crate::error::{DpcError, Result};
 use crate::exec::ExecPolicy;
+use crate::kernel::Kernel;
 use crate::point::{Dataset, Point, PointId};
 
 /// Construction-time statistics of an index, reported by every
@@ -146,6 +147,73 @@ pub trait DpcIndex {
         let rho = self.rho_with_policy(dc, policy)?;
         let delta = self.delta_with_policy(dc, &rho, policy)?;
         Ok((rho, delta))
+    }
+
+    /// [`rho`](DpcIndex::rho) under an explicit density [`Kernel`] and
+    /// [`ExecPolicy`].
+    ///
+    /// For [`Kernel::Cutoff`] this **is**
+    /// [`rho_with_policy`](DpcIndex::rho_with_policy) — same code path,
+    /// bit-identical results.
+    /// For weighted kernels the default falls back to the canonical
+    /// brute-force scan ([`weighted_rho_scan`]); indices whose structure can
+    /// enumerate the `dc`-neighbourhood override this with an accelerated
+    /// traversal that must reproduce the scan bit-for-bit (same ascending-id
+    /// summation order; see [`crate::kernel`]).
+    fn rho_kernel_with_policy(
+        &self,
+        dc: f64,
+        kernel: Kernel,
+        policy: ExecPolicy,
+    ) -> Result<Vec<Rho>> {
+        if kernel.is_cutoff() {
+            return self.rho_with_policy(dc, policy);
+        }
+        weighted_rho_scan(self.dataset(), dc, kernel, policy)
+    }
+
+    /// [`rho`](DpcIndex::rho) under an explicit density [`Kernel`],
+    /// sequentially.
+    fn rho_kernel(&self, dc: f64, kernel: Kernel) -> Result<Vec<Rho>> {
+        self.rho_kernel_with_policy(dc, kernel, ExecPolicy::Sequential)
+    }
+
+    /// Runs the kernel-weighted ρ-query and the δ-query back to back.
+    ///
+    /// The δ-query is kernel-agnostic: it only consumes the densities through
+    /// the total order, so every index's accelerated δ traversal works
+    /// unchanged on weighted densities.
+    fn rho_delta_kernel_with_policy(
+        &self,
+        dc: f64,
+        kernel: Kernel,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<Rho>, DeltaResult)> {
+        let rho = self.rho_kernel_with_policy(dc, kernel, policy)?;
+        let delta = self.delta_with_policy(dc, &rho, policy)?;
+        Ok((rho, delta))
+    }
+
+    /// Runs both queries under an explicit [`Kernel`] and [`ExecPolicy`],
+    /// reporting query telemetry to `rec`.
+    ///
+    /// For [`Kernel::Cutoff`] this delegates to
+    /// [`rho_delta_observed`](DpcIndex::rho_delta_observed) — the exact
+    /// pre-existing instrumented path. For weighted kernels the default runs
+    /// the kernel ρ-query (unrecorded fallback unless overridden) followed by
+    /// the policy δ-query; results are bit-identical with or without the
+    /// recorder.
+    fn rho_delta_kernel_observed(
+        &self,
+        dc: f64,
+        kernel: Kernel,
+        policy: ExecPolicy,
+        rec: &dyn dpc_obs::Recorder,
+    ) -> Result<(Vec<Rho>, DeltaResult)> {
+        if kernel.is_cutoff() {
+            return self.rho_delta_observed(dc, policy, rec);
+        }
+        self.rho_delta_kernel_with_policy(dc, kernel, policy)
     }
 
     /// Runs both queries under an explicit [`ExecPolicy`], reporting query
@@ -382,6 +450,51 @@ pub fn eps_neighbors_scan(dataset: &Dataset, center: Point, eps: f64) -> Result<
         .collect())
 }
 
+/// Canonical kernel-weighted ρ scan: for every point `p`, the sum of
+/// `kernel` weights over the *other* points strictly within `dc`, accumulated
+/// in **ascending neighbour-id order** (the workspace-wide canonical
+/// summation order for weighted densities; see [`crate::kernel`]).
+///
+/// This is the reference implementation every accelerated weighted traversal
+/// must match bit-for-bit, and the fallback behind
+/// [`DpcIndex::rho_kernel_with_policy`]. Parallelism partitions the *output*
+/// points across workers; each point's sum is still accumulated in ascending
+/// id order, so results are bit-identical at every thread count.
+pub fn weighted_rho_scan(
+    dataset: &Dataset,
+    dc: f64,
+    kernel: Kernel,
+    policy: ExecPolicy,
+) -> Result<Vec<Rho>> {
+    validate_dc(dc)?;
+    kernel.validate()?;
+    let n = dataset.len();
+    let (xs, ys) = dataset.coord_slices();
+    let dc2 = dc * dc;
+    let mut rho = vec![0.0 as Rho; n];
+    crate::exec::fill_slice(
+        &mut rho,
+        policy,
+        || (),
+        |i, ()| {
+            let (xi, yi) = (xs[i], ys[i]);
+            let mut mass = 0.0f64;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let (dx, dy) = (xs[j] - xi, ys[j] - yi);
+                let d2 = dx * dx + dy * dy;
+                if d2 < dc2 {
+                    mass += kernel.weight_from_sq(d2);
+                }
+            }
+            mass
+        },
+    );
+    Ok(rho)
+}
+
 /// Validates a cut-off distance, shared by all index implementations.
 ///
 /// Besides rejecting non-positive and non-finite values, this rejects
@@ -555,8 +668,51 @@ mod tests {
 
     #[test]
     fn validate_rho_len_checks_length() {
-        assert!(validate_rho_len(&[1, 2, 3], 3).is_ok());
-        assert!(validate_rho_len(&[1, 2], 3).is_err());
+        assert!(validate_rho_len(&[1.0, 2.0, 3.0], 3).is_ok());
+        assert!(validate_rho_len(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn weighted_rho_scan_cutoff_matches_integer_counts() {
+        let data = Dataset::from_coords(vec![
+            (0.0, 0.0),
+            (0.5, 0.0),
+            (0.0, 0.5),
+            (5.0, 5.0),
+            (5.2, 5.0),
+        ]);
+        let rho = weighted_rho_scan(
+            &data,
+            1.0,
+            crate::kernel::Kernel::Cutoff,
+            ExecPolicy::Sequential,
+        )
+        .unwrap();
+        assert_eq!(rho, vec![2.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_rho_scan_gaussian_weights_and_truncates() {
+        let data = Dataset::from_coords(vec![(0.0, 0.0), (0.5, 0.0), (2.0, 0.0)]);
+        let k = crate::kernel::Kernel::gaussian(1.0);
+        let rho = weighted_rho_scan(&data, 1.0, k, ExecPolicy::Sequential).unwrap();
+        let w = k.weight(0.5);
+        // Point 2 is outside everyone's dc: weight truncates to exactly 0.
+        assert_eq!(rho[2], 0.0);
+        assert_eq!(rho[0], w);
+        assert_eq!(rho[1], w);
+        // Parallel partitioning is bit-identical.
+        let rho_par = weighted_rho_scan(&data, 1.0, k, ExecPolicy::Threads(4)).unwrap();
+        assert_eq!(rho, rho_par);
+    }
+
+    #[test]
+    fn weighted_rho_scan_validates_dc_and_kernel() {
+        let data = Dataset::from_coords(vec![(0.0, 0.0)]);
+        let k = crate::kernel::Kernel::gaussian(1.0);
+        assert!(weighted_rho_scan(&data, 0.0, k, ExecPolicy::Sequential).is_err());
+        let bad = crate::kernel::Kernel::gaussian(-1.0);
+        assert!(weighted_rho_scan(&data, 1.0, bad, ExecPolicy::Sequential).is_err());
     }
 
     #[test]

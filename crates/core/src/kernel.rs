@@ -1,0 +1,267 @@
+//! Pluggable density kernels: how much a neighbour at distance `d < dc`
+//! contributes to a point's local density ρ.
+//!
+//! The source paper defines ρ as a **hard cut-off count**: every neighbour
+//! strictly within `dc` contributes exactly 1. That is [`Kernel::Cutoff`],
+//! the default, and it stays bit-identical to the original integer-count
+//! semantics (a sum of exact `1.0`s over at most 2⁵³ neighbours is an exact
+//! integer in f64). The smooth kernels — the default choice for real data in
+//! both exemplar implementations this workspace tracks — weight closer
+//! neighbours more:
+//!
+//! * [`Kernel::Gaussian`]: `w(d) = exp(−(d/h)²)` — the classic gaussian
+//!   kernel of the original DPC paper's supplement, computable from squared
+//!   distances without a square root;
+//! * [`Kernel::Exponential`]: `w(d) = exp(−d/h)` — heavier tail, one square
+//!   root per pair.
+//!
+//! All kernels here are **truncated at `dc`**: a pair at distance `≥ dc`
+//! contributes exactly 0, whatever the kernel. Truncation is what preserves
+//! the locality property every index and the streaming engine's affected-set
+//! machinery exploit — an update can only change the ρ of points within `dc`
+//! of it — at the cost of a (documented) discontinuity of size `w(dc)` at
+//! the neighbourhood boundary. Choose `h` comfortably below `dc` (the usual
+//! choice is `h = dc`, giving a boundary weight of `e⁻¹`/`e⁻¹`).
+//!
+//! ## Canonical summation order
+//!
+//! Weighted densities are f64 sums, and f64 addition is not associative, so
+//! "the" weighted ρ of a point is only well defined together with a
+//! summation order. The workspace-wide convention is **ascending neighbour
+//! id**: every implementation — the brute-force scan, the tree traversals
+//! (which collect matches and sort by id before summing), and the streaming
+//! repair — accumulates contributions in ascending id order, so all of them
+//! agree bit-for-bit. [`Kernel::Cutoff`] is insensitive to the order (every
+//! contribution is exactly 1.0).
+
+use crate::error::{DpcError, Result};
+
+/// A density kernel: maps a pairwise distance `d < dc` to a contribution
+/// weight. See the [module docs](self) for semantics and the canonical
+/// summation order.
+///
+/// ```
+/// use dpc_core::Kernel;
+///
+/// let cutoff = Kernel::Cutoff;
+/// assert_eq!(cutoff.weight(0.3), 1.0);
+///
+/// let gauss = Kernel::Gaussian { bandwidth: 0.5 };
+/// assert!(gauss.weight(0.0) == 1.0);
+/// assert!(gauss.weight(0.5) < 1.0);
+/// assert!(gauss.validate().is_ok());
+/// assert!(Kernel::Gaussian { bandwidth: -1.0 }.validate().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Kernel {
+    /// The paper-faithful hard cut-off: every neighbour within `dc` counts
+    /// exactly 1. Bit-identical to the original integer-count ρ.
+    #[default]
+    Cutoff,
+    /// Truncated gaussian kernel `w(d) = exp(−(d/bandwidth)²)`. Sqrt-free:
+    /// evaluated directly from the squared distance.
+    Gaussian {
+        /// The length scale `h`; typically `dc`.
+        bandwidth: f64,
+    },
+    /// Truncated exponential kernel `w(d) = exp(−d/bandwidth)`.
+    Exponential {
+        /// The length scale `h`; typically `dc`.
+        bandwidth: f64,
+    },
+}
+
+impl Kernel {
+    /// A gaussian kernel with `bandwidth = dc` (the conventional default).
+    pub fn gaussian(bandwidth: f64) -> Self {
+        Kernel::Gaussian { bandwidth }
+    }
+
+    /// An exponential kernel with the given bandwidth.
+    pub fn exponential(bandwidth: f64) -> Self {
+        Kernel::Exponential { bandwidth }
+    }
+
+    /// True for the paper-faithful cut-off kernel.
+    #[inline]
+    pub fn is_cutoff(&self) -> bool {
+        matches!(self, Kernel::Cutoff)
+    }
+
+    /// Short stable name (`"cutoff"`, `"gaussian"`, `"exponential"`) used in
+    /// CLI flags, bench rows and metric names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Cutoff => "cutoff",
+            Kernel::Gaussian { .. } => "gaussian",
+            Kernel::Exponential { .. } => "exponential",
+        }
+    }
+
+    /// The bandwidth parameter (`None` for the cut-off kernel).
+    pub fn bandwidth(&self) -> Option<f64> {
+        match *self {
+            Kernel::Cutoff => None,
+            Kernel::Gaussian { bandwidth } | Kernel::Exponential { bandwidth } => Some(bandwidth),
+        }
+    }
+
+    /// Contribution weight of a neighbour at **squared** distance `d2 < dc²`.
+    ///
+    /// This is the hot-loop entry point: the cut-off and gaussian kernels
+    /// never take a square root.
+    #[inline]
+    pub fn weight_from_sq(&self, d2: f64) -> f64 {
+        match *self {
+            Kernel::Cutoff => 1.0,
+            Kernel::Gaussian { bandwidth } => (-(d2 / (bandwidth * bandwidth))).exp(),
+            Kernel::Exponential { bandwidth } => (-(d2.sqrt() / bandwidth)).exp(),
+        }
+    }
+
+    /// Contribution weight of a neighbour at distance `d < dc`.
+    #[inline]
+    pub fn weight(&self, d: f64) -> f64 {
+        match *self {
+            Kernel::Cutoff => 1.0,
+            _ => self.weight_from_sq(d * d),
+        }
+    }
+
+    /// Validates the kernel's parameters.
+    ///
+    /// Bandwidths must be positive and finite. The gaussian kernel evaluates
+    /// `exp(−d²/h²)` straight from squared distances, so — exactly like
+    /// [`validate_dc`](crate::index::validate_dc) — a bandwidth whose square
+    /// underflows f64 (`h` ≲ 1.5e-154, `h²` rounding to 0, every weight
+    /// collapsing to `exp(−∞) = 0`) or overflows it (`h` ≳ 1.3e154) is
+    /// rejected.
+    pub fn validate(&self) -> Result<()> {
+        let (name, h) = match *self {
+            Kernel::Cutoff => return Ok(()),
+            Kernel::Gaussian { bandwidth } => ("gaussian bandwidth", bandwidth),
+            Kernel::Exponential { bandwidth } => ("exponential bandwidth", bandwidth),
+        };
+        if !(h.is_finite() && h > 0.0) {
+            return Err(DpcError::invalid_parameter(
+                "kernel",
+                format!(
+                    "{name} must be a positive finite number \
+                     (valid range: approx. 1.5e-154 to 1.3e154), got {h}"
+                ),
+            ));
+        }
+        if matches!(self, Kernel::Gaussian { .. }) {
+            if h * h < f64::MIN_POSITIVE {
+                return Err(DpcError::invalid_parameter(
+                    "kernel",
+                    format!(
+                        "{name} {h:e} is below the minimum of approx. 1.5e-154 \
+                         (valid range: approx. 1.5e-154 to 1.3e154): its square \
+                         underflows f64, which would collapse every gaussian \
+                         weight to zero"
+                    ),
+                ));
+            }
+            if !(h * h).is_finite() {
+                return Err(DpcError::invalid_parameter(
+                    "kernel",
+                    format!(
+                        "{name} {h:e} is above the maximum of approx. 1.3e154 \
+                         (valid range: approx. 1.5e-154 to 1.3e154): its square \
+                         overflows f64, which would break the squared-distance \
+                         weight evaluation"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.bandwidth() {
+            None => write!(f, "{}", self.name()),
+            Some(h) => write!(f, "{}(h={h})", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_weight_is_always_one() {
+        let k = Kernel::Cutoff;
+        for d in [0.0, 0.1, 1.0, 1e100] {
+            assert_eq!(k.weight(d), 1.0);
+            assert_eq!(k.weight_from_sq(d), 1.0);
+        }
+        assert!(k.is_cutoff());
+        assert!(k.validate().is_ok());
+        assert_eq!(k.bandwidth(), None);
+    }
+
+    #[test]
+    fn gaussian_weight_decays_monotonically_from_one() {
+        let k = Kernel::gaussian(0.5);
+        assert_eq!(k.weight(0.0), 1.0);
+        let (w1, w2, w3) = (k.weight(0.1), k.weight(0.3), k.weight(0.5));
+        assert!(w1 > w2 && w2 > w3 && w3 > 0.0);
+        // w(h) = e^-1.
+        assert!((w3 - (-1.0f64).exp()).abs() < 1e-15);
+        // weight_from_sq agrees with weight.
+        assert_eq!(k.weight_from_sq(0.3 * 0.3), k.weight(0.3));
+    }
+
+    #[test]
+    fn exponential_weight_decays_monotonically_from_one() {
+        let k = Kernel::exponential(2.0);
+        assert_eq!(k.weight(0.0), 1.0);
+        assert!((k.weight(2.0) - (-1.0f64).exp()).abs() < 1e-15);
+        assert!(k.weight(1.0) > k.weight(2.0));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_and_non_positive_bandwidths() {
+        for h in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let msg = Kernel::gaussian(h).validate().unwrap_err().to_string();
+            assert!(msg.contains("1.5e-154"), "range missing in: {msg}");
+            assert!(Kernel::exponential(h).validate().is_err());
+        }
+        // The message quotes the offending value.
+        let msg = Kernel::gaussian(-3.5).validate().unwrap_err().to_string();
+        assert!(msg.contains("-3.5"), "value missing in: {msg}");
+    }
+
+    #[test]
+    fn gaussian_validation_guards_the_squared_bandwidth_range() {
+        // 1e-170 is positive and finite but its square underflows to 0.
+        let msg = Kernel::gaussian(1e-170).validate().unwrap_err().to_string();
+        assert!(msg.contains("1e-170"), "value missing in: {msg}");
+        assert!(msg.contains("1.5e-154"), "range missing in: {msg}");
+        assert!(Kernel::gaussian(1e-160).validate().is_err());
+        assert!(Kernel::gaussian(1e-150).validate().is_ok());
+        // 1e200 squares to +inf.
+        assert!(Kernel::gaussian(1e200).validate().is_err());
+        assert!(Kernel::gaussian(1e150).validate().is_ok());
+        // The exponential kernel never squares its bandwidth: tiny and huge
+        // bandwidths are legal as long as they are positive and finite.
+        assert!(Kernel::exponential(1e-170).validate().is_ok());
+        assert!(Kernel::exponential(1e200).validate().is_ok());
+    }
+
+    #[test]
+    fn display_names_the_kernel_and_bandwidth() {
+        assert_eq!(Kernel::Cutoff.to_string(), "cutoff");
+        assert_eq!(Kernel::gaussian(0.5).to_string(), "gaussian(h=0.5)");
+        assert_eq!(Kernel::exponential(2.0).to_string(), "exponential(h=2)");
+    }
+
+    #[test]
+    fn default_is_the_paper_faithful_cutoff() {
+        assert_eq!(Kernel::default(), Kernel::Cutoff);
+    }
+}

@@ -64,6 +64,7 @@ pub mod density;
 pub mod error;
 pub mod exec;
 pub mod index;
+pub mod kernel;
 pub mod metric;
 pub mod naive_reference;
 pub mod params;
@@ -82,6 +83,7 @@ pub use density::{DensityEstimate, Rho};
 pub use error::{DpcError, Result};
 pub use exec::ExecPolicy;
 pub use index::{BatchOp, DpcIndex, IndexStats, UpdatableIndex};
+pub use kernel::Kernel;
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, SquaredEuclidean};
 pub use params::DpcParams;
 pub use pipeline::{cluster_with_index, DpcPipeline, DpcRun};

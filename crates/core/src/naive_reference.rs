@@ -64,12 +64,12 @@ impl DpcIndex for NaiveReferenceIndex {
         validate_dc(dc)?;
         let pts = self.dataset.points();
         let n = pts.len();
-        let mut rho = vec![0 as Rho; n];
+        let mut rho = vec![0.0 as Rho; n];
         for i in 0..n {
             for j in (i + 1)..n {
                 if pts[i].distance(&pts[j]) < dc {
-                    rho[i] += 1;
-                    rho[j] += 1;
+                    rho[i] += 1.0;
+                    rho[j] += 1.0;
                 }
             }
         }
@@ -177,9 +177,9 @@ mod tests {
         let idx = NaiveReferenceIndex::build(&data);
         // dc exactly equal to a pairwise distance must NOT count it.
         let rho = idx.rho(1.0).unwrap();
-        assert_eq!(rho, vec![0, 0, 0]);
+        assert_eq!(rho, vec![0.0, 0.0, 0.0]);
         let rho = idx.rho(1.0001).unwrap();
-        assert_eq!(rho, vec![1, 2, 1]);
+        assert_eq!(rho, vec![1.0, 2.0, 1.0]);
     }
 
     #[test]
@@ -187,7 +187,7 @@ mod tests {
         let data = Dataset::new(vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)]);
         let idx = NaiveReferenceIndex::build(&data);
         // Coincident points: each sees the other but not itself.
-        assert_eq!(idx.rho(0.5).unwrap(), vec![1, 1]);
+        assert_eq!(idx.rho(0.5).unwrap(), vec![1.0, 1.0]);
     }
 
     #[test]
@@ -232,13 +232,13 @@ mod tests {
         assert!(idx.rho(0.0).is_err());
         assert!(idx.rho(-2.0).is_err());
         assert!(idx.rho(f64::NAN).is_err());
-        assert!(idx.delta(0.0, &[0; 5]).is_err());
+        assert!(idx.delta(0.0, &[0.0; 5]).is_err());
     }
 
     #[test]
     fn delta_rejects_wrong_rho_length() {
         let idx = NaiveReferenceIndex::build(&two_blobs());
-        assert!(idx.delta(0.5, &[0; 3]).is_err());
+        assert!(idx.delta(0.5, &[0.0; 3]).is_err());
     }
 
     #[test]
@@ -253,7 +253,7 @@ mod tests {
     fn single_point_is_its_own_peak_with_zero_delta() {
         let idx = NaiveReferenceIndex::build(&Dataset::new(vec![Point::new(1.0, 1.0)]));
         let (rho, dres) = idx.rho_delta(1.0).unwrap();
-        assert_eq!(rho, vec![0]);
+        assert_eq!(rho, vec![0.0]);
         assert_eq!(dres.mu(0), None);
         assert_eq!(dres.delta(0), 0.0);
     }

@@ -5,6 +5,7 @@ use crate::decision::CenterSelection;
 use crate::delta::TieBreak;
 use crate::error::Result;
 use crate::exec::ExecPolicy;
+use crate::kernel::Kernel;
 
 /// All parameters needed to turn an index's ρ/δ answers into a clustering.
 ///
@@ -25,6 +26,9 @@ pub struct DpcParams {
     /// Defaults to [`ExecPolicy::Sequential`] so measurements stay
     /// paper-faithful unless parallelism is explicitly requested.
     pub exec: ExecPolicy,
+    /// Density kernel weighting neighbours within `dc`. Defaults to the
+    /// paper-faithful [`Kernel::Cutoff`] (every neighbour counts exactly 1).
+    pub kernel: Kernel,
 }
 
 impl DpcParams {
@@ -36,6 +40,7 @@ impl DpcParams {
             tie_break: TieBreak::default(),
             assignment: AssignmentOptions::default(),
             exec: ExecPolicy::default(),
+            kernel: Kernel::default(),
         }
     }
 
@@ -69,10 +74,19 @@ impl DpcParams {
         self.with_exec(ExecPolicy::from_threads(threads))
     }
 
+    /// Sets the density kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Validates the parameters: `dc` must pass the same checks every index
-    /// applies at query time ([`validate_dc`](crate::index::validate_dc)).
+    /// applies at query time ([`validate_dc`](crate::index::validate_dc)),
+    /// and the kernel's bandwidth must be in range
+    /// ([`Kernel::validate`]).
     pub fn validate(&self) -> Result<()> {
-        crate::index::validate_dc(self.dc)
+        crate::index::validate_dc(self.dc)?;
+        self.kernel.validate()
     }
 }
 
@@ -125,5 +139,26 @@ mod tests {
         assert!(DpcParams::new(0.0).validate().is_err());
         assert!(DpcParams::new(-1.0).validate().is_err());
         assert!(DpcParams::new(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn default_kernel_is_cutoff_and_with_kernel_sets_it() {
+        let p = DpcParams::new(1.0);
+        assert_eq!(p.kernel, Kernel::Cutoff);
+        let p = p.with_kernel(Kernel::gaussian(1.0));
+        assert_eq!(p.kernel, Kernel::gaussian(1.0));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_kernel_bandwidths() {
+        assert!(DpcParams::new(1.0)
+            .with_kernel(Kernel::gaussian(0.0))
+            .validate()
+            .is_err());
+        assert!(DpcParams::new(1.0)
+            .with_kernel(Kernel::exponential(f64::NAN))
+            .validate()
+            .is_err());
     }
 }

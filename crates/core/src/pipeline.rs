@@ -84,7 +84,7 @@ impl DpcPipeline {
         let dc = self.params.dc;
 
         let timer = Timer::start();
-        let rho = index.rho_with_policy(dc, self.params.exec)?;
+        let rho = index.rho_kernel_with_policy(dc, self.params.kernel, self.params.exec)?;
         let rho_time = timer.elapsed();
 
         let timer = Timer::start();

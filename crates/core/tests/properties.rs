@@ -78,9 +78,11 @@ proptest! {
 
     #[test]
     fn density_order_is_a_strict_total_order(
-        rho in prop::collection::vec(0u32..10, 2..40),
+        raw in prop::collection::vec(0u32..10, 2..40),
         larger_tie in any::<bool>()
     ) {
+        // Half-integer densities exercise the weighted-f64 order too.
+        let rho: Vec<f64> = raw.iter().map(|&r| r as f64 * 0.5).collect();
         let tie = if larger_tie { TieBreak::LargerIdDenser } else { TieBreak::SmallerIdDenser };
         let order = DensityOrder::with_tie_break(&rho, tie);
         let n = rho.len();
@@ -120,7 +122,7 @@ proptest! {
         for (p, &rho_p) in rho.iter().enumerate() {
             let expected = (0..data.len())
                 .filter(|&q| q != p && data.distance(p, q) < dc)
-                .count() as u32;
+                .count() as f64;
             prop_assert_eq!(rho_p, expected);
         }
         // Structural validity of delta.

@@ -158,7 +158,7 @@ impl ChIndex {
     fn rho_one(&self, p: PointId, dc: f64) -> Rho {
         let list = self.lists.list(p);
         if list.is_empty() {
-            return 0;
+            return 0.0;
         }
         let hist = &self.histograms[p];
         let bin = (dc / self.bin_width).floor();
@@ -372,7 +372,7 @@ mod tests {
         let data = s1(3, 0.01).into_dataset();
         let ch = ChIndex::build(&data, 1_000.0);
         assert!(ch.rho(-5.0).is_err());
-        assert!(ch.delta(1.0, &[1, 2]).is_err());
+        assert!(ch.delta(1.0, &[1.0, 2.0]).is_err());
     }
 
     #[test]

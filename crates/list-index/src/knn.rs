@@ -129,11 +129,11 @@ impl KnnDpc {
         exec::fill_slice(&mut scores, policy, || (), |p, ()| self.density_score(p, k));
         let mut by_score: Vec<PointId> = (0..n).collect();
         by_score.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
-        let mut ranks = vec![0 as Rho; n];
-        let mut rank = 0 as Rho;
+        let mut ranks = vec![0.0 as Rho; n];
+        let mut rank = 0.0 as Rho;
         for (i, &p) in by_score.iter().enumerate() {
             if i > 0 && scores[p] > scores[by_score[i - 1]] {
-                rank += 1;
+                rank += 1.0;
             }
             ranks[p] = rank;
         }
@@ -229,7 +229,7 @@ mod tests {
         let ranks = knn.density_ranks(5).unwrap();
         assert_eq!(ranks.len(), data.len());
         // Ranks are bounded by n-1 and the densest rank is achieved.
-        let max = *ranks.iter().max().unwrap() as usize;
+        let max = ranks.iter().copied().fold(0.0f64, f64::max) as usize;
         assert!(max < data.len());
         // Denser score => higher or equal rank.
         for p in 0..data.len() {
@@ -353,7 +353,7 @@ mod tests {
         let data = Dataset::new(pts);
         let knn = KnnDpc::build(&data);
         let ranks = knn.density_ranks(3).unwrap();
-        let max_rank = *ranks.iter().max().unwrap();
+        let max_rank = ranks.iter().copied().fold(0.0f64, f64::max);
         for (p, &rank) in ranks.iter().take(5).enumerate() {
             assert_eq!(
                 rank, max_rank,

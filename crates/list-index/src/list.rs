@@ -285,7 +285,7 @@ mod tests {
         let data = Dataset::new(vec![dpc_core::Point::new(1.0, 2.0)]);
         let index = ListIndex::build(&data);
         let (rho, deltas) = index.rho_delta(1.0).unwrap();
-        assert_eq!(rho, vec![0]);
+        assert_eq!(rho, vec![0.0]);
         assert_eq!(deltas.delta(0), 0.0);
         assert_eq!(deltas.mu(0), None);
     }

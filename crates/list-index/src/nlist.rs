@@ -310,7 +310,7 @@ mod tests {
         let data = s1(19, 0.05).into_dataset(); // 250 points
         for tau in [None, Some(40_000.0)] {
             let lists = NeighborLists::build_serial(&data, tau);
-            let rho: Vec<u32> = (0..data.len() as u32).map(|i| i % 7).collect();
+            let rho: Vec<f64> = (0..data.len() as u32).map(|i| f64::from(i % 7)).collect();
             let order = DensityOrder::new(&rho);
             let (seq, seq_probes) = lists.delta_by_scan_with_probes(&order);
             for threads in [1usize, 2, 3, 7] {

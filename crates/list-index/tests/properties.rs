@@ -103,7 +103,7 @@ proptest! {
         // boundaries: rho(k*w) never decreases with k and reaches n-1 once
         // k*w exceeds the diameter.
         let diameter = data.bbox_diameter();
-        let mut prev = vec![0u32; data.len()];
+        let mut prev = vec![0.0f64; data.len()];
         let mut k = 1usize;
         loop {
             let dc = k as f64 * w;

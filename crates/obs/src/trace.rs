@@ -212,8 +212,16 @@ impl Recorder for TraceSink {
     fn record(&self, _name: &str, _value: u64) {}
 
     fn span(&self, name: &str, start: Instant, dur: Duration) {
+        // The duration is derived from the two *floored* endpoints rather
+        // than floored independently: flooring is monotone, so a span that
+        // really ends no later than its parent also gets `ts_us + dur_us`
+        // no later than its parent's — truncating start and duration
+        // separately can push a child's computed end 1 µs past the
+        // enclosing span's, breaking time-containment nesting in the
+        // exported trace.
         let ts_us = self.ts_us(start);
-        let dur_us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        let end_us = self.ts_us(start + dur);
+        let dur_us = end_us.saturating_sub(ts_us);
         self.push(TraceEvent {
             name: name.to_owned(),
             ph: 'X',

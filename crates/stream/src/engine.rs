@@ -19,12 +19,15 @@
 //!    its handle map and per-point arrays, tracking the provenance of each
 //!    final slot (survivor of old id `o` / inserted this epoch).
 //! 3. **Repair ρ** with one ε-query per *net* mutation, all against the
-//!    final index: each expired pre-epoch location decrements the surviving
-//!    neighbours it used to count, each surviving insert gets a fresh count
-//!    and increments its surviving neighbours. A visited bitmap deduplicates
-//!    the touched survivors into the epoch's **affected union** `U`. Points
-//!    both inserted and expired within the batch are *ephemeral* and
-//!    contribute nothing.
+//!    final index: each expired pre-epoch location subtracts its (aged)
+//!    pair weight `λᵃᵍᵉ·w(d)` from the surviving neighbours it used to
+//!    count, each surviving insert gets a fresh weighted sum and adds
+//!    `w(d)` to its surviving neighbours — under the default
+//!    [`Kernel::Cutoff`](dpc_core::Kernel) without decay every weight is
+//!    exactly 1.0 and this is the classic integer ±1 repair, bit for bit. A
+//!    visited bitmap deduplicates the touched survivors into the epoch's
+//!    **affected union** `U`. Points both inserted and expired within the
+//!    batch are *ephemeral* and contribute nothing.
 //! 4. **Repair δ/µ once**: the invalidation set `F` — the union `U`, the
 //!    inserted points, survivors renamed to a smaller id by a swap-remove,
 //!    points whose µ expired, was renamed, or sits in `U` (found by a single
@@ -60,7 +63,7 @@ use std::time::Instant;
 
 use dpc_core::{
     assign_clusters, BatchOp, Clustering, DecisionGraph, DeltaResult, DensityOrder, DpcError,
-    DpcParams, Point, PointId, Result, Rho, StateSnapshot, UpdatableIndex,
+    DpcParams, Kernel, Point, PointId, Result, Rho, StateSnapshot, UpdatableIndex,
 };
 use dpc_obs::{span, AttrValue, SharedRecorder};
 
@@ -110,6 +113,19 @@ pub struct StreamParams {
     /// rebuild, below 1.0 eager. Default 1.0 (unbiased). Must be positive
     /// and finite.
     pub rebuild_bias: f64,
+    /// Per-epoch time-decay factor λ ∈ (0, 1] of the weighted densities:
+    /// every committed epoch (and every [`StreamingDpc::tick`]) multiplies
+    /// each pair's density contribution by λ, so a contribution aged `k`
+    /// epochs weighs `λᵏ·w(d)`. The default 1.0 disables decay — densities
+    /// then depend only on the current window, never on its history.
+    ///
+    /// Decay never changes *which* points interact (the kernel support stays
+    /// strictly within `dc`), so the affected-set machinery is untouched; it
+    /// only rescales the weights. A decayed epoch always re-ranks δ/µ in
+    /// full, and the rebuild commit path is unavailable (decayed ρ is
+    /// history-dependent and cannot be recomputed from a batch query);
+    /// rebuild-flavoured policies silently take the incremental path.
+    pub decay: f64,
 }
 
 impl StreamParams {
@@ -123,6 +139,7 @@ impl StreamParams {
             policy: CommitPolicy::default(),
             ewma_alpha: 0.3,
             rebuild_bias: 1.0,
+            decay: 1.0,
         }
     }
 
@@ -156,6 +173,12 @@ impl StreamParams {
         self
     }
 
+    /// Sets the per-epoch time-decay factor λ (1.0 disables decay).
+    pub fn with_decay(mut self, decay: f64) -> Self {
+        self.decay = decay;
+        self
+    }
+
     /// Validates the parameters.
     pub fn validate(&self) -> Result<()> {
         self.dpc.validate()?;
@@ -185,6 +208,16 @@ impl StreamParams {
                     "rebuild cost bias must be a positive finite number \
                      (valid range: bias > 0), got {}",
                     self.rebuild_bias
+                ),
+            ));
+        }
+        if !(self.decay.is_finite() && self.decay > 0.0 && self.decay <= 1.0) {
+            return Err(DpcError::invalid_parameter(
+                "decay",
+                format!(
+                    "per-epoch decay factor must be a positive finite number \
+                     (valid range: 0 < decay <= 1), got {}",
+                    self.decay
                 ),
             ));
         }
@@ -227,8 +260,19 @@ pub struct StreamStats {
     pub fallback_epochs: u64,
     /// Epochs committed by bulk index rebuild + batch ρ/δ queries (the
     /// `AlwaysRebuild` policy, or the adaptive policy predicting a rebuild
-    /// win). Every epoch lands in exactly one of the three counters.
+    /// win; unavailable with a non-cutoff kernel or decay enabled). Every
+    /// plan-committing epoch lands in exactly one of the three mode
+    /// counters; pure decay ticks land in
+    /// [`decay_epochs`](Self::decay_epochs) instead.
     pub rebuild_epochs: u64,
+    /// Pure decay epochs ([`StreamingDpc::tick`]): scalar ρ aging plus a
+    /// full δ/µ re-rank, no window mutation. Effective ticks only — with
+    /// decay disabled a tick is a no-op and is not counted.
+    pub decay_epochs: u64,
+    /// ε-range queries issued by the incremental ρ repair (one per expired
+    /// survivor location and one per surviving insert). Decay ticks issue
+    /// none — the regression suite pins that down.
+    pub eps_queries: u64,
     /// Sum over epochs of the affected-union size |U| (distinct surviving
     /// points whose ρ was touched by the epoch's ε-neighbourhoods).
     pub affected_points: u64,
@@ -269,6 +313,10 @@ struct CommitScratch {
     batch_ops: Vec<BatchOp>,
     /// Pre-epoch coordinates of every expired survivor.
     removed_old_locs: Vec<Point>,
+    /// Birth epoch of every expired survivor, parallel to
+    /// `removed_old_locs` — the ρ repair needs it to subtract each expiring
+    /// pair at its current decayed weight.
+    removed_old_births: Vec<u64>,
     /// Final dense ids of the points inserted this epoch.
     inserted_final: Vec<PointId>,
     /// Pre-epoch id → final id (`None` = expired).
@@ -359,6 +407,11 @@ pub struct StreamingDpc<I: UpdatableIndex> {
     params: StreamParams,
     rho: Vec<Rho>,
     deltas: DeltaResult,
+    /// Birth epoch of each dense slot, on the [`age_epoch`](Self::age_epoch)
+    /// clock: a pair's decay exponent is `age_epoch − max(birth_p, birth_q)`.
+    /// Maintained through the same push/swap-remove choreography as `rho`;
+    /// inert (but still tracked) when decay is disabled.
+    births: Vec<u64>,
     handles: HandleMap,
     /// Dense id of the global peak (`None` for an empty window).
     peak: Option<PointId>,
@@ -366,6 +419,11 @@ pub struct StreamingDpc<I: UpdatableIndex> {
     /// Stable view of the previous epoch: point handle → centre handle.
     assignment: BTreeMap<Handle, Handle>,
     epoch: u64,
+    /// The decay clock: how many aging passes (committed epochs + effective
+    /// ticks) have run. Decoupled from [`epoch`](Self::epoch) so a
+    /// clustering-stage error — which leaves the density state exact but the
+    /// epoch counter unbumped — cannot skew the decay exponents.
+    age_epoch: u64,
     stats: StreamStats,
     /// Calibrated cost model behind [`CommitPolicy::Adaptive`] — seeded in
     /// [`new`](Self::new), updated online from every epoch's timing
@@ -422,7 +480,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         let (rho, deltas) = if n == 0 {
             (Vec::new(), DeltaResult::unset(0))
         } else {
-            index.rho_delta_with_policy(params.dpc.dc, params.dpc.exec)?
+            index.rho_delta_kernel_with_policy(params.dpc.dc, params.dpc.kernel, params.dpc.exec)?
         };
         let rebuild_us = seeding.elapsed().as_micros() as f64 / n.max(1) as f64;
         let order = DensityOrder::with_tie_break(&rho, params.dpc.tie_break);
@@ -441,18 +499,22 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             probing.elapsed().as_micros() as f64 / probes as f64
         };
         // An update invalidates its ε-neighbourhood plus itself: mean ρ + 1.
-        let union_prior = rho.iter().map(|&r| r as f64).sum::<f64>() / n.max(1) as f64 + 1.0;
+        // (Under a non-cutoff kernel the weighted mean *under*-estimates the
+        // neighbour count, which only makes the prior conservative.)
+        let union_prior = rho.iter().sum::<f64>() / n.max(1) as f64 + 1.0;
         let model = CostModel::seeded(rebuild_us, inc_us, union_prior, params.ewma_alpha);
         let mut engine = StreamingDpc {
             index,
             params,
             rho,
             deltas,
+            births: vec![0; n],
             handles: HandleMap::with_dense_len(n),
             peak,
             clustering: Clustering::new(vec![], vec![], vec![]),
             assignment: BTreeMap::new(),
             epoch: 0,
+            age_epoch: 0,
             stats: StreamStats::default(),
             model,
             scratch: CommitScratch::default(),
@@ -716,6 +778,76 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         self.commit(&plan)
     }
 
+    /// Advances time without moving the window: one **pure decay epoch**.
+    ///
+    /// Every pair's density contribution ages by one factor of λ
+    /// ([`StreamParams::decay`]), δ/µ are re-ranked in full — λ-scaling can
+    /// collapse two neighbouring f64 densities onto the same float and flip
+    /// an id tie-break, so the whole order is re-derived — and one
+    /// clustering epoch runs. The window itself is untouched: **no
+    /// ε-queries are issued** ([`StreamStats::eps_queries`] is unchanged;
+    /// the regression suite pins this down) and [`version`](Self::version)
+    /// does not move.
+    ///
+    /// With decay disabled (λ = 1.0) or an empty window a tick is a
+    /// complete no-op: no epoch is counted and the returned delta is empty.
+    ///
+    /// # Errors and partial progress
+    ///
+    /// Same contract as [`insert`](Self::insert): only the clustering stage
+    /// can fail, leaving the aged density state exact and the stored
+    /// clustering stale.
+    pub fn tick(&mut self) -> Result<ClusterDelta> {
+        let lambda = self.params.decay;
+        if lambda == 1.0 || self.is_empty() {
+            return Ok(ClusterDelta {
+                epoch: self.epoch,
+                num_clusters: self.clustering.num_clusters(),
+                births: Vec::new(),
+                deaths: Vec::new(),
+                recentred: Vec::new(),
+                changed: Vec::new(),
+            });
+        }
+        let rec = self.recorder.clone();
+        let _epoch_span = span(&rec, "stream.epoch");
+        let started = Instant::now();
+        {
+            let _decay_span = span(&rec, "stream.phase.decay");
+            self.age_epoch += 1;
+            for r in &mut self.rho {
+                *r *= lambda;
+            }
+            let order = DensityOrder::with_tie_break(&self.rho, self.params.dpc.tie_break);
+            recompute_all(
+                self.index.dataset(),
+                &order,
+                &mut self.deltas,
+                self.params.dpc.exec,
+            );
+            self.peak = order.global_peak();
+        }
+        let micros = started.elapsed().as_micros() as u64;
+        self.stats.decay_epochs += 1;
+        self.stats.last_epoch_micros = micros;
+        self.stats.last_epoch_mode = Some(EpochMode::Decay);
+        if rec.enabled() {
+            rec.counter("stream.epochs", 1);
+            rec.counter("stream.epochs.decay", 1);
+            rec.record("stream.decay.rerank_points", self.rho.len() as u64);
+            rec.record("stream.epoch.maintenance_us", micros);
+        }
+        let delta = {
+            let _recluster_span = span(&rec, "stream.phase.recluster");
+            self.recluster()?
+        };
+        if let Some(sink) = self.sink.clone() {
+            let _publish_span = span(&rec, "stream.phase.publish");
+            sink.publish(Arc::new(self.snapshot_with_delta(delta.clone())));
+        }
+        Ok(delta)
+    }
+
     /// Applies a whole [`EpochPlan`] as **one** clustering epoch — the
     /// engine's single maintenance pipeline (see the [module docs](self);
     /// `insert`, `remove` and `advance` are thin wrappers over it).
@@ -760,8 +892,16 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         let updates = plan.ops.len();
         let insert_count = plan.insert_count();
         let n_final = (self.rho.len() + insert_count).saturating_sub(updates - insert_count);
+        // The rebuild path recomputes ρ from a batch query, which is only
+        // the committed state when ρ is memoryless integer counting: a
+        // non-cutoff kernel accumulates weights in the repair order (a
+        // different f64 rounding than the batch scan), and decayed ρ is
+        // history-dependent outright. Both therefore pin the epoch to the
+        // incremental path — a documented coercion, not an error, so a
+        // policy choice never changes results.
+        let rebuild_allowed = self.params.dpc.kernel.is_cutoff() && self.params.decay == 1.0;
         let prediction: Option<Prediction> = match self.params.policy {
-            CommitPolicy::Adaptive => Some(self.model.predict(
+            CommitPolicy::Adaptive if rebuild_allowed => Some(self.model.predict(
                 updates,
                 n_final,
                 self.params.max_affected_fraction,
@@ -769,7 +909,8 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             )),
             _ => None,
         };
-        let rebuild = n_final > 0
+        let rebuild = rebuild_allowed
+            && n_final > 0
             && match self.params.policy {
                 CommitPolicy::AlwaysIncremental => false,
                 CommitPolicy::AlwaysRebuild => true,
@@ -798,6 +939,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
             }
             EpochMode::Fallback => self.stats.fallback_epochs += 1,
             EpochMode::Rebuild => self.stats.rebuild_epochs += 1,
+            EpochMode::Decay => unreachable!("decay epochs come from tick(), not commit()"),
         }
         // The model learns from every epoch's timing regardless of policy
         // (an emptied window teaches nothing and is skipped).
@@ -812,6 +954,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                         .observe_fallback(n, outcome.invalidated, updates, micros)
                 }
                 EpochMode::Rebuild => self.model.observe_rebuild(n, micros),
+                EpochMode::Decay => unreachable!("decay epochs come from tick(), not commit()"),
             }
         }
         self.stats.last_epoch_micros = micros as u64;
@@ -829,6 +972,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                     EpochMode::Incremental => "stream.epochs.incremental",
                     EpochMode::Fallback => "stream.epochs.fallback",
                     EpochMode::Rebuild => "stream.epochs.rebuild",
+                    EpochMode::Decay => "stream.epochs.decay",
                 },
                 1,
             );
@@ -886,6 +1030,7 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         scratch.owner.extend((0..n_old).map(Origin::Old));
         scratch.batch_ops.clear();
         scratch.removed_old_locs.clear();
+        scratch.removed_old_births.clear();
         let mut planned_handles: Vec<Handle> = Vec::with_capacity(plan.insert_count());
         for op in &plan.ops {
             let handle = match *op {
@@ -893,7 +1038,8 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                     scratch.batch_ops.push(BatchOp::Insert(p));
                     planned_handles.push(self.handles.push());
                     scratch.owner.push(Origin::New(planned_handles.len() - 1));
-                    self.rho.push(0);
+                    self.rho.push(0.0);
+                    self.births.push(self.age_epoch);
                     self.deltas.delta.push(f64::INFINITY);
                     self.deltas.mu.push(None);
                     continue;
@@ -911,11 +1057,13 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                 scratch
                     .removed_old_locs
                     .push(self.index.dataset().point(old_id));
+                scratch.removed_old_births.push(self.births[id]);
             }
             scratch.batch_ops.push(BatchOp::Remove(id));
             self.handles.swap_remove(id);
             scratch.owner.swap_remove(id);
             self.rho.swap_remove(id);
+            self.births.swap_remove(id);
             self.deltas.delta.swap_remove(id);
             self.deltas.mu.swap_remove(id);
         }
@@ -934,6 +1082,10 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         let rec = self.recorder.clone();
         let apply_span = span(&rec, "stream.phase.apply");
         let n_old = self.rho.len();
+        // One tick of the decay clock per committed epoch: points inserted
+        // below are born on it, and every surviving pair ages by one λ in
+        // the pre-pass of the ρ repair.
+        self.age_epoch += 1;
         let planned_handles = self.apply_plan(plan, scratch);
 
         // Phase 2 — one index call for the whole epoch; amortised triggers
@@ -978,35 +1130,73 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
                 union.push(q);
             }
         };
-        // Each expired pre-epoch location stops contributing to the ρ of the
-        // survivors around it. Inserted points are skipped: their ρ is
-        // counted fresh below, against the final window.
-        for &loc in &scratch.removed_old_locs {
+        let kernel = self.params.dpc.kernel;
+        let lambda = self.params.decay;
+        // Decay pre-pass: every surviving pair ages by one λ before the
+        // epoch's own mutations land. Inserted placeholders are zero and
+        // unaffected; their fresh weights enter undecayed below. With decay
+        // disabled the pass is skipped — ×1.0 would be a bit-exact no-op,
+        // but an O(n) one.
+        if lambda != 1.0 {
+            for r in &mut self.rho {
+                *r *= lambda;
+            }
+        }
+        // Each expired pre-epoch location stops contributing to the ρ of
+        // the survivors around it: the pair (r, q) entered at weight w(d)
+        // when its younger member was born and has aged by λ every epoch
+        // since — including this one's pre-pass — so the subtraction is the
+        // aged weight λ^(age_epoch − max(birth_r, birth_q))·w(d). With the
+        // cutoff kernel and no decay that is exactly 1.0, the pre-PR
+        // integer decrement. Inserted points are skipped: their ρ is summed
+        // fresh below, against the final window.
+        for (&loc, &birth) in scratch
+            .removed_old_locs
+            .iter()
+            .zip(&scratch.removed_old_births)
+        {
+            self.stats.eps_queries += 1;
             for q in self.index.eps_neighbors(loc, dc)? {
                 if matches!(scratch.owner[q], Origin::Old(_)) {
-                    self.rho[q] -= 1;
+                    let d2 = self.index.dataset().point(q).distance_squared(&loc);
+                    let age = self.age_epoch - birth.max(self.births[q]);
+                    self.rho[q] -= aged_weight(kernel, d2, lambda, age);
                     touch(q, &mut scratch.visited, &mut scratch.union);
                 }
             }
         }
-        // Each surviving insert counts its final neighbourhood (the ε-query
-        // includes the point itself at distance 0) and raises the ρ of the
-        // survivors in it; inserted neighbours are covered by their own
-        // fresh counts.
+        // Each surviving insert sums its final neighbourhood's kernel
+        // weights in ascending id order — the canonical summation order of
+        // `weighted_rho_scan` (the ε-query returns ascending ids and
+        // includes the point itself at distance 0, skipped here) — and
+        // raises the ρ of the survivors in it by the same fresh, undecayed
+        // pair weight; inserted neighbours are covered by their own fresh
+        // sums.
         for &x in &scratch.inserted_final {
-            let neighborhood = self
-                .index
-                .eps_neighbors(self.index.dataset().point(x), dc)?;
-            self.rho[x] = (neighborhood.len() - 1) as Rho;
+            let center = self.index.dataset().point(x);
+            let neighborhood = self.index.eps_neighbors(center, dc)?;
+            self.stats.eps_queries += 1;
+            let mut mass = 0.0f64;
             for q in neighborhood {
+                if q == x {
+                    continue;
+                }
+                let w =
+                    kernel.weight_from_sq(self.index.dataset().point(q).distance_squared(&center));
+                mass += w;
                 if matches!(scratch.owner[q], Origin::Old(_)) {
-                    self.rho[q] += 1;
+                    self.rho[q] += w;
                     touch(q, &mut scratch.visited, &mut scratch.union);
                 }
             }
+            self.rho[x] = mass;
         }
         self.stats.affected_points += scratch.union.len() as u64;
         rec.record("stream.affected_union", scratch.union.len() as u64);
+        rec.counter(
+            "stream.kernel.eps_queries",
+            (scratch.removed_old_locs.len() + scratch.inserted_final.len()) as u64,
+        );
         drop(rho_span);
 
         // Phase 4 — build the invalidation set F and the candidate entrants,
@@ -1067,7 +1257,12 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
 
         let order = DensityOrder::with_tie_break(&self.rho, tie);
         let dataset = self.index.dataset();
-        let mode = if self.needs_fallback(scratch.invalidated.len(), n) {
+        // A decayed epoch rescaled *every* density in the pre-pass: λ-scaling
+        // is order-preserving in exact arithmetic, but two neighbouring f64
+        // densities can collapse onto the same float and hand the comparison
+        // to the id tie-break — so no point's (δ, µ) minimum is trustworthy
+        // and the epoch always re-ranks in full.
+        let mode = if lambda != 1.0 || self.needs_fallback(scratch.invalidated.len(), n) {
             recompute_all(dataset, &order, &mut self.deltas, self.params.dpc.exec);
             EpochMode::Fallback
         } else {
@@ -1120,8 +1315,13 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         plan: &EpochPlan,
         scratch: &mut CommitScratch,
     ) -> Result<EpochOutcome> {
+        debug_assert!(
+            self.params.dpc.kernel.is_cutoff() && self.params.decay == 1.0,
+            "commit() gates the rebuild path to the cutoff kernel without decay"
+        );
         let rec = self.recorder.clone();
         let apply_span = span(&rec, "stream.phase.apply");
+        self.age_epoch += 1;
         let planned_handles = self.apply_plan(plan, scratch);
 
         // Phase 2′ — replay the resolved ops on a copy of the dataset
@@ -1263,6 +1463,29 @@ impl<I: UpdatableIndex> StreamingDpc<I> {
         self.clustering = clustering;
         Ok(delta)
     }
+}
+
+/// `λ^age` with the exact no-decay fast path: with `lambda == 1.0` (or age
+/// 0) the factor is *exactly* 1.0, so multiplying by it never perturbs a
+/// weight — this is what keeps the cutoff/no-decay path bit-identical to
+/// the pre-weighted integer counting.
+pub fn decay_factor(lambda: f64, age: u64) -> f64 {
+    if lambda == 1.0 || age == 0 {
+        1.0
+    } else {
+        lambda.powi(age.min(i32::MAX as u64) as i32)
+    }
+}
+
+/// The current contribution of a pair at squared distance `d2` whose weight
+/// entered `age` epochs ago under per-epoch decay `lambda`:
+/// `w(d²) · λ^age`.
+///
+/// This is the engine's **only** aging arithmetic — the replay oracle of
+/// the kernel-equivalence suite calls the same function, so engine and
+/// oracle round identically and can be compared for bit equality.
+pub fn aged_weight(kernel: Kernel, d2: f64, lambda: f64, age: u64) -> f64 {
+    kernel.weight_from_sq(d2) * decay_factor(lambda, age)
 }
 
 /// Diffs two stable (point handle → centre handle) assignments.

@@ -16,7 +16,10 @@
 //!   of the mutations' ε-neighbourhoods — each neighbourhood found with the
 //!   index's own range query
 //!   ([`dpc_core::UpdatableIndex::eps_neighbors`]), deduplicated through a
-//!   visited bitmap, and adjusted by ±1 per mutation;
+//!   visited bitmap, and adjusted by ±w(d) per mutation (±1 under the
+//!   default cutoff kernel; any truncated [`dpc_core::Kernel`] works,
+//!   because kernel support never leaves the `dc`-ball the index prunes
+//!   by);
 //! * `δ`/`µ` need full recomputation only for a bounded *invalidation set*
 //!   (points whose own rank changed, whose dependent neighbour was touched,
 //!   and the global peak), repaired **once per epoch**; every other point
@@ -82,7 +85,7 @@ pub mod policy;
 pub mod report;
 pub mod snapshot;
 
-pub use engine::{StreamParams, StreamStats, StreamingDpc};
+pub use engine::{aged_weight, decay_factor, StreamParams, StreamStats, StreamingDpc};
 pub use epoch::{EpochPlan, PlannedInsert};
 pub use handle::{Handle, HandleMap};
 pub use policy::{CommitPolicy, CostModel, EpochMode, Prediction};

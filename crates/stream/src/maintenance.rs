@@ -227,7 +227,7 @@ mod tests {
     fn candidate_pass_prefers_smaller_id_on_exact_distance_ties() {
         // p at the origin; candidates 0 and 1 are coincident and both denser.
         let data = Dataset::from_coords(vec![(1.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
-        let rho = vec![5, 5, 0];
+        let rho = vec![5.0, 5.0, 0.0];
         let order = DensityOrder::new(&rho);
         let mut deltas = DeltaResult::unset(3);
         deltas.delta[2] = f64::INFINITY;
@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn candidate_pass_skips_masked_points_and_non_denser_candidates() {
         let data = Dataset::from_coords(vec![(0.0, 0.0), (1.0, 0.0)]);
-        let rho = vec![3, 1];
+        let rho = vec![3.0, 1.0];
         let order = DensityOrder::new(&rho);
         let mut deltas = DeltaResult::unset(2);
         // Candidate 1 is sparser than point 0: no update. Point 1 is masked.
@@ -278,7 +278,7 @@ mod tests {
     #[test]
     fn delta_point_peak_sentinel_is_max_distance() {
         let data = Dataset::from_coords(vec![(0.0, 0.0), (3.0, 4.0)]);
-        let rho = vec![1, 1];
+        let rho = vec![1.0, 1.0];
         let order = DensityOrder::new(&rho);
         let (d, mu) = delta_point(&data, &order, 0);
         assert_eq!(mu, None);

@@ -83,6 +83,10 @@ pub enum EpochMode {
     Fallback,
     /// Bulk index rebuild + batch ρ/δ queries over the final window.
     Rebuild,
+    /// A pure decay tick ([`StreamingDpc::tick`](crate::StreamingDpc::tick)):
+    /// no window mutation, one scalar ρ aging pass plus a full δ/µ re-rank,
+    /// zero ε-queries.
+    Decay,
 }
 
 impl EpochMode {
@@ -92,6 +96,7 @@ impl EpochMode {
             EpochMode::Incremental => "incremental",
             EpochMode::Fallback => "fallback",
             EpochMode::Rebuild => "rebuild",
+            EpochMode::Decay => "decay",
         }
     }
 }
@@ -291,6 +296,7 @@ mod tests {
         assert_eq!(EpochMode::Incremental.name(), "incremental");
         assert_eq!(EpochMode::Fallback.name(), "fallback");
         assert_eq!(EpochMode::Rebuild.name(), "rebuild");
+        assert_eq!(EpochMode::Decay.name(), "decay");
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn replay(engine: &mut StreamingDpc<KdTree>, ops: &[(bool, u32, u32)]) {
 }
 
 /// The full comparable state of an engine.
-fn state_of(engine: &StreamingDpc<KdTree>) -> (Vec<u32>, Vec<f64>, Vec<Option<usize>>, Vec<usize>) {
+fn state_of(engine: &StreamingDpc<KdTree>) -> (Vec<f64>, Vec<f64>, Vec<Option<usize>>, Vec<usize>) {
     (
         engine.rho().to_vec(),
         engine.deltas().delta.clone(),

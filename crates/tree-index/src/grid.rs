@@ -12,14 +12,14 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Point,
-    PointId, Result, Rho, TieBreak, Timer, UpdatableIndex,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Kernel,
+    Point, PointId, Result, Rho, TieBreak, Timer, UpdatableIndex,
 };
 
 use crate::common::{check_partition_invariants, NodeId, SpatialPartition};
 use crate::query::{
     delta_query_with_policy, rho_delta_query_recorded, rho_query_with_policy, subtree_max_density,
-    DeltaQueryConfig, QueryStats,
+    weighted_rho_query_with_policy, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of a [`GridIndex`].
@@ -524,6 +524,20 @@ impl DpcIndex for GridIndex {
         self.rho_with_stats_policy(dc, policy).map(|(rho, _)| rho)
     }
 
+    fn rho_kernel_with_policy(
+        &self,
+        dc: f64,
+        kernel: Kernel,
+        policy: ExecPolicy,
+    ) -> Result<Vec<Rho>> {
+        if kernel.is_cutoff() {
+            return self.rho_with_policy(dc, policy);
+        }
+        validate_dc(dc)?;
+        kernel.validate()?;
+        Ok(weighted_rho_query_with_policy(self, &self.dataset, dc, kernel, policy).0)
+    }
+
     fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         self.delta_with_config_policy(dc, rho, &self.config.delta, policy)
             .map(|(result, _)| result)
@@ -664,7 +678,7 @@ mod tests {
         let grid = GridIndex::build(&data);
         check_partition_invariants(&grid, &data);
         assert_eq!(grid.cell_count(), 1);
-        assert!(grid.rho(1.0).unwrap().iter().all(|&r| r == 19));
+        assert!(grid.rho(1.0).unwrap().iter().all(|&r| r == 19.0));
     }
 
     #[test]

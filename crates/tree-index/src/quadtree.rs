@@ -11,14 +11,14 @@ use std::time::Duration;
 
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
-    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, PointId,
-    Result, Rho, TieBreak, Timer,
+    BoundingBox, Dataset, DeltaResult, DensityOrder, DpcIndex, ExecPolicy, IndexStats, Kernel,
+    PointId, Result, Rho, TieBreak, Timer,
 };
 
 use crate::common::{NodeId, SpatialPartition};
 use crate::query::{
     delta_query_with_policy, rho_delta_query_recorded, rho_query_with_policy, subtree_max_density,
-    DeltaQueryConfig, QueryStats,
+    weighted_rho_query_with_policy, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of a [`Quadtree`].
@@ -310,6 +310,20 @@ impl DpcIndex for Quadtree {
         self.rho_with_stats_policy(dc, policy).map(|(rho, _)| rho)
     }
 
+    fn rho_kernel_with_policy(
+        &self,
+        dc: f64,
+        kernel: Kernel,
+        policy: ExecPolicy,
+    ) -> Result<Vec<Rho>> {
+        if kernel.is_cutoff() {
+            return self.rho_with_policy(dc, policy);
+        }
+        validate_dc(dc)?;
+        kernel.validate()?;
+        Ok(weighted_rho_query_with_policy(self, &self.dataset, dc, kernel, policy).0)
+    }
+
     fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         self.delta_with_config_policy(dc, rho, &self.config.delta, policy)
             .map(|(result, _)| result)
@@ -433,7 +447,7 @@ mod tests {
         check_partition_invariants(&tree, &data);
         assert!(tree.height() <= 7);
         let rho = tree.rho(0.5).unwrap();
-        assert!(rho.iter().all(|&r| r == 99));
+        assert!(rho.iter().all(|&r| r == 99.0));
     }
 
     #[test]
@@ -491,7 +505,7 @@ mod tests {
 
         let single = Quadtree::build(&Dataset::new(vec![dpc_core::Point::new(3.0, 4.0)]));
         let (rho, deltas) = single.rho_delta(1.0).unwrap();
-        assert_eq!(rho, vec![0]);
+        assert_eq!(rho, vec![0.0]);
         assert_eq!(deltas.mu(0), None);
         assert_eq!(deltas.delta(0), 0.0);
     }

@@ -34,7 +34,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dpc_core::{
-    exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, Point, PointId, Rho, TieBreak,
+    exec, Dataset, DeltaResult, DensityOrder, ExecPolicy, Kernel, Point, PointId, Rho, TieBreak,
 };
 
 use crate::common::{NodeId, SpatialPartition};
@@ -108,6 +108,7 @@ pub struct QueryScratch {
     pub stats: QueryStats,
     stack: Vec<NodeId>,
     heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    pairs: Vec<(PointId, f64)>,
 }
 
 impl QueryScratch {
@@ -224,7 +225,7 @@ pub fn rho_one<T: SpatialPartition + ?Sized>(
     dc: f64,
     scratch: &mut QueryScratch,
 ) -> Rho {
-    let Some(root) = tree.root() else { return 0 };
+    let Some(root) = tree.root() else { return 0.0 };
     let query = dataset.point(p);
     let pts = dataset.points();
     let dc2 = dc * dc;
@@ -261,6 +262,91 @@ pub fn rho_one<T: SpatialPartition + ?Sized>(
     }
     // `count` includes p itself (distance 0 < dc always holds for dc > 0).
     (count.saturating_sub(1)) as Rho
+}
+
+/// Computes kernel-weighted ρ for every point under an explicit execution
+/// policy — the tree-accelerated implementation behind every tree index's
+/// [`dpc_core::DpcIndex::rho_kernel_with_policy`] override for non-cutoff
+/// kernels.
+///
+/// Bit-identical to [`dpc_core::index::weighted_rho_scan`] at every thread
+/// count: each point's mass is summed in ascending neighbour-id order with
+/// the same `dx² + dy²` distance arithmetic, so the traversal only changes
+/// *which* pairs are examined, never the value produced.
+pub fn weighted_rho_query_with_policy<T: SpatialPartition + Sync + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    dc: f64,
+    kernel: Kernel,
+    policy: ExecPolicy,
+) -> (Vec<Rho>, QueryStats) {
+    let mut rho = vec![0.0 as Rho; dataset.len()];
+    let scratches = exec::fill_slice(&mut rho, policy, QueryScratch::new, |p, scratch| {
+        weighted_rho_one(tree, dataset, p, dc, kernel, scratch)
+    });
+    let mut stats = QueryStats::default();
+    for s in &scratches {
+        stats.merge(&s.stats);
+    }
+    (rho, stats)
+}
+
+/// Kernel-weighted ρ of a single point: sums `w(d)` over all points strictly
+/// within `dc`, excluding the point itself.
+///
+/// Unlike [`rho_one`] there is no fully-contained shortcut — every in-range
+/// neighbour's distance feeds the kernel — so the traversal mirrors
+/// [`eps_query`]: prune nodes entirely outside the circle (and nodes emptied
+/// by deletions), scan surviving leaves. Collected `(id, d²)` pairs are
+/// sorted by id and summed ascending, the canonical order of
+/// [`dpc_core::index::weighted_rho_scan`], so the result is bit-identical to
+/// the brute-force scan.
+pub fn weighted_rho_one<T: SpatialPartition + ?Sized>(
+    tree: &T,
+    dataset: &Dataset,
+    p: PointId,
+    dc: f64,
+    kernel: Kernel,
+    scratch: &mut QueryScratch,
+) -> Rho {
+    let Some(root) = tree.root() else { return 0.0 };
+    let query = dataset.point(p);
+    let pts = dataset.points();
+    let dc2 = dc * dc;
+    let stats = &mut scratch.stats;
+    let pairs = &mut scratch.pairs;
+    pairs.clear();
+    let stack = &mut scratch.stack;
+    stack.clear();
+    stack.push(root);
+    while let Some(node) = stack.pop() {
+        stats.nodes_visited += 1;
+        if tree.point_count(node) == 0 || tree.bbox(node).min_dist_squared(query) >= dc2 {
+            stats.nodes_discarded += 1;
+            continue;
+        }
+        if tree.is_leaf(node) {
+            for &q in tree.points(node) {
+                let q = q as PointId;
+                if q == p {
+                    continue;
+                }
+                stats.points_scanned += 1;
+                let d2 = pts[q].distance_squared(&query);
+                if d2 < dc2 {
+                    pairs.push((q, d2));
+                }
+            }
+        } else {
+            stack.extend_from_slice(tree.children(node));
+        }
+    }
+    pairs.sort_unstable_by_key(|&(q, _)| q);
+    let mut mass = 0.0f64;
+    for &(_, d2) in pairs.iter() {
+        mass += kernel.weight_from_sq(d2);
+    }
+    mass
 }
 
 /// Ids of all points strictly within `eps` of `center`, ascending — the
@@ -644,6 +730,32 @@ mod tests {
     }
 
     #[test]
+    fn weighted_rho_query_matches_scan_and_is_thread_invariant() {
+        let data = query_dataset(5, 0.004).into_dataset(); // 200 points
+        let part = FlatPartition::strips(&data, 0.05);
+        let dc = 0.02;
+        for kernel in [Kernel::gaussian(0.01), Kernel::exponential(0.02)] {
+            let expected =
+                dpc_core::index::weighted_rho_scan(&data, dc, kernel, ExecPolicy::Sequential)
+                    .unwrap();
+            let (seq, stats) =
+                weighted_rho_query_with_policy(&part, &data, dc, kernel, ExecPolicy::Sequential);
+            assert_eq!(seq, expected, "{}", kernel.name());
+            assert!(stats.nodes_discarded > 0, "traversal must prune");
+            for threads in [2usize, 7] {
+                let (par, _) = weighted_rho_query_with_policy(
+                    &part,
+                    &data,
+                    dc,
+                    kernel,
+                    ExecPolicy::Threads(threads),
+                );
+                assert_eq!(par, seq, "{} threads = {threads}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
     fn rho_query_prunes_disjoint_and_contained_nodes() {
         let data = s1(19, 0.04).into_dataset();
         let part = FlatPartition::strips(&data, 100_000.0);
@@ -662,14 +774,13 @@ mod tests {
         let rho = rho_query(&part, &data, 40_000.0);
         let maxrho = subtree_max_density(&part, &rho);
         let root = part.root().unwrap();
-        assert_eq!(maxrho[root], rho.iter().copied().max().unwrap());
+        assert_eq!(maxrho[root], rho.iter().copied().fold(0.0f64, f64::max));
         for (node, &got) in maxrho.iter().enumerate().skip(1) {
             let expected = part
                 .points(node)
                 .iter()
                 .map(|&q| rho[q as usize])
-                .max()
-                .unwrap_or(0);
+                .fold(0.0f64, f64::max);
             assert_eq!(got, expected, "node {node}");
         }
     }

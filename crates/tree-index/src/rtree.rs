@@ -37,13 +37,13 @@ use std::time::Duration;
 use dpc_core::index::{validate_dc, validate_rho_len};
 use dpc_core::{
     BoundingBox, Dataset, DeltaResult, DensityOrder, DpcError, DpcIndex, ExecPolicy, IndexStats,
-    Point, PointId, Result, Rho, TieBreak, Timer, UpdatableIndex,
+    Kernel, Point, PointId, Result, Rho, TieBreak, Timer, UpdatableIndex,
 };
 
 use crate::common::{check_partition_invariants, NodeId, SpatialPartition};
 use crate::query::{
     delta_query_with_policy, eps_query, rho_delta_query_recorded, rho_query_with_policy,
-    subtree_max_density, DeltaQueryConfig, QueryStats,
+    subtree_max_density, weighted_rho_query_with_policy, DeltaQueryConfig, QueryStats,
 };
 
 /// Configuration of an [`RTree`].
@@ -830,6 +830,20 @@ impl DpcIndex for RTree {
         self.rho_with_stats_policy(dc, policy).map(|(rho, _)| rho)
     }
 
+    fn rho_kernel_with_policy(
+        &self,
+        dc: f64,
+        kernel: Kernel,
+        policy: ExecPolicy,
+    ) -> Result<Vec<Rho>> {
+        if kernel.is_cutoff() {
+            return self.rho_with_policy(dc, policy);
+        }
+        validate_dc(dc)?;
+        kernel.validate()?;
+        Ok(weighted_rho_query_with_policy(self, &self.dataset, dc, kernel, policy).0)
+    }
+
     fn delta_with_policy(&self, dc: f64, rho: &[Rho], policy: ExecPolicy) -> Result<DeltaResult> {
         self.delta_with_config_policy(dc, rho, &self.config.delta, policy)
             .map(|(result, _)| result)
@@ -1181,7 +1195,7 @@ mod tests {
         let single = RTree::build(&Dataset::new(vec![dpc_core::Point::new(3.0, 4.0)]));
         single.check_structure();
         let (rho, deltas) = single.rho_delta(1.0).unwrap();
-        assert_eq!(rho, vec![0]);
+        assert_eq!(rho, vec![0.0]);
         assert_eq!(deltas.mu(0), None);
     }
 
@@ -1343,7 +1357,7 @@ mod tests {
         assert_eq!(tree.root(), None);
         assert!(tree.rho(1.0).unwrap().is_empty());
         tree.insert(Point::new(1.0, 2.0)).unwrap();
-        assert_eq!(tree.rho(1.0).unwrap(), vec![0]);
+        assert_eq!(tree.rho(1.0).unwrap(), vec![0.0]);
     }
 
     #[test]

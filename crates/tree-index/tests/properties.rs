@@ -7,8 +7,8 @@
 //! the same geometry.
 
 use dpc_baseline::LeanDpc;
-use dpc_core::index::eps_neighbors_scan;
-use dpc_core::{Dataset, DensityOrder, DpcIndex, UpdatableIndex};
+use dpc_core::index::{eps_neighbors_scan, weighted_rho_scan};
+use dpc_core::{Dataset, DensityOrder, DpcIndex, ExecPolicy, Kernel, UpdatableIndex};
 use dpc_datasets::testsupport::{test_points, TestDistribution, ALL_DISTRIBUTIONS};
 use dpc_tree_index::common::check_partition_invariants;
 use dpc_tree_index::query::{rho_query, subtree_max_density};
@@ -117,6 +117,49 @@ proptest! {
         }
     }
 
+    /// The tree-accelerated weighted ρ traversal is **bit-identical** to the
+    /// canonical brute-force scan for every truncated kernel, tree family and
+    /// thread count, and the cutoff kernel routes through the exact integer
+    /// counting path — the contract that lets kernels be swapped under every
+    /// index without perturbing a single bit downstream.
+    #[test]
+    fn weighted_rho_matches_the_scan_for_every_tree(
+        coords in coords_strategy(),
+        dc in 0.5f64..1500.0,
+        bandwidth in 1.0f64..2000.0
+    ) {
+        let data = Dataset::from_coords(coords);
+        let quadtree = Quadtree::build(&data);
+        let rtree = RTree::build(&data);
+        let kdtree = KdTree::build(&data);
+        let grid = GridIndex::build(&data);
+        let trees: [(&str, &dyn DpcIndex); 4] = [
+            ("quadtree", &quadtree),
+            ("rtree", &rtree),
+            ("kdtree", &kdtree),
+            ("grid", &grid),
+        ];
+        for kernel in [Kernel::gaussian(bandwidth), Kernel::exponential(bandwidth)] {
+            let reference = weighted_rho_scan(&data, dc, kernel, ExecPolicy::Sequential).unwrap();
+            for (name, tree) in trees {
+                for threads in [1usize, 4] {
+                    let rho = tree
+                        .rho_kernel_with_policy(dc, kernel, ExecPolicy::Threads(threads))
+                        .unwrap();
+                    prop_assert_eq!(
+                        &rho, &reference,
+                        "{} {} threads={}", name, kernel.name(), threads
+                    );
+                }
+            }
+        }
+        for (name, tree) in trees {
+            let counted = tree.rho(dc).unwrap();
+            let cutoff = tree.rho_kernel(dc, Kernel::Cutoff).unwrap();
+            prop_assert_eq!(&cutoff, &counted, "{} cutoff kernel", name);
+        }
+    }
+
     #[test]
     fn subtree_max_density_bounds_every_member(
         coords in coords_strategy(),
@@ -137,7 +180,7 @@ proptest! {
                     points.extend(tree.points(m).iter().map(|&q| q as usize));
                     inner.extend_from_slice(tree.children(m));
                 }
-                let expected = points.iter().map(|&q| rho[q]).max().unwrap_or(0);
+                let expected = points.iter().map(|&q| rho[q]).fold(0.0f64, f64::max);
                 prop_assert_eq!(maxrho[node], expected);
                 stack.extend_from_slice(tree.children(node));
             }

@@ -38,10 +38,9 @@ fn main() {
         // density and is itself a peak at scale dc (its nearest denser point
         // is farther than dc away).
         let rho = index.rho(dc).expect("rho query");
-        let mean_rho =
-            (rho.iter().map(|&r| r as f64).sum::<f64>() / rho.len() as f64).ceil() as u32;
+        let mean_rho = (rho.iter().sum::<f64>() / rho.len() as f64).ceil();
         let params = DpcParams::new(dc).with_centers(CenterSelection::Threshold {
-            rho_min: mean_rho.max(1),
+            rho_min: mean_rho.max(1.0),
             delta_min: dc,
         });
         let run = DpcPipeline::new(params)
